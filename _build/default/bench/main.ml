@@ -1,0 +1,127 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. Bechamel micro-benchmarks of the operations whose complexity the
+      paper argues about: 2P pruning/merging (linear) versus the 4P
+      baseline (quadratic-ish), plus end-to-end DP runs per benchmark
+      size class.  One Test.make per paper table/figure whose claim is
+      about runtime.
+
+   2. Regeneration of every table and figure of the evaluation section
+      (the same harnesses `bin/experiments_main.exe` exposes), so that
+      `dune exec bench/main.exe` prints the full paper-shaped output.
+
+   Pass --micro-only or --tables-only to run one half. *)
+
+open Bechamel
+open Toolkit
+
+(* ---------- fixtures ---------- *)
+
+let fixture_sols n ~sigma =
+  (* A synthetic pruned-frontier-like candidate list: loads and rats
+     increasing, each with a couple of shared plus one private
+     variation source. *)
+  List.init n (fun i ->
+      let fi = float_of_int i in
+      let load =
+        Linform.make ~nominal:(20.0 +. (3.0 *. fi))
+          ~sens:[ (0, sigma); (1000 + i, sigma *. 0.5) ]
+      in
+      let rat =
+        Linform.make ~nominal:(100.0 +. (7.0 *. fi))
+          ~sens:[ (1, 4.0 *. sigma); (2000 + i, sigma) ]
+      in
+      { Bufins.Sol.load; rat; choice = Bufins.Sol.At_sink i })
+
+let shuffled sols =
+  (* Deterministic interleave so pruning has work to do. *)
+  let arr = Array.of_list sols in
+  let n = Array.length arr in
+  List.init n (fun i -> arr.((i * 7919) mod n))
+
+let bench_prune rule n =
+  let sols = shuffled (fixture_sols n ~sigma:1.0) in
+  Staged.stage (fun () -> ignore (Bufins.Prune.prune rule sols))
+
+let bench_merge n =
+  let a = fixture_sols n ~sigma:1.0 in
+  let b = fixture_sols n ~sigma:1.2 in
+  Staged.stage (fun () -> ignore (Bufins.Engine.merge_frontiers ~node:0 a b))
+
+let bench_dp bench_name =
+  let info = Rctree.Benchmarks.find bench_name in
+  let tree = Rctree.Benchmarks.load info in
+  let setup = Experiments.Common.default_setup in
+  let grid =
+    Experiments.Common.grid_for setup ~die_um:info.Rctree.Benchmarks.die_um
+  in
+  Staged.stage (fun () ->
+      ignore
+        (Experiments.Common.run_algo setup
+           ~spatial:Varmodel.Model.default_heterogeneous ~grid
+           Experiments.Common.Wid tree))
+
+let micro_tests =
+  Test.make_grouped ~name:"varbuf"
+    [
+      (* Table 2 / Fig 5: the pruning rules' costs *)
+      Test.make ~name:"prune/2P/n=100" (bench_prune (Bufins.Prune.two_param ()) 100);
+      Test.make ~name:"prune/2P/n=1000" (bench_prune (Bufins.Prune.two_param ()) 1000);
+      Test.make ~name:"prune/2P/n=10000"
+        (bench_prune (Bufins.Prune.two_param ()) 10000);
+      Test.make ~name:"prune/4P/n=100" (bench_prune (Bufins.Prune.four_param ()) 100);
+      Test.make ~name:"prune/4P/n=1000"
+        (bench_prune (Bufins.Prune.four_param ()) 1000);
+      Test.make ~name:"prune/1P/n=1000"
+        (bench_prune (Bufins.Prune.one_param ~alpha:0.95) 1000);
+      (* Fig 1: linear merge *)
+      Test.make ~name:"merge/2P/n=100" (bench_merge 100);
+      Test.make ~name:"merge/2P/n=1000" (bench_merge 1000);
+      (* end-to-end DP, one per benchmark size class (Table 2 rows) *)
+      Test.make ~name:"dp/2P/p1" (bench_dp "p1");
+      Test.make ~name:"dp/2P/r1" (bench_dp "r1");
+    ]
+
+let run_micro () =
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg [ instance ] micro_tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  print_endline "== Micro-benchmarks (bechamel, monotonic clock) ==";
+  Printf.printf "%-28s %16s %8s\n" "benchmark" "ns/run" "r^2";
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+        Printf.printf "%-28s %16.1f %8s\n" name est
+          (match Analyze.OLS.r_square result with
+          | Some r2 -> Printf.sprintf "%.3f" r2
+          | None -> "-")
+      | _ -> Printf.printf "%-28s %16s\n" name "n/a")
+    (List.sort compare rows);
+  print_newline ()
+
+let run_tables () =
+  let setup = Experiments.Common.default_setup in
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      e.Experiments.Registry.exec Format.std_formatter setup;
+      Format.printf "@.";
+      (* Return the previous experiment's high-water heap to the OS so
+         the memory-hungry stages (table2's 4P, the level-8 H-tree)
+         don't stack. *)
+      Gc.compact ())
+    Experiments.Registry.all
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let micro = not (List.mem "--tables-only" args) in
+  let tables = not (List.mem "--micro-only" args) in
+  if micro then run_micro ();
+  if tables then run_tables ()

@@ -1,0 +1,201 @@
+(* Command-line buffer-insertion tool: generate or pick a benchmark,
+   run one of the algorithms with any pruning rule, and report the
+   solution together with its evaluation under the full variation
+   model. *)
+
+open Cmdliner
+
+type source =
+  | Bench of string
+  | Random of int      (* sinks *)
+  | Htree of int       (* levels *)
+  | File of string     (* varbuf tree file *)
+
+let die_of_tree tree =
+  (* Bounding square of the net, grid-aligned, for trees loaded from
+     files (generated sources know their die directly). *)
+  let hi = ref 4000.0 in
+  for id = 0 to Rctree.Tree.node_count tree - 1 do
+    let x, y = Rctree.Tree.position tree id in
+    hi := Float.max !hi (Float.max x y)
+  done;
+  ceil (!hi /. 500.0) *. 500.0
+
+let load_tree source seed =
+  match source with
+  | Bench name ->
+    let info = Rctree.Benchmarks.find name in
+    (Rctree.Benchmarks.load info, info.Rctree.Benchmarks.die_um)
+  | Random sinks ->
+    let die_um = Float.max 4000.0 (sqrt (float_of_int sinks) *. 400.0) in
+    (Rctree.Generate.random_steiner ~seed ~sinks ~die_um (), die_um)
+  | Htree levels ->
+    let die_um = 20000.0 in
+    (Rctree.Generate.h_tree ~seed ~levels ~die_um (), die_um)
+  | File path ->
+    let tree = Rctree.Io.load path in
+    (tree, die_of_tree tree)
+
+let algo_of_string = function
+  | "nom" -> Ok Experiments.Common.Nom
+  | "d2d" -> Ok Experiments.Common.D2d
+  | "wid" -> Ok Experiments.Common.Wid
+  | s -> Error (Printf.sprintf "unknown algorithm %S (nom|d2d|wid)" s)
+
+let rule_of_string p = function
+  | "det" -> Ok Bufins.Prune.deterministic
+  | "2p" -> Ok (Bufins.Prune.two_param ~p_l:p ~p_t:p ())
+  | "1p" -> Ok (Bufins.Prune.one_param ~alpha:0.95)
+  | "4p" -> Ok (Bufins.Prune.four_param ())
+  | s -> Error (Printf.sprintf "unknown pruning rule %S (det|2p|1p|4p)" s)
+
+let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
+    wire_sizing save_buffering load_limit =
+  let source =
+    match (bench, sinks, htree, file) with
+    | Some b, None, None, None -> Ok (Bench b)
+    | None, Some n, None, None -> Ok (Random n)
+    | None, None, Some l, None -> Ok (Htree l)
+    | None, None, None, Some f -> Ok (File f)
+    | None, None, None, None -> Ok (Bench "p1")
+    | _ -> Error "give at most one of --bench, --sinks, --htree, --load"
+  in
+  match source with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok source -> (
+    match (algo_of_string algo_s, rule_of_string p rule_s) with
+    | Error msg, _ | _, Error msg ->
+      prerr_endline msg;
+      1
+    | Ok algo, Ok rule -> (
+      let setup = { Experiments.Common.default_setup with mc_trials = mc } in
+      let tree, die_um =
+        try load_tree source seed
+        with Not_found ->
+          prerr_endline
+            (Printf.sprintf "unknown benchmark (known: %s)"
+               (String.concat ", " Rctree.Benchmarks.names));
+          exit 1
+      in
+      let grid = Experiments.Common.grid_for setup ~die_um in
+      let spatial =
+        if homogeneous then Varmodel.Model.Homogeneous
+        else Varmodel.Model.default_heterogeneous
+      in
+      Format.printf "tree: %a@." Rctree.Tree.pp_stats tree;
+      Option.iter
+        (fun path ->
+          Rctree.Io.save path tree;
+          Format.printf "tree written to %s@." path)
+        save_tree;
+      try
+        let r =
+          Experiments.Common.run_algo setup ~rule ~wire_sizing ?load_limit
+            ~spatial ~grid algo tree
+        in
+        let form =
+          Experiments.Common.evaluate setup ~spatial ~grid tree
+            ~widths:r.Bufins.Engine.widths r.Bufins.Engine.buffers
+        in
+        Format.printf
+          "%s/%s: buffers=%d sized-wires=%d runtime=%.2fs peak-candidates=%d@."
+          (Experiments.Common.algo_name algo)
+          (Bufins.Prune.name rule)
+          (List.length r.Bufins.Engine.buffers)
+          (List.length r.Bufins.Engine.widths)
+          r.Bufins.Engine.stats.Bufins.Engine.runtime_s
+          r.Bufins.Engine.stats.Bufins.Engine.peak_candidates;
+        if not r.Bufins.Engine.load_limit_met then
+          Format.printf "warning: the load limit could not be met anywhere@.";
+        Format.printf
+          "root RAT under full model: mu=%.1f ps, sigma=%.1f ps, 95%%-yield RAT=%.1f ps@."
+          (Linform.mean form) (Linform.std form)
+          (Sta.Yield.rat_at_yield form ~yield:0.95);
+        Option.iter
+          (fun path ->
+            Bufins.Assignment.save path (Bufins.Assignment.of_result r);
+            Format.printf "buffering written to %s@." path)
+          save_buffering;
+        if mc > 0 then begin
+          let inst =
+            Experiments.Common.instance_for setup ~spatial ~grid tree
+              ~widths:r.Bufins.Engine.widths r.Bufins.Engine.buffers
+          in
+          let rng = Numeric.Rng.create ~seed in
+          let samples = Sta.Buffered.monte_carlo inst ~rng ~trials:mc in
+          let s = Numeric.Stats.summarize samples in
+          Format.printf "Monte Carlo (%d trials): mu=%.1f ps, sigma=%.1f ps@." mc
+            s.Numeric.Stats.mean s.Numeric.Stats.std
+        end;
+        0
+      with Bufins.Engine.Budget_exceeded msg ->
+        Format.printf "DNF: %s@." msg;
+        2))
+
+let bench_arg =
+  Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"NAME"
+         ~doc:"Benchmark name (p1, p2, r1..r5).")
+
+let sinks_arg =
+  Arg.(value & opt (some int) None & info [ "sinks" ] ~docv:"N"
+         ~doc:"Generate a random Steiner tree with N sinks.")
+
+let htree_arg =
+  Arg.(value & opt (some int) None & info [ "htree" ] ~docv:"LEVELS"
+         ~doc:"Generate an H-tree clock net with 4^LEVELS sinks.")
+
+let algo_arg =
+  Arg.(value & opt string "wid" & info [ "algo" ] ~docv:"ALGO"
+         ~doc:"Algorithm: nom, d2d or wid.")
+
+let rule_arg =
+  Arg.(value & opt string "2p" & info [ "rule" ] ~docv:"RULE"
+         ~doc:"Pruning rule: det, 2p, 1p or 4p.")
+
+let p_arg =
+  Arg.(value & opt float 0.5 & info [ "p" ] ~docv:"P"
+         ~doc:"The 2P parameters p_L = p_T (0.5 to 1).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let mc_arg =
+  Arg.(value & opt int 0 & info [ "mc" ] ~docv:"N"
+         ~doc:"Also run N Monte-Carlo trials on the result.")
+
+let homogeneous_arg =
+  Arg.(value & flag & info [ "homogeneous" ]
+         ~doc:"Use the homogeneous spatial model (default: heterogeneous).")
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE"
+         ~doc:"Load the routing tree from a varbuf tree file.")
+
+let save_arg =
+  Arg.(value & opt (some string) None & info [ "save-tree" ] ~docv:"FILE"
+         ~doc:"Write the routing tree (before buffering) to FILE.")
+
+let wire_sizing_arg =
+  Arg.(value & flag & info [ "wire-sizing" ]
+         ~doc:"Size wires simultaneously with buffer insertion (3-width library).")
+
+let save_buffering_arg =
+  Arg.(value & opt (some string) None & info [ "save-buffering" ] ~docv:"FILE"
+         ~doc:"Write the chosen buffering (and wire sizing) to FILE for varbuf-sta.")
+
+let load_limit_arg =
+  Arg.(value & opt (some float) None & info [ "load-limit" ] ~docv:"FF"
+         ~doc:"Maximum capacitance (fF) any buffer or the driver may drive.")
+
+let cmd =
+  let doc = "variation-aware buffer insertion on a routing tree" in
+  let info = Cmd.info "varbuf-bufferins" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ bench_arg $ sinks_arg $ htree_arg $ file_arg $ algo_arg
+      $ rule_arg $ p_arg $ seed_arg $ mc_arg $ homogeneous_arg $ save_arg
+      $ wire_sizing_arg $ save_buffering_arg $ load_limit_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,52 @@
+(* CLI runner for the paper's tables and figures: one id per experiment,
+   "all" for the full evaluation section. *)
+
+let run_ids ids mc_trials =
+  let setup = { Experiments.Common.default_setup with mc_trials } in
+  let ppf = Format.std_formatter in
+  let run_one id =
+    match Experiments.Registry.find id with
+    | Some e ->
+      e.Experiments.Registry.exec ppf setup;
+      Format.fprintf ppf "@.";
+      Ok ()
+    | None ->
+      Error
+        (Printf.sprintf "unknown experiment %S (known: %s)" id
+           (String.concat ", " Experiments.Registry.ids))
+  in
+  let ids =
+    if List.mem "all" ids then Experiments.Registry.ids else ids
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | id :: rest -> ( match run_one id with Ok () -> go rest | Error _ as e -> e)
+  in
+  match go ids with
+  | Ok () -> 0
+  | Error msg ->
+    prerr_endline msg;
+    1
+
+open Cmdliner
+
+let ids_arg =
+  let doc =
+    "Experiment ids to run (or $(b,all)).  Known ids: "
+    ^ String.concat ", " Experiments.Registry.ids
+  in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let trials_arg =
+  let doc = "Monte-Carlo trials for the MC-based figures." in
+  Arg.(
+    value
+    & opt int Experiments.Common.default_setup.Experiments.Common.mc_trials
+    & info [ "trials" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc = "regenerate the paper's tables and figures" in
+  let info = Cmd.info "varbuf-experiments" ~doc in
+  Cmd.v info Term.(const run_ids $ ids_arg $ trials_arg)
+
+let () = exit (Cmd.eval' cmd)

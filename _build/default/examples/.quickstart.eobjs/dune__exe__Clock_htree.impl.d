@@ -1,0 +1,1 @@
+examples/clock_htree.ml: Array Bufins Format Hashtbl List Rctree Sys Varmodel

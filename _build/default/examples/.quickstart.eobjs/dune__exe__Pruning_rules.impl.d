@@ -1,0 +1,1 @@
+examples/pruning_rules.ml: Bufins Float Format Linform List Option Rctree Varmodel

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bufins Device Format Linform List Rctree Sta Varmodel

@@ -1,0 +1,1 @@
+examples/yield_study.ml: Array Bufins Experiments Format Linform List Numeric Rctree Sta String Sys Varmodel

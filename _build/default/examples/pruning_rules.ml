@@ -1,0 +1,51 @@
+(* Pruning-rule shoot-out: the same WID optimisation run under the
+   paper's 2P rule, the 1P rule of reference [8], and the 4P rule of
+   reference [7] (the DATE 2005 baseline), on growing trees.  Shows the
+   capacity cliff that motivates the 2P rule.
+
+   Run with:  dune exec examples/pruning_rules.exe *)
+
+let () =
+  let budget =
+    { Bufins.Engine.max_candidates = Some 300_000; max_seconds = Some 20.0 }
+  in
+  let rules =
+    [
+      ("2P(0.5)", Bufins.Prune.two_param ());
+      ("2P(0.9)", Bufins.Prune.two_param ~p_l:0.9 ~p_t:0.9 ());
+      ("1P(.95)", Bufins.Prune.one_param ~alpha:0.95);
+      ("4P", Bufins.Prune.four_param ());
+    ]
+  in
+  Format.printf
+    "WID optimisation per pruning rule (budget: %d candidates / %.0f s)@."
+    (Option.get budget.Bufins.Engine.max_candidates)
+    (Option.get budget.Bufins.Engine.max_seconds);
+  Format.printf "%8s" "sinks";
+  List.iter (fun (name, _) -> Format.printf " %22s" name) rules;
+  Format.printf "@.";
+  List.iter
+    (fun sinks ->
+      Format.printf "%8d" sinks;
+      let die_um = Float.max 4000.0 (sqrt (float_of_int sinks) *. 400.0) in
+      let tree = Rctree.Generate.random_steiner ~seed:77 ~sinks ~die_um () in
+      let grid =
+        Varmodel.Grid.create ~width_um:die_um ~height_um:die_um ~pitch_um:500.0
+          ~range_um:2000.0
+      in
+      List.iter
+        (fun (_, rule) ->
+          let model =
+            Varmodel.Model.create ~mode:Varmodel.Model.Wid
+              ~spatial:Varmodel.Model.default_heterogeneous ~grid ()
+          in
+          let cfg = { (Bufins.Engine.default_config ~rule ()) with budget } in
+          try
+            let r = Bufins.Engine.run cfg ~model tree in
+            Format.printf " %10.1f in %6.2fs"
+              (Linform.mean r.Bufins.Engine.root_rat)
+              r.Bufins.Engine.stats.Bufins.Engine.runtime_s
+          with Bufins.Engine.Budget_exceeded _ -> Format.printf " %22s" "DNF")
+        rules;
+      Format.printf "@.")
+    [ 8; 16; 32; 64; 128; 256; 512 ]

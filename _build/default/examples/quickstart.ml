@@ -1,0 +1,86 @@
+(* Quickstart: build a small routing tree by hand, optimise it with the
+   deterministic and the variation-aware (2P) algorithms, and inspect
+   the results.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Describe a net: a driver at the origin, two sinks 2-3 mm away,
+     joined at a Steiner point.  Wire lengths default to Manhattan
+     distances. *)
+  let sink name cap =
+    { Rctree.Tree.sink_cap = cap; sink_rat = 0.0; sink_name = name }
+  in
+  let spec =
+    Rctree.Tree.Node
+      {
+        x = 0.0;
+        y = 0.0;
+        children =
+          [
+            ( Rctree.Tree.Node
+                {
+                  x = 1500.0;
+                  y = 0.0;
+                  children =
+                    [
+                      (Rctree.Tree.Leaf { x = 3000.0; y = 800.0; sink = sink "dsp" 12.0 }, None);
+                      (Rctree.Tree.Leaf { x = 1500.0; y = 2200.0; sink = sink "mem" 6.0 }, None);
+                    ];
+                },
+              None );
+          ];
+      }
+  in
+  let tree = Rctree.Tree.of_spec spec in
+  Format.printf "net: %a@." Rctree.Tree.pp_stats tree;
+
+  (* 2. A variation model: 4 mm die, 500 um spatial grid, the paper's
+     5%%/5%%/5%% budget, heterogeneous SW->NE ramp. *)
+  let grid =
+    Varmodel.Grid.create ~width_um:4000.0 ~height_um:4000.0 ~pitch_um:500.0
+      ~range_um:2000.0
+  in
+  let model mode =
+    Varmodel.Model.create ~mode ~spatial:Varmodel.Model.default_heterogeneous ~grid ()
+  in
+
+  (* 3. Deterministic van Ginneken (NOM). *)
+  let det_cfg = Bufins.Engine.default_config ~rule:Bufins.Prune.deterministic () in
+  let nom = Bufins.Engine.run det_cfg ~model:(model Varmodel.Model.Nom) tree in
+  Format.printf "NOM : RAT %.1f ps with %d buffers@."
+    (Linform.mean nom.Bufins.Engine.root_rat)
+    (List.length nom.Bufins.Engine.buffers);
+
+  (* 4. Variation-aware with the 2P pruning rule (WID). *)
+  let wid_cfg = Bufins.Engine.default_config () in
+  let wid = Bufins.Engine.run wid_cfg ~model:(model Varmodel.Model.Wid) tree in
+  Format.printf "WID : RAT %.1f ps (sigma %.1f ps) with %d buffers@."
+    (Linform.mean wid.Bufins.Engine.root_rat)
+    (Linform.std wid.Bufins.Engine.root_rat)
+    (List.length wid.Bufins.Engine.buffers);
+  List.iter
+    (fun (node, b) ->
+      let x, y =
+        match Rctree.Tree.parent tree node with
+        | Some p -> Rctree.Tree.position tree p
+        | None -> Rctree.Tree.position tree node
+      in
+      Format.printf "  buffer %s at the upstream end of the wire above node %d (at %.0f, %.0f)@."
+        b.Device.Buffer.name node x y)
+    wid.Bufins.Engine.buffers;
+
+  (* 5. Judge both solutions under the full variation model: the
+     95%-yield RAT is what a manufactured chip beats 95% of the time. *)
+  let evaluate label buffers =
+    let buffered = Sta.Buffered.make ~tech:Device.Tech.default_65nm tree buffers in
+    let inst =
+      Sta.Buffered.instantiate ~model:(model Varmodel.Model.Wid) buffered
+    in
+    let form = Sta.Buffered.canonical_rat inst in
+    Format.printf "%s under full model: mean %.1f ps, 95%%-yield RAT %.1f ps@." label
+      (Linform.mean form)
+      (Sta.Yield.rat_at_yield form ~yield:0.95)
+  in
+  evaluate "NOM" nom.Bufins.Engine.buffers;
+  evaluate "WID" wid.Bufins.Engine.buffers

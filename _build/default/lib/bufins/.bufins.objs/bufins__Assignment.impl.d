@@ -1,0 +1,1 @@
+lib/bufins/assignment.ml: Buffer Device Engine Fun List Printf String

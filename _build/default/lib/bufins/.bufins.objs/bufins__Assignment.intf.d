@@ -1,0 +1,1 @@
+lib/bufins/assignment.mli: Device Engine

@@ -1,0 +1,1 @@
+lib/bufins/det.ml: Array Device Float List Rctree Sol

@@ -1,0 +1,1 @@
+lib/bufins/det.mli: Device Rctree

@@ -1,0 +1,1 @@
+lib/bufins/engine.ml: Array Device Linform List Logs Printf Prune Rctree Sol Sys Varmodel

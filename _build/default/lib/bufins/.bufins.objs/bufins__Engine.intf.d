@@ -1,0 +1,1 @@
+lib/bufins/engine.mli: Device Linform Prune Rctree Sol Varmodel

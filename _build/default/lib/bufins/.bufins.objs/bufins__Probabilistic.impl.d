@@ -1,0 +1,1 @@
+lib/bufins/probabilistic.ml: Array Device Engine List Numeric Printf Rctree Sol Sys

@@ -1,0 +1,1 @@
+lib/bufins/probabilistic.mli: Device Engine Rctree

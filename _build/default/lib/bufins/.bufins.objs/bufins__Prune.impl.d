@@ -1,0 +1,1 @@
+lib/bufins/prune.ml: Array Float Fun Hashtbl Linform List Option Printf Sol

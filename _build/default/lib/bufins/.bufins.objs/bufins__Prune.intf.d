@@ -1,0 +1,1 @@
+lib/bufins/prune.mli: Sol

@@ -1,0 +1,1 @@
+lib/bufins/sol.ml: Format Linform

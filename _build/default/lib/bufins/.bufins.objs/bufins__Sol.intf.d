@@ -1,0 +1,1 @@
+lib/bufins/sol.mli: Format Linform

@@ -1,0 +1,109 @@
+type t = {
+  buffers : (int * Device.Buffer.t) list;
+  widths : (int * Device.Wire_lib.t) list;
+}
+
+let of_result (r : Engine.result) =
+  { buffers = r.Engine.buffers; widths = r.Engine.widths }
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# varbuf buffering v1\n";
+  List.iter
+    (fun (node, (b : Device.Buffer.t)) ->
+      Printf.bprintf buf "buffer %d name %s cap %.17g delay %.17g res %.17g\n"
+        node b.Device.Buffer.name b.Device.Buffer.cap_ff b.Device.Buffer.delay_ps
+        b.Device.Buffer.res_kohm)
+    (List.sort compare t.buffers);
+  List.iter
+    (fun (node, (w : Device.Wire_lib.t)) ->
+      Printf.bprintf buf "width %d name %s r %.17g c %.17g\n" node
+        w.Device.Wire_lib.name w.Device.Wire_lib.res_per_um
+        w.Device.Wire_lib.cap_per_um)
+    (List.sort compare t.widths);
+  Buffer.contents buf
+
+let of_string text =
+  let buffers = ref [] and widths = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg -> failwith (Printf.sprintf "line %d: %s" lineno msg))
+          fmt
+      in
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then begin
+        let tokens =
+          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+        in
+        let rec fields = function
+          | [] -> []
+          | [ k ] -> fail "dangling field %S" k
+          | k :: v :: rest -> (k, v) :: fields rest
+        in
+        let float_field assoc key =
+          match List.assoc_opt key assoc with
+          | Some v -> (
+            match float_of_string_opt v with
+            | Some f -> f
+            | None -> fail "field %S is not a number: %S" key v)
+          | None -> fail "missing field %S" key
+        in
+        let string_field assoc key =
+          match List.assoc_opt key assoc with
+          | Some v -> v
+          | None -> fail "missing field %S" key
+        in
+        match tokens with
+        | "buffer" :: node :: rest ->
+          let node =
+            match int_of_string_opt node with
+            | Some n -> n
+            | None -> fail "bad node id %S" node
+          in
+          let assoc = fields rest in
+          buffers :=
+            ( node,
+              {
+                Device.Buffer.name = string_field assoc "name";
+                cap_ff = float_field assoc "cap";
+                delay_ps = float_field assoc "delay";
+                res_kohm = float_field assoc "res";
+              } )
+            :: !buffers
+        | "width" :: node :: rest ->
+          let node =
+            match int_of_string_opt node with
+            | Some n -> n
+            | None -> fail "bad node id %S" node
+          in
+          let assoc = fields rest in
+          widths :=
+            ( node,
+              {
+                Device.Wire_lib.name = string_field assoc "name";
+                res_per_um = float_field assoc "r";
+                cap_per_um = float_field assoc "c";
+              } )
+            :: !widths
+        | directive :: _ -> fail "unknown directive %S" directive
+        | [] -> ()
+      end)
+    lines;
+  { buffers = List.rev !buffers; widths = List.rev !widths }
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+  |> of_string

@@ -1,0 +1,31 @@
+(** Plain-text serialisation of a buffering solution (buffer placement
+    plus optional wire sizing), so solutions can be saved by the
+    optimiser and re-evaluated later by the standalone STA tool.
+
+    The format is self-contained — each line carries the device
+    parameters, not a library reference — so a file remains valid even
+    if the producing library changes:
+
+    {v
+    # varbuf buffering v1
+    buffer 12 name x4 cap 24 delay 140 res 0.8
+    width 13 name w2 r 0.00015 c 0.28
+    v} *)
+
+type t = {
+  buffers : (int * Device.Buffer.t) list;
+  widths : (int * Device.Wire_lib.t) list;
+}
+
+val of_result : Engine.result -> t
+
+val to_string : t -> string
+(** Round-trips through {!of_string} exactly. *)
+
+val of_string : string -> t
+(** @raise Failure with a line-numbered message on malformed input. *)
+
+val save : string -> t -> unit
+val load : string -> t
+(** @raise Sys_error if the file cannot be read; @raise Failure as
+    {!of_string}. *)

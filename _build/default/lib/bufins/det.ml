@@ -1,0 +1,119 @@
+type sol = {
+  load : float;
+  rat : float;
+  choice : Sol.choice;
+}
+
+type result = {
+  root_rat : float;
+  buffers : (int * Device.Buffer.t) list;
+  peak_candidates : int;
+}
+
+(* Non-strict dominance sweep on a list sorted by (load asc, rat desc). *)
+let prune sols =
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = compare a.load b.load in
+        if c <> 0 then c else compare b.rat a.rat)
+      sols
+  in
+  let rec go kept best_rat = function
+    | [] -> List.rev kept
+    | s :: rest ->
+      if s.rat > best_rat then go (s :: kept) s.rat rest else go kept best_rat rest
+  in
+  go [] neg_infinity sorted
+
+let merge_linear ~node a b =
+  let combine sa sb =
+    {
+      load = sa.load +. sb.load;
+      rat = Float.min sa.rat sb.rat;
+      choice = Sol.Merged { node; left = sa.choice; right = sb.choice };
+    }
+  in
+  let rec walk acc a b =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | (sa :: resta as la), (sb :: restb as lb) ->
+      let m = combine sa sb in
+      if sa.rat < sb.rat then walk (m :: acc) resta lb else walk (m :: acc) la restb
+  in
+  walk [] a b
+
+let run ~tech ~library tree =
+  let n = Rctree.Tree.node_count tree in
+  let results : sol list array = Array.make n [] in
+  let peak = ref 0 in
+  let lift ~child ~length sols =
+    let wired =
+      List.map
+        (fun s ->
+          {
+            load = s.load +. Device.Tech.wire_cap tech ~length;
+            rat = s.rat -. Device.Tech.wire_delay tech ~length ~load:s.load;
+            choice = Sol.Wire { node = child; width = 0; from = s.choice };
+          })
+        sols
+    in
+    let buffered =
+      List.concat_map
+        (fun s ->
+          Array.to_list
+            (Array.mapi
+               (fun buffer_index (b : Device.Buffer.t) ->
+                 {
+                   load = b.Device.Buffer.cap_ff;
+                   rat = s.rat -. Device.Buffer.buffer_delay b ~load:s.load;
+                   choice = Sol.Buffered { node = child; buffer = buffer_index; from = s.choice };
+                 })
+               library))
+        wired
+    in
+    prune (List.rev_append wired buffered)
+  in
+  Array.iter
+    (fun id ->
+      let sols =
+        match Rctree.Tree.sink tree id with
+        | Some s ->
+          [
+            {
+              load = s.Rctree.Tree.sink_cap;
+              rat = s.Rctree.Tree.sink_rat;
+              choice = Sol.At_sink id;
+            };
+          ]
+        | None -> (
+          let lifted =
+            List.map
+              (fun (child, length) ->
+                let cs = results.(child) in
+                results.(child) <- [];
+                lift ~child ~length cs)
+              (Rctree.Tree.children tree id)
+          in
+          match lifted with
+          | [ only ] -> only
+          | [ a; b ] -> prune (merge_linear ~node:id a b)
+          | _ -> assert false)
+      in
+      let len = List.length sols in
+      if len > !peak then peak := len;
+      results.(id) <- sols)
+    (Rctree.Tree.postorder tree);
+  let best =
+    match results.(Rctree.Tree.root tree) with
+    | [] -> assert false
+    | first :: rest ->
+      let q s = s.rat -. (tech.Device.Tech.driver_r *. s.load) in
+      List.fold_left (fun bs s -> if q s > q bs then s else bs) first rest
+  in
+  {
+    root_rat = best.rat -. (tech.Device.Tech.driver_r *. best.load);
+    buffers =
+      List.map (fun (node, bi) -> (node, library.(bi))) (Sol.buffers_of_choice best.choice);
+    peak_candidates = !peak;
+  }

@@ -1,0 +1,20 @@
+(** Reference deterministic van Ginneken implementation on plain
+    floats.
+
+    Functionally identical to {!Engine.run} with a NOM-mode model and
+    the deterministic rule, but written independently against the
+    textbook recurrences (Eq. 25-30).  Exists so the tests can
+    cross-validate the canonical-form engine — any divergence between
+    the two is a bug in one of them. *)
+
+type result = {
+  root_rat : float;  (** RAT at the driver input, ps *)
+  buffers : (int * Device.Buffer.t) list;
+  peak_candidates : int;
+}
+
+val run :
+  tech:Device.Tech.t ->
+  library:Device.Buffer.t array ->
+  Rctree.Tree.t ->
+  result

@@ -1,0 +1,335 @@
+type budget = {
+  max_candidates : int option;
+  max_seconds : float option;
+}
+
+let no_budget = { max_candidates = None; max_seconds = None }
+
+type objective = Max_mean | Max_yield of float
+
+type config = {
+  tech : Device.Tech.t;
+  library : Device.Buffer.t array;
+  wires : Device.Wire_lib.t array;
+  rule : Prune.t;
+  budget : budget;
+  objective : objective;
+  load_limit : float option;
+}
+
+let default_config ?(rule = Prune.two_param ()) ?(objective = Max_yield 0.95)
+    ?(wire_sizing = false) () =
+  let tech = Device.Tech.default_65nm in
+  {
+    tech;
+    library = Device.Buffer.default_library;
+    wires =
+      (if wire_sizing then Device.Wire_lib.default_library tech
+       else [| Device.Wire_lib.of_tech tech |]);
+    rule;
+    budget = no_budget;
+    objective;
+    load_limit = None;
+  }
+
+let log_src = Logs.Src.create "varbuf.engine" ~doc:"buffer-insertion DP"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+exception Budget_exceeded of string
+
+type stats = {
+  runtime_s : float;
+  peak_candidates : int;
+  total_candidates : int;
+  nodes : int;
+}
+
+type result = {
+  root_rat : Linform.t;
+  best : Sol.t;
+  buffers : (int * Device.Buffer.t) list;
+  widths : (int * Device.Wire_lib.t) list;
+  load_limit_met : bool;
+  stats : stats;
+}
+
+(* Eq. 33-34: lift one candidate through a wire of length [l] sized
+   with the given width option. *)
+let lift_wire wire ~node ~width ~length (s : Sol.t) =
+  let r = wire.Device.Wire_lib.res_per_um *. length in
+  let load = Linform.shift (Device.Wire_lib.wire_cap wire ~length) s.Sol.load in
+  let rat =
+    Linform.axpy (-.r) s.Sol.load s.Sol.rat
+    |> Linform.shift (-.(0.5 *. r *. wire.Device.Wire_lib.cap_per_um *. length))
+  in
+  { Sol.load; rat; choice = Wire { node; width; from = s.Sol.choice } }
+
+(* Same lift when the wire parasitics themselves are canonical forms
+   (CMP variation): the r·L and r·c Elmore terms become first-order
+   products. *)
+let lift_wire_var ~node ~width ~length ~r_form ~c_form (s : Sol.t) =
+  let load = Linform.add s.Sol.load (Linform.scale length c_form) in
+  let r_l = Linform.scale length r_form in
+  let rat =
+    Linform.sub s.Sol.rat (Linform.mul_first_order r_l s.Sol.load)
+    |> (fun rat ->
+         Linform.sub rat
+           (Linform.scale (0.5 *. length) (Linform.mul_first_order r_l c_form)))
+  in
+  { Sol.load; rat; choice = Wire { node; width; from = s.Sol.choice } }
+
+(* Eq. 35-36: insert a buffer (shared canonical forms for the site)
+   in front of an already-wired candidate. *)
+let insert_buffer ~node ~buffer_index ~cb_form ~tb_form ~res (wired : Sol.t) =
+  let rat =
+    Linform.sub (Linform.axpy (-.res) wired.Sol.load wired.Sol.rat) tb_form
+  in
+  {
+    Sol.load = cb_form;
+    rat;
+    choice = Buffered { node; buffer = buffer_index; from = wired.Sol.choice };
+  }
+
+(* Classical linear merge (Fig. 1) on two load-sorted frontiers: emit
+   the combination of the current pair, then advance the side whose RAT
+   binds the min; at most n + m - 1 combinations. *)
+let merge_linear ~node a b =
+  let combine (sa : Sol.t) (sb : Sol.t) =
+    {
+      Sol.load = Linform.add sa.Sol.load sb.Sol.load;
+      rat = Linform.stat_min sa.Sol.rat sb.Sol.rat;
+      choice = Merged { node; left = sa.Sol.choice; right = sb.Sol.choice };
+    }
+  in
+  let rec walk acc a b =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | (sa :: resta as la), (sb :: restb as lb) ->
+      let merged = combine sa sb in
+      if Sol.mean_rat sa < Sol.mean_rat sb then walk (merged :: acc) resta lb
+      else walk (merged :: acc) la restb
+  in
+  walk [] a b
+
+let merge_frontiers ~node a b = merge_linear ~node a b
+
+(* 4P cannot exploit any ordering: full cross product (§2.2). *)
+let merge_cross ~node ~check a b =
+  let acc = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun (sa : Sol.t) ->
+      List.iter
+        (fun (sb : Sol.t) ->
+          incr count;
+          check !count;
+          acc :=
+            {
+              Sol.load = Linform.add sa.Sol.load sb.Sol.load;
+              rat = Linform.stat_min sa.Sol.rat sb.Sol.rat;
+              choice = Merged { node; left = sa.Sol.choice; right = sb.Sol.choice };
+            }
+            :: !acc)
+        b)
+    a;
+  !acc
+
+let run config ~model tree =
+  let t_start = Sys.time () in
+  let tech = config.tech in
+  let check_time () =
+    match config.budget.max_seconds with
+    | Some limit when Sys.time () -. t_start > limit ->
+      raise (Budget_exceeded (Printf.sprintf "time limit %.1fs exceeded" limit))
+    | _ -> ()
+  in
+  let check_count ~where n =
+    match config.budget.max_candidates with
+    | Some limit when n > limit ->
+      raise
+        (Budget_exceeded
+           (Printf.sprintf "candidate limit %d exceeded at %s (%d)" limit where n))
+    | _ -> ()
+  in
+  let n = Rctree.Tree.node_count tree in
+  let results : Sol.t list array = Array.make n [] in
+  let peak = ref 0 in
+  let total = ref 0 in
+  (* Lift a child's candidate set through the edge above it: wire-only
+     candidates plus one buffered variant per library type.  The
+     buffer's canonical forms are built once per (site, type): the same
+     physical device serves every candidate that buffers here, so all
+     of them share its variation sources. *)
+  let wire_variation = Varmodel.Model.wire_frac model > 0.0 in
+  let lift ~child ~length sols =
+    let bx, by =
+      match Rctree.Tree.parent tree child with
+      | Some p -> Rctree.Tree.position tree p
+      | None -> Rctree.Tree.position tree child
+    in
+    let wired =
+      if wire_variation then begin
+        (* One CMP source per physical edge, shared by all widths. *)
+        let edge_id = Varmodel.Model.fresh_device_id model in
+        let cx, cy = Rctree.Tree.position tree child in
+        let mx = 0.5 *. (bx +. cx) and my = 0.5 *. (by +. cy) in
+        List.concat
+          (Array.to_list
+             (Array.mapi
+                (fun width wire ->
+                  let r_form, c_form =
+                    Varmodel.Model.wire_forms model ~edge_id ~x:mx ~y:my
+                      ~r0:wire.Device.Wire_lib.res_per_um
+                      ~c0:wire.Device.Wire_lib.cap_per_um
+                  in
+                  List.map
+                    (lift_wire_var ~node:child ~width ~length ~r_form ~c_form)
+                    sols)
+                config.wires))
+      end
+      else
+        List.concat
+          (Array.to_list
+             (Array.mapi
+                (fun width wire ->
+                  List.map (lift_wire wire ~node:child ~width ~length) sols)
+                config.wires))
+    in
+    let site_forms =
+      Array.map
+        (fun (b : Device.Buffer.t) ->
+          let device_id = Varmodel.Model.fresh_device_id model in
+          let cb =
+            Varmodel.Model.device_form model ~device_id ~x:bx ~y:by
+              ~nominal:b.Device.Buffer.cap_ff
+          in
+          let tb =
+            Varmodel.Model.device_form model ~device_id ~x:bx ~y:by
+              ~nominal:b.Device.Buffer.delay_ps
+          in
+          (cb, tb, b.Device.Buffer.res_kohm))
+        config.library
+    in
+    let drivable (s : Sol.t) =
+      match config.load_limit with
+      | None -> true
+      | Some limit -> Sol.mean_load s <= limit
+    in
+    let buffered =
+      List.concat_map
+        (fun wired_sol ->
+          if drivable wired_sol then
+            Array.to_list
+              (Array.mapi
+                 (fun buffer_index (cb_form, tb_form, res) ->
+                   insert_buffer ~node:child ~buffer_index ~cb_form ~tb_form ~res
+                     wired_sol)
+                 site_forms)
+          else [])
+        wired
+    in
+    Prune.prune config.rule (List.rev_append wired buffered)
+  in
+  let post = Rctree.Tree.postorder tree in
+  Array.iter
+    (fun id ->
+      check_time ();
+      let sols =
+        match Rctree.Tree.sink tree id with
+        | Some s ->
+          [ Sol.of_sink ~node:id ~cap:s.Rctree.Tree.sink_cap ~rat:s.Rctree.Tree.sink_rat ]
+        | None ->
+          let lifted =
+            List.map
+              (fun (child, length) ->
+                let child_sols = results.(child) in
+                results.(child) <- [];
+                let l = lift ~child ~length child_sols in
+                check_count ~where:(Printf.sprintf "edge above node %d" child)
+                  (List.length l);
+                l)
+              (Rctree.Tree.children tree id)
+          in
+          (match lifted with
+          | [ only ] -> only
+          | [ a; b ] ->
+            let merged =
+              if Prune.is_linear config.rule then merge_linear ~node:id a b
+              else
+                merge_cross ~node:id
+                  ~check:(fun c ->
+                    check_count ~where:(Printf.sprintf "merge at node %d" id) c)
+                  a b
+            in
+            Prune.prune config.rule merged
+          | _ -> assert false)
+      in
+      let len = List.length sols in
+      check_count ~where:(Printf.sprintf "node %d" id) len;
+      if len > !peak then peak := len;
+      total := !total + len;
+      Log.debug (fun m -> m "node %d: %d candidates kept" id len);
+      results.(id) <- sols)
+    post;
+  let root_sols = results.(Rctree.Tree.root tree) in
+  (* The driver is a gate too: apply the load limit at the root if
+     configured, falling back to the unconstrained set when nothing
+     complies. *)
+  let compliant =
+    match config.load_limit with
+    | None -> root_sols
+    | Some limit ->
+      List.filter (fun s -> Sol.mean_load s <= limit) root_sols
+  in
+  let load_limit_met, root_sols =
+    match compliant with [] -> (config.load_limit = None, root_sols) | _ -> (true, compliant)
+  in
+  let driver_rat (s : Sol.t) =
+    Linform.axpy (-.tech.Device.Tech.driver_r) s.Sol.load s.Sol.rat
+  in
+  let score q =
+    match config.objective with
+    | Max_mean -> Linform.mean q
+    | Max_yield y ->
+      if Linform.is_deterministic q then Linform.mean q
+      else Linform.percentile q (1.0 -. y)
+  in
+  let best, root_rat =
+    match root_sols with
+    | [] -> assert false (* every node always yields >= 1 candidate *)
+    | first :: rest ->
+      List.fold_left
+        (fun (bs, bq) s ->
+          let q = driver_rat s in
+          if score q > score bq then (s, q) else (bs, bq))
+        (first, driver_rat first)
+        rest
+  in
+  let buffers =
+    List.map
+      (fun (node, bi) -> (node, config.library.(bi)))
+      (Sol.buffers_of_choice best.Sol.choice)
+  in
+  let widths =
+    List.map
+      (fun (node, wi) -> (node, config.wires.(wi)))
+      (Sol.widths_of_choice best.Sol.choice)
+  in
+  Log.info (fun m ->
+      m "done: %d nodes, peak %d candidates, %d buffers, RAT mean %.1f" n !peak
+        (List.length buffers) (Linform.mean root_rat));
+  {
+    root_rat;
+    best;
+    buffers;
+    widths;
+    load_limit_met;
+    stats =
+      {
+        runtime_s = Sys.time () -. t_start;
+        peak_candidates = !peak;
+        total_candidates = !total;
+        nodes = n;
+      };
+  }

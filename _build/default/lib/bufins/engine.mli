@@ -1,0 +1,99 @@
+(** The dynamic-programming buffer-insertion engine (§2, §4).
+
+    One engine serves every algorithm in the paper: the variation mode
+    comes from the {!Varmodel.Model.t} (NOM = all sensitivities
+    dropped, D2D = random + inter-die, WID = everything), and the
+    dominance relation from the {!Prune.t} rule.  Candidates are
+    propagated bottom-up with the variation-aware key operations of
+    §4.2 (Eq. 33-38): wire lift, buffer insertion at the upstream end
+    of each edge (one legal position per edge), and subtree merging
+    with the tightness-probability statistical minimum.
+
+    Linear rules use the sorted linear merge of Fig. 1 (at most
+    [n + m - 1] combinations); the 4P rule must enumerate the full
+    [n × m] cross product and prune pairwise, which is what blows it up
+    in Table 2 — a {!budget} turns that blow-up into a clean
+    {!Budget_exceeded} instead of an out-of-memory. *)
+
+type budget = {
+  max_candidates : int option;
+      (** cap on any per-node candidate list (checked after pruning and
+          on 4P cross products before pruning) *)
+  max_seconds : float option;  (** CPU-time cap for the whole run *)
+}
+
+val no_budget : budget
+
+(** How the final candidate is chosen at the root, among the pruned
+    frontier seen through the driver.  The DP's pruning is ordered by
+    means either way (the 2P rule); the objective only scalarises the
+    root choice.  [Max_yield y] picks the candidate with the best
+    (1 − y)-quantile RAT — the paper's "95% timing yield for RAT"
+    figure of merit — and reduces to [Max_mean] for deterministic
+    (NOM) forms. *)
+type objective = Max_mean | Max_yield of float
+
+type config = {
+  tech : Device.Tech.t;
+  library : Device.Buffer.t array;
+  wires : Device.Wire_lib.t array;
+      (** wire-width options per edge; index 0 must be the technology's
+          minimum width.  A singleton library means pure buffer
+          insertion; more entries enable simultaneous buffer insertion
+          and wire sizing (the companion study of reference [8]). *)
+  rule : Prune.t;
+  budget : budget;
+  objective : objective;
+  load_limit : float option;
+      (** optional slew-style constraint: the maximum (mean) capacitance
+          any buffer or the driver may drive, in fF.  Buffered
+          candidates violating it are not generated, and the root
+          candidate is chosen among compliant ones (falling back to all
+          candidates if none comply — reported via
+          {!result.load_limit_met}). *)
+}
+
+val default_config : ?rule:Prune.t -> ?objective:objective -> ?wire_sizing:bool -> unit -> config
+(** 65 nm tech, the default 3-buffer library, the paper's 2P(0.5, 0.5)
+    rule, the [Max_yield 0.95] objective and no budget.  [wire_sizing]
+    (default false) swaps the singleton minimum-width wire library for
+    {!Device.Wire_lib.default_library}. *)
+
+exception Budget_exceeded of string
+(** Raised mid-run when the budget is exhausted; the message says which
+    limit tripped and where. *)
+
+type stats = {
+  runtime_s : float;        (** CPU seconds for the whole run *)
+  peak_candidates : int;    (** largest pruned per-node candidate list *)
+  total_candidates : int;   (** sum of pruned list sizes over all nodes *)
+  nodes : int;
+}
+
+type result = {
+  root_rat : Linform.t;
+      (** RAT at the driver input: best candidate's T − R_drv · L *)
+  best : Sol.t;  (** the chosen root candidate (pre-driver forms) *)
+  buffers : (int * Device.Buffer.t) list;
+      (** chosen assignment: (node id, buffer) means the buffer sits at
+          the upstream end of the wire above that node *)
+  widths : (int * Device.Wire_lib.t) list;
+      (** chosen non-minimum wire widths: (node id, width) sizes the
+          wire above that node; edges not listed use width index 0 *)
+  load_limit_met : bool;
+      (** [true] unless a [load_limit] was configured and no root
+          candidate could satisfy it at the driver *)
+  stats : stats;
+}
+
+val run : config -> model:Varmodel.Model.t -> Rctree.Tree.t -> result
+(** Optimise the tree.  The root candidate is chosen by the configured
+    {!objective} over the driver-output RAT.
+    @raise Budget_exceeded when the configured budget trips. *)
+
+val merge_frontiers : node:int -> Sol.t list -> Sol.t list -> Sol.t list
+(** The linear O(n + m) merge of Fig. 1, exposed for demonstration and
+    testing: both inputs must be pruned frontiers sorted by ascending
+    mean load; the result pairs the current heads and advances the side
+    whose RAT binds the statistical min.  At most [n + m - 1] merged
+    candidates are produced, already frontier-ordered. *)

@@ -1,0 +1,244 @@
+type heuristic =
+  | Mean_dominance
+  | Percentile_dominance of float
+  | Stochastic_dominance
+
+let heuristic_name = function
+  | Mean_dominance -> "mean"
+  | Percentile_dominance p -> Printf.sprintf "pctl(%.2f)" p
+  | Stochastic_dominance -> "stochastic"
+
+type config = {
+  tech : Device.Tech.t;
+  library : Device.Buffer.t array;
+  heuristic : heuristic;
+  length_frac : float;
+  pmf_points : int;
+  budget : Engine.budget;
+}
+
+let default_config ?(heuristic = Stochastic_dominance) ?(length_frac = 0.05) () =
+  {
+    tech = Device.Tech.default_65nm;
+    library = Device.Buffer.default_library;
+    heuristic;
+    length_frac;
+    pmf_points = 5;
+    budget = Engine.no_budget;
+  }
+
+type sol = {
+  load : Numeric.Pmf.t;
+  rat : Numeric.Pmf.t;
+  choice : Sol.choice;
+}
+
+type result = {
+  rat_mean : float;
+  rat_std : float;
+  rat_p05 : float;
+  buffers : (int * Device.Buffer.t) list;
+  peak_candidates : int;
+  runtime_s : float;
+}
+
+let dominates heuristic a b =
+  match heuristic with
+  | Mean_dominance ->
+    Numeric.Pmf.mean a.load <= Numeric.Pmf.mean b.load
+    && Numeric.Pmf.mean a.rat >= Numeric.Pmf.mean b.rat
+  | Percentile_dominance p ->
+    Numeric.Pmf.percentile a.load p <= Numeric.Pmf.percentile b.load p
+    && Numeric.Pmf.percentile a.rat p >= Numeric.Pmf.percentile b.rat p
+  | Stochastic_dominance ->
+    (* b's load must dominate a's (a is smaller) and a's rat must
+       dominate b's (a is larger). *)
+    Numeric.Pmf.stochastically_dominates b.load a.load
+    && Numeric.Pmf.stochastically_dominates a.rat b.rat
+
+(* Mean and percentile dominance are total orders, so the sorted sweep
+   is exact; stochastic dominance is partial, so candidates are tested
+   against every kept solution (the unbounded-complexity behaviour [6]
+   was criticised for). *)
+let prune heuristic sols =
+  match sols with
+  | [] | [ _ ] -> sols
+  | _ ->
+    let key_load, key_rat =
+      match heuristic with
+      | Percentile_dominance p ->
+        ((fun s -> Numeric.Pmf.percentile s.load p),
+         fun s -> Numeric.Pmf.percentile s.rat p)
+      | Mean_dominance | Stochastic_dominance ->
+        ((fun s -> Numeric.Pmf.mean s.load), fun s -> Numeric.Pmf.mean s.rat)
+    in
+    let sorted =
+      List.sort
+        (fun a b ->
+          let c = compare (key_load a) (key_load b) in
+          if c <> 0 then c else compare (key_rat b) (key_rat a))
+        sols
+    in
+    let rec go kept = function
+      | [] -> List.rev kept
+      | s :: rest ->
+        let dominated =
+          match heuristic with
+          | Stochastic_dominance -> List.exists (fun k -> dominates heuristic k s) kept
+          | _ -> (
+            match kept with
+            | k :: _ -> dominates heuristic k s
+            | [] -> false)
+        in
+        if dominated then go kept rest else go (s :: kept) rest
+    in
+    go [] sorted
+
+let run config tree =
+  let t_start = Sys.time () in
+  let tech = config.tech in
+  let check_time () =
+    match config.budget.Engine.max_seconds with
+    | Some limit when Sys.time () -. t_start > limit ->
+      raise (Engine.Budget_exceeded (Printf.sprintf "time limit %.1fs exceeded" limit))
+    | _ -> ()
+  in
+  let check_count ~where n =
+    match config.budget.Engine.max_candidates with
+    | Some limit when n > limit ->
+      raise
+        (Engine.Budget_exceeded
+           (Printf.sprintf "candidate limit %d exceeded at %s (%d)" limit where n))
+    | _ -> ()
+  in
+  let n = Rctree.Tree.node_count tree in
+  let results : sol list array = Array.make n [] in
+  let peak = ref 0 in
+  (* The manufactured length of each segment: drawn length times
+     (1 + delta), delta discretised from N(0, length_frac^2). *)
+  let length_pmf length =
+    Numeric.Pmf.of_normal ~points:config.pmf_points ~mu:length
+      ~sigma:(config.length_frac *. length)
+      ()
+  in
+  let lift ~child ~length sols =
+    let l_pmf = length_pmf length in
+    let wire s =
+      (* Independence everywhere, as in [6]: wire cap and wire delay are
+         derived from the length PMF against the load's mean. *)
+      let load_mean = Numeric.Pmf.mean s.load in
+      let added_cap = Numeric.Pmf.scale tech.Device.Tech.wire_c l_pmf in
+      let delay_pmf =
+        Numeric.Pmf.map
+          (fun l ->
+            let r = tech.Device.Tech.wire_r *. l in
+            (r *. load_mean) +. (0.5 *. r *. tech.Device.Tech.wire_c *. l))
+          l_pmf
+      in
+      {
+        load = Numeric.Pmf.add s.load added_cap;
+        rat = Numeric.Pmf.sub s.rat delay_pmf;
+        choice = Sol.Wire { node = child; width = 0; from = s.choice };
+      }
+    in
+    let wired = List.map wire sols in
+    let buffered =
+      List.concat_map
+        (fun ws ->
+          Array.to_list
+            (Array.mapi
+               (fun buffer_index (b : Device.Buffer.t) ->
+                 let gate_delay =
+                   Numeric.Pmf.map
+                     (fun load ->
+                       b.Device.Buffer.delay_ps +. (b.Device.Buffer.res_kohm *. load))
+                     ws.load
+                 in
+                 {
+                   load = Numeric.Pmf.constant b.Device.Buffer.cap_ff;
+                   rat = Numeric.Pmf.sub ws.rat gate_delay;
+                   choice =
+                     Sol.Buffered { node = child; buffer = buffer_index; from = ws.choice };
+                 })
+               config.library))
+        wired
+    in
+    prune config.heuristic (List.rev_append wired buffered)
+  in
+  Array.iter
+    (fun id ->
+      check_time ();
+      let sols =
+        match Rctree.Tree.sink tree id with
+        | Some s ->
+          [
+            {
+              load = Numeric.Pmf.constant s.Rctree.Tree.sink_cap;
+              rat = Numeric.Pmf.constant s.Rctree.Tree.sink_rat;
+              choice = Sol.At_sink id;
+            };
+          ]
+        | None -> (
+          let lifted =
+            List.map
+              (fun (child, length) ->
+                let cs = results.(child) in
+                results.(child) <- [];
+                let l = lift ~child ~length cs in
+                check_count ~where:(Printf.sprintf "edge above node %d" child)
+                  (List.length l);
+                l)
+              (Rctree.Tree.children tree id)
+          in
+          match lifted with
+          | [ only ] -> only
+          | [ a; b ] ->
+            let merged =
+              List.concat_map
+                (fun sa ->
+                  List.map
+                    (fun sb ->
+                      {
+                        load = Numeric.Pmf.add sa.load sb.load;
+                        rat = Numeric.Pmf.min2 sa.rat sb.rat;
+                        choice =
+                          Sol.Merged { node = id; left = sa.choice; right = sb.choice };
+                      })
+                    b)
+                a
+            in
+            check_count ~where:(Printf.sprintf "merge at node %d" id)
+              (List.length merged);
+            prune config.heuristic merged
+          | _ -> assert false)
+      in
+      let len = List.length sols in
+      check_count ~where:(Printf.sprintf "node %d" id) len;
+      if len > !peak then peak := len;
+      results.(id) <- sols)
+    (Rctree.Tree.postorder tree);
+  let best =
+    match results.(Rctree.Tree.root tree) with
+    | [] -> assert false
+    | first :: rest ->
+      let q s =
+        Numeric.Pmf.mean s.rat
+        -. (tech.Device.Tech.driver_r *. Numeric.Pmf.mean s.load)
+      in
+      List.fold_left (fun bs s -> if q s > q bs then s else bs) first rest
+  in
+  let rat =
+    Numeric.Pmf.sub best.rat
+      (Numeric.Pmf.scale tech.Device.Tech.driver_r best.load)
+  in
+  {
+    rat_mean = Numeric.Pmf.mean rat;
+    rat_std = Numeric.Pmf.std rat;
+    rat_p05 = Numeric.Pmf.percentile rat 0.05;
+    buffers =
+      List.map
+        (fun (node, bi) -> (node, config.library.(bi)))
+        (Sol.buffers_of_choice best.choice);
+    peak_candidates = !peak;
+    runtime_s = Sys.time () -. t_start;
+  }

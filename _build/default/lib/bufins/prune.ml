@@ -1,0 +1,220 @@
+type t =
+  | Deterministic
+  | Two_param of { p_l : float; p_t : float }
+  | One_param of { alpha : float }
+  | Four_param of { alpha_l : float; alpha_u : float; beta_l : float; beta_u : float }
+
+let deterministic = Deterministic
+
+let two_param ?(p_l = 0.5) ?(p_t = 0.5) () =
+  if p_l < 0.5 || p_l > 1.0 || p_t < 0.5 || p_t > 1.0 then
+    invalid_arg "Prune.two_param: parameters must lie in [0.5, 1]";
+  Two_param { p_l; p_t }
+
+let one_param ~alpha =
+  if alpha <= 0.0 || alpha >= 1.0 then
+    invalid_arg "Prune.one_param: alpha must lie in (0, 1)";
+  One_param { alpha }
+
+let four_param ?(alpha_l = 0.45) ?(alpha_u = 0.55) ?(beta_l = 0.45) ?(beta_u = 0.55) () =
+  if not (0.0 <= alpha_l && alpha_l < alpha_u && alpha_u <= 1.0) then
+    invalid_arg "Prune.four_param: need 0 <= alpha_l < alpha_u <= 1";
+  if not (0.0 <= beta_l && beta_l < beta_u && beta_u <= 1.0) then
+    invalid_arg "Prune.four_param: need 0 <= beta_l < beta_u <= 1";
+  Four_param { alpha_l; alpha_u; beta_l; beta_u }
+
+let name = function
+  | Deterministic -> "det"
+  | Two_param { p_l; p_t } -> Printf.sprintf "2P(%.2f,%.2f)" p_l p_t
+  | One_param { alpha } -> Printf.sprintf "1P(%.2f)" alpha
+  | Four_param { alpha_l; alpha_u; beta_l; beta_u } ->
+    Printf.sprintf "4P(%.2f,%.2f;%.2f,%.2f)" alpha_l alpha_u beta_l beta_u
+
+let is_linear = function
+  | Deterministic | Two_param _ | One_param _ -> true
+  | Four_param _ -> false
+
+(* A percentile of 1 - p would hit Normal.quantile's domain edge; the
+   constructors above exclude p outside (0,1) except for 4P's closed
+   bounds, which we nudge inward. *)
+let safe_percentile form p =
+  let p = Float.max 1e-9 (Float.min (1.0 -. 1e-9) p) in
+  Linform.percentile form p
+
+let duplicate (a : Sol.t) (b : Sol.t) =
+  Sol.mean_load a = Sol.mean_load b
+  && Sol.mean_rat a = Sol.mean_rat b
+  && Linform.variance a.Sol.load = Linform.variance b.Sol.load
+  && Linform.variance a.Sol.rat = Linform.variance b.Sol.rat
+
+let dominates rule (a : Sol.t) (b : Sol.t) =
+  match rule with
+  | Deterministic ->
+    Sol.mean_load a <= Sol.mean_load b && Sol.mean_rat a >= Sol.mean_rat b
+  | Two_param { p_l; p_t } ->
+    (* Lemma 4: at p = 0.5 the probabilistic test is exactly a mean
+       comparison, taken non-strictly so duplicates collapse. *)
+    let load_ok =
+      if p_l = 0.5 then Sol.mean_load a <= Sol.mean_load b
+      else Linform.prob_greater b.Sol.load a.Sol.load > p_l
+    in
+    let rat_ok =
+      if p_t = 0.5 then Sol.mean_rat a >= Sol.mean_rat b
+      else Linform.prob_greater a.Sol.rat b.Sol.rat > p_t
+    in
+    (load_ok && rat_ok) || duplicate a b
+  | One_param { alpha } ->
+    safe_percentile a.Sol.load alpha <= safe_percentile b.Sol.load alpha
+    && safe_percentile a.Sol.rat alpha >= safe_percentile b.Sol.rat alpha
+  | Four_param { alpha_l; alpha_u; beta_l; beta_u } ->
+    (safe_percentile a.Sol.load alpha_u < safe_percentile b.Sol.load alpha_l
+    && safe_percentile a.Sol.rat beta_l > safe_percentile b.Sol.rat beta_u)
+    || duplicate a b
+
+(* Sort key along the load axis for the linear rules.  The sweep's
+   correctness relies on this key being consistent with [dominates]'s
+   load test (total order + transitivity, cf. Theorem 2). *)
+let load_key rule (s : Sol.t) =
+  match rule with
+  | Deterministic | Two_param _ | Four_param _ -> Sol.mean_load s
+  | One_param { alpha } -> safe_percentile s.Sol.load alpha
+
+let rat_key rule (s : Sol.t) =
+  match rule with
+  | Deterministic | Two_param _ | Four_param _ -> Sol.mean_rat s
+  | One_param { alpha } -> safe_percentile s.Sol.rat alpha
+
+let sort rule sols =
+  List.sort
+    (fun a b ->
+      let c = compare (load_key rule a) (load_key rule b) in
+      if c <> 0 then c else compare (rat_key rule b) (rat_key rule a))
+    sols
+
+let sweep rule sols =
+  (* One pass over the load-sorted list.  For the scalar-key rules the
+     last kept candidate has the maximal RAT key seen, so testing
+     against it alone is exact dominance pruning in O(N).  For 2P with
+     p > 0.5 dominance is sparser (pairs with close means are
+     incomparable), so the candidate is tested against every kept
+     solution — Theorem 2's transitivity makes any kept dominator
+     sufficient grounds to drop, and the kept list stays short exactly
+     because this prunes harder. *)
+  let last_only =
+    match rule with
+    | Deterministic | One_param _ -> true
+    | Two_param { p_l; p_t } -> p_l = 0.5 && p_t = 0.5
+    | Four_param _ -> false
+  in
+  let rec go kept = function
+    | [] -> List.rev kept
+    | s :: rest ->
+      let dominated =
+        if last_only then
+          match kept with last :: _ -> dominates rule last s | [] -> false
+        else List.exists (fun k -> dominates rule k s) kept
+      in
+      if dominated then go kept rest else go (s :: kept) rest
+  in
+  go [] sols
+
+(* Exact 4P pruning in O(N log N).  4P dominance is transitive (the
+   percentile intervals chain), so a candidate may be discarded as soon
+   as ANY other candidate interval-dominates it, even a discarded one.
+   Sweep candidates by ascending lower load percentile; a two-pointer
+   walk over the ascending upper load percentiles maintains the best
+   lower RAT percentile among all candidates whose load interval lies
+   strictly below the current one's. *)
+(* Near-duplicate granularity for the 4P baseline.  Reference [7]
+   represents solutions by numerical JPDFs, where two solutions whose
+   distributions agree at grid resolution are indistinguishable and
+   collapse; without this, interval dominance (which needs strictly
+   separated percentile intervals) keeps every near-identical cross
+   product combination and the candidate population explodes on even
+   toy trees.  0.01 (ps / fF) is far below any meaningful design
+   difference. *)
+let quantum_4p = 0.01
+
+let prune_4p ~alpha_l ~alpha_u ~beta_l ~beta_u sols =
+  (* Collapse near-duplicates first (symmetric trees and cross-product
+     merges breed them and they never interval-dominate each other). *)
+  let q x = Float.round (x /. quantum_4p) in
+  let seen = Hashtbl.create 64 in
+  let deduped =
+    List.filter
+      (fun (s : Sol.t) ->
+        let key =
+          ( q (Sol.mean_load s),
+            q (Sol.mean_rat s),
+            q (Linform.std s.Sol.load),
+            q (Linform.std s.Sol.rat) )
+        in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      sols
+  in
+  (* Candidates with the same load distribution (e.g. every candidate
+     buffered with the same type at the same site) can never separate
+     their load intervals, so the literal Eq. (2) test keeps all of
+     them forever.  Like the deterministic rule's non-strict load
+     comparison, identical-load candidates are pruned against each
+     other on the RAT intervals alone. *)
+  let within_groups =
+    let groups = Hashtbl.create 16 in
+    List.iter
+      (fun (s : Sol.t) ->
+        let key = (q (Sol.mean_load s), q (Linform.std s.Sol.load)) in
+        Hashtbl.replace groups key
+          (s :: (Option.value (Hashtbl.find_opt groups key) ~default:[])))
+      deduped;
+    Hashtbl.fold
+      (fun _ group acc ->
+        let sorted =
+          List.sort (fun a b -> compare (Sol.mean_rat b) (Sol.mean_rat a)) group
+        in
+        let kept, _ =
+          List.fold_left
+            (fun (kept, best_rat_lo) s ->
+              let hi = safe_percentile s.Sol.rat beta_u in
+              if best_rat_lo > hi then (kept, best_rat_lo)
+              else
+                (s :: kept, Float.max best_rat_lo (safe_percentile s.Sol.rat beta_l)))
+            ([], neg_infinity) sorted
+        in
+        List.rev_append kept acc)
+      groups []
+  in
+  let arr = Array.of_list within_groups in
+  let n = Array.length arr in
+  let load_lo = Array.map (fun (s : Sol.t) -> safe_percentile s.Sol.load alpha_l) arr in
+  let load_hi = Array.map (fun (s : Sol.t) -> safe_percentile s.Sol.load alpha_u) arr in
+  let rat_lo = Array.map (fun (s : Sol.t) -> safe_percentile s.Sol.rat beta_l) arr in
+  let rat_hi = Array.map (fun (s : Sol.t) -> safe_percentile s.Sol.rat beta_u) arr in
+  let by_lo = Array.init n Fun.id in
+  let by_hi = Array.init n Fun.id in
+  Array.sort (fun a b -> compare load_lo.(a) load_lo.(b)) by_lo;
+  Array.sort (fun a b -> compare load_hi.(a) load_hi.(b)) by_hi;
+  let kept = ref [] in
+  let j = ref 0 in
+  let best_rat_lo = ref neg_infinity in
+  Array.iter
+    (fun i ->
+      while !j < n && load_hi.(by_hi.(!j)) < load_lo.(i) do
+        if rat_lo.(by_hi.(!j)) > !best_rat_lo then best_rat_lo := rat_lo.(by_hi.(!j));
+        incr j
+      done;
+      if not (!best_rat_lo > rat_hi.(i)) then kept := arr.(i) :: !kept)
+    by_lo;
+  List.rev !kept
+
+let prune rule sols =
+  match sols with
+  | [] | [ _ ] -> sols
+  | _ -> (
+    match rule with
+    | Deterministic | Two_param _ | One_param _ -> sweep rule (sort rule sols)
+    | Four_param { alpha_l; alpha_u; beta_l; beta_u } ->
+      prune_4p ~alpha_l ~alpha_u ~beta_l ~beta_u sols)

@@ -1,0 +1,65 @@
+(** Pruning (dominance) rules between candidate solutions.
+
+    Four rules are implemented:
+
+    - {!deterministic}: van Ginneken's rule on the means — the NOM
+      baseline (§2.1).
+    - {!two_param}: the paper's contribution (§2.3, Eq. 6-7).  With
+      [p_l = p_t = 0.5] the probabilistic tests reduce to mean
+      comparison (Lemma 4) and pruning is exactly the deterministic
+      sweep on the mean frontier — linear time after sorting.  For
+      [p̄ > 0.5] the sweep applies the probabilistic test against the
+      last kept candidate; by Theorem 2 dominance is transitive, so the
+      sweep stays linear (it may keep a few extra candidates, never
+      drop an optimal one).
+    - {!one_param}: the single-percentile rule of reference [8] —
+      dominance on the {m \pi_\alpha } scalars, also a linear sweep.
+    - {!four_param}: the DATE 2005 rule of reference [7] (§2.2,
+      Eq. 2-3) — percentile-interval separation.  This is only a
+      partial order, so pruning is pairwise {m O(N^2) } and merging
+      must enumerate the full cross product; this is precisely the
+      behaviour Table 2 measures.
+
+    All rules additionally drop exact duplicates (equal means and equal
+    variances), which is what keeps symmetric instances (H-trees)
+    bounded and is implicit in any practical implementation. *)
+
+type t =
+  | Deterministic
+  | Two_param of { p_l : float; p_t : float }
+  | One_param of { alpha : float }
+  | Four_param of { alpha_l : float; alpha_u : float; beta_l : float; beta_u : float }
+
+val deterministic : t
+
+val two_param : ?p_l:float -> ?p_t:float -> unit -> t
+(** Defaults to the paper's [p̄_L = p̄_T = 0.5].
+    @raise Invalid_argument if a parameter lies outside [0.5, 1]. *)
+
+val one_param : alpha:float -> t
+(** @raise Invalid_argument if [alpha] lies outside (0, 1). *)
+
+val four_param :
+  ?alpha_l:float -> ?alpha_u:float -> ?beta_l:float -> ?beta_u:float -> unit -> t
+(** Defaults to (0.45, 0.55) for both intervals — the narrowest
+    (most prune-friendly, hence most favourable to the baseline)
+    setting; the paper does not state the values it used.  Wider
+    intervals weaken dominance further and shrink the 4P capacity
+    dramatically (cf. Table 2 and reference [7]'s original 9-sink
+    limit).
+    @raise Invalid_argument unless [0 <= lower < upper <= 1] for both
+    pairs. *)
+
+val name : t -> string
+
+val is_linear : t -> bool
+(** [true] for the rules that admit the sorted linear sweep and linear
+    merge (all but [Four_param]). *)
+
+val dominates : t -> Sol.t -> Sol.t -> bool
+(** [dominates rule a b]: may [b] be discarded in favour of [a]? *)
+
+val prune : t -> Sol.t list -> Sol.t list
+(** Remove dominated candidates.  Linear rules: sort by the rule's load
+    key then sweep; [Four_param]: pairwise comparison.  The result is
+    sorted by the rule's load key (ascending). *)

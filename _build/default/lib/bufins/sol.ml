@@ -1,0 +1,43 @@
+type choice =
+  | At_sink of int
+  | Wire of { node : int; width : int; from : choice }
+  | Buffered of { node : int; buffer : int; from : choice }
+  | Merged of { node : int; left : choice; right : choice }
+
+type t = {
+  load : Linform.t;
+  rat : Linform.t;
+  choice : choice;
+}
+
+let mean_load s = Linform.mean s.load
+let mean_rat s = Linform.mean s.rat
+
+let of_sink ~node ~cap ~rat =
+  { load = Linform.const cap; rat = Linform.const rat; choice = At_sink node }
+
+let compare_for_prune a b =
+  let c = compare (mean_load a) (mean_load b) in
+  if c <> 0 then c else compare (mean_rat b) (mean_rat a)
+
+let buffers_of_choice choice =
+  let rec walk acc = function
+    | At_sink _ -> acc
+    | Wire { from; _ } -> walk acc from
+    | Buffered { node; buffer; from } -> walk ((node, buffer) :: acc) from
+    | Merged { left; right; _ } -> walk (walk acc left) right
+  in
+  walk [] choice
+
+let widths_of_choice choice =
+  let rec walk acc = function
+    | At_sink _ -> acc
+    | Wire { node; width; from } ->
+      walk (if width <> 0 then (node, width) :: acc else acc) from
+    | Buffered { from; _ } -> walk acc from
+    | Merged { left; right; _ } -> walk (walk acc left) right
+  in
+  walk [] choice
+
+let pp ppf s =
+  Format.fprintf ppf "L=%a T=%a" Linform.pp s.load Linform.pp s.rat

@@ -1,0 +1,1 @@
+lib/device/buffer.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/device/buffer.mli: Format

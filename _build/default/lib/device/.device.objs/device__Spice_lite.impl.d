@@ -1,0 +1,1 @@
+lib/device/spice_lite.ml: Array Buffer Numeric

@@ -1,0 +1,1 @@
+lib/device/spice_lite.mli: Buffer Numeric

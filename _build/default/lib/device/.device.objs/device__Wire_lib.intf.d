@@ -1,0 +1,1 @@
+lib/device/wire_lib.mli: Format Tech

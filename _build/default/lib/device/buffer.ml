@@ -1,0 +1,24 @@
+type t = {
+  name : string;
+  cap_ff : float;
+  delay_ps : float;
+  res_kohm : float;
+}
+
+let default_library =
+  [|
+    { name = "x1"; cap_ff = 8.0; delay_ps = 120.0; res_kohm = 2.0 };
+    { name = "x4"; cap_ff = 24.0; delay_ps = 140.0; res_kohm = 0.8 };
+    { name = "x16"; cap_ff = 60.0; delay_ps = 160.0; res_kohm = 0.3 };
+  |]
+
+let find lib name =
+  match Array.to_list lib |> List.find_opt (fun b -> b.name = name) with
+  | Some b -> b
+  | None -> raise Not_found
+
+let buffer_delay b ~load = b.delay_ps +. (b.res_kohm *. load)
+
+let pp ppf b =
+  Format.fprintf ppf "%s(C=%.1ffF, T=%.1fps, R=%.2fkOhm)" b.name b.cap_ff
+    b.delay_ps b.res_kohm

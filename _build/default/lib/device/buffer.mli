@@ -1,0 +1,30 @@
+(** The buffer library.
+
+    Each type is characterised, per §3.1, by its input/gate capacitance
+    C_b (fF), intrinsic delay T_b (ps) and output resistance R_b (kΩ);
+    variation is lumped into C_b and T_b while R_b stays constant for a
+    given size, exactly as the paper assumes. *)
+
+type t = {
+  name : string;
+  cap_ff : float;    (** nominal C_b0 *)
+  delay_ps : float;  (** nominal T_b0 *)
+  res_kohm : float;  (** R_b, not varied *)
+}
+
+val default_library : t array
+(** Three sizes: x1 (8 fF, 120 ps, 2 kΩ), x4 (24 fF, 140 ps, 0.8 kΩ),
+    x16 (60 fF, 160 ps, 0.3 kΩ).  The intrinsic delays are calibrated
+    against the regenerated benchmarks so that optimal solutions land
+    in the paper's regime (root RATs of a few −1000 ps, buffer counts
+    a small fraction of the sink count) rather than at physical 65 nm
+    values — see the calibration note in DESIGN.md. *)
+
+val find : t array -> string -> t
+(** @raise Not_found for an unknown buffer name. *)
+
+val buffer_delay : t -> load:float -> float
+(** Gate delay driving [load] fF: {m T_b + R_b \cdot L } in ps
+    (the deterministic Eq. 28 without the upstream T). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+type params = {
+  lnom_nm : float;
+  vdd : float;
+  vth0 : float;
+  alpha : float;
+  dibl : float;
+  gate_frac : float;
+}
+
+let default_65nm =
+  {
+    lnom_nm = 65.0;
+    vdd = 1.1;
+    vth0 = 0.35;
+    alpha = 1.3;
+    dibl = 0.08;
+    gate_frac = 0.7;
+  }
+
+type extraction = {
+  cap_ff : float;
+  delay_ps : float;
+  res_kohm : float;
+}
+
+let vth p ~leff_nm = p.vth0 -. (p.dibl *. ((p.lnom_nm /. leff_nm) -. 1.0))
+
+let extract p (b : Buffer.t) ~leff_nm =
+  if leff_nm <= 0.0 then invalid_arg "Spice_lite.extract: Leff must be positive";
+  let v = vth p ~leff_nm in
+  if v <= 0.0 || v >= p.vdd then
+    invalid_arg "Spice_lite.extract: Leff outside the model's validity range";
+  let drive_nom = (p.vdd -. p.vth0) ** p.alpha in
+  let drive = (p.vdd -. v) ** p.alpha in
+  let res_kohm = b.Buffer.res_kohm *. (leff_nm /. p.lnom_nm) *. (drive_nom /. drive) in
+  let cap_ff =
+    b.Buffer.cap_ff
+    *. ((p.gate_frac *. leff_nm /. p.lnom_nm) +. (1.0 -. p.gate_frac))
+  in
+  let delay_ps =
+    b.Buffer.delay_ps *. (res_kohm /. b.Buffer.res_kohm) *. (cap_ff /. b.Buffer.cap_ff)
+  in
+  { cap_ff; delay_ps; res_kohm }
+
+type characterization = {
+  buffer : Buffer.t;
+  samples : int;
+  cap_samples : float array;
+  delay_samples : float array;
+  cap_nominal : float;
+  cap_sens : float;
+  delay_nominal : float;
+  delay_sens : float;
+  delay_fit_rms : float;
+}
+
+let characterize ?(samples = 5000) ?(sigma_frac = 0.10) ~rng p b =
+  if samples < 10 then invalid_arg "Spice_lite.characterize: too few samples";
+  let sigma_l = sigma_frac *. p.lnom_nm in
+  let xs = Array.make samples 0.0 in
+  let caps = Array.make samples 0.0 in
+  let delays = Array.make samples 0.0 in
+  let i = ref 0 in
+  while !i < samples do
+    let leff = Numeric.Rng.gaussian_mu_sigma rng ~mu:p.lnom_nm ~sigma:sigma_l in
+    let v = vth p ~leff_nm:leff in
+    if leff > 0.0 && v > 0.0 && v < p.vdd then begin
+      let e = extract p b ~leff_nm:leff in
+      xs.(!i) <- (leff -. p.lnom_nm) /. sigma_l;
+      caps.(!i) <- e.cap_ff;
+      delays.(!i) <- e.delay_ps;
+      incr i
+    end
+  done;
+  let pts_of values = Array.init samples (fun k -> (xs.(k), values.(k))) in
+  let cap_nominal, cap_sens = Numeric.Linalg.fit_line (pts_of caps) in
+  let delay_nominal, delay_sens = Numeric.Linalg.fit_line (pts_of delays) in
+  let rms =
+    let acc = ref 0.0 in
+    for k = 0 to samples - 1 do
+      let pred = delay_nominal +. (delay_sens *. xs.(k)) in
+      let e = delays.(k) -. pred in
+      acc := !acc +. (e *. e)
+    done;
+    sqrt (!acc /. float_of_int samples)
+  in
+  {
+    buffer = b;
+    samples;
+    cap_samples = caps;
+    delay_samples = delays;
+    cap_nominal;
+    cap_sens;
+    delay_nominal;
+    delay_sens;
+    delay_fit_rms = rms;
+  }

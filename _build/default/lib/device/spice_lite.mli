@@ -1,0 +1,69 @@
+(** SPICE-lite: an analytical nonlinear device model standing in for
+    the paper's 65 nm BSIM SPICE characterisation (§3.1, Fig. 3).
+
+    The paper runs SPICE Monte Carlo over a 10%-sigma effective channel
+    length (Leff) variation, extracts C_b and T_b per sample, and fits
+    the first-order model of Eq. (19)-(20) by least squares, arguing
+    that the fitted normal closely matches the (slightly non-normal)
+    empirical PDF.  We reproduce that pipeline with Sakurai-Newton's
+    alpha-power-law MOSFET model as the nonlinear "ground truth":
+
+    - threshold roll-off:  Vth(L) = Vth0 − dibl·(Lnom/L − 1)
+    - saturation current:  Id(L) ∝ (Vdd − Vth(L))^α / L
+    - output resistance:   R(L) = Rnom · (L/Lnom) · ((Vdd−Vth0)/(Vdd−Vth(L)))^α
+    - gate capacitance:    C(L) = Cnom · (gate_frac·L/Lnom + (1 − gate_frac))
+    - intrinsic delay:     T(L) = Tnom · (R(L)/Rnom) · (C(L)/Cnom)
+
+    All of these are smooth nonlinear functions of L, so the extracted
+    characteristics are non-normal under normal L — exactly the
+    situation Fig. 3 examines. *)
+
+type params = {
+  lnom_nm : float;    (** nominal effective channel length, nm *)
+  vdd : float;        (** supply, V *)
+  vth0 : float;       (** nominal threshold, V *)
+  alpha : float;      (** velocity-saturation exponent (≈ 1.3 at 65 nm) *)
+  dibl : float;       (** threshold roll-off coefficient, V *)
+  gate_frac : float;  (** fraction of C_b proportional to L (rest is overlap) *)
+}
+
+val default_65nm : params
+
+type extraction = {
+  cap_ff : float;
+  delay_ps : float;
+  res_kohm : float;
+}
+
+val extract : params -> Buffer.t -> leff_nm:float -> extraction
+(** Evaluate the nonlinear model for one Leff realisation.
+    @raise Invalid_argument if [leff_nm] is so short the device would
+    not turn off (Vth pushed below 0) or non-positive. *)
+
+type characterization = {
+  buffer : Buffer.t;
+  samples : int;
+  cap_samples : float array;
+  delay_samples : float array;
+  (* First-order fit per Eq. (19)-(20), over the standardised variable
+     X = (Leff - Lnom)/sigma_L, i.e. coefficients are already
+     per-standard-normal-source: *)
+  cap_nominal : float;   (** fitted C_b0 *)
+  cap_sens : float;      (** fitted alpha_L (fF per sigma of Leff) *)
+  delay_nominal : float; (** fitted T_b0 *)
+  delay_sens : float;    (** fitted beta_L (ps per sigma of Leff) *)
+  delay_fit_rms : float; (** RMS residual of the T_b fit, ps *)
+}
+
+val characterize :
+  ?samples:int ->
+  ?sigma_frac:float ->
+  rng:Numeric.Rng.t ->
+  params ->
+  Buffer.t ->
+  characterization
+(** Monte-Carlo characterisation: draw [samples] (default 5000) Leff
+    values from N(Lnom, (sigma_frac·Lnom)²) (sigma_frac defaults to the
+    paper's 0.10), extract C_b and T_b with {!extract}, and
+    least-squares fit the linear model.  Draws that would violate
+    {!extract}'s validity range are redrawn. *)

@@ -1,0 +1,13 @@
+type t = {
+  wire_r : float;
+  wire_c : float;
+  driver_r : float;
+}
+
+let default_65nm = { wire_r = 3.0e-4; wire_c = 0.2; driver_r = 0.5 }
+
+let wire_delay t ~length ~load =
+  let r = t.wire_r *. length in
+  (r *. load) +. (0.5 *. r *. t.wire_c *. length)
+
+let wire_cap t ~length = t.wire_c *. length

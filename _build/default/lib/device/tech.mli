@@ -1,0 +1,21 @@
+(** Interconnect and driver technology constants.
+
+    Units are chosen so RC products come out in picoseconds directly:
+    resistance in kΩ, capacitance in fF (kΩ · fF = ps), length in µm. *)
+
+type t = {
+  wire_r : float;   (** wire sheet resistance per unit length, kΩ/µm *)
+  wire_c : float;   (** wire capacitance per unit length, fF/µm *)
+  driver_r : float; (** output resistance of the net's root driver, kΩ *)
+}
+
+val default_65nm : t
+(** 65 nm-flavoured values: r = 3·10⁻⁴ kΩ/µm, c = 0.2 fF/µm, driver
+    0.5 kΩ (see DESIGN.md). *)
+
+val wire_delay : t -> length:float -> load:float -> float
+(** Elmore delay of a wire segment under the π model (Eq. 26):
+    {m r\,l\,L + \tfrac12 r\,c\,l^2 } in ps. *)
+
+val wire_cap : t -> length:float -> float
+(** Capacitance added by a segment: {m c\,l } in fF (Eq. 25). *)

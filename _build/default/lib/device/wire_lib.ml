@@ -1,0 +1,31 @@
+type t = {
+  name : string;
+  res_per_um : float;
+  cap_per_um : float;
+}
+
+let of_tech (tech : Tech.t) =
+  { name = "w1"; res_per_um = tech.Tech.wire_r; cap_per_um = tech.Tech.wire_c }
+
+let scaled (tech : Tech.t) ~width_factor =
+  if width_factor < 1.0 then
+    invalid_arg "Wire_lib.scaled: width factor must be >= 1";
+  let area_frac = 0.6 in
+  {
+    name = Printf.sprintf "w%g" width_factor;
+    res_per_um = tech.Tech.wire_r /. width_factor;
+    cap_per_um =
+      tech.Tech.wire_c *. ((area_frac *. width_factor) +. (1.0 -. area_frac));
+  }
+
+let default_library tech =
+  [| of_tech tech; scaled tech ~width_factor:2.0; scaled tech ~width_factor:4.0 |]
+
+let wire_delay w ~length ~load =
+  let r = w.res_per_um *. length in
+  (r *. load) +. (0.5 *. r *. w.cap_per_um *. length)
+
+let wire_cap w ~length = w.cap_per_um *. length
+
+let pp ppf w =
+  Format.fprintf ppf "%s(r=%gkOhm/um, c=%gfF/um)" w.name w.res_per_um w.cap_per_um

@@ -1,0 +1,35 @@
+(** Wire-width library for simultaneous buffer insertion and wire
+    sizing (the extension studied by the authors' companion paper,
+    reference [8] of the text).
+
+    Each width option fixes the per-unit resistance and capacitance of
+    an edge.  Widening a wire divides its resistance by the width
+    factor but grows its capacitance (area term scales with width, the
+    fringe term does not), so widths trade upstream delay against
+    downstream load — exactly the trade-off the DP explores per edge. *)
+
+type t = {
+  name : string;
+  res_per_um : float;  (** kΩ/µm *)
+  cap_per_um : float;  (** fF/µm *)
+}
+
+val of_tech : Tech.t -> t
+(** The minimum-width wire implied by a technology's [wire_r]/[wire_c]. *)
+
+val default_library : Tech.t -> t array
+(** Three widths derived from the technology's minimum-width wire:
+    1× (the tech values), 2× (r/2, c·1.4) and 4× (r/4, c·2.2). *)
+
+val scaled : Tech.t -> width_factor:float -> t
+(** [scaled tech ~width_factor:w] models a w-times-wider wire:
+    resistance divided by [w]; capacitance split 60% area (scales with
+    [w]) / 40% fringe (constant).
+    @raise Invalid_argument if [width_factor < 1.]. *)
+
+val wire_delay : t -> length:float -> load:float -> float
+(** Elmore delay of a segment of this width under the π model, ps. *)
+
+val wire_cap : t -> length:float -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Bufins Common Float Format List Printf Rctree Sta Varmodel

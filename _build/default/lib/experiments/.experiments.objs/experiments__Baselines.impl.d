@@ -1,0 +1,1 @@
+lib/experiments/baselines.ml: Bufins Common Float Format Linform List Printf Rctree Varmodel

@@ -1,0 +1,1 @@
+lib/experiments/capacity.ml: Bufins Common Format List Printf Rctree Varmodel

@@ -1,0 +1,1 @@
+lib/experiments/capacity.mli: Common Format

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Bufins Device Format List Option Sta Varmodel

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Bufins Device Format Linform Rctree Sta Varmodel

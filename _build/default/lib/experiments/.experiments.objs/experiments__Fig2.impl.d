@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Common Format List Numeric Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Array Common Device Float Format List Numeric Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Bufins Common Format List Numeric Printf Rctree Varmodel

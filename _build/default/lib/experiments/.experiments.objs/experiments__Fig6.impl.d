@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Array Bufins Common Format Linform List Numeric Printf Rctree Sta Varmodel

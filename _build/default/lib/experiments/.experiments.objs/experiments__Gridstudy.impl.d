@@ -1,0 +1,1 @@
+lib/experiments/gridstudy.ml: Bufins Common Format Linform List Printf Rctree Sta Varmodel

@@ -1,0 +1,1 @@
+lib/experiments/gridstudy.mli: Common Format

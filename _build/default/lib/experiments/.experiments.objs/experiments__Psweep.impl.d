@@ -1,0 +1,1 @@
+lib/experiments/psweep.ml: Bufins Common Float Format List Printf Rctree Sta Varmodel

@@ -1,0 +1,1 @@
+lib/experiments/psweep.mli: Common Format

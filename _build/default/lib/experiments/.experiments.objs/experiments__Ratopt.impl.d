@@ -1,0 +1,1 @@
+lib/experiments/ratopt.ml: Bufins Common Float Format Hashtbl Linform List Printf Rctree Sta String Varmodel

@@ -1,0 +1,1 @@
+lib/experiments/ratopt.mli: Common Format Linform Varmodel

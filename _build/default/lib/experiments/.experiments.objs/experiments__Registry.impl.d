@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablation Baselines Capacity Common Fig1 Fig2 Fig3 Fig5 Fig6 Format Gridstudy List Psweep Skewstudy Table1 Table2 Table3 Table4 Table5 Wiresizing

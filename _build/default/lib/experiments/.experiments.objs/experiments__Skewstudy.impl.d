@@ -1,0 +1,1 @@
+lib/experiments/skewstudy.ml: Bufins Common Format Linform List Numeric Printf Rctree Sta Varmodel

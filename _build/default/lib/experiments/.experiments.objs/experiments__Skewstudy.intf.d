@@ -1,0 +1,1 @@
+lib/experiments/skewstudy.mli: Common Format

@@ -1,0 +1,1 @@
+lib/experiments/wiresizing.mli: Common Format

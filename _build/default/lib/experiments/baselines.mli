@@ -1,0 +1,34 @@
+(** The related-work capacity comparison implied by §1: the paper's 2P
+    algorithm against every baseline implemented in this repository —
+    the 1P rule of [8], the 4P rule of [7] (DATE 2005), and the
+    discrete-PMF probabilistic approach of [6] under its mean- and
+    stochastic-dominance heuristics — on growing random nets under a
+    common resource budget.
+
+    The narrative being checked: [6]'s capacity topped out around a
+    thousand sinks with no runtime reported and no complexity bound;
+    [7] at 9 sinks originally (our 4P, with its fairness fixes, reaches
+    a few hundred); 2P scales linearly through everything. *)
+
+type outcome =
+  | Done of { seconds : float; peak : int; rat_mean : float }
+  | Dnf of string
+
+type row = {
+  sinks : int;
+  by_algo : (string * outcome) list;  (** algorithm name → outcome *)
+}
+
+val algos : string list
+(** In presentation order: "2P", "1P", "4P", "[6] mean", "[6] stoch". *)
+
+val compute :
+  Common.setup ->
+  ?sizes:int list ->
+  ?budget:Bufins.Engine.budget ->
+  unit ->
+  row list
+(** [sizes] defaults to 64, 128, 256, 512; the budget to 100 k
+    candidates / 30 s per run. *)
+
+val run : Format.formatter -> Common.setup -> unit

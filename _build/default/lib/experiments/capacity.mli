@@ -1,0 +1,17 @@
+(** Footnote 4's capacity experiment: the 2P algorithm on H-tree clock
+    networks up to eight levels (4⁸ = 65 536 sinks, 131 071 buffer
+    positions), demonstrating >60 000-sink capacity. *)
+
+type row = {
+  levels : int;
+  sinks : int;
+  buffer_positions : int;
+  seconds : float;
+  peak_candidates : int;
+  buffers : int;
+}
+
+val compute : Common.setup -> ?max_levels:int -> unit -> row list
+(** Levels 4 up to [max_levels] (default 8). *)
+
+val run : Format.formatter -> Common.setup -> unit

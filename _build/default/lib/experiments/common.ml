@@ -1,0 +1,75 @@
+type setup = {
+  tech : Device.Tech.t;
+  library : Device.Buffer.t array;
+  budget : Varmodel.Model.budget;
+  pitch_um : float;
+  range_um : float;
+  mc_trials : int;
+}
+
+let default_setup =
+  {
+    tech = Device.Tech.default_65nm;
+    library = Device.Buffer.default_library;
+    budget = Varmodel.Model.paper_budget;
+    pitch_um = 500.0;
+    range_um = 2000.0;
+    mc_trials = 2000;
+  }
+
+let grid_for setup ~die_um =
+  Varmodel.Grid.create ~width_um:die_um ~height_um:die_um ~pitch_um:setup.pitch_um
+    ~range_um:setup.range_um
+
+type algo = Nom | D2d | Wid
+
+let algo_name = function Nom -> "NOM" | D2d -> "D2D" | Wid -> "WID"
+
+let model_mode = function
+  | Nom -> Varmodel.Model.Nom
+  | D2d -> Varmodel.Model.D2d
+  | Wid -> Varmodel.Model.Wid
+
+let run_algo setup ?rule ?budget ?(wire_sizing = false) ?load_limit ~spatial ~grid
+    algo tree =
+  let rule =
+    match rule with
+    | Some r -> r
+    | None -> (
+      match algo with
+      | Nom -> Bufins.Prune.deterministic
+      | D2d | Wid -> Bufins.Prune.two_param ())
+  in
+  let model =
+    Varmodel.Model.create ~mode:(model_mode algo) ~budget:setup.budget ~spatial
+      ~grid ()
+  in
+  let config =
+    {
+      (Bufins.Engine.default_config ~rule ~wire_sizing ()) with
+      Bufins.Engine.tech = setup.tech;
+      library = setup.library;
+      budget = Option.value budget ~default:Bufins.Engine.no_budget;
+      load_limit;
+    }
+  in
+  Bufins.Engine.run config ~model tree
+
+let instance_for setup ~spatial ~grid tree ?(widths = []) buffers =
+  let model =
+    Varmodel.Model.create ~mode:Varmodel.Model.Wid ~budget:setup.budget ~spatial
+      ~grid ()
+  in
+  let buffered = Sta.Buffered.make ~tech:setup.tech ~widths tree buffers in
+  Sta.Buffered.instantiate ~model buffered
+
+let evaluate setup ~spatial ~grid tree ?(widths = []) buffers =
+  Sta.Buffered.canonical_rat (instance_for setup ~spatial ~grid tree ~widths buffers)
+
+let pp_row ppf cells =
+  List.iteri
+    (fun i cell ->
+      if i = 0 then Format.fprintf ppf "%-8s" cell
+      else Format.fprintf ppf " %14s" cell)
+    cells;
+  Format.fprintf ppf "@."

@@ -1,0 +1,63 @@
+(** Shared experimental setup (§5.1) used by every table/figure
+    harness: technology, buffer library, variation budget, the 500 µm
+    spatial grid with 2 mm correlation range, and the three algorithms
+    under comparison. *)
+
+type setup = {
+  tech : Device.Tech.t;
+  library : Device.Buffer.t array;
+  budget : Varmodel.Model.budget;
+  pitch_um : float;
+  range_um : float;
+  mc_trials : int;  (** Monte-Carlo sample count for MC-based figures *)
+}
+
+val default_setup : setup
+(** The paper's §5.1 numbers: 5%/5%/5% budget, 500 µm grid, 2 mm
+    range; 2000 MC trials. *)
+
+val grid_for : setup -> die_um:float -> Varmodel.Grid.t
+
+type algo = Nom | D2d | Wid
+
+val algo_name : algo -> string
+
+val run_algo :
+  setup ->
+  ?rule:Bufins.Prune.t ->
+  ?budget:Bufins.Engine.budget ->
+  ?wire_sizing:bool ->
+  ?load_limit:float ->
+  spatial:Varmodel.Model.spatial_kind ->
+  grid:Varmodel.Grid.t ->
+  algo ->
+  Rctree.Tree.t ->
+  Bufins.Engine.result
+(** Optimise with one of the three §5.3 algorithms.  [rule] defaults to
+    the deterministic rule for [Nom] and 2P(0.5, 0.5) otherwise;
+    [wire_sizing] (default false) enables the 3-width wire library;
+    [load_limit] forwards the engine's slew-style constraint. *)
+
+val evaluate :
+  setup ->
+  spatial:Varmodel.Model.spatial_kind ->
+  grid:Varmodel.Grid.t ->
+  Rctree.Tree.t ->
+  ?widths:(int * Device.Wire_lib.t) list ->
+  (int * Device.Buffer.t) list ->
+  Linform.t
+(** Canonical root-RAT form of a buffered tree under the {e full} WID
+    model — the common yardstick all three algorithms are judged by. *)
+
+val instance_for :
+  setup ->
+  spatial:Varmodel.Model.spatial_kind ->
+  grid:Varmodel.Grid.t ->
+  Rctree.Tree.t ->
+  ?widths:(int * Device.Wire_lib.t) list ->
+  (int * Device.Buffer.t) list ->
+  Sta.Buffered.instance
+(** Same instantiation as {!evaluate}, exposed for Monte-Carlo use. *)
+
+val pp_row : Format.formatter -> string list -> unit
+(** Fixed-width row printer used by all table harnesses. *)

@@ -1,0 +1,38 @@
+type merged = {
+  load : float;
+  rat : float;
+}
+
+(* Two strictly sorted 3-solution frontiers, as in the figure: both L
+   and T increase along each list. *)
+let left =
+  [ (10.0, 100.0); (20.0, 140.0); (40.0, 200.0) ]
+
+let right =
+  [ (12.0, 110.0); (25.0, 160.0); (50.0, 230.0) ]
+
+let to_sols node pts =
+  List.map (fun (l, t) -> Bufins.Sol.of_sink ~node ~cap:l ~rat:t) pts
+
+let compute () =
+  let a = to_sols 1 left in
+  let b = to_sols 2 right in
+  let merged = Bufins.Engine.merge_frontiers ~node:0 a b in
+  List.map
+    (fun s -> { load = Bufins.Sol.mean_load s; rat = Bufins.Sol.mean_rat s })
+    merged
+
+let run ppf _setup =
+  Format.fprintf ppf "== Fig 1: linear merging O(n+m) ==@.";
+  let pp_list name pts =
+    Format.fprintf ppf "%s:" name;
+    List.iter (fun (l, t) -> Format.fprintf ppf " (L=%g,T=%g)" l t) pts;
+    Format.fprintf ppf "@."
+  in
+  pp_list "left " left;
+  pp_list "right" right;
+  let merged = compute () in
+  Format.fprintf ppf "merged (%d <= n+m-1 = %d):" (List.length merged)
+    (List.length left + List.length right - 1);
+  List.iter (fun m -> Format.fprintf ppf " (L=%g,T=%g)" m.load m.rat) merged;
+  Format.fprintf ppf "@."

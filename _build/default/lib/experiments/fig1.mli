@@ -1,0 +1,15 @@
+(** Fig. 1: the linear O(n+m) merge of two sorted solution frontiers.
+
+    Reproduces the paper's 3 + 3 example: two strictly sorted frontiers
+    are merged with the frontier walk, producing at most n + m − 1
+    non-dominated combinations, themselves strictly sorted. *)
+
+type merged = {
+  load : float;
+  rat : float;
+}
+
+val compute : unit -> merged list
+(** The merged frontier of the worked example. *)
+
+val run : Format.formatter -> Common.setup -> unit

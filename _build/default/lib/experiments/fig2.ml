@@ -1,0 +1,42 @@
+type series = {
+  rho : float;
+  sigma_ratio : float;
+  points : (float * float) list;
+}
+
+let prob ~rho ~s1 ~s2 ~dmu =
+  let sigma12 = sqrt ((s1 *. s1) -. (2.0 *. rho *. s1 *. s2) +. (s2 *. s2)) in
+  Numeric.Normal.prob_gt_zero ~mu:dmu ~sigma:sigma12
+
+let compute ?(max_diff = 10.0) ?(steps = 21) () =
+  let diffs =
+    List.init steps (fun i -> max_diff *. float_of_int i /. float_of_int (steps - 1))
+  in
+  List.concat_map
+    (fun sigma_ratio ->
+      List.map
+        (fun rho ->
+          {
+            rho;
+            sigma_ratio;
+            points =
+              List.map (fun d -> (d, prob ~rho ~s1:sigma_ratio ~s2:1.0 ~dmu:d)) diffs;
+          })
+        [ 0.0; 0.5; 0.9 ])
+    [ 1.0; 3.0 ]
+
+let run ppf _setup =
+  Format.fprintf ppf "== Fig 2: P(T1 > T2) vs mean difference (Eq. 8) ==@.";
+  let series = compute ~max_diff:10.0 ~steps:11 () in
+  let diffs = List.map fst (List.hd series).points in
+  Common.pp_row ppf
+    ("mu1-mu2"
+    :: List.map
+         (fun s -> Printf.sprintf "r=%.1f s=%.0f" s.rho s.sigma_ratio)
+         series);
+  List.iteri
+    (fun i d ->
+      Common.pp_row ppf
+        (Printf.sprintf "%.1f" d
+        :: List.map (fun s -> Printf.sprintf "%.4f" (snd (List.nth s.points i))) series))
+    diffs

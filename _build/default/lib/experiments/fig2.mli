@@ -1,0 +1,18 @@
+(** Fig. 2: probability that T1 exceeds T2 as a function of the mean
+    difference, for several correlation coefficients and sigma ratios
+    (Eq. 8-9).  This is the paper's argument that modest mean
+    differences already give high-confidence ordering, so the 2P rule
+    loses little even for p̄ > 0.5. *)
+
+type series = {
+  rho : float;
+  sigma_ratio : float;  (** sigma_T1 / sigma_T2, with sigma_T2 = 1 *)
+  points : (float * float) list;  (** (mu_T1 - mu_T2, P(T1 > T2)) *)
+}
+
+val compute : ?max_diff:float -> ?steps:int -> unit -> series list
+(** The paper's six curves: rho in {0, 0.5, 0.9} × sigma ratio in
+    {1, 3}; mean difference swept over [0, max_diff] (default 10) in
+    [steps] points (default 21). *)
+
+val run : Format.formatter -> Common.setup -> unit

@@ -1,0 +1,18 @@
+(** Fig. 3: normal approximation of the buffer's intrinsic delay T_b.
+
+    Monte-Carlo characterisation of a buffer under 10%-sigma Leff
+    variation through the nonlinear SPICE-lite model, the least-squares
+    first-order fit (Eq. 19-20), and the comparison of the empirical
+    PDF with the fitted normal — the paper's evidence that the
+    normality assumption is acceptable. *)
+
+type result = {
+  characterization : Device.Spice_lite.characterization;
+  pdf_series : (float * float * float) list;
+      (** (T_b value, empirical density, fitted normal density) *)
+  max_abs_density_gap : float;
+}
+
+val compute : ?seed:int -> ?buffer:Device.Buffer.t -> unit -> result
+
+val run : Format.formatter -> Common.setup -> unit

@@ -1,0 +1,20 @@
+(** Fig. 5: runtime of the 2P algorithm versus the number of sinks —
+    the linear-scalability evidence.  A least-squares line through
+    (sinks, seconds) is reported together with the coefficient of
+    determination R² of the linear fit. *)
+
+type point = {
+  bench : string;
+  sinks : int;
+  seconds : float;
+}
+
+type result = {
+  points : point list;
+  slope_ms_per_sink : float;
+  r_squared : float;
+}
+
+val compute : Common.setup -> ?benches:string list -> unit -> result
+
+val run : Format.formatter -> Common.setup -> unit

@@ -1,0 +1,23 @@
+(** Fig. 6: root-RAT PDF predicted by the canonical model versus Monte
+    Carlo, for a WID-buffered benchmark (the paper uses r5).
+
+    The canonical prediction propagates forms with the Eq. 38
+    statistical min; the Monte-Carlo reference samples every variation
+    source jointly and propagates exact Elmore delays with a true min.
+    Close agreement validates using the first-order model for
+    optimisation. *)
+
+type result = {
+  bench : string;
+  model_mu : float;
+  model_sigma : float;
+  mc_mu : float;
+  mc_sigma : float;
+  pdf_series : (float * float * float) list;
+      (** (RAT, Monte-Carlo density, model density) *)
+}
+
+val compute : Common.setup -> ?bench:string -> ?seed:int -> unit -> result
+(** [bench] defaults to "r5". *)
+
+val run : Format.formatter -> Common.setup -> unit

@@ -1,0 +1,23 @@
+(** Ablation: sensitivity of the evaluated RAT distribution to the
+    spatial-correlation model's two geometric knobs — the grid pitch
+    (500 µm in §5.1) and the correlation range (the ~2 mm taper).
+
+    A fixed WID solution is re-evaluated under different grids: a
+    longer correlation range makes nearby buffers track each other
+    (higher σ of the sum — less cancellation), while the pitch mostly
+    sets the resolution of the same field.  This quantifies how much of
+    the model is physics (range) and how much discretisation (pitch). *)
+
+type row = {
+  pitch_um : float;
+  range_um : float;
+  sigma : float;        (** std of the evaluated root RAT, ps *)
+  rat_y95 : float;
+  sources : int;        (** spatial sources in the grid *)
+}
+
+val compute : Common.setup -> ?bench:string -> unit -> row list
+(** [bench] defaults to r1; the buffering is optimised once under the
+    §5.1 grid and re-evaluated under each variant. *)
+
+val run : Format.formatter -> Common.setup -> unit

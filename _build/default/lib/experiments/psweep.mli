@@ -1,0 +1,29 @@
+(** §5.3's last experiment: sensitivity of the final RAT to the choice
+    of the 2P parameters p̄_L and p̄_T.  The paper reports less than
+    0.1% difference in the final RAT across p̄ from 0.5 to 0.95.
+
+    Note on scale: only p̄ = 0.5 gives the total order behind the
+    O(B·N²) bound (Theorem 1); for p̄ > 0.5 close-mean candidates
+    become incomparable (the paper's "ordering property" caveat in
+    §2.3) and the kept frontier grows, so this sweep runs on a
+    moderate-size net.  The growth itself is measured and reported via
+    [peak_candidates]. *)
+
+type row = {
+  p : float;             (** p̄_L = p̄_T *)
+  rat_y95 : float;       (** 95%-yield RAT of the evaluated solution *)
+  peak_candidates : int; (** frontier growth as the order weakens *)
+  seconds : float;
+}
+
+type result = {
+  rows : row list;
+  max_deviation_pct : float;
+      (** largest |RAT(p̄) − RAT(0.5)| / |RAT(0.5)| over the sweep *)
+}
+
+val compute :
+  Common.setup -> ?sinks:int -> ?seed:int -> ?ps:float list -> unit -> result
+(** [sinks] defaults to 64, [ps] to 0.5 … 0.9. *)
+
+val run : Format.formatter -> Common.setup -> unit

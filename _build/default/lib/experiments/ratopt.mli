@@ -1,0 +1,31 @@
+(** The §5.3 RAT-optimisation experiment underlying Tables 3, 4 and 5:
+    run NOM, D2D and WID on each benchmark, evaluate all three buffered
+    trees under the full WID variation model, and compare 95%-yield
+    RATs, timing yields at a common target, and buffer counts. *)
+
+type algo_result = {
+  rat_form : Linform.t;  (** root RAT under the full model *)
+  rat_y95 : float;       (** RAT at 95% timing yield (5th percentile) *)
+  yield : float;         (** timing yield at the common target *)
+  buffers : int;
+  runtime_s : float;
+}
+
+type row = {
+  bench : string;
+  target : float;  (** the paper's target: WID mean RAT degraded 10% *)
+  nom : algo_result;
+  d2d : algo_result;
+  wid : algo_result;
+}
+
+val compute :
+  Common.setup -> spatial:Varmodel.Model.spatial_kind -> ?benches:string list -> unit -> row list
+(** [benches] defaults to the full Table 1 suite. *)
+
+val pp_rat_table : Format.formatter -> title:string -> row list -> unit
+(** Tables 3/4 layout: per-algorithm 95%-yield RAT (with % degradation
+    vs WID) and timing yield, plus averages. *)
+
+val pp_buffer_table : Format.formatter -> row list -> unit
+(** Table 5 layout: buffer counts with ratios vs WID. *)

@@ -1,0 +1,29 @@
+type entry = {
+  id : string;
+  summary : string;
+  exec : Format.formatter -> Common.setup -> unit;
+}
+
+let all =
+  [
+    { id = "table1"; summary = "benchmark characteristics"; exec = Table1.run };
+    { id = "fig1"; summary = "linear O(n+m) frontier merge example"; exec = Fig1.run };
+    { id = "fig2"; summary = "P(T1>T2) vs mean difference"; exec = Fig2.run };
+    { id = "fig3"; summary = "normal approximation of buffer delay"; exec = Fig3.run };
+    { id = "table2"; summary = "runtime: 4P baseline vs 2P"; exec = Table2.run };
+    { id = "fig5"; summary = "2P runtime scalability vs sinks"; exec = Fig5.run };
+    { id = "table3"; summary = "RAT optimization, heterogeneous spatial model"; exec = Table3.run };
+    { id = "table4"; summary = "RAT optimization, homogeneous spatial model"; exec = Table4.run };
+    { id = "table5"; summary = "buffer counts per algorithm"; exec = Table5.run };
+    { id = "fig6"; summary = "root RAT PDF: model vs Monte Carlo"; exec = Fig6.run };
+    { id = "capacity"; summary = "H-tree capacity test (footnote 4)"; exec = Capacity.run };
+    { id = "psweep"; summary = "sensitivity to the 2P parameters"; exec = Psweep.run };
+    { id = "ablation"; summary = "gap vs variation budget/heterogeneity"; exec = Ablation.run };
+    { id = "wiresizing"; summary = "simultaneous buffer insertion + wire sizing"; exec = Wiresizing.run };
+    { id = "skew"; summary = "clock skew of a buffered H-tree (future work)"; exec = Skewstudy.run };
+    { id = "grid"; summary = "spatial grid pitch / correlation range ablation"; exec = Gridstudy.run };
+    { id = "baselines"; summary = "related-work capacity: 2P vs 1P vs 4P vs [6]"; exec = Baselines.run };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+let ids = List.map (fun e -> e.id) all

@@ -1,0 +1,16 @@
+(** Index of all table/figure harnesses, keyed by the experiment id
+    used on the command line (e.g. "table3", "fig6"). *)
+
+type entry = {
+  id : string;
+  summary : string;
+  exec : Format.formatter -> Common.setup -> unit;
+}
+
+val all : entry list
+(** In the paper's order: table1, fig1, fig2, fig3, table2, fig5,
+    table3, table4, table5, fig6, capacity, psweep, ablation,
+    wiresizing, skew, grid. *)
+
+val find : string -> entry option
+val ids : string list

@@ -1,0 +1,25 @@
+(** Extension experiment (the paper's §6 future work): clock skew of a
+    buffered H-tree under process variation.
+
+    A nominally zero-skew H-tree is buffered by the 2P DP, then its
+    skew distribution is evaluated canonically and by Monte Carlo,
+    under both spatial models.  Spatially correlated variation is what
+    keeps the skew moderate — nearby sibling branches track each other
+    — while independent per-buffer variation drives it; the
+    homogeneous-vs-heterogeneous comparison quantifies that. *)
+
+type row = {
+  spatial : string;
+  levels : int;
+  sinks : int;
+  buffers : int;
+  nominal_skew : float;    (** ps; ~0 for the symmetric tree *)
+  canonical_mean : float;  (** Clark-fold approximation, ps *)
+  mc_mean : float;         (** Monte-Carlo mean skew, ps *)
+  mc_p95 : float;          (** 95th-percentile skew, ps *)
+}
+
+val compute : Common.setup -> ?levels:int -> unit -> row list
+(** One row per spatial model; [levels] defaults to 4 (256 sinks). *)
+
+val run : Format.formatter -> Common.setup -> unit

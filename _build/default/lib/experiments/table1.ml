@@ -1,0 +1,32 @@
+type row = {
+  name : string;
+  sinks : int;
+  buffer_positions : int;
+  wirelength_um : float;
+}
+
+let compute () =
+  List.map
+    (fun info ->
+      let tree = Rctree.Benchmarks.load info in
+      {
+        name = info.Rctree.Benchmarks.name;
+        sinks = Rctree.Tree.sink_count tree;
+        buffer_positions = Rctree.Tree.edge_count tree;
+        wirelength_um = Rctree.Tree.total_wirelength tree;
+      })
+    Rctree.Benchmarks.all
+
+let run ppf _setup =
+  Format.fprintf ppf "== Table 1: characteristics of benchmarks ==@.";
+  Common.pp_row ppf [ "Bench"; "Sinks"; "BufferPos"; "Wire(mm)" ];
+  List.iter
+    (fun r ->
+      Common.pp_row ppf
+        [
+          r.name;
+          string_of_int r.sinks;
+          string_of_int r.buffer_positions;
+          Printf.sprintf "%.1f" (r.wirelength_um /. 1000.0);
+        ])
+    (compute ())

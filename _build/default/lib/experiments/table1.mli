@@ -1,0 +1,15 @@
+(** Table 1: benchmark characteristics (sinks, buffer positions). *)
+
+type row = {
+  name : string;
+  sinks : int;
+  buffer_positions : int;
+  wirelength_um : float;
+}
+
+val compute : unit -> row list
+(** One row per benchmark, in the paper's order.  The sink and
+    buffer-position counts must equal Table 1's exactly (the generators
+    are seeded). *)
+
+val run : Format.formatter -> Common.setup -> unit

@@ -1,0 +1,30 @@
+(** Table 2: runtime comparison of the 4P-rule algorithm (the DATE'05
+    baseline of ref [7], reimplemented over the same first-order model)
+    against the 2P-rule algorithm, on WID optimisation.
+
+    As in the paper, the 4P runs are bounded by a resource budget
+    standing in for the authors' 2 GB / 4 h limits; beyond its capacity
+    the 4P algorithm reports DNF while 2P completes everything. *)
+
+type outcome =
+  | Finished of float  (** seconds *)
+  | Dnf of string      (** which budget tripped *)
+
+type row = {
+  bench : string;
+  four_p : outcome;
+  two_p : float;  (** seconds *)
+  speedup : float option;  (** 4P time / 2P time when 4P finished *)
+}
+
+val compute :
+  Common.setup ->
+  ?four_p_budget:Bufins.Engine.budget ->
+  ?benches:string list ->
+  unit ->
+  row list
+(** [four_p_budget] defaults to 3·10⁵ candidates per node (which also
+    bounds memory to about a gigabyte, standing in for the paper's
+    2 GB limit) and 120 s. *)
+
+val run : Format.formatter -> Common.setup -> unit

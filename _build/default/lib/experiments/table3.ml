@@ -1,0 +1,7 @@
+let compute setup =
+  Ratopt.compute setup ~spatial:Varmodel.Model.default_heterogeneous ()
+
+let run ppf setup =
+  Ratopt.pp_rat_table ppf
+    ~title:"Table 3: RAT optimization under the heterogeneous spatial variation model"
+    (compute setup)

@@ -1,0 +1,5 @@
+(** Table 3: RAT optimisation under the heterogeneous spatial
+    variation model (§5.3). *)
+
+val compute : Common.setup -> Ratopt.row list
+val run : Format.formatter -> Common.setup -> unit

@@ -1,0 +1,6 @@
+let compute setup = Ratopt.compute setup ~spatial:Varmodel.Model.Homogeneous ()
+
+let run ppf setup =
+  Ratopt.pp_rat_table ppf
+    ~title:"Table 4: RAT optimization under the homogeneous spatial variation model"
+    (compute setup)

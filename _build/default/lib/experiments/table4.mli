@@ -1,0 +1,5 @@
+(** Table 4: RAT optimisation under the homogeneous spatial variation
+    model (§5.3). *)
+
+val compute : Common.setup -> Ratopt.row list
+val run : Format.formatter -> Common.setup -> unit

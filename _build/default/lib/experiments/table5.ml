@@ -1,0 +1,4 @@
+let compute setup =
+  Ratopt.compute setup ~spatial:Varmodel.Model.default_heterogeneous ()
+
+let run ppf setup = Ratopt.pp_buffer_table ppf (compute setup)

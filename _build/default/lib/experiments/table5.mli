@@ -1,0 +1,5 @@
+(** Table 5: number of buffers inserted by NOM/D2D/WID (under the
+    heterogeneous spatial model, as in Table 3's setup). *)
+
+val compute : Common.setup -> Ratopt.row list
+val run : Format.formatter -> Common.setup -> unit

@@ -1,0 +1,30 @@
+(** Extension experiment: simultaneous buffer insertion and wire sizing
+    (the companion study of reference [8]) versus buffer insertion
+    alone, both variation-aware (WID, 2P rule), plus a configuration
+    with CMP-induced wire variation (5% of the unit parasitics,
+    anti-correlated r/c) to show the optimiser and the evaluator handle
+    varying interconnect.
+
+    Wire sizing enlarges the per-edge decision space from (1 + B) to
+    W·(1 + B) options; the 2P rule's linear pruning keeps the DP
+    tractable, and sized solutions dominate buffer-only ones by
+    construction. *)
+
+type config = Buffer_only | Sized | Sized_cmp
+
+val config_name : config -> string
+
+type row = {
+  bench : string;
+  config : config;
+  y95 : float;
+  sigma : float;
+  buffers : int;
+  sized_wires : int;
+  seconds : float;
+}
+
+val compute : Common.setup -> ?benches:string list -> unit -> row list
+(** Three rows per benchmark; [benches] defaults to p1, r1, r2. *)
+
+val run : Format.formatter -> Common.setup -> unit

@@ -1,0 +1,188 @@
+type t = {
+  nominal : float;
+  sens : (int * float) array; (* sorted by id, no zero coefficients *)
+  variance : float;           (* cached sum of squared coefficients *)
+}
+
+let variance_of_sens sens =
+  Array.fold_left (fun acc (_, a) -> acc +. (a *. a)) 0.0 sens
+
+let const nominal = { nominal; sens = [||]; variance = 0.0 }
+let zero = const 0.0
+
+let make ~nominal ~sens =
+  let sorted = List.sort (fun (i, _) (j, _) -> compare i j) sens in
+  (* Merge duplicates, drop zeros. *)
+  let merged =
+    List.fold_left
+      (fun acc (i, a) ->
+        match acc with
+        | (j, b) :: rest when j = i -> (j, b +. a) :: rest
+        | _ -> (i, a) :: acc)
+      [] sorted
+  in
+  let cleaned = List.filter (fun (_, a) -> a <> 0.0) (List.rev merged) in
+  let sens = Array.of_list cleaned in
+  { nominal; sens; variance = variance_of_sens sens }
+
+let mean f = f.nominal
+let variance f = f.variance
+let std f = sqrt f.variance
+let sensitivities f = Array.copy f.sens
+let support_size f = Array.length f.sens
+let is_deterministic f = Array.length f.sens = 0
+
+let sensitivity f id =
+  let n = Array.length f.sens in
+  let rec search lo hi =
+    if lo >= hi then 0.0
+    else
+      let mid = (lo + hi) / 2 in
+      let i, a = f.sens.(mid) in
+      if i = id then a else if i < id then search (mid + 1) hi else search lo mid
+  in
+  search 0 n
+
+(* Linear merge of two sorted sensitivity vectors, combining matching ids
+   with [combine a b] and passing lone entries through [left]/[right]. *)
+let merge_sens sa sb ~left ~right ~combine =
+  let na = Array.length sa and nb = Array.length sb in
+  let out = ref [] in
+  let push i a = if a <> 0.0 then out := (i, a) :: !out in
+  let ia = ref 0 and ib = ref 0 in
+  while !ia < na || !ib < nb do
+    if !ia >= na then begin
+      let i, b = sb.(!ib) in
+      push i (right b);
+      incr ib
+    end
+    else if !ib >= nb then begin
+      let i, a = sa.(!ia) in
+      push i (left a);
+      incr ia
+    end
+    else
+      let i, a = sa.(!ia) and j, b = sb.(!ib) in
+      if i = j then begin
+        push i (combine a b);
+        incr ia;
+        incr ib
+      end
+      else if i < j then begin
+        push i (left a);
+        incr ia
+      end
+      else begin
+        push j (right b);
+        incr ib
+      end
+  done;
+  Array.of_list (List.rev !out)
+
+let of_sens nominal sens = { nominal; sens; variance = variance_of_sens sens }
+
+let add a b =
+  of_sens (a.nominal +. b.nominal)
+    (merge_sens a.sens b.sens ~left:Fun.id ~right:Fun.id ~combine:( +. ))
+
+let sub a b =
+  of_sens (a.nominal -. b.nominal)
+    (merge_sens a.sens b.sens ~left:Fun.id ~right:( ~-. )
+       ~combine:(fun x y -> x -. y))
+
+let neg a = of_sens (-.a.nominal) (Array.map (fun (i, x) -> (i, -.x)) a.sens)
+
+let scale k a =
+  if k = 0.0 then zero
+  else
+    {
+      nominal = k *. a.nominal;
+      sens = Array.map (fun (i, x) -> (i, k *. x)) a.sens;
+      variance = k *. k *. a.variance;
+    }
+
+let shift c a = { a with nominal = a.nominal +. c }
+
+let axpy k x y =
+  if k = 0.0 then y
+  else
+    of_sens ((k *. x.nominal) +. y.nominal)
+      (merge_sens x.sens y.sens
+         ~left:(fun a -> k *. a)
+         ~right:Fun.id
+         ~combine:(fun a b -> (k *. a) +. b))
+
+let mul_first_order a b =
+  of_sens (a.nominal *. b.nominal)
+    (merge_sens a.sens b.sens
+       ~left:(fun x -> b.nominal *. x)
+       ~right:(fun y -> a.nominal *. y)
+       ~combine:(fun x y -> (b.nominal *. x) +. (a.nominal *. y)))
+
+let covariance a b =
+  let na = Array.length a.sens and nb = Array.length b.sens in
+  let acc = ref 0.0 in
+  let ia = ref 0 and ib = ref 0 in
+  while !ia < na && !ib < nb do
+    let i, x = a.sens.(!ia) and j, y = b.sens.(!ib) in
+    if i = j then begin
+      acc := !acc +. (x *. y);
+      incr ia;
+      incr ib
+    end
+    else if i < j then incr ia
+    else incr ib
+  done;
+  !acc
+
+let correlation a b =
+  let sa = std a and sb = std b in
+  if sa = 0.0 || sb = 0.0 then 0.0 else covariance a b /. (sa *. sb)
+
+let std_diff a b =
+  let v = a.variance -. (2.0 *. covariance a b) +. b.variance in
+  if v <= 0.0 then 0.0 else sqrt v
+
+let prob_greater a b =
+  Numeric.Normal.prob_gt_zero ~mu:(a.nominal -. b.nominal) ~sigma:(std_diff a b)
+
+let percentile f p = Numeric.Normal.percentile ~mu:f.nominal ~sigma:(std f) p
+
+(* Eq. (38)-(40): statistical min via tightness probability.  t is the
+   probability that [a] is the smaller one; the result's sensitivities are
+   the t-weighted blend, its nominal the moment-matched mean of min(A,B). *)
+let stat_min a b =
+  let sigma = std_diff a b in
+  if sigma = 0.0 then (if a.nominal <= b.nominal then a else b)
+  else
+    let z = (b.nominal -. a.nominal) /. sigma in
+    let t = Numeric.Normal.cdf z in
+    if t >= 1.0 then a
+    else if t <= 0.0 then b
+    else
+      let nominal =
+        (t *. a.nominal) +. ((1.0 -. t) *. b.nominal)
+        -. (sigma *. Numeric.Normal.pdf z)
+      in
+      of_sens nominal
+        (merge_sens a.sens b.sens
+           ~left:(fun x -> t *. x)
+           ~right:(fun y -> (1.0 -. t) *. y)
+           ~combine:(fun x y -> (t *. x) +. ((1.0 -. t) *. y)))
+
+let stat_max a b = neg (stat_min (neg a) (neg b))
+
+let eval f lookup =
+  Array.fold_left (fun acc (i, a) -> acc +. (a *. lookup i)) f.nominal f.sens
+
+let map_sens g f =
+  let mapped =
+    Array.to_list f.sens
+    |> List.filter_map (fun (i, a) ->
+           let a' = g i a in
+           if a' = 0.0 then None else Some (i, a'))
+  in
+  of_sens f.nominal (Array.of_list mapped)
+
+let pp ppf f =
+  Format.fprintf ppf "%g±%g(%d srcs)" f.nominal (std f) (support_size f)

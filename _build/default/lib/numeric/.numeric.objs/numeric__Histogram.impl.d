@@ -1,0 +1,1 @@
+lib/numeric/histogram.ml: Array Stats

@@ -1,0 +1,1 @@
+lib/numeric/linalg.ml: Array Float

@@ -1,0 +1,1 @@
+lib/numeric/normal.ml: Array Special

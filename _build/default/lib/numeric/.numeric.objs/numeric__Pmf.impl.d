@@ -1,0 +1,1 @@
+lib/numeric/pmf.ml: Array Float Format List Normal

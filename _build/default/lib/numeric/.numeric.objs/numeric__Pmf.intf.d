@@ -1,0 +1,1 @@
+lib/numeric/pmf.mli: Format

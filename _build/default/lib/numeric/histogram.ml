@@ -1,0 +1,45 @@
+type t = {
+  lo : float;
+  width : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be > 0";
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; total = 0 }
+
+let add h x =
+  let n = Array.length h.counts in
+  let i = int_of_float (floor ((x -. h.lo) /. h.width)) in
+  let i = if i < 0 then 0 else if i >= n then n - 1 else i in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.total <- h.total + 1
+
+let of_samples ?bins xs =
+  let s = Stats.summarize xs in
+  let bins =
+    match bins with
+    | Some b -> b
+    | None ->
+      let b = int_of_float (sqrt (float_of_int s.Stats.count)) in
+      max 10 (min 100 b)
+  in
+  let span = s.Stats.max -. s.Stats.min in
+  let pad = if span > 0.0 then 0.01 *. span else 1.0 in
+  let h = create ~lo:(s.Stats.min -. pad) ~hi:(s.Stats.max +. pad) ~bins in
+  Array.iter (add h) xs;
+  h
+
+let total h = h.total
+let bins h = Array.length h.counts
+let bin_center h i = h.lo +. ((float_of_int i +. 0.5) *. h.width)
+let bin_count h i = h.counts.(i)
+
+let bin_density h i =
+  if h.total = 0 then 0.0
+  else float_of_int h.counts.(i) /. (float_of_int h.total *. h.width)
+
+let density_series h =
+  Array.init (bins h) (fun i -> (bin_center h i, bin_density h i))

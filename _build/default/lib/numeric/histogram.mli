@@ -1,0 +1,30 @@
+(** Fixed-bin histograms, used to render the paper's PDF comparison
+    figures (Fig. 3 and Fig. 6) as printable series. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] makes an empty histogram of [bins] equal
+    bins over [lo, hi).  Samples outside the range are counted in the
+    outermost bins so no mass is silently lost.
+    @raise Invalid_argument if [bins <= 0] or [hi <= lo]. *)
+
+val of_samples : ?bins:int -> float array -> t
+(** [of_samples xs] builds a histogram spanning the sample range,
+    slightly widened; [bins] defaults to the square root of the sample
+    size clamped to [10, 100].
+    @raise Invalid_argument on an empty sample. *)
+
+val add : t -> float -> unit
+val total : t -> int
+val bins : t -> int
+val bin_center : t -> int -> float
+val bin_count : t -> int -> int
+
+val bin_density : t -> int -> float
+(** [bin_density h i] is the normalised density of bin [i]: counts
+    divided by (total * bin width), so the histogram integrates to 1
+    and is directly comparable to a PDF. *)
+
+val density_series : t -> (float * float) array
+(** All (bin center, density) pairs, in increasing x order. *)

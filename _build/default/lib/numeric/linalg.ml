@@ -1,0 +1,76 @@
+let solve a b =
+  let n = Array.length a in
+  if n = 0 || Array.length b <> n then
+    invalid_arg "Linalg.solve: dimension mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Linalg.solve: not square")
+    a;
+  let m = Array.map Array.copy a in
+  let x = Array.copy b in
+  for col = 0 to n - 1 do
+    (* Partial pivoting: bring the largest remaining entry to the diagonal. *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs m.(row).(col) > Float.abs m.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs m.(!pivot).(col) < 1e-12 then
+      failwith "Linalg.solve: singular matrix";
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let tb = x.(col) in
+      x.(col) <- x.(!pivot);
+      x.(!pivot) <- tb
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = m.(row).(col) /. m.(col).(col) in
+      if factor <> 0.0 then begin
+        for k = col to n - 1 do
+          m.(row).(k) <- m.(row).(k) -. (factor *. m.(col).(k))
+        done;
+        x.(row) <- x.(row) -. (factor *. x.(col))
+      end
+    done
+  done;
+  for row = n - 1 downto 0 do
+    let acc = ref x.(row) in
+    for k = row + 1 to n - 1 do
+      acc := !acc -. (m.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !acc /. m.(row).(row)
+  done;
+  x
+
+let least_squares a b =
+  let m = Array.length a in
+  if m = 0 || Array.length b <> m then
+    invalid_arg "Linalg.least_squares: dimension mismatch";
+  let n = Array.length a.(0) in
+  if m < n then invalid_arg "Linalg.least_squares: underdetermined system";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Linalg.least_squares: ragged matrix")
+    a;
+  let ata = Array.make_matrix n n 0.0 in
+  let atb = Array.make n 0.0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      atb.(j) <- atb.(j) +. (a.(i).(j) *. b.(i));
+      for k = 0 to n - 1 do
+        ata.(j).(k) <- ata.(j).(k) +. (a.(i).(j) *. a.(i).(k))
+      done
+    done
+  done;
+  solve ata atb
+
+let fit_line pts =
+  if Array.length pts < 2 then
+    invalid_arg "Linalg.fit_line: need at least two points";
+  let design = Array.map (fun (x, _) -> [| 1.0; x |]) pts in
+  let rhs = Array.map snd pts in
+  match least_squares design rhs with
+  | [| intercept; slope |] -> (intercept, slope)
+  | _ -> assert false

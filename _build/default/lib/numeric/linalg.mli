@@ -1,0 +1,22 @@
+(** Small dense linear algebra: just enough to support least-squares
+    fitting of the first-order device-variation model (Eq. 19-20).
+    Matrices are [float array array] in row-major order; all functions
+    are pure (inputs are copied before elimination). *)
+
+val solve : float array array -> float array -> float array
+(** [solve a b] solves the square system [a x = b] by Gaussian
+    elimination with partial pivoting.
+    @raise Invalid_argument on non-square or mismatched dimensions.
+    @raise Failure if the matrix is (numerically) singular. *)
+
+val least_squares : float array array -> float array -> float array
+(** [least_squares a b] minimises ||a x - b||₂ for an m-by-n design
+    matrix [a] (m >= n) via the normal equations [aᵀa x = aᵀ b].  The
+    systems fitted here are tiny and well-conditioned, so normal
+    equations are adequate.
+    @raise Invalid_argument on dimension mismatch or m < n. *)
+
+val fit_line : (float * float) array -> float * float
+(** [fit_line pts] fits y = intercept + slope * x by least squares and
+    returns [(intercept, slope)].
+    @raise Invalid_argument with fewer than two points. *)

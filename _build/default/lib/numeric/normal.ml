@@ -1,0 +1,72 @@
+let pdf x = Special.inv_sqrt_2pi *. exp (-0.5 *. x *. x)
+
+(* Phi(x) = erfc(-x/sqrt 2)/2 keeps full relative accuracy in the lower
+   tail, which matters when yields approach 0 or 1. *)
+let cdf x = 0.5 *. Special.erfc (-.x /. Special.sqrt2)
+
+(* Acklam's rational approximation to the normal quantile (relative
+   error < 1.15e-9), then one Halley refinement against [cdf]. *)
+let acklam_a =
+  [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+     1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+
+let acklam_b =
+  [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+     6.680131188771972e+01; -1.328068155288572e+01 |]
+
+let acklam_c =
+  [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+     -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+
+let acklam_d =
+  [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+     3.754408661907416e+00 |]
+
+let quantile_raw p =
+  let p_low = 0.02425 in
+  let p_high = 1.0 -. p_low in
+  let poly coeffs x =
+    Array.fold_left (fun acc ci -> (acc *. x) +. ci) 0.0 coeffs
+  in
+  if p < p_low then
+    let q = sqrt (-2.0 *. log p) in
+    poly acklam_c q /. (poly acklam_d q *. q +. 1.0)
+  else if p <= p_high then
+    let q = p -. 0.5 in
+    let r = q *. q in
+    q *. poly acklam_a r /. (poly acklam_b r *. r +. 1.0)
+  else
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.(poly acklam_c q /. (poly acklam_d q *. q +. 1.0))
+
+let quantile p =
+  if p <= 0.0 || p >= 1.0 then
+    invalid_arg "Normal.quantile: p must lie strictly between 0 and 1";
+  let x = quantile_raw p in
+  (* One Halley step: x' = x - 2 e f / (2 f^2 + e f x) with
+     e = cdf x - p and f = pdf x. *)
+  let e = cdf x -. p in
+  let f = pdf x in
+  if f > 0.0 then
+    let u = e /. f in
+    x -. (u /. (1.0 +. (0.5 *. x *. u)))
+  else x
+
+let pdf_mu_sigma ~mu ~sigma x =
+  if sigma <= 0.0 then invalid_arg "Normal.pdf_mu_sigma: sigma must be > 0";
+  pdf ((x -. mu) /. sigma) /. sigma
+
+let cdf_mu_sigma ~mu ~sigma x =
+  if sigma < 0.0 then invalid_arg "Normal.cdf_mu_sigma: sigma must be >= 0"
+  else if sigma = 0.0 then (if x < mu then 0.0 else 1.0)
+  else cdf ((x -. mu) /. sigma)
+
+let percentile ~mu ~sigma p =
+  if sigma < 0.0 then invalid_arg "Normal.percentile: sigma must be >= 0"
+  else if sigma = 0.0 then mu
+  else mu +. (sigma *. quantile p)
+
+let prob_gt_zero ~mu ~sigma =
+  if sigma < 0.0 then invalid_arg "Normal.prob_gt_zero: sigma must be >= 0"
+  else if sigma = 0.0 then (if mu > 0.0 then 1.0 else if mu < 0.0 then 0.0 else 0.5)
+  else cdf (mu /. sigma)

@@ -1,0 +1,38 @@
+(** Standard and general normal distributions.
+
+    These are the probability primitives the 2P/4P pruning rules, the
+    tightness-probability min/max, and the yield metrics are built on. *)
+
+val pdf : float -> float
+(** [pdf x] is the standard normal density
+    {m \phi(x) = e^{-x^2/2}/\sqrt{2\pi} }. *)
+
+val cdf : float -> float
+(** [cdf x] is the standard normal cumulative distribution
+    {m \Phi(x) }, computed from {!Special.erfc} without cancellation in
+    either tail. *)
+
+val quantile : float -> float
+(** [quantile p] is {m \Phi^{-1}(p) } for [p] in the open interval
+    (0, 1): Acklam's rational approximation refined by one Halley step
+    against {!cdf}, giving close to double precision.
+
+    @raise Invalid_argument if [p <= 0.] or [p >= 1.]. *)
+
+val pdf_mu_sigma : mu:float -> sigma:float -> float -> float
+(** [pdf_mu_sigma ~mu ~sigma x] is the N(mu, sigma²) density at [x].
+    [sigma] must be positive. *)
+
+val cdf_mu_sigma : mu:float -> sigma:float -> float -> float
+(** [cdf_mu_sigma ~mu ~sigma x] is P(X <= x) for X ~ N(mu, sigma²).
+    When [sigma = 0.] the distribution is a point mass at [mu] and the
+    result is a step function. *)
+
+val percentile : mu:float -> sigma:float -> float -> float
+(** [percentile ~mu ~sigma p] is the p-quantile of N(mu, sigma²), the
+    {m \pi_\alpha } of the paper's Eq. (1).  [sigma = 0.] returns [mu]. *)
+
+val prob_gt_zero : mu:float -> sigma:float -> float
+(** [prob_gt_zero ~mu ~sigma] is P(X > 0) for X ~ N(mu, sigma²);
+    when [sigma = 0.] it is 1, ½ or 0 according to the sign of [mu].
+    This is the workhorse of the pruning-rule comparisons (Eq. 11). *)

@@ -1,0 +1,147 @@
+type t = {
+  values : float array; (* sorted ascending, distinct *)
+  probs : float array;  (* same length, positive, sums to 1 *)
+}
+
+let max_support = 32
+
+let of_sorted_assoc pairs =
+  (* pairs sorted by value; merge equal values, drop zero weights,
+     normalise. *)
+  let merged = ref [] in
+  List.iter
+    (fun (v, w) ->
+      if w < 0.0 then invalid_arg "Pmf: negative weight";
+      if w > 0.0 then
+        match !merged with
+        | (v0, w0) :: rest when v0 = v -> merged := (v0, w0 +. w) :: rest
+        | _ -> merged := (v, w) :: !merged)
+    pairs;
+  let pairs = List.rev !merged in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 pairs in
+  if total <= 0.0 then invalid_arg "Pmf: weights must have a positive sum";
+  let n = List.length pairs in
+  let values = Array.make n 0.0 and probs = Array.make n 0.0 in
+  List.iteri
+    (fun i (v, w) ->
+      values.(i) <- v;
+      probs.(i) <- w /. total)
+    pairs;
+  { values; probs }
+
+let of_points pairs =
+  if pairs = [] then invalid_arg "Pmf.of_points: empty support";
+  of_sorted_assoc (List.sort (fun (a, _) (b, _) -> compare a b) pairs)
+
+let constant v = { values = [| v |]; probs = [| 1.0 |] }
+
+let of_normal ?(points = 7) ~mu ~sigma () =
+  if points <= 0 then invalid_arg "Pmf.of_normal: points must be > 0";
+  if sigma < 0.0 then invalid_arg "Pmf.of_normal: sigma must be >= 0";
+  if sigma = 0.0 then constant mu
+  else
+    (* Equal-probability strips, each represented by its conditional
+       median: the quantiles at (i + 1/2)/points. *)
+    of_points
+      (List.init points (fun i ->
+           let p = (float_of_int i +. 0.5) /. float_of_int points in
+           (mu +. (sigma *. Normal.quantile p), 1.0 /. float_of_int points)))
+
+let support t = Array.init (Array.length t.values) (fun i -> (t.values.(i), t.probs.(i)))
+let size t = Array.length t.values
+
+let mean t =
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> acc := !acc +. (v *. t.probs.(i))) t.values;
+  !acc
+
+let variance t =
+  let m = mean t in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i v -> acc := !acc +. (t.probs.(i) *. (v -. m) *. (v -. m)))
+    t.values;
+  !acc
+
+let std t = sqrt (variance t)
+
+let cdf t x =
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> if v <= x then acc := !acc +. t.probs.(i)) t.values;
+  !acc
+
+let percentile t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Pmf.percentile: p must lie in (0, 1]";
+  let n = Array.length t.values in
+  let rec go i acc =
+    if i >= n - 1 then t.values.(n - 1)
+    else
+      let acc = acc +. t.probs.(i) in
+      if acc >= p -. 1e-12 then t.values.(i) else go (i + 1) acc
+  in
+  go 0 0.0
+
+(* Cap the support by re-binning into [max_support] equal-probability
+   strips in one left-to-right pass; each strip is replaced by its
+   probability-weighted centroid, which preserves the mean exactly and
+   loses only within-strip variance.  This is the discrete analogue of
+   the gridded numerical JPDFs of reference [7]. *)
+let compact t =
+  let n = Array.length t.values in
+  if n <= max_support then t
+  else begin
+    let target = 1.0 /. float_of_int max_support in
+    let out = ref [] in
+    let acc_w = ref 0.0 and acc_vw = ref 0.0 in
+    let flush () =
+      if !acc_w > 0.0 then begin
+        out := (!acc_vw /. !acc_w, !acc_w) :: !out;
+        acc_w := 0.0;
+        acc_vw := 0.0
+      end
+    in
+    for i = 0 to n - 1 do
+      acc_w := !acc_w +. t.probs.(i);
+      acc_vw := !acc_vw +. (t.values.(i) *. t.probs.(i));
+      if !acc_w >= target then flush ()
+    done;
+    flush ();
+    of_sorted_assoc (List.rev !out)
+  end
+
+let lift2 f a b =
+  let acc = ref [] in
+  Array.iteri
+    (fun i va ->
+      Array.iteri
+        (fun j vb -> acc := (f va vb, a.probs.(i) *. b.probs.(j)) :: !acc)
+        b.values)
+    a.values;
+  compact (of_points !acc)
+
+let add a b = lift2 ( +. ) a b
+let sub a b = lift2 ( -. ) a b
+let min2 a b = lift2 Float.min a b
+let max2 a b = lift2 Float.max a b
+
+let shift c t = { t with values = Array.map (fun v -> v +. c) t.values }
+
+let scale k t =
+  if k = 0.0 then constant 0.0
+  else if k > 0.0 then { t with values = Array.map (fun v -> k *. v) t.values }
+  else
+    (* Negative scale reverses the order; rebuild. *)
+    of_points
+      (Array.to_list
+         (Array.mapi (fun i v -> (k *. v, t.probs.(i))) t.values))
+
+let map f t =
+  of_points (Array.to_list (Array.mapi (fun i v -> (f v, t.probs.(i))) t.values))
+
+let stochastically_dominates a b =
+  (* F_a(x) <= F_b(x) at every point of either support. *)
+  Array.for_all (fun x -> cdf a x <= cdf b x +. 1e-12) a.values
+  && Array.for_all (fun x -> cdf a x <= cdf b x +. 1e-12) b.values
+
+let pp ppf t =
+  Format.fprintf ppf "%g±%g(%d pts)" (mean t) (std t) (size t)

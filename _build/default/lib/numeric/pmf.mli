@@ -1,0 +1,67 @@
+(** Discrete probability mass functions over float supports.
+
+    This is the numerical-distribution substrate used by the
+    reproduction of reference [6]'s probabilistic buffer insertion
+    (Khandelwal et al., ICCAD'03), which represents solution metrics as
+    discretised distributions and combines them under independence
+    assumptions — in contrast to the paper's canonical first-order
+    forms.  Supports are kept sorted and renormalised; binary
+    operations cap the support size by merging closest points
+    (probability-weighted), which is the discrete analogue of [7]'s
+    gridded numerical JPDFs. *)
+
+type t
+
+val max_support : int
+(** Support-size cap applied by binary operations (32). *)
+
+val of_points : (float * float) list -> t
+(** [(value, weight)] pairs; weights are normalised and must be
+    non-negative with a positive sum; equal values are merged.
+    @raise Invalid_argument otherwise. *)
+
+val constant : float -> t
+
+val of_normal : ?points:int -> mu:float -> sigma:float -> unit -> t
+(** Equal-probability discretisation of N(mu, sigma²) at the [points]
+    (default 7) conditional medians of its quantile strips.
+    [sigma = 0.] yields a point mass.
+    @raise Invalid_argument if [points <= 0] or [sigma < 0.]. *)
+
+val support : t -> (float * float) array
+(** Sorted (value, probability) pairs; probabilities sum to 1. *)
+
+val size : t -> int
+val mean : t -> float
+val variance : t -> float
+val std : t -> float
+
+val cdf : t -> float -> float
+(** P(X <= x). *)
+
+val percentile : t -> float -> float
+(** Smallest support value with cumulative probability >= p.
+    @raise Invalid_argument unless [0 < p <= 1]. *)
+
+val shift : float -> t -> t
+val scale : float -> t -> t
+
+val add : t -> t -> t
+(** Sum of {e independent} variables (full convolution, then support
+    capping). *)
+
+val sub : t -> t -> t
+val min2 : t -> t -> t
+(** Min of {e independent} variables. *)
+
+val max2 : t -> t -> t
+
+val map : (float -> float) -> t -> t
+(** Transform the support pointwise (probabilities unchanged); the
+    result is re-sorted and merged. *)
+
+val stochastically_dominates : t -> t -> bool
+(** [stochastically_dominates a b]: first-order dominance, i.e.
+    {m F_a(x) \le F_b(x)} for all x (a is "larger"). *)
+
+val pp : Format.formatter -> t -> unit

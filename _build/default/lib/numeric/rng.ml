@@ -1,0 +1,33 @@
+type t = { state : Random.State.t; mutable spare : float option }
+
+let create ~seed = { state = Random.State.make [| seed |]; spare = None }
+
+let split t =
+  { state = Random.State.make [| Random.State.bits t.state |]; spare = None }
+
+let uniform t = Random.State.float t.state 1.0
+
+let uniform_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.uniform_range: hi < lo";
+  lo +. ((hi -. lo) *. uniform t)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be > 0";
+  Random.State.int t.state bound
+
+let gaussian t =
+  match t.spare with
+  | Some z ->
+    t.spare <- None;
+    z
+  | None ->
+    (* Box-Muller on (0,1] uniforms; log of 0 is avoided by flipping the
+       draw, which leaves the distribution unchanged. *)
+    let u1 = 1.0 -. uniform t in
+    let u2 = uniform t in
+    let r = sqrt (-2.0 *. log u1) in
+    let theta = 2.0 *. 4.0 *. atan 1.0 *. u2 in
+    t.spare <- Some (r *. sin theta);
+    r *. cos theta
+
+let gaussian_mu_sigma t ~mu ~sigma = mu +. (sigma *. gaussian t)

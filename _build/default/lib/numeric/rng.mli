@@ -1,0 +1,32 @@
+(** Seeded random number generation.
+
+    Every stochastic piece of the reproduction (benchmark generation,
+    Monte-Carlo sampling, device characterisation) threads one of these
+    generators explicitly, so all experiments are reproducible from
+    their seeds. *)
+
+type t
+
+val create : seed:int -> t
+(** A fresh generator deterministically derived from [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Use to give subsystems their own streams without coupling their
+    consumption patterns. *)
+
+val uniform : t -> float
+(** Uniform draw in [0, 1). *)
+
+val uniform_range : t -> lo:float -> hi:float -> float
+(** Uniform draw in [lo, hi).  @raise Invalid_argument if [hi < lo]. *)
+
+val int : t -> bound:int -> int
+(** Uniform integer in [0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val gaussian : t -> float
+(** Standard normal draw (Box-Muller, with the spare value cached). *)
+
+val gaussian_mu_sigma : t -> mu:float -> sigma:float -> float
+(** Normal draw with the given mean and standard deviation. *)

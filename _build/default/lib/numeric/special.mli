@@ -1,0 +1,25 @@
+(** Special functions needed by the statistical substrate.
+
+    The implementations follow W. J. Cody's rational Chebyshev
+    approximations for the error function ("Rational Chebyshev
+    approximation for the error function", Math. Comp. 23, 1969), which
+    are accurate to close to double precision over the whole real line.
+    No external numeric library is required. *)
+
+val erf : float -> float
+(** [erf x] is the error function
+    {m \mathrm{erf}(x) = \frac{2}{\sqrt{\pi}} \int_0^x e^{-t^2}\,dt }. *)
+
+val erfc : float -> float
+(** [erfc x] is the complementary error function [1. -. erf x], computed
+    without cancellation for large [x]. *)
+
+val sqrt2 : float
+(** {m \sqrt 2 }. *)
+
+val sqrt_pi : float
+(** {m \sqrt \pi }. *)
+
+val inv_sqrt_2pi : float
+(** {m 1 / \sqrt{2\pi} }, the normalising constant of the standard
+    normal density. *)

@@ -1,0 +1,52 @@
+(** Descriptive statistics over float samples.
+
+    Used by the Monte-Carlo engine to summarise empirical RAT
+    distributions and by the device-characterisation fit. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;  (** unbiased (n-1) sample variance; 0 for n <= 1 *)
+  std : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** [summarize xs] computes all summary fields in one Welford pass.
+    @raise Invalid_argument on an empty array. *)
+
+val mean : float array -> float
+(** Arithmetic mean. @raise Invalid_argument on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance ((n-1) denominator); [0.] when [n <= 1].
+    @raise Invalid_argument on an empty array. *)
+
+val std : float array -> float
+(** [sqrt (variance xs)]. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] is the p-quantile (p in [0,1]) of the sample using
+    linear interpolation between order statistics.  The input need not
+    be sorted; it is not modified.
+    @raise Invalid_argument on an empty array or p outside [0,1]. *)
+
+val covariance : float array -> float array -> float
+(** Unbiased sample covariance of two equal-length samples.
+    @raise Invalid_argument on empty or mismatched arrays. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation coefficient; [0.] when either sample is
+    degenerate (zero variance). *)
+
+type accumulator
+(** Streaming mean/variance accumulator (Welford), for Monte-Carlo loops
+    that must not retain all samples. *)
+
+val create : unit -> accumulator
+val add : accumulator -> float -> unit
+val acc_count : accumulator -> int
+val acc_mean : accumulator -> float
+val acc_variance : accumulator -> float
+val acc_std : accumulator -> float

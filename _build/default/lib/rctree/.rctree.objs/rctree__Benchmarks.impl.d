@@ -1,0 +1,1 @@
+lib/rctree/benchmarks.ml: Float Generate List

@@ -1,0 +1,1 @@
+lib/rctree/generate.ml: Array Numeric Option Printf Tree

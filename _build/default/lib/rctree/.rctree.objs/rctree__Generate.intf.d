@@ -1,0 +1,1 @@
+lib/rctree/generate.mli: Tree

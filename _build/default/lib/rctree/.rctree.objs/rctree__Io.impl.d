@@ -1,0 +1,1 @@
+lib/rctree/io.ml: Buffer Fun Hashtbl List Option Printf String Tree

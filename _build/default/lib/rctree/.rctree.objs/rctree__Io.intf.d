@@ -1,0 +1,1 @@
+lib/rctree/io.mli: Tree

@@ -1,0 +1,1 @@
+lib/rctree/tree.ml: Array Float Format List Stack

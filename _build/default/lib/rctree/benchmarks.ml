@@ -1,0 +1,34 @@
+type info = {
+  name : string;
+  sinks : int;
+  die_um : float;
+  seed : int;
+}
+
+(* Die sides scale with sqrt(sinks) and are aligned to the 500 um
+   spatial grid so region counts stay modest even for r5. *)
+let die_for sinks =
+  let raw = sqrt (float_of_int sinks) *. 400.0 in
+  let cells = ceil (raw /. 500.0) in
+  Float.max 4000.0 (cells *. 500.0)
+
+let mk name sinks seed = { name; sinks; die_um = die_for sinks; seed }
+
+let all =
+  [
+    mk "p1" 269 101;
+    mk "p2" 603 102;
+    mk "r1" 267 201;
+    mk "r2" 598 202;
+    mk "r3" 862 203;
+    mk "r4" 1903 204;
+    mk "r5" 3101 205;
+  ]
+
+let find name = List.find (fun i -> i.name = name) all
+let names = List.map (fun i -> i.name) all
+
+let load info =
+  Generate.random_steiner ~seed:info.seed ~sinks:info.sinks ~die_um:info.die_um ()
+
+let load_by_name name = load (find name)

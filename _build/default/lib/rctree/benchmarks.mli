@@ -1,0 +1,28 @@
+(** The benchmark suite of Table 1.
+
+    Regenerated (see DESIGN.md) as seeded random Steiner trees with the
+    paper's exact sink counts: p1 269, p2 603, r1 267, r2 598, r3 862,
+    r4 1903, r5 3101 — which yields the exact "Buffer Positions"
+    column (2·sinks − 1) as well.  Each benchmark also fixes its die
+    size (scaling with sink count, 500 µm-grid aligned). *)
+
+type info = {
+  name : string;
+  sinks : int;
+  die_um : float;
+  seed : int;
+}
+
+val all : info list
+(** p1, p2, r1, r2, r3, r4, r5 in the paper's order. *)
+
+val find : string -> info
+(** @raise Not_found for an unknown benchmark name. *)
+
+val names : string list
+
+val load : info -> Tree.t
+(** Generate the tree (deterministic for a given [info]). *)
+
+val load_by_name : string -> Tree.t
+(** [load (find name)]. @raise Not_found for an unknown name. *)

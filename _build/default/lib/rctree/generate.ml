@@ -1,0 +1,108 @@
+type sink_params = {
+  cap_lo : float;
+  cap_hi : float;
+  rat : float;
+  rat_spread : float;
+}
+
+let default_sink_params = { cap_lo = 2.0; cap_hi = 20.0; rat = 0.0; rat_spread = 0.0 }
+
+let fresh_sink rng params idx =
+  {
+    Tree.sink_cap = Numeric.Rng.uniform_range rng ~lo:params.cap_lo ~hi:params.cap_hi;
+    sink_rat =
+      Numeric.Rng.uniform_range rng ~lo:params.rat
+        ~hi:(params.rat +. params.rat_spread);
+    sink_name = Printf.sprintf "s%d" idx;
+  }
+
+(* Recursive median bisection: sort the group along the bounding box's
+   wider axis, split in half, and join the halves at the group centroid.
+   Yields a binary topology with 2*sinks - 1 edges once the driver's
+   root edge is added. *)
+let random_steiner ?(sink_params = default_sink_params) ~seed ~sinks ~die_um () =
+  if sinks < 1 then invalid_arg "Generate.random_steiner: sinks must be >= 1";
+  if die_um <= 0.0 then invalid_arg "Generate.random_steiner: die must be positive";
+  let rng = Numeric.Rng.create ~seed in
+  let pts =
+    Array.init sinks (fun i ->
+        let x = Numeric.Rng.uniform_range rng ~lo:0.0 ~hi:die_um in
+        let y = Numeric.Rng.uniform_range rng ~lo:0.0 ~hi:die_um in
+        (x, y, fresh_sink rng sink_params i))
+  in
+  let centroid lo hi =
+    let sx = ref 0.0 and sy = ref 0.0 in
+    for i = lo to hi do
+      let x, y, _ = pts.(i) in
+      sx := !sx +. x;
+      sy := !sy +. y
+    done;
+    let n = float_of_int (hi - lo + 1) in
+    (!sx /. n, !sy /. n)
+  in
+  let rec build lo hi =
+    if lo = hi then
+      let x, y, sink = pts.(lo) in
+      Tree.Leaf { x; y; sink }
+    else begin
+      (* Cut along the wider dimension of the group's bounding box. *)
+      let min_x = ref infinity and max_x = ref neg_infinity in
+      let min_y = ref infinity and max_y = ref neg_infinity in
+      for i = lo to hi do
+        let x, y, _ = pts.(i) in
+        if x < !min_x then min_x := x;
+        if x > !max_x then max_x := x;
+        if y < !min_y then min_y := y;
+        if y > !max_y then max_y := y
+      done;
+      let by_x = !max_x -. !min_x >= !max_y -. !min_y in
+      let sub = Array.sub pts lo (hi - lo + 1) in
+      Array.sort
+        (fun (x0, y0, _) (x1, y1, _) ->
+          if by_x then compare (x0, y0) (x1, y1) else compare (y0, x0) (y1, x1))
+        sub;
+      Array.blit sub 0 pts lo (Array.length sub);
+      let mid = lo + ((hi - lo) / 2) in
+      let left = build lo mid in
+      let right = build (mid + 1) hi in
+      let x, y = centroid lo hi in
+      Tree.Node { x; y; children = [ (left, None); (right, None) ] }
+    end
+  in
+  let top = build 0 (sinks - 1) in
+  let cx = die_um /. 2.0 and cy = die_um /. 2.0 in
+  Tree.of_spec (Tree.Node { x = cx; y = cy; children = [ (top, None) ] })
+
+let h_tree ?sink_params ?(seed = 1) ~levels ~die_um () =
+  (* Clock sinks share one deadline: no RAT spread unless asked for. *)
+  let sink_params =
+    Option.value sink_params
+      ~default:{ default_sink_params with rat_spread = 0.0 }
+  in
+  if levels < 1 || levels > 10 then
+    invalid_arg "Generate.h_tree: levels must lie in [1, 10]";
+  if die_um <= 0.0 then invalid_arg "Generate.h_tree: die must be positive";
+  let rng = Numeric.Rng.create ~seed in
+  let counter = ref 0 in
+  let leaf x y =
+    let idx = !counter in
+    incr counter;
+    Tree.Leaf { x; y; sink = fresh_sink rng sink_params idx }
+  in
+  (* One H level = a horizontal split then a vertical split at each arm,
+     quartering the tile; recursion keeps the tree binary. *)
+  let rec build x y half_w half_h level =
+    if level = 0 then leaf x y
+    else
+      let arm dx =
+        let ax = x +. dx in
+        let lo = build ax (y -. (half_h /. 2.0)) (half_w /. 2.0) (half_h /. 2.0) (level - 1) in
+        let hi = build ax (y +. (half_h /. 2.0)) (half_w /. 2.0) (half_h /. 2.0) (level - 1) in
+        Tree.Node { x = ax; y; children = [ (lo, None); (hi, None) ] }
+      in
+      Tree.Node
+        { x; y; children = [ (arm (-.half_w /. 2.0), None); (arm (half_w /. 2.0), None) ] }
+  in
+  let c = die_um /. 2.0 in
+  let top = build c c (die_um /. 2.0) (die_um /. 2.0) levels in
+  Tree.of_spec (Tree.Node { x = c; y = c; children = [ (top, None) ] })

@@ -1,0 +1,53 @@
+(** Seeded routing-tree generators.
+
+    The paper's benchmarks (p1, p2, r1-r5) are public-domain nets whose
+    data files are not shipped with the paper; we regenerate trees with
+    the same sink counts (and hence the same buffer-position counts,
+    Table 1) as deterministic pseudo-random rectilinear Steiner trees.
+    The H-tree generator reproduces the capacity experiment of
+    footnote 4 (an 8-level H-tree clock net with 4^8 = 65 536 sinks). *)
+
+type sink_params = {
+  cap_lo : float;   (** lower bound of the uniform sink-cap draw, fF *)
+  cap_hi : float;   (** upper bound, fF *)
+  rat : float;      (** base required arrival time of every sink, ps *)
+  rat_spread : float;
+      (** sinks draw their RAT uniformly from [rat, rat + rat_spread];
+          real nets have heterogeneous sink deadlines, which is what
+          makes some merge branches slack and others critical *)
+}
+
+val default_sink_params : sink_params
+(** caps in [2, 20] fF, RAT 0 ps with no spread (so root RATs are
+    negative delays, matching the sign convention of Tables 3-4).
+    Pass a non-zero [rat_spread] for nets with heterogeneous sink
+    deadlines. *)
+
+val random_steiner :
+  ?sink_params:sink_params ->
+  seed:int ->
+  sinks:int ->
+  die_um:float ->
+  unit ->
+  Tree.t
+(** [random_steiner ~seed ~sinks ~die_um ()] places [sinks] sinks
+    uniformly at random on a [die_um] × [die_um] die and connects them
+    with a binary rectilinear Steiner topology built by recursive
+    median bisection (alternating the cut axis with the bounding box's
+    wider dimension).  The driver sits at the die center.  The result
+    has exactly [2*sinks - 1] edges, i.e. buffer positions.
+    @raise Invalid_argument if [sinks < 1] or [die_um <= 0.]. *)
+
+val h_tree :
+  ?sink_params:sink_params ->
+  ?seed:int ->
+  levels:int ->
+  die_um:float ->
+  unit ->
+  Tree.t
+(** [h_tree ~levels ~die_um ()] builds a classic H-tree clock net with
+    [4^levels] sinks on a square die; each H level is two binary splits
+    so the tree stays binary.  [seed] only randomises sink caps;
+    clock sinks share one deadline, so [sink_params] defaults to zero
+    RAT spread.
+    @raise Invalid_argument if [levels < 1] or [levels > 10]. *)

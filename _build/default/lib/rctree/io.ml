@@ -1,0 +1,183 @@
+let buffer_add_node buf t id =
+  let x, y = Tree.position t id in
+  match Tree.sink t id with
+  | Some s ->
+    Printf.bprintf buf "sink %d x %.17g y %.17g parent %d wire %.17g cap %.17g rat %.17g name %s\n"
+      id x y
+      (Option.get (Tree.parent t id))
+      (Tree.wire_to t id) s.Tree.sink_cap s.Tree.sink_rat s.Tree.sink_name
+  | None -> (
+    match Tree.parent t id with
+    | None -> Printf.bprintf buf "node %d root x %.17g y %.17g\n" id x y
+    | Some p ->
+      Printf.bprintf buf "node %d internal x %.17g y %.17g parent %d wire %.17g\n" id x y p
+        (Tree.wire_to t id))
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# varbuf tree v1\n";
+  (* Node ids are assigned in preorder by the builder, so emitting them
+     in id order lists parents before children. *)
+  for id = 0 to Tree.node_count t - 1 do
+    buffer_add_node buf t id
+  done;
+  Buffer.contents buf
+
+type parsed_node = {
+  p_x : float;
+  p_y : float;
+  p_parent : int option;
+  p_wire : float;
+  p_sink : Tree.sink option;
+}
+
+let parse_line lineno line =
+  let fail fmt =
+    Printf.ksprintf (fun msg -> failwith (Printf.sprintf "line %d: %s" lineno msg)) fmt
+  in
+  let tokens =
+    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+  in
+  (* Key-value pairs after the directive and id. *)
+  let rec fields = function
+    | [] -> []
+    | [ k ] -> fail "dangling field %S" k
+    | k :: v :: rest -> (k, v) :: fields rest
+  in
+  let float_field assoc key =
+    match List.assoc_opt key assoc with
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> f
+      | None -> fail "field %S is not a number: %S" key v)
+    | None -> fail "missing field %S" key
+  in
+  let int_field assoc key =
+    match List.assoc_opt key assoc with
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> i
+      | None -> fail "field %S is not an integer: %S" key v)
+    | None -> fail "missing field %S" key
+  in
+  match tokens with
+  | "node" :: id :: "root" :: rest ->
+    let assoc = fields rest in
+    let id = match int_of_string_opt id with
+      | Some i -> i
+      | None -> fail "bad node id %S" id
+    in
+    Some
+      ( id,
+        {
+          p_x = float_field assoc "x";
+          p_y = float_field assoc "y";
+          p_parent = None;
+          p_wire = 0.0;
+          p_sink = None;
+        } )
+  | "node" :: id :: "internal" :: rest ->
+    let assoc = fields rest in
+    let id = match int_of_string_opt id with
+      | Some i -> i
+      | None -> fail "bad node id %S" id
+    in
+    Some
+      ( id,
+        {
+          p_x = float_field assoc "x";
+          p_y = float_field assoc "y";
+          p_parent = Some (int_field assoc "parent");
+          p_wire = float_field assoc "wire";
+          p_sink = None;
+        } )
+  | "sink" :: id :: rest ->
+    let assoc = fields rest in
+    let id = match int_of_string_opt id with
+      | Some i -> i
+      | None -> fail "bad node id %S" id
+    in
+    let name =
+      match List.assoc_opt "name" assoc with Some n -> n | None -> "sink"
+    in
+    Some
+      ( id,
+        {
+          p_x = float_field assoc "x";
+          p_y = float_field assoc "y";
+          p_parent = Some (int_field assoc "parent");
+          p_wire = float_field assoc "wire";
+          p_sink =
+            Some
+              {
+                Tree.sink_cap = float_field assoc "cap";
+                sink_rat = float_field assoc "rat";
+                sink_name = name;
+              };
+        } )
+  | directive :: _ -> fail "unknown directive %S" directive
+  | [] -> None
+
+let of_string text =
+  let nodes : (int, parsed_node) Hashtbl.t = Hashtbl.create 64 in
+  let children : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let root = ref None in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line <> "" && not (String.length line > 0 && line.[0] = '#') then
+        match parse_line lineno line with
+        | None -> ()
+        | Some (id, node) ->
+          if Hashtbl.mem nodes id then
+            failwith (Printf.sprintf "line %d: duplicate node id %d" lineno id);
+          Hashtbl.add nodes id node;
+          (match node.p_parent with
+          | None ->
+            if !root <> None then
+              failwith (Printf.sprintf "line %d: second root" lineno);
+            root := Some id
+          | Some p ->
+            Hashtbl.replace children p
+              (id :: (Option.value (Hashtbl.find_opt children p) ~default:[]))))
+    lines;
+  let root = match !root with Some r -> r | None -> failwith "no root node" in
+  let lookup id =
+    match Hashtbl.find_opt nodes id with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "dangling parent reference to node %d" id)
+  in
+  let rec spec_of id =
+    let n = lookup id in
+    let kids =
+      List.rev (Option.value (Hashtbl.find_opt children id) ~default:[])
+    in
+    match (n.p_sink, kids) with
+    | Some sink, [] -> Tree.Leaf { x = n.p_x; y = n.p_y; sink }
+    | Some _, _ -> failwith (Printf.sprintf "sink %d has children" id)
+    | None, [] -> failwith (Printf.sprintf "internal node %d has no children" id)
+    | None, kids ->
+      Tree.Node
+        {
+          x = n.p_x;
+          y = n.p_y;
+          children =
+            List.map (fun c -> (spec_of c, Some (lookup c).p_wire)) kids;
+        }
+  in
+  Tree.of_spec (spec_of root)
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+  |> of_string

@@ -1,0 +1,32 @@
+(** Plain-text serialisation of routing trees.
+
+    The format is line-oriented and diff-friendly, one node per line in
+    preorder (parents before children), indexed by explicit ids:
+
+    {v
+    # varbuf tree v1
+    node 0 root x 500.0 y 500.0
+    node 1 internal x 800.0 y 500.0 parent 0 wire 300.0
+    sink 2 x 900.0 y 650.0 parent 1 wire 250.0 cap 12.5 rat 0.0 name s0
+    v}
+
+    Wire lengths are explicit (they need not equal the Manhattan
+    distance, matching {!Tree.of_spec}'s optional override).  Lines
+    starting with [#] and blank lines are ignored. *)
+
+val to_string : Tree.t -> string
+(** Serialise; parsing the result with {!of_string} reproduces the tree
+    exactly (same shape, geometry, wire lengths and sink data). *)
+
+val of_string : string -> Tree.t
+(** Parse.  @raise Failure with a line-numbered message on malformed
+    input (unknown directive, missing field, dangling parent reference,
+    duplicate id, or a node arity {!Tree.of_spec} rejects). *)
+
+val save : string -> Tree.t -> unit
+(** [save path tree] writes {!to_string} to [path]. *)
+
+val load : string -> Tree.t
+(** [load path] parses the file at [path].
+    @raise Sys_error if the file cannot be read; @raise Failure as
+    {!of_string}. *)

@@ -1,0 +1,1 @@
+lib/sta/buffered.ml: Array Device Float Hashtbl Linform List Numeric Option Rctree Varmodel

@@ -1,0 +1,1 @@
+lib/sta/buffered.mli: Device Linform Numeric Rctree Varmodel

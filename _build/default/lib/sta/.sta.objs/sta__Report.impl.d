@@ -1,0 +1,1 @@
+lib/sta/report.ml: Array Buffered Float Format Hashtbl Linform List Numeric Rctree Skew

@@ -1,0 +1,1 @@
+lib/sta/skew.ml: Array Buffered Device Hashtbl Linform List Numeric Rctree

@@ -1,0 +1,1 @@
+lib/sta/yield.ml: Array Linform Numeric

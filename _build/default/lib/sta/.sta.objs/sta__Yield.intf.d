@@ -1,0 +1,1 @@
+lib/sta/yield.mli: Linform

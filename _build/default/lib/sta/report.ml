@@ -1,0 +1,94 @@
+type sink_report = {
+  node : int;
+  name : string;
+  slack : Linform.t;
+  criticality : float;
+}
+
+type t = {
+  sinks : sink_report list;
+  min_slack : Linform.t;
+  trials : int;
+}
+
+let compute ?(trials = 1000) ~rng inst =
+  if trials <= 0 then invalid_arg "Report.compute: trials must be > 0";
+  let b = Buffered.instance_source inst in
+  let tree = Buffered.tree b in
+  let sink_rat node =
+    match Rctree.Tree.sink tree node with
+    | Some s -> (s.Rctree.Tree.sink_rat, s.Rctree.Tree.sink_name)
+    | None -> assert false
+  in
+  let arrivals = Skew.sink_arrivals inst in
+  let slacks =
+    List.map
+      (fun (node, arrival) ->
+        let rat, name = sink_rat node in
+        (node, name, Linform.neg arrival |> Linform.shift rat))
+      arrivals
+  in
+  let min_slack =
+    match slacks with
+    | [] -> invalid_arg "Report.compute: tree has no sinks"
+    | (_, _, first) :: rest ->
+      List.fold_left (fun acc (_, _, s) -> Linform.stat_min acc s) first rest
+  in
+  (* Monte-Carlo criticality: which sink attains the minimal sampled
+     slack; exact ties (e.g. symmetric clock trees in NOM mode) split
+     their trial evenly. *)
+  let index = Hashtbl.create 64 in
+  List.iteri (fun i (node, _, _) -> Hashtbl.replace index node i) slacks;
+  let wins = Array.make (List.length slacks) 0.0 in
+  for _ = 1 to trials do
+    let drawn : (int, float) Hashtbl.t = Hashtbl.create 64 in
+    let lookup id =
+      match Hashtbl.find_opt drawn id with
+      | Some v -> v
+      | None ->
+        let v = Numeric.Rng.gaussian rng in
+        Hashtbl.add drawn id v;
+        v
+    in
+    let sampled = Skew.sample_arrivals inst ~lookup in
+    let slack_samples =
+      List.map
+        (fun (node, arrival) ->
+          let rat, _ = sink_rat node in
+          (node, rat -. arrival))
+        sampled
+    in
+    let min_val =
+      List.fold_left (fun acc (_, s) -> Float.min acc s) infinity slack_samples
+    in
+    let binding =
+      List.filter (fun (_, s) -> s <= min_val +. 1e-12) slack_samples
+    in
+    let share = 1.0 /. float_of_int (List.length binding) in
+    List.iter
+      (fun (node, _) ->
+        let i = Hashtbl.find index node in
+        wins.(i) <- wins.(i) +. share)
+      binding
+  done;
+  let sinks =
+    List.mapi
+      (fun i (node, name, slack) ->
+        { node; name; slack; criticality = wins.(i) /. float_of_int trials })
+      slacks
+    |> List.sort (fun a b -> compare (Linform.mean a.slack) (Linform.mean b.slack))
+  in
+  { sinks; min_slack; trials }
+
+let pp ?(top = 10) ppf t =
+  Format.fprintf ppf "%-12s %12s %10s %12s@." "sink" "slack(ps)" "sigma"
+    "criticality";
+  List.iteri
+    (fun i r ->
+      if i < top then
+        Format.fprintf ppf "%-12s %12.1f %10.1f %11.1f%%@." r.name
+          (Linform.mean r.slack) (Linform.std r.slack)
+          (100.0 *. r.criticality))
+    t.sinks;
+  Format.fprintf ppf "min slack: mean %.1f ps, sigma %.1f ps (%d MC trials)@."
+    (Linform.mean t.min_slack) (Linform.std t.min_slack) t.trials

@@ -1,0 +1,35 @@
+(** Per-sink slack and criticality reporting — the diagnostic view of a
+    buffered net under variation.
+
+    The slack of sink {m i} is {m \mathrm{RAT}_i - \mathrm{AT}_i }
+    (its required arrival time minus its Elmore arrival time); the root
+    RAT of §2.1 equals the driver departure plus the minimum slack.
+    Under variation, which sink attains that minimum is itself random:
+    a sink's {e criticality} is the probability that it is the binding
+    one — the quantity statistical timing uses to rank optimisation
+    targets (cf. the tightness probabilities of Eq. 39 that the merge
+    operation is built from). *)
+
+type sink_report = {
+  node : int;
+  name : string;
+  slack : Linform.t;        (** canonical slack form, ps *)
+  criticality : float;      (** MC probability this sink binds the min *)
+}
+
+type t = {
+  sinks : sink_report list; (** ascending mean slack (most critical first) *)
+  min_slack : Linform.t;    (** statistical min over all sink slacks *)
+  trials : int;
+}
+
+val compute :
+  ?trials:int -> rng:Numeric.Rng.t -> Buffered.instance -> t
+(** Slack forms come from the canonical arrival propagation
+    ({!Skew.sink_arrivals}); criticalities from [trials] (default 1000)
+    joint Monte-Carlo samples (ties split evenly).
+    @raise Invalid_argument if [trials <= 0]. *)
+
+val pp : ?top:int -> Format.formatter -> t -> unit
+(** Print the [top] (default 10) most critical sinks: name, mean ± σ
+    slack, criticality. *)

@@ -1,0 +1,186 @@
+(* Two-pass Elmore arrival computation.  Pass 1 (bottom-up): the load
+   each edge presents to its parent — the buffer's input cap if the
+   edge is buffered, otherwise wire cap plus subtree load.  Pass 2
+   (top-down): accumulate driver, buffer and wire delays down to every
+   sink.  The canonical and the per-sample variants share this
+   structure but differ in their scalar type, so each is written
+   against its own small operation set.  Wire parasitics are taken
+   from the instance's CMP forms when present, so skew analysis stays
+   consistent with RAT analysis under wire variation. *)
+
+(* Per-µm wire parasitics of the edge above [node], as canonical forms
+   (constants when the instance has nominal wires). *)
+let wire_param_forms inst b node =
+  match Buffered.wire_forms_at inst node with
+  | Some forms -> forms
+  | None ->
+    let w = Buffered.wire_above b node in
+    ( Linform.const w.Device.Wire_lib.res_per_um,
+      Linform.const w.Device.Wire_lib.cap_per_um )
+
+let loads_canonical inst =
+  let b = Buffered.instance_source inst in
+  let tree = Buffered.tree b in
+  let n = Rctree.Tree.node_count tree in
+  let subtree = Array.make n Linform.zero in
+  (* presented.(v) = load the edge above v shows to v's parent *)
+  let presented = Array.make n Linform.zero in
+  Array.iter
+    (fun id ->
+      let own =
+        match Rctree.Tree.sink tree id with
+        | Some s -> Linform.const s.Rctree.Tree.sink_cap
+        | None ->
+          List.fold_left
+            (fun acc (c, _) -> Linform.add acc presented.(c))
+            Linform.zero (Rctree.Tree.children tree id)
+      in
+      subtree.(id) <- own;
+      if id <> Rctree.Tree.root tree then begin
+        let length = Rctree.Tree.wire_to tree id in
+        let _, c_form = wire_param_forms inst b id in
+        let wired = Linform.add own (Linform.scale length c_form) in
+        presented.(id) <-
+          (match Buffered.forms_at inst id with
+          | Some (cb, _, _) -> cb
+          | None -> wired)
+      end)
+    (Rctree.Tree.postorder tree);
+  subtree
+
+let sink_arrivals inst =
+  let b = Buffered.instance_source inst in
+  let tree = Buffered.tree b in
+  let tech = Buffered.tech b in
+  let subtree = loads_canonical inst in
+  let n = Rctree.Tree.node_count tree in
+  let arrival = Array.make n Linform.zero in
+  let root = Rctree.Tree.root tree in
+  (* The root has no edge of its own: the driver drives the sum of its
+     children's presented loads, which is exactly [subtree.(root)]. *)
+  arrival.(root) <- Linform.scale tech.Device.Tech.driver_r subtree.(root);
+  let acc = ref [] in
+  let rec walk id =
+    (match Rctree.Tree.sink tree id with
+    | Some _ -> acc := (id, arrival.(id)) :: !acc
+    | None -> ());
+    List.iter
+      (fun (child, length) ->
+        let r_form, c_form = wire_param_forms inst b child in
+        let r_l = Linform.scale length r_form in
+        let wire_load =
+          Linform.add subtree.(child) (Linform.scale length c_form)
+        in
+        let after_buffer =
+          match Buffered.forms_at inst child with
+          | Some (_, tb, res) ->
+            (* Buffer at the upstream end drives wire + subtree. *)
+            Linform.add arrival.(id) (Linform.axpy res wire_load tb)
+          | None -> arrival.(id)
+        in
+        let wire_delay =
+          Linform.add
+            (Linform.mul_first_order r_l subtree.(child))
+            (Linform.scale (0.5 *. length) (Linform.mul_first_order r_l c_form))
+        in
+        arrival.(child) <- Linform.add after_buffer wire_delay;
+        walk child)
+      (Rctree.Tree.children tree id)
+  in
+  walk root;
+  List.rev !acc
+
+let fold_extremes arrivals =
+  match arrivals with
+  | [] -> invalid_arg "Skew: tree has no sinks"
+  | (_, first) :: rest ->
+    List.fold_left
+      (fun (mx, mn) (_, a) -> (Linform.stat_max mx a, Linform.stat_min mn a))
+      (first, first) rest
+
+let canonical_skew inst =
+  let mx, mn = fold_extremes (sink_arrivals inst) in
+  Linform.sub mx mn
+
+let sample_arrivals inst ~lookup =
+  let b = Buffered.instance_source inst in
+  let tree = Buffered.tree b in
+  let tech = Buffered.tech b in
+  let n = Rctree.Tree.node_count tree in
+  let wire_params node =
+    match Buffered.wire_forms_at inst node with
+    | Some (r_form, c_form) ->
+      (Linform.eval r_form lookup, Linform.eval c_form lookup)
+    | None ->
+      let w = Buffered.wire_above b node in
+      (w.Device.Wire_lib.res_per_um, w.Device.Wire_lib.cap_per_um)
+  in
+  let subtree = Array.make n 0.0 in
+  let presented = Array.make n 0.0 in
+  Array.iter
+    (fun id ->
+      let own =
+        match Rctree.Tree.sink tree id with
+        | Some s -> s.Rctree.Tree.sink_cap
+        | None ->
+          List.fold_left
+            (fun acc (c, _) -> acc +. presented.(c))
+            0.0 (Rctree.Tree.children tree id)
+      in
+      subtree.(id) <- own;
+      if id <> Rctree.Tree.root tree then begin
+        let length = Rctree.Tree.wire_to tree id in
+        let _, c_per_um = wire_params id in
+        presented.(id) <-
+          (match Buffered.forms_at inst id with
+          | Some (cb, _, _) -> Linform.eval cb lookup
+          | None -> own +. (c_per_um *. length))
+      end)
+    (Rctree.Tree.postorder tree);
+  let root = Rctree.Tree.root tree in
+  let acc = ref [] in
+  let rec walk id arrival =
+    (match Rctree.Tree.sink tree id with
+    | Some _ -> acc := (id, arrival) :: !acc
+    | None -> ());
+    List.iter
+      (fun (child, length) ->
+        let r_per_um, c_per_um = wire_params child in
+        let wire_load = subtree.(child) +. (c_per_um *. length) in
+        let after_buffer =
+          match Buffered.forms_at inst child with
+          | Some (_, tb, res) ->
+            arrival +. Linform.eval tb lookup +. (res *. wire_load)
+          | None -> arrival
+        in
+        let r = r_per_um *. length in
+        let delay = (r *. subtree.(child)) +. (0.5 *. r *. c_per_um *. length) in
+        walk child (after_buffer +. delay))
+      (Rctree.Tree.children tree id)
+  in
+  walk root (tech.Device.Tech.driver_r *. subtree.(root));
+  List.rev !acc
+
+let sample_skew inst ~lookup =
+  let arrivals = sample_arrivals inst ~lookup in
+  let worst = ref neg_infinity and best = ref infinity in
+  List.iter
+    (fun (_, a) ->
+      if a > !worst then worst := a;
+      if a < !best then best := a)
+    arrivals;
+  !worst -. !best
+
+let monte_carlo inst ~rng ~trials =
+  if trials <= 0 then invalid_arg "Skew.monte_carlo: trials must be > 0";
+  Array.init trials (fun _ ->
+      let drawn : (int, float) Hashtbl.t = Hashtbl.create 64 in
+      let lookup id =
+        match Hashtbl.find_opt drawn id with
+        | Some v -> v
+        | None ->
+          let v = Numeric.Rng.gaussian rng in
+          Hashtbl.add drawn id v;
+          v
+      in
+      sample_skew inst ~lookup)

@@ -1,0 +1,41 @@
+(** Clock-skew analysis of a buffered tree under process variation —
+    the paper's stated future-work direction (§6).
+
+    For a clock net the figure of merit is not the root RAT but the
+    {e skew}: the spread between the earliest and latest sink arrival
+    times.  Nominally symmetric buffering (e.g. on an H-tree) has zero
+    skew; process variation breaks the symmetry, and buffers placed
+    where spatial variation is strong inflate the skew even when every
+    nominal path is identical.
+
+    Arrivals are computed by the usual two-pass Elmore evaluation —
+    bottom-up downstream loads (with buffers cutting the load), then
+    top-down delay accumulation — either on canonical forms (with
+    {!Linform.stat_max}/{!Linform.stat_min} folds for the extremes) or
+    exactly per Monte-Carlo sample. *)
+
+val sink_arrivals : Buffered.instance -> (int * Linform.t) list
+(** Canonical arrival-time form at every sink, in node-id order.  The
+    clock edge leaves the driver at time 0; the driver's own
+    [R_drv · load] delay is included. *)
+
+val canonical_skew : Buffered.instance -> Linform.t
+(** [stat_max(arrivals) − stat_min(arrivals)] as a canonical form.
+    Each extreme is a Clark-style fold, so this is a first-order
+    approximation (it degrades for many near-tied paths — compare with
+    {!monte_carlo}); its mean is a useful ranking metric and its
+    correlation structure is exact. *)
+
+val sample_arrivals :
+  Buffered.instance -> lookup:(int -> float) -> (int * float) list
+(** Exact per-sink arrival times for one realisation of the variation
+    sources, in the same order as {!sink_arrivals}. *)
+
+val sample_skew : Buffered.instance -> lookup:(int -> float) -> float
+(** Exact skew (max − min sink arrival) for one realisation of the
+    variation sources. *)
+
+val monte_carlo :
+  Buffered.instance -> rng:Numeric.Rng.t -> trials:int -> float array
+(** Empirical skew distribution over joint samples.
+    @raise Invalid_argument if [trials <= 0]. *)

@@ -1,0 +1,20 @@
+let rat_at_yield form ~yield =
+  if yield <= 0.0 || yield >= 1.0 then
+    invalid_arg "Yield.rat_at_yield: yield must lie in (0, 1)";
+  if Linform.is_deterministic form then Linform.mean form
+  else Linform.percentile form (1.0 -. yield)
+
+let timing_yield form ~target =
+  Numeric.Normal.prob_gt_zero ~mu:(Linform.mean form -. target)
+    ~sigma:(Linform.std form)
+
+let mc_rat_at_yield samples ~yield =
+  if yield <= 0.0 || yield >= 1.0 then
+    invalid_arg "Yield.mc_rat_at_yield: yield must lie in (0, 1)";
+  Numeric.Stats.percentile samples (1.0 -. yield)
+
+let mc_timing_yield samples ~target =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Yield.mc_timing_yield: empty sample";
+  let hits = Array.fold_left (fun acc s -> if s >= target then acc + 1 else acc) 0 samples in
+  float_of_int hits /. float_of_int n

@@ -1,0 +1,26 @@
+(** Timing-yield figures of merit (§5.3).
+
+    Two metrics compare the NOM/D2D/WID algorithms in Tables 3-5:
+
+    - the {e RAT at a yield level}: the paper's "95% timing yield for
+      RAT" is the 5th percentile of the root-RAT distribution — the
+      value the manufactured net beats with 95% probability;
+    - the {e timing yield at a target}: P(RAT ≥ target), evaluated at a
+      common target (the paper uses the WID mean RAT degraded by
+      10%). *)
+
+val rat_at_yield : Linform.t -> yield:float -> float
+(** [rat_at_yield form ~yield] is the (1 − yield)-quantile of the
+    normal root-RAT form; [~yield:0.95] gives the paper's 95%-yield
+    RAT.  @raise Invalid_argument unless [0 < yield < 1]. *)
+
+val timing_yield : Linform.t -> target:float -> float
+(** Analytical P(RAT ≥ target) under the normal form. *)
+
+val mc_rat_at_yield : float array -> yield:float -> float
+(** Empirical counterpart of {!rat_at_yield} over Monte-Carlo
+    samples. *)
+
+val mc_timing_yield : float array -> target:float -> float
+(** Empirical fraction of samples meeting the target.
+    @raise Invalid_argument on an empty sample. *)

@@ -1,0 +1,1 @@
+lib/varmodel/grid.mli:

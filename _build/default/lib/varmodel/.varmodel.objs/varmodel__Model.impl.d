@@ -1,0 +1,1 @@
+lib/varmodel/model.ml: Grid Linform List

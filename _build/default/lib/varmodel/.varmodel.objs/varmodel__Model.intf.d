@@ -1,0 +1,1 @@
+lib/varmodel/model.mli: Grid Linform

@@ -1,0 +1,67 @@
+type t = {
+  width_um : float;
+  height_um : float;
+  pitch_um : float;
+  range_um : float;
+  cols : int;
+  rows : int;
+}
+
+let create ~width_um ~height_um ~pitch_um ~range_um =
+  if width_um <= 0.0 || height_um <= 0.0 then
+    invalid_arg "Grid.create: die dimensions must be positive";
+  if pitch_um <= 0.0 then invalid_arg "Grid.create: pitch must be positive";
+  if range_um <= 0.0 then invalid_arg "Grid.create: range must be positive";
+  let cols = max 1 (int_of_float (ceil (width_um /. pitch_um))) in
+  let rows = max 1 (int_of_float (ceil (height_um /. pitch_um))) in
+  { width_um; height_um; pitch_um; range_um; cols; rows }
+
+let width_um g = g.width_um
+let height_um g = g.height_um
+let pitch_um g = g.pitch_um
+let range_um g = g.range_um
+let regions g = g.cols * g.rows
+let cols g = g.cols
+let rows g = g.rows
+
+let clamp v lo hi = if v < lo then lo else if v > hi then hi else v
+
+let col_of g x =
+  clamp (int_of_float (floor (x /. g.pitch_um))) 0 (g.cols - 1)
+
+let row_of g y =
+  clamp (int_of_float (floor (y /. g.pitch_um))) 0 (g.rows - 1)
+
+let region_of g ~x ~y = (row_of g y * g.cols) + col_of g x
+
+let region_center g idx =
+  if idx < 0 || idx >= regions g then
+    invalid_arg "Grid.region_center: index out of range";
+  let row = idx / g.cols and col = idx mod g.cols in
+  ( (float_of_int col +. 0.5) *. g.pitch_um,
+    (float_of_int row +. 0.5) *. g.pitch_um )
+
+let weights_at g ~x ~y =
+  (* Gaussian taper exp(-(d/lambda)^2) with lambda = range/2, so the
+     weight at [range_um] is e^-4, effectively zero — "tapers off at a
+     distance about 2 mm" for the default 2 mm range. *)
+  let lambda = g.range_um /. 2.0 in
+  let span = int_of_float (ceil (g.range_um /. g.pitch_um)) in
+  let c0 = col_of g x and r0 = row_of g y in
+  let raw = ref [] in
+  for row = max 0 (r0 - span) to min (g.rows - 1) (r0 + span) do
+    for col = max 0 (c0 - span) to min (g.cols - 1) (c0 + span) do
+      let idx = (row * g.cols) + col in
+      let cx, cy = region_center g idx in
+      let d = Float.hypot (cx -. x) (cy -. y) in
+      if d <= g.range_um then begin
+        let w = exp (-.(d /. lambda) *. (d /. lambda)) in
+        raw := (idx, w) :: !raw
+      end
+    done
+  done;
+  let norm =
+    sqrt (List.fold_left (fun acc (_, w) -> acc +. (w *. w)) 0.0 !raw)
+  in
+  (* The containing region is always within range, so norm > 0. *)
+  List.rev_map (fun (idx, w) -> (idx, w /. norm)) !raw

@@ -1,0 +1,107 @@
+(** The first-order process-variation model of §3: per-device random
+    variation (Eq. 19-20), intra-die spatially correlated variation
+    (Eq. 21-22) and inter-die variation (Eq. 23-24), with the 5%-of-
+    nominal budgets of §5.1.
+
+    Every variation source is standard normal; all magnitudes live in
+    the sensitivity coefficients.  Source ids are laid out as:
+    id 0 = the inter-die source G; ids 1..R = the R spatial-region
+    sources Y_i; ids > R = per-device random sources X_i, allocated one
+    per device instance so that the C_b and T_b of the same buffer are
+    correlated while distinct buffers are independent (before spatial
+    and global terms). *)
+
+type mode =
+  | Nom  (** deterministic: all sensitivities dropped (the NOM algorithm) *)
+  | D2d  (** random device + inter-die only (the D2D algorithm) *)
+  | Wid  (** all three categories (the WID algorithm) *)
+
+type spatial_kind =
+  | Homogeneous
+      (** same spatial sigma everywhere (§5.1 homogeneous model) *)
+  | Heterogeneous of { lo : float; hi : float }
+      (** sigma scale ramps linearly from [lo] at the South-West corner
+          to [hi] at the North-East corner (§5.1 heterogeneous model);
+          [lo +. hi = 2.] keeps the die-average at the nominal budget *)
+
+type budget = {
+  random_frac : float;     (** sigma of device random variation / nominal *)
+  inter_die_frac : float;  (** sigma of inter-die variation / nominal *)
+  spatial_frac : float;    (** sigma of spatial variation / nominal *)
+}
+
+val paper_budget : budget
+(** The 5% / 5% / 5% budget of §5.1. *)
+
+val default_heterogeneous : spatial_kind
+(** [Heterogeneous {lo = 0.2; hi = 1.8}]: linearly increasing SW→NE
+    with the die-average equal to the homogeneous budget. *)
+
+type t
+
+val create :
+  ?mode:mode ->
+  ?budget:budget ->
+  ?wire_frac:float ->
+  spatial:spatial_kind ->
+  grid:Grid.t ->
+  unit ->
+  t
+(** A fresh model.  [mode] defaults to [Wid]; [budget] to
+    {!paper_budget}.  [wire_frac] (default 0: wires nominal, as in the
+    main paper) budgets CMP-induced interconnect variation as a
+    fraction of the nominal unit parasitics — the systematic wire
+    variation studied in the authors' companion paper (reference [8]).
+    Device-id allocation starts fresh; use one model instance per
+    optimisation or evaluation run. *)
+
+val mode : t -> mode
+val grid : t -> Grid.t
+val budget : t -> budget
+
+val inter_die_id : t -> int
+val spatial_source_id : t -> int -> int
+(** [spatial_source_id m r] is the source id of region [r].
+    @raise Invalid_argument on an out-of-range region. *)
+
+val fresh_device_id : t -> int
+(** Allocate the random source of a new device instance. *)
+
+val device_count : t -> int
+(** Number of device ids allocated so far. *)
+
+val spatial_scale : t -> x:float -> y:float -> float
+(** The heterogeneity ramp factor at a location (1 for homogeneous). *)
+
+val device_sens : t -> device_id:int -> x:float -> y:float -> nominal:float -> (int * float) list
+(** Sensitivity terms of one device characteristic with the given
+    nominal value, filtered by the model's [mode]: the per-device
+    random term, the tapered spatial-region terms, and the inter-die
+    term, each budgeted as fraction × nominal. *)
+
+val device_form : t -> device_id:int -> x:float -> y:float -> nominal:float -> Linform.t
+(** [device_sens] packaged as a canonical form with the nominal as
+    mean. *)
+
+val wire_frac : t -> float
+
+val wire_forms :
+  t ->
+  edge_id:int ->
+  x:float ->
+  y:float ->
+  r0:float ->
+  c0:float ->
+  Linform.t * Linform.t
+(** [(r form, c form)] of a wire segment at a location: CMP thickness
+    variation makes resistance and capacitance {e anti}-correlated
+    through the same sources (a thicker wire has lower r, higher c).
+    [edge_id] is the segment's own random source (allocate with
+    {!fresh_device_id}, one per physical edge).  With [wire_frac = 0]
+    (or mode [Nom]) both forms are deterministic.  The mode filters
+    categories exactly as {!device_sens} does. *)
+
+type source_kind = Inter_die | Spatial_region of int | Device_random
+
+val source_kind : t -> int -> source_kind
+(** Classify a source id.  @raise Invalid_argument on a negative id. *)

@@ -1,0 +1,1 @@
+test/test_bufins.ml: Alcotest Array Bufins Device Float Linform List Option Printf QCheck QCheck_alcotest Rctree Sta Varmodel

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Bufins Device Experiments Float Linform List Printf Varmodel

@@ -1,0 +1,1 @@
+test/test_linform.ml: Alcotest Array Float Linform List Numeric Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rctree.ml: Alcotest Array Filename Float Fun Hashtbl List QCheck QCheck_alcotest Rctree Sys

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Bufins Device Float Linform List Numeric Printf Rctree Sta Varmodel

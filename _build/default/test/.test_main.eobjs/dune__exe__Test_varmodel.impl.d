@@ -1,0 +1,1 @@
+test/test_varmodel.ml: Alcotest Float Linform List Printf Varmodel

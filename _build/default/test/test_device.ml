@@ -1,0 +1,186 @@
+(* Tests for technology constants, the buffer library and the
+   SPICE-lite characterisation pipeline. *)
+
+let check_close ?(eps = 1e-9) what expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.9g - %.9g| <= %g" what expected got eps)
+    true
+    (Float.abs (expected -. got) <= eps)
+
+(* ---------- tech ---------- *)
+
+let test_wire_formulas () =
+  let t = Device.Tech.default_65nm in
+  (* Eq. 25-26 by hand for l = 1000 um, load = 50 fF. *)
+  let r = t.Device.Tech.wire_r *. 1000.0 in
+  let c = t.Device.Tech.wire_c *. 1000.0 in
+  check_close "wire cap" c (Device.Tech.wire_cap t ~length:1000.0);
+  check_close "wire delay"
+    ((r *. 50.0) +. (0.5 *. r *. c))
+    (Device.Tech.wire_delay t ~length:1000.0 ~load:50.0);
+  check_close "zero length delay" 0.0 (Device.Tech.wire_delay t ~length:0.0 ~load:50.0)
+
+let test_wire_delay_quadratic_in_length () =
+  let t = Device.Tech.default_65nm in
+  let d1 = Device.Tech.wire_delay t ~length:1000.0 ~load:0.0 in
+  let d2 = Device.Tech.wire_delay t ~length:2000.0 ~load:0.0 in
+  check_close "unloaded wire delay quadruples" (4.0 *. d1) d2 ~eps:1e-9
+
+(* ---------- wire library ---------- *)
+
+let test_wire_lib_of_tech () =
+  let t = Device.Tech.default_65nm in
+  let w = Device.Wire_lib.of_tech t in
+  check_close "r" t.Device.Tech.wire_r w.Device.Wire_lib.res_per_um;
+  check_close "c" t.Device.Tech.wire_c w.Device.Wire_lib.cap_per_um;
+  check_close "same delay as tech"
+    (Device.Tech.wire_delay t ~length:800.0 ~load:30.0)
+    (Device.Wire_lib.wire_delay w ~length:800.0 ~load:30.0)
+
+let test_wire_lib_scaling () =
+  let t = Device.Tech.default_65nm in
+  let w2 = Device.Wire_lib.scaled t ~width_factor:2.0 in
+  check_close "half resistance" (t.Device.Tech.wire_r /. 2.0)
+    w2.Device.Wire_lib.res_per_um;
+  Alcotest.(check bool) "cap grows sublinearly" true
+    (w2.Device.Wire_lib.cap_per_um > t.Device.Tech.wire_c
+    && w2.Device.Wire_lib.cap_per_um < 2.0 *. t.Device.Tech.wire_c);
+  Alcotest.check_raises "width >= 1"
+    (Invalid_argument "Wire_lib.scaled: width factor must be >= 1") (fun () ->
+      ignore (Device.Wire_lib.scaled t ~width_factor:0.5))
+
+let test_wire_lib_default_library () =
+  let lib = Device.Wire_lib.default_library Device.Tech.default_65nm in
+  Alcotest.(check int) "three widths" 3 (Array.length lib);
+  for i = 0 to Array.length lib - 2 do
+    Alcotest.(check bool) "resistance decreases with width" true
+      (lib.(i + 1).Device.Wire_lib.res_per_um < lib.(i).Device.Wire_lib.res_per_um);
+    Alcotest.(check bool) "capacitance increases with width" true
+      (lib.(i + 1).Device.Wire_lib.cap_per_um > lib.(i).Device.Wire_lib.cap_per_um)
+  done
+
+(* ---------- buffer library ---------- *)
+
+let test_library_lookup () =
+  let lib = Device.Buffer.default_library in
+  Alcotest.(check int) "three sizes" 3 (Array.length lib);
+  let x4 = Device.Buffer.find lib "x4" in
+  Alcotest.(check string) "found" "x4" x4.Device.Buffer.name;
+  Alcotest.check_raises "unknown buffer" Not_found (fun () ->
+      ignore (Device.Buffer.find lib "x999"))
+
+let test_buffer_delay () =
+  let b = Device.Buffer.find Device.Buffer.default_library "x1" in
+  check_close "delay at load"
+    (b.Device.Buffer.delay_ps +. (b.Device.Buffer.res_kohm *. 100.0))
+    (Device.Buffer.buffer_delay b ~load:100.0)
+
+let test_library_is_a_real_tradeoff () =
+  (* Bigger buffers: more input cap, lower output resistance — without
+     this the library collapses to one useful type. *)
+  let lib = Device.Buffer.default_library in
+  for i = 0 to Array.length lib - 2 do
+    Alcotest.(check bool) "cap increases" true
+      (lib.(i + 1).Device.Buffer.cap_ff > lib.(i).Device.Buffer.cap_ff);
+    Alcotest.(check bool) "resistance decreases" true
+      (lib.(i + 1).Device.Buffer.res_kohm < lib.(i).Device.Buffer.res_kohm)
+  done
+
+(* ---------- spice-lite ---------- *)
+
+let params = Device.Spice_lite.default_65nm
+let x4 = Device.Buffer.find Device.Buffer.default_library "x4"
+
+let test_extract_nominal_is_fixed_point () =
+  let e = Device.Spice_lite.extract params x4 ~leff_nm:params.Device.Spice_lite.lnom_nm in
+  check_close "cap at Lnom" x4.Device.Buffer.cap_ff e.Device.Spice_lite.cap_ff ~eps:1e-9;
+  check_close "delay at Lnom" x4.Device.Buffer.delay_ps e.Device.Spice_lite.delay_ps
+    ~eps:1e-9;
+  check_close "res at Lnom" x4.Device.Buffer.res_kohm e.Device.Spice_lite.res_kohm
+    ~eps:1e-9
+
+let test_extract_monotone_in_leff () =
+  (* Longer channel: more gate cap, more resistance, more delay. *)
+  let e_short = Device.Spice_lite.extract params x4 ~leff_nm:60.0 in
+  let e_long = Device.Spice_lite.extract params x4 ~leff_nm:70.0 in
+  Alcotest.(check bool) "cap grows" true
+    (e_long.Device.Spice_lite.cap_ff > e_short.Device.Spice_lite.cap_ff);
+  Alcotest.(check bool) "delay grows" true
+    (e_long.Device.Spice_lite.delay_ps > e_short.Device.Spice_lite.delay_ps);
+  Alcotest.(check bool) "res grows" true
+    (e_long.Device.Spice_lite.res_kohm > e_short.Device.Spice_lite.res_kohm)
+
+let test_extract_nonlinear () =
+  (* The model must be genuinely nonlinear in Leff or Fig 3's point is
+     moot: check that the symmetric secant misses the midpoint value. *)
+  let e m = (Device.Spice_lite.extract params x4 ~leff_nm:m).Device.Spice_lite.delay_ps in
+  let secant_mid = 0.5 *. (e 55.0 +. e 75.0) in
+  Alcotest.(check bool) "curvature present" true
+    (Float.abs (secant_mid -. e 65.0) > 0.1)
+
+let test_extract_validity () =
+  Alcotest.check_raises "non-positive Leff"
+    (Invalid_argument "Spice_lite.extract: Leff must be positive") (fun () ->
+      ignore (Device.Spice_lite.extract params x4 ~leff_nm:0.0));
+  (* Extremely short channel drives Vth below zero. *)
+  Alcotest.check_raises "Leff far below validity"
+    (Invalid_argument "Spice_lite.extract: Leff outside the model's validity range")
+    (fun () -> ignore (Device.Spice_lite.extract params x4 ~leff_nm:10.0))
+
+let test_characterize_fit () =
+  let rng = Numeric.Rng.create ~seed:42 in
+  let ch = Device.Spice_lite.characterize ~samples:4000 ~rng params x4 in
+  (* The fitted nominal should be near the true nominal (the nonlinear
+     bias is small at 10% sigma) and the fit residual well below the
+     spread it explains. *)
+  check_close "fitted Tb0 near nominal" x4.Device.Buffer.delay_ps
+    ch.Device.Spice_lite.delay_nominal ~eps:5.0;
+  check_close "fitted Cb0 near nominal" x4.Device.Buffer.cap_ff
+    ch.Device.Spice_lite.cap_nominal ~eps:0.5;
+  Alcotest.(check bool) "delay sensitivity positive" true
+    (ch.Device.Spice_lite.delay_sens > 0.0);
+  let spread = Numeric.Stats.std ch.Device.Spice_lite.delay_samples in
+  Alcotest.(check bool) "fit explains most of the spread" true
+    (ch.Device.Spice_lite.delay_fit_rms < 0.2 *. spread)
+
+let test_characterize_cap_fit_is_exact () =
+  (* C(L) is linear in L by construction, so the linear fit must be
+     essentially exact. *)
+  let rng = Numeric.Rng.create ~seed:43 in
+  let ch = Device.Spice_lite.characterize ~samples:2000 ~rng params x4 in
+  let sigma_l = 0.10 *. params.Device.Spice_lite.lnom_nm in
+  let expected_sens =
+    x4.Device.Buffer.cap_ff *. params.Device.Spice_lite.gate_frac
+    /. params.Device.Spice_lite.lnom_nm *. sigma_l
+  in
+  check_close "cap sensitivity analytic" expected_sens ch.Device.Spice_lite.cap_sens
+    ~eps:0.02
+
+let test_characterize_validation () =
+  let rng = Numeric.Rng.create ~seed:1 in
+  Alcotest.check_raises "too few samples"
+    (Invalid_argument "Spice_lite.characterize: too few samples") (fun () ->
+      ignore (Device.Spice_lite.characterize ~samples:5 ~rng params x4))
+
+let suite =
+  [
+    Alcotest.test_case "wire formulas (Eq. 25-26)" `Quick test_wire_formulas;
+    Alcotest.test_case "wire delay quadratic" `Quick
+      test_wire_delay_quadratic_in_length;
+    Alcotest.test_case "wire lib from tech" `Quick test_wire_lib_of_tech;
+    Alcotest.test_case "wire lib scaling" `Quick test_wire_lib_scaling;
+    Alcotest.test_case "wire lib default library" `Quick
+      test_wire_lib_default_library;
+    Alcotest.test_case "library lookup" `Quick test_library_lookup;
+    Alcotest.test_case "buffer delay (Eq. 28)" `Quick test_buffer_delay;
+    Alcotest.test_case "library tradeoff" `Quick test_library_is_a_real_tradeoff;
+    Alcotest.test_case "extract: nominal fixed point" `Quick
+      test_extract_nominal_is_fixed_point;
+    Alcotest.test_case "extract: monotone in Leff" `Quick test_extract_monotone_in_leff;
+    Alcotest.test_case "extract: nonlinear" `Quick test_extract_nonlinear;
+    Alcotest.test_case "extract: validity range" `Quick test_extract_validity;
+    Alcotest.test_case "characterize: fit quality" `Quick test_characterize_fit;
+    Alcotest.test_case "characterize: exact cap fit" `Quick
+      test_characterize_cap_fit_is_exact;
+    Alcotest.test_case "characterize: validation" `Quick test_characterize_validation;
+  ]

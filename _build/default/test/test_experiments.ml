@@ -1,0 +1,257 @@
+(* Tests for the experiment harnesses: each table/figure must produce
+   structurally correct, paper-shaped results on (small) inputs. *)
+
+let setup = Experiments.Common.default_setup
+
+let test_table1_matches_paper () =
+  let rows = Experiments.Table1.compute () in
+  let expect =
+    [ ("p1", 269, 537); ("p2", 603, 1205); ("r1", 267, 533); ("r2", 598, 1195);
+      ("r3", 862, 1723); ("r4", 1903, 3805); ("r5", 3101, 6201) ]
+  in
+  List.iter2
+    (fun row (name, sinks, positions) ->
+      Alcotest.(check string) "name" name row.Experiments.Table1.name;
+      Alcotest.(check int) "sinks" sinks row.Experiments.Table1.sinks;
+      Alcotest.(check int) "positions" positions row.Experiments.Table1.buffer_positions)
+    rows expect
+
+let test_fig1_merge () =
+  let merged = Experiments.Fig1.compute () in
+  Alcotest.(check int) "n+m-1 solutions" 5 (List.length merged);
+  let rec increasing = function
+    | a :: (b :: _ as rest) ->
+      a.Experiments.Fig1.load < b.Experiments.Fig1.load
+      && a.Experiments.Fig1.rat < b.Experiments.Fig1.rat
+      && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly sorted" true (increasing merged)
+
+let test_fig2_curves () =
+  let series = Experiments.Fig2.compute ~max_diff:10.0 ~steps:11 () in
+  Alcotest.(check int) "six curves" 6 (List.length series);
+  List.iter
+    (fun s ->
+      (* Every curve starts at 1/2 and increases with the mean gap. *)
+      (match s.Experiments.Fig2.points with
+      | (_, p0) :: _ -> Alcotest.(check (float 1e-9)) "starts at 0.5" 0.5 p0
+      | [] -> Alcotest.fail "empty curve");
+      let rec nondecreasing = function
+        | (_, p1) :: ((_, p2) :: _ as rest) -> p1 <= p2 +. 1e-12 && nondecreasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "monotone" true (nondecreasing s.Experiments.Fig2.points))
+    series;
+  (* Higher correlation -> sharper ordering at the same gap (sigma ratio 1). *)
+  let value_at rho =
+    let s =
+      List.find
+        (fun s -> s.Experiments.Fig2.rho = rho && s.Experiments.Fig2.sigma_ratio = 1.0)
+        series
+    in
+    snd (List.nth s.Experiments.Fig2.points 2)
+  in
+  Alcotest.(check bool) "rho sharpens ordering" true (value_at 0.9 > value_at 0.0)
+
+let test_fig3_normal_fit () =
+  let r = Experiments.Fig3.compute ~seed:2 () in
+  let ch = r.Experiments.Fig3.characterization in
+  Alcotest.(check bool) "positive delay sensitivity" true
+    (ch.Device.Spice_lite.delay_sens > 0.0);
+  (* The fitted normal must track the empirical density closely
+     relative to its peak (~1/(sigma sqrt(2 pi))). *)
+  let peak =
+    1.0 /. (Float.abs ch.Device.Spice_lite.delay_sens *. sqrt (8.0 *. atan 1.0))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap %.4f below 20%% of peak %.4f"
+       r.Experiments.Fig3.max_abs_density_gap peak)
+    true
+    (r.Experiments.Fig3.max_abs_density_gap < 0.2 *. peak)
+
+let test_ratopt_small () =
+  (* One small benchmark through the full Tables 3/5 pipeline. *)
+  let rows =
+    Experiments.Ratopt.compute setup ~spatial:Varmodel.Model.default_heterogeneous
+      ~benches:[ "p1" ] ()
+  in
+  match rows with
+  | [ row ] ->
+    Alcotest.(check string) "bench" "p1" row.Experiments.Ratopt.bench;
+    let nom = row.Experiments.Ratopt.nom in
+    let wid = row.Experiments.Ratopt.wid in
+    (* RATs are negative and in the paper's magnitude range. *)
+    Alcotest.(check bool) "negative RATs" true
+      (nom.Experiments.Ratopt.rat_y95 < 0.0 && wid.Experiments.Ratopt.rat_y95 < 0.0);
+    (* WID optimises the y95 objective, so it is at least as good. *)
+    Alcotest.(check bool) "WID y95 >= NOM y95 (small tolerance)" true
+      (wid.Experiments.Ratopt.rat_y95 >= nom.Experiments.Ratopt.rat_y95 -. 1.0);
+    (* Yields are probabilities. *)
+    List.iter
+      (fun (a : Experiments.Ratopt.algo_result) ->
+        Alcotest.(check bool) "yield in [0,1]" true
+          (a.Experiments.Ratopt.yield >= 0.0 && a.Experiments.Ratopt.yield <= 1.0))
+      [ row.Experiments.Ratopt.nom; row.Experiments.Ratopt.d2d; row.Experiments.Ratopt.wid ];
+    (* The target is the WID mean degraded by 10% (more negative). *)
+    Alcotest.(check bool) "target below WID mean" true
+      (row.Experiments.Ratopt.target
+      < Linform.mean wid.Experiments.Ratopt.rat_form)
+  | _ -> Alcotest.fail "expected exactly one row"
+
+let test_table2_small () =
+  let rows =
+    Experiments.Table2.compute setup
+      ~four_p_budget:
+        { Bufins.Engine.max_candidates = Some 50_000; max_seconds = Some 10.0 }
+      ~benches:[ "p1" ] ()
+  in
+  match rows with
+  | [ row ] ->
+    Alcotest.(check bool) "2P fast" true (row.Experiments.Table2.two_p < 5.0);
+    (match row.Experiments.Table2.four_p with
+    | Experiments.Table2.Finished t ->
+      Alcotest.(check bool) "4P slower than 2P" true (t >= row.Experiments.Table2.two_p)
+    | Experiments.Table2.Dnf _ -> ())
+  | _ -> Alcotest.fail "expected exactly one row"
+
+let test_fig5_small () =
+  let r = Experiments.Fig5.compute setup ~benches:[ "p1"; "r1"; "r2" ] () in
+  Alcotest.(check int) "points" 3 (List.length r.Experiments.Fig5.points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "positive time" true (p.Experiments.Fig5.seconds > 0.0))
+    r.Experiments.Fig5.points
+
+let test_fig6_small () =
+  let small = { setup with Experiments.Common.mc_trials = 300 } in
+  let r = Experiments.Fig6.compute small ~bench:"p1" () in
+  Alcotest.(check bool) "model mean close to MC mean" true
+    (Float.abs (r.Experiments.Fig6.model_mu -. r.Experiments.Fig6.mc_mu)
+    < 0.05 *. Float.abs r.Experiments.Fig6.mc_mu);
+  Alcotest.(check bool) "sigmas same order" true
+    (r.Experiments.Fig6.model_sigma < 4.0 *. r.Experiments.Fig6.mc_sigma
+    && r.Experiments.Fig6.mc_sigma < 4.0 *. r.Experiments.Fig6.model_sigma)
+
+let test_capacity_small () =
+  let rows = Experiments.Capacity.compute setup ~max_levels:5 () in
+  Alcotest.(check int) "levels 4..5" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "sinks = 4^levels"
+        (int_of_float (4.0 ** float_of_int r.Experiments.Capacity.levels))
+        r.Experiments.Capacity.sinks;
+      Alcotest.(check bool) "buffers inserted" true (r.Experiments.Capacity.buffers > 0))
+    rows
+
+let test_psweep_small () =
+  let r = Experiments.Psweep.compute setup ~sinks:32 ~ps:[ 0.5; 0.7; 0.9 ] () in
+  Alcotest.(check int) "three rows" 3 (List.length r.Experiments.Psweep.rows);
+  (* The paper reports < 0.1%; allow a loose 1% bound for robustness. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "deviation %.3f%% small" r.Experiments.Psweep.max_deviation_pct)
+    true
+    (r.Experiments.Psweep.max_deviation_pct < 1.0);
+  (* The frontier grows as the ordering property weakens (p-bar -> 1). *)
+  let peaks = List.map (fun row -> row.Experiments.Psweep.peak_candidates) r.Experiments.Psweep.rows in
+  Alcotest.(check bool) "frontier grows with p" true
+    (List.nth peaks 2 >= List.nth peaks 0)
+
+let test_wiresizing_small () =
+  let rows = Experiments.Wiresizing.compute setup ~benches:[ "p1" ] () in
+  Alcotest.(check int) "three configs" 3 (List.length rows);
+  let find c = List.find (fun r -> r.Experiments.Wiresizing.config = c) rows in
+  let base = find Experiments.Wiresizing.Buffer_only in
+  let sized = find Experiments.Wiresizing.Sized in
+  Alcotest.(check bool) "sizing never hurts" true
+    (sized.Experiments.Wiresizing.y95 >= base.Experiments.Wiresizing.y95 -. 1.0);
+  Alcotest.(check bool) "wires widened" true
+    (sized.Experiments.Wiresizing.sized_wires > 0);
+  let cmp = find Experiments.Wiresizing.Sized_cmp in
+  Alcotest.(check bool) "CMP variation raises sigma" true
+    (cmp.Experiments.Wiresizing.sigma > sized.Experiments.Wiresizing.sigma)
+
+let test_skewstudy_small () =
+  let rows = Experiments.Skewstudy.compute { setup with Experiments.Common.mc_trials = 400 } ~levels:3 () in
+  Alcotest.(check int) "two spatial models" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "nominal skew ~ 0" true
+        (Float.abs r.Experiments.Skewstudy.nominal_skew < 1e-6);
+      Alcotest.(check bool) "MC skew positive" true
+        (r.Experiments.Skewstudy.mc_mean > 0.0);
+      Alcotest.(check bool) "p95 above mean" true
+        (r.Experiments.Skewstudy.mc_p95 >= r.Experiments.Skewstudy.mc_mean))
+    rows
+
+let test_gridstudy_small () =
+  let rows = Experiments.Gridstudy.compute setup ~bench:"p1" () in
+  Alcotest.(check int) "five variants" 5 (List.length rows);
+  let sigma_at range =
+    (List.find
+       (fun r ->
+         r.Experiments.Gridstudy.range_um = range
+         && r.Experiments.Gridstudy.pitch_um = 500.0)
+       rows)
+      .Experiments.Gridstudy.sigma
+  in
+  Alcotest.(check bool) "longer range, larger sigma" true
+    (sigma_at 4000.0 > sigma_at 1000.0)
+
+let test_baselines_small () =
+  let rows =
+    Experiments.Baselines.compute setup ~sizes:[ 16 ]
+      ~budget:{ Bufins.Engine.max_candidates = Some 50_000; max_seconds = Some 20.0 }
+      ()
+  in
+  match rows with
+  | [ row ] ->
+    Alcotest.(check int) "five algorithms" 5
+      (List.length row.Experiments.Baselines.by_algo);
+    (* On 16 sinks everything should finish and agree on the mean RAT
+       within the PMF discretisation error. *)
+    let means =
+      List.filter_map
+        (fun (_, o) ->
+          match o with
+          | Experiments.Baselines.Done { rat_mean; _ } -> Some rat_mean
+          | Experiments.Baselines.Dnf _ -> None)
+        row.Experiments.Baselines.by_algo
+    in
+    Alcotest.(check int) "all finished" 5 (List.length means);
+    let lo = List.fold_left Float.min infinity means in
+    let hi = List.fold_left Float.max neg_infinity means in
+    Alcotest.(check bool) "means agree within 2%" true
+      (hi -. lo < 0.02 *. Float.abs lo)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_registry_complete () =
+  let ids = Experiments.Registry.ids in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " registered") true
+        (Experiments.Registry.find id <> None))
+    [ "table1"; "table2"; "table3"; "table4"; "table5"; "fig1"; "fig2"; "fig3";
+      "fig5"; "fig6"; "capacity"; "psweep"; "ablation"; "wiresizing"; "skew";
+      "grid"; "baselines" ];
+  Alcotest.(check int) "17 experiments" 17 (List.length ids);
+  Alcotest.(check bool) "unknown id" true (Experiments.Registry.find "nope" = None)
+
+let suite =
+  [
+    Alcotest.test_case "table1 matches paper" `Quick test_table1_matches_paper;
+    Alcotest.test_case "fig1 merge" `Quick test_fig1_merge;
+    Alcotest.test_case "fig2 curves" `Quick test_fig2_curves;
+    Alcotest.test_case "fig3 normal fit" `Quick test_fig3_normal_fit;
+    Alcotest.test_case "ratopt pipeline (p1)" `Slow test_ratopt_small;
+    Alcotest.test_case "table2 pipeline (p1)" `Slow test_table2_small;
+    Alcotest.test_case "fig5 pipeline" `Slow test_fig5_small;
+    Alcotest.test_case "fig6 pipeline (p1)" `Slow test_fig6_small;
+    Alcotest.test_case "capacity pipeline" `Slow test_capacity_small;
+    Alcotest.test_case "psweep pipeline" `Slow test_psweep_small;
+    Alcotest.test_case "wiresizing pipeline (p1)" `Slow test_wiresizing_small;
+    Alcotest.test_case "skew pipeline" `Slow test_skewstudy_small;
+    Alcotest.test_case "grid pipeline (p1)" `Slow test_gridstudy_small;
+    Alcotest.test_case "baselines pipeline" `Slow test_baselines_small;
+    Alcotest.test_case "registry complete" `Quick test_registry_complete;
+  ]

@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "varbuf"
+    [
+      ("numeric", Test_numeric.suite);
+      ("linform", Test_linform.suite);
+      ("varmodel", Test_varmodel.suite);
+      ("device", Test_device.suite);
+      ("rctree", Test_rctree.suite);
+      ("bufins", Test_bufins.suite);
+      ("sta", Test_sta.suite);
+      ("experiments", Test_experiments.suite);
+    ]

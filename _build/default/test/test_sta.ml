@@ -1,0 +1,418 @@
+(* Tests for the statistical-timing evaluation of fixed buffered trees:
+   canonical propagation, Monte Carlo and the yield metrics. *)
+
+let tech = Device.Tech.default_65nm
+let library = Device.Buffer.default_library
+
+let grid die =
+  Varmodel.Grid.create ~width_um:die ~height_um:die ~pitch_um:500.0 ~range_um:2000.0
+
+let model ?(mode = Varmodel.Model.Wid) die =
+  Varmodel.Model.create ~mode ~spatial:Varmodel.Model.default_heterogeneous
+    ~grid:(grid die) ()
+
+let tree_and_buffers ?(sinks = 40) ?(seed = 8) () =
+  let die = 4000.0 in
+  let tree = Rctree.Generate.random_steiner ~seed ~sinks ~die_um:die () in
+  let cfg =
+    { (Bufins.Engine.default_config ()) with Bufins.Engine.tech; library }
+  in
+  let r = Bufins.Engine.run cfg ~model:(model die) tree in
+  (die, tree, r.Bufins.Engine.buffers)
+
+(* ---------- construction ---------- *)
+
+let test_make_validation () =
+  let die, tree, buffers = tree_and_buffers () in
+  ignore die;
+  let b = List.hd buffers in
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Buffered.make: duplicate assignment") (fun () ->
+      ignore (Sta.Buffered.make ~tech tree [ b; b ]));
+  Alcotest.check_raises "root rejected"
+    (Invalid_argument "Buffered.make: the root has no wire above it") (fun () ->
+      ignore (Sta.Buffered.make ~tech tree [ (Rctree.Tree.root tree, snd b) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Buffered.make: node id out of range") (fun () ->
+      ignore (Sta.Buffered.make ~tech tree [ (100000, snd b) ]))
+
+let test_buffer_accessors () =
+  let _, tree, buffers = tree_and_buffers () in
+  let b = Sta.Buffered.make ~tech tree buffers in
+  Alcotest.(check int) "count" (List.length buffers) (Sta.Buffered.buffer_count b);
+  List.iter
+    (fun (node, buf) ->
+      match Sta.Buffered.buffer_at b node with
+      | Some stored ->
+        Alcotest.(check string) "buffer kept" buf.Device.Buffer.name
+          stored.Device.Buffer.name
+      | None -> Alcotest.fail "assigned buffer missing")
+    buffers
+
+(* ---------- canonical vs sampled propagation ---------- *)
+
+let test_nominal_sample_equals_nom_canonical () =
+  (* With all sources at zero, the sampled Elmore RAT must equal the
+     canonical mean of a NOM-mode instantiation (no Clark penalty when
+     forms are deterministic). *)
+  let die, tree, buffers = tree_and_buffers () in
+  let buffered = Sta.Buffered.make ~tech tree buffers in
+  let inst_nom =
+    Sta.Buffered.instantiate ~model:(model ~mode:Varmodel.Model.Nom die) buffered
+  in
+  let canonical = Sta.Buffered.canonical_rat inst_nom in
+  Alcotest.(check bool) "NOM canonical deterministic" true
+    (Linform.is_deterministic canonical);
+  let sampled = Sta.Buffered.sample_rat inst_nom ~lookup:(fun _ -> 0.0) in
+  Alcotest.(check (float 1e-9)) "sample at 0 = canonical mean"
+    (Linform.mean canonical) sampled
+
+let test_canonical_mean_below_nominal () =
+  (* Clark's min penalty: the canonical WID mean is at most the
+     all-nominal Elmore RAT. *)
+  let die, tree, buffers = tree_and_buffers ~sinks:60 () in
+  let buffered = Sta.Buffered.make ~tech tree buffers in
+  let inst = Sta.Buffered.instantiate ~model:(model die) buffered in
+  let canonical = Sta.Buffered.canonical_rat inst in
+  let nominal = Sta.Buffered.sample_rat inst ~lookup:(fun _ -> 0.0) in
+  Alcotest.(check bool) "penalty sign" true (Linform.mean canonical <= nominal +. 1e-9)
+
+let test_monte_carlo_matches_canonical () =
+  (* Fig 6's claim: the canonical mean/sigma track the MC empirical
+     moments. *)
+  let die, tree, buffers = tree_and_buffers ~sinks:60 ~seed:13 () in
+  let buffered = Sta.Buffered.make ~tech tree buffers in
+  let inst = Sta.Buffered.instantiate ~model:(model die) buffered in
+  let form = Sta.Buffered.canonical_rat inst in
+  let rng = Numeric.Rng.create ~seed:99 in
+  let samples = Sta.Buffered.monte_carlo inst ~rng ~trials:4000 in
+  let s = Numeric.Stats.summarize samples in
+  let mu = Linform.mean form and sigma = Linform.std form in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean close (model %.1f vs MC %.1f)" mu s.Numeric.Stats.mean)
+    true
+    (Float.abs (mu -. s.Numeric.Stats.mean) < 0.05 *. Float.abs mu);
+  Alcotest.(check bool)
+    (Printf.sprintf "sigma close (model %.1f vs MC %.1f)" sigma s.Numeric.Stats.std)
+    true
+    (Float.abs (sigma -. s.Numeric.Stats.std) < 0.25 *. sigma)
+
+let test_monte_carlo_deterministic_seed () =
+  let die, tree, buffers = tree_and_buffers () in
+  let buffered = Sta.Buffered.make ~tech tree buffers in
+  let inst = Sta.Buffered.instantiate ~model:(model die) buffered in
+  let run () =
+    Sta.Buffered.monte_carlo inst ~rng:(Numeric.Rng.create ~seed:5) ~trials:50
+  in
+  Alcotest.(check (array (float 1e-12))) "same seed same samples" (run ()) (run ())
+
+let test_monte_carlo_validation () =
+  let die, tree, buffers = tree_and_buffers () in
+  let buffered = Sta.Buffered.make ~tech tree buffers in
+  let inst = Sta.Buffered.instantiate ~model:(model die) buffered in
+  Alcotest.check_raises "trials > 0"
+    (Invalid_argument "Buffered.monte_carlo: trials must be > 0") (fun () ->
+      ignore (Sta.Buffered.monte_carlo inst ~rng:(Numeric.Rng.create ~seed:1) ~trials:0))
+
+let test_unbuffered_tree_has_no_variation () =
+  (* Only devices vary, so a buffer-free tree is deterministic. *)
+  let tree = Rctree.Generate.random_steiner ~seed:3 ~sinks:10 ~die_um:4000.0 () in
+  let buffered = Sta.Buffered.make ~tech tree [] in
+  let inst = Sta.Buffered.instantiate ~model:(model 4000.0) buffered in
+  let form = Sta.Buffered.canonical_rat inst in
+  Alcotest.(check bool) "deterministic" true (Linform.is_deterministic form)
+
+(* ---------- yield metrics ---------- *)
+
+let test_yield_analytical () =
+  let form = Linform.make ~nominal:(-1000.0) ~sens:[ (1, 20.0) ] in
+  let y95 = Sta.Yield.rat_at_yield form ~yield:0.95 in
+  Alcotest.(check (float 1e-6)) "y95 = mu - 1.645 sigma"
+    (-1000.0 -. (20.0 *. 1.6448536269514722))
+    y95;
+  Alcotest.(check (float 1e-9)) "yield at mean" 0.5
+    (Sta.Yield.timing_yield form ~target:(-1000.0));
+  Alcotest.(check (float 1e-6)) "yield at y95" 0.95
+    (Sta.Yield.timing_yield form ~target:y95);
+  Alcotest.(check (float 1e-9)) "deterministic yield pass" 1.0
+    (Sta.Yield.timing_yield (Linform.const (-1000.0)) ~target:(-1100.0));
+  Alcotest.(check (float 1e-9)) "deterministic yield fail" 0.0
+    (Sta.Yield.timing_yield (Linform.const (-1000.0)) ~target:(-900.0))
+
+let test_yield_validation () =
+  Alcotest.check_raises "yield range"
+    (Invalid_argument "Yield.rat_at_yield: yield must lie in (0, 1)") (fun () ->
+      ignore (Sta.Yield.rat_at_yield (Linform.const 0.0) ~yield:1.0))
+
+let test_yield_mc_agrees_with_analytical () =
+  let mu = -1000.0 and sigma = 20.0 in
+  let rng = Numeric.Rng.create ~seed:31 in
+  let samples =
+    Array.init 40_000 (fun _ -> Numeric.Rng.gaussian_mu_sigma rng ~mu ~sigma)
+  in
+  let form = Linform.make ~nominal:mu ~sens:[ (1, sigma) ] in
+  let y_a = Sta.Yield.rat_at_yield form ~yield:0.95 in
+  let y_m = Sta.Yield.mc_rat_at_yield samples ~yield:0.95 in
+  Alcotest.(check bool) "y95 close" true (Float.abs (y_a -. y_m) < 1.0);
+  let t = -1020.0 in
+  Alcotest.(check bool) "yield close" true
+    (Float.abs
+       (Sta.Yield.timing_yield form ~target:t
+       -. Sta.Yield.mc_timing_yield samples ~target:t)
+    < 0.01)
+
+let test_mc_timing_yield_counts () =
+  Alcotest.(check (float 1e-9)) "fraction" 0.75
+    (Sta.Yield.mc_timing_yield [| 1.0; 2.0; 3.0; 0.0 |] ~target:1.0);
+  Alcotest.check_raises "empty" (Invalid_argument "Yield.mc_timing_yield: empty sample")
+    (fun () -> ignore (Sta.Yield.mc_timing_yield [||] ~target:0.0))
+
+let test_wire_variation_evaluation () =
+  let die = 4000.0 in
+  let tree = Rctree.Generate.random_steiner ~seed:19 ~sinks:20 ~die_um:die () in
+  let mk_model () =
+    Varmodel.Model.create ~mode:Varmodel.Model.Wid ~wire_frac:0.05
+      ~spatial:Varmodel.Model.default_heterogeneous ~grid:(grid die) ()
+  in
+  (* An unbuffered tree now varies through its wires alone. *)
+  let buffered = Sta.Buffered.make ~tech tree [] in
+  let inst = Sta.Buffered.instantiate ~model:(mk_model ()) buffered in
+  let form = Sta.Buffered.canonical_rat inst in
+  Alcotest.(check bool) "wire variation creates sigma" true (Linform.std form > 0.0);
+  (* All-nominal sample must equal a nominal-wire evaluation. *)
+  let inst_nom =
+    Sta.Buffered.instantiate ~model:(model ~mode:Varmodel.Model.Nom die) buffered
+  in
+  Alcotest.(check (float 1e-6)) "sample at 0 = nominal Elmore"
+    (Sta.Buffered.sample_rat inst_nom ~lookup:(fun _ -> 0.0))
+    (Sta.Buffered.sample_rat inst ~lookup:(fun _ -> 0.0));
+  (* Canonical moments track Monte Carlo despite the first-order
+     product approximation. *)
+  let rng = Numeric.Rng.create ~seed:7 in
+  let samples = Sta.Buffered.monte_carlo inst ~rng ~trials:2000 in
+  let s = Numeric.Stats.summarize samples in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean close (%.1f vs %.1f)" (Linform.mean form) s.Numeric.Stats.mean)
+    true
+    (Float.abs (Linform.mean form -. s.Numeric.Stats.mean)
+    < 0.02 *. Float.abs s.Numeric.Stats.mean);
+  Alcotest.(check bool)
+    (Printf.sprintf "sigma close (%.1f vs %.1f)" (Linform.std form) s.Numeric.Stats.std)
+    true
+    (Float.abs (Linform.std form -. s.Numeric.Stats.std) < 0.3 *. s.Numeric.Stats.std)
+
+let test_wire_variation_engine () =
+  (* The DP accepts a wire-varied model and its replay matches. *)
+  let die = 4000.0 in
+  let tree = Rctree.Generate.random_steiner ~seed:23 ~sinks:25 ~die_um:die () in
+  let mk_model () =
+    Varmodel.Model.create ~mode:Varmodel.Model.Wid ~wire_frac:0.05
+      ~spatial:Varmodel.Model.default_heterogeneous ~grid:(grid die) ()
+  in
+  let cfg = { (Bufins.Engine.default_config ()) with Bufins.Engine.tech; library } in
+  let r = Bufins.Engine.run cfg ~model:(mk_model ()) tree in
+  let buffered = Sta.Buffered.make ~tech tree r.Bufins.Engine.buffers in
+  let inst = Sta.Buffered.instantiate ~model:(mk_model ()) buffered in
+  let form = Sta.Buffered.canonical_rat inst in
+  Alcotest.(check (float 1e-6)) "replayed mean"
+    (Linform.mean r.Bufins.Engine.root_rat)
+    (Linform.mean form);
+  Alcotest.(check (float 1e-6)) "replayed sigma"
+    (Linform.std r.Bufins.Engine.root_rat)
+    (Linform.std form)
+
+(* ---------- clock skew ---------- *)
+
+let htree_instance ?(mode = Varmodel.Model.Wid) ?(uniform_caps = false) ~levels () =
+  let die = 8000.0 in
+  let sink_params =
+    if uniform_caps then
+      { Rctree.Generate.cap_lo = 8.0; cap_hi = 8.0; rat = 0.0; rat_spread = 0.0 }
+    else { Rctree.Generate.default_sink_params with Rctree.Generate.rat_spread = 0.0 }
+  in
+  let tree = Rctree.Generate.h_tree ~sink_params ~levels ~die_um:die () in
+  let m = model ~mode:Varmodel.Model.Wid die in
+  let cfg =
+    { (Bufins.Engine.default_config ()) with Bufins.Engine.tech; library }
+  in
+  let r = Bufins.Engine.run cfg ~model:m tree in
+  let buffered = Sta.Buffered.make ~tech tree r.Bufins.Engine.buffers in
+  Sta.Buffered.instantiate ~model:(model ~mode die) buffered
+
+let test_skew_arrival_count () =
+  let inst = htree_instance ~levels:3 () in
+  Alcotest.(check int) "one arrival per sink" 64
+    (List.length (Sta.Skew.sink_arrivals inst))
+
+let test_skew_zero_on_symmetric_nominal () =
+  (* A symmetric H-tree (uniform sink caps) buffered symmetrically has
+     zero nominal skew. *)
+  let inst = htree_instance ~mode:Varmodel.Model.Nom ~uniform_caps:true ~levels:3 () in
+  let skew = Sta.Skew.sample_skew inst ~lookup:(fun _ -> 0.0) in
+  Alcotest.(check bool) (Printf.sprintf "nominal skew %.3f ~ 0" skew) true
+    (Float.abs skew < 1e-6)
+
+let test_skew_hand_computed () =
+  (* Asymmetric 2-sink net, no buffers: arrivals from first principles. *)
+  let sink name cap = { Rctree.Tree.sink_cap = cap; sink_rat = 0.0; sink_name = name } in
+  let tree =
+    Rctree.Tree.of_spec
+      (Rctree.Tree.Node
+         {
+           x = 0.0;
+           y = 0.0;
+           children =
+             [
+               ( Rctree.Tree.Node
+                   {
+                     x = 1000.0;
+                     y = 0.0;
+                     children =
+                       [
+                         (Rctree.Tree.Leaf { x = 1000.0; y = 500.0; sink = sink "near" 10.0 }, None);
+                         (Rctree.Tree.Leaf { x = 3000.0; y = 0.0; sink = sink "far" 20.0 }, None);
+                       ];
+                   },
+                 None );
+             ];
+         })
+  in
+  let buffered = Sta.Buffered.make ~tech tree [] in
+  let inst = Sta.Buffered.instantiate ~model:(model 4000.0) buffered in
+  let w = Device.Wire_lib.of_tech tech in
+  let d len load = Device.Wire_lib.wire_delay w ~length:len ~load in
+  let c len = Device.Wire_lib.wire_cap w ~length:len in
+  (* loads *)
+  let near = 10.0 and far = 20.0 in
+  let merge = near +. c 500.0 +. far +. c 2000.0 in
+  let root_load = merge +. c 1000.0 in
+  let t_root = tech.Device.Tech.driver_r *. root_load in
+  let t_merge = t_root +. d 1000.0 merge in
+  let a_near = t_merge +. d 500.0 near in
+  let a_far = t_merge +. d 2000.0 far in
+  (match Sta.Skew.sink_arrivals inst with
+  | [ (_, f_near); (_, f_far) ] ->
+    Alcotest.(check (float 1e-9)) "near arrival" a_near (Linform.mean f_near);
+    Alcotest.(check (float 1e-9)) "far arrival" a_far (Linform.mean f_far)
+  | other -> Alcotest.failf "expected 2 arrivals, got %d" (List.length other));
+  Alcotest.(check (float 1e-9)) "skew" (a_far -. a_near)
+    (Sta.Skew.sample_skew inst ~lookup:(fun _ -> 0.0))
+
+let test_skew_nonnegative_samples () =
+  let inst = htree_instance ~levels:3 () in
+  let rng = Numeric.Rng.create ~seed:5 in
+  let skews = Sta.Skew.monte_carlo inst ~rng ~trials:200 in
+  Array.iter
+    (fun s -> Alcotest.(check bool) "skew >= 0" true (s >= 0.0))
+    skews;
+  (* Under variation a symmetric tree still skews. *)
+  Alcotest.(check bool) "variation creates skew" true
+    (Numeric.Stats.mean skews > 0.0)
+
+let test_skew_canonical_tracks_mc () =
+  let inst = htree_instance ~levels:3 () in
+  let form = Sta.Skew.canonical_skew inst in
+  let rng = Numeric.Rng.create ~seed:6 in
+  let skews = Sta.Skew.monte_carlo inst ~rng ~trials:1500 in
+  let mc = Numeric.Stats.mean skews in
+  let model_mean = Linform.mean form in
+  (* Clark folds over many tied paths are approximate: same order of
+     magnitude is the contract. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "canonical %.1f vs MC %.1f" model_mean mc)
+    true
+    (model_mean > 0.3 *. mc && model_mean < 3.0 *. mc)
+
+(* ---------- slack / criticality report ---------- *)
+
+let test_report_min_slack_matches_rat () =
+  (* Arrival-based min slack equals the DP-style root RAT in NOM mode
+     (exact min, no Clark approximation). *)
+  let die, tree, buffers = tree_and_buffers ~sinks:30 ~seed:41 () in
+  let buffered = Sta.Buffered.make ~tech tree buffers in
+  let inst =
+    Sta.Buffered.instantiate ~model:(model ~mode:Varmodel.Model.Nom die) buffered
+  in
+  let rng = Numeric.Rng.create ~seed:1 in
+  let r = Sta.Report.compute ~trials:10 ~rng inst in
+  Alcotest.(check (float 1e-6)) "min slack = root RAT"
+    (Linform.mean (Sta.Buffered.canonical_rat inst))
+    (Linform.mean r.Sta.Report.min_slack)
+
+let test_report_criticalities () =
+  let die, tree, buffers = tree_and_buffers ~sinks:30 ~seed:42 () in
+  let buffered = Sta.Buffered.make ~tech tree buffers in
+  let inst = Sta.Buffered.instantiate ~model:(model die) buffered in
+  let rng = Numeric.Rng.create ~seed:2 in
+  let r = Sta.Report.compute ~trials:400 ~rng inst in
+  Alcotest.(check int) "one report per sink" (Rctree.Tree.sink_count tree)
+    (List.length r.Sta.Report.sinks);
+  let total =
+    List.fold_left (fun acc s -> acc +. s.Sta.Report.criticality) 0.0
+      r.Sta.Report.sinks
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "criticalities sum to 1 (got %.3f)" total)
+    true
+    (Float.abs (total -. 1.0) < 1e-9);
+  (* Sorted most-critical-first by mean slack. *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      Linform.mean a.Sta.Report.slack <= Linform.mean b.Sta.Report.slack +. 1e-9
+      && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by mean slack" true (sorted r.Sta.Report.sinks);
+  (* The most critical sink by mean slack should collect substantial
+     criticality mass. *)
+  match r.Sta.Report.sinks with
+  | first :: _ ->
+    Alcotest.(check bool) "top sink is often binding" true
+      (first.Sta.Report.criticality > 0.2)
+  | [] -> Alcotest.fail "no sinks"
+
+let test_report_validation () =
+  let die, tree, buffers = tree_and_buffers () in
+  let buffered = Sta.Buffered.make ~tech tree buffers in
+  let inst = Sta.Buffered.instantiate ~model:(model die) buffered in
+  Alcotest.check_raises "trials > 0"
+    (Invalid_argument "Report.compute: trials must be > 0") (fun () ->
+      ignore (Sta.Report.compute ~trials:0 ~rng:(Numeric.Rng.create ~seed:1) inst))
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "report: min slack = root RAT (NOM)" `Quick
+      test_report_min_slack_matches_rat;
+    Alcotest.test_case "report: criticalities" `Quick test_report_criticalities;
+    Alcotest.test_case "report: validation" `Quick test_report_validation;
+    Alcotest.test_case "wire variation evaluation" `Slow
+      test_wire_variation_evaluation;
+    Alcotest.test_case "wire variation engine replay" `Quick
+      test_wire_variation_engine;
+    Alcotest.test_case "skew arrival count" `Quick test_skew_arrival_count;
+    Alcotest.test_case "skew zero on symmetric nominal" `Quick
+      test_skew_zero_on_symmetric_nominal;
+    Alcotest.test_case "skew hand computed" `Quick test_skew_hand_computed;
+    Alcotest.test_case "skew nonnegative + variation skews" `Quick
+      test_skew_nonnegative_samples;
+    Alcotest.test_case "skew canonical tracks MC" `Slow
+      test_skew_canonical_tracks_mc;
+    Alcotest.test_case "buffer accessors" `Quick test_buffer_accessors;
+    Alcotest.test_case "nominal sample = NOM canonical" `Quick
+      test_nominal_sample_equals_nom_canonical;
+    Alcotest.test_case "canonical mean <= nominal (Clark)" `Quick
+      test_canonical_mean_below_nominal;
+    Alcotest.test_case "Monte Carlo matches canonical (Fig 6)" `Slow
+      test_monte_carlo_matches_canonical;
+    Alcotest.test_case "Monte Carlo deterministic" `Quick
+      test_monte_carlo_deterministic_seed;
+    Alcotest.test_case "Monte Carlo validation" `Quick test_monte_carlo_validation;
+    Alcotest.test_case "unbuffered tree deterministic" `Quick
+      test_unbuffered_tree_has_no_variation;
+    Alcotest.test_case "yield analytical" `Quick test_yield_analytical;
+    Alcotest.test_case "yield validation" `Quick test_yield_validation;
+    Alcotest.test_case "yield MC vs analytical" `Slow
+      test_yield_mc_agrees_with_analytical;
+    Alcotest.test_case "mc timing yield counts" `Quick test_mc_timing_yield_counts;
+  ]
