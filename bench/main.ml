@@ -8,11 +8,19 @@
       size class.  One Test.make per paper table/figure whose claim is
       about runtime.
 
-   2. Regeneration of every table and figure of the evaluation section
-      (the same harnesses `bin/experiments_main.exe` exposes), so that
-      `dune exec bench/main.exe` prints the full paper-shaped output.
+   2. A Monte-Carlo scaling comparison: the same 2000-trial run
+      sampled sequentially and through an `Exec.Pool`, asserting the
+      two are bit-identical and reporting the wall-clock speedup plus
+      the pool's per-task statistics.
 
-   Pass --micro-only or --tables-only to run one half. *)
+   3. Regeneration of every table and figure of the evaluation section
+      (the same harnesses `bin/experiments_main.exe` exposes), so that
+      `dune exec bench/main.exe` prints the full paper-shaped output —
+      run across the pool's domains when --jobs > 1.
+
+   Pass --micro-only, --mc-only or --tables-only to run one part;
+   --jobs N (default: VARBUF_JOBS or the recommended domain count)
+   sizes the pool. *)
 
 open Bechamel
 open Toolkit
@@ -107,8 +115,49 @@ let run_micro () =
     (List.sort compare rows);
   print_newline ()
 
-let run_tables () =
+let pp_pool_stats pool =
+  let s = Exec.Pool.stats pool in
+  Printf.printf
+    "pool: %d workers, %d tasks, %.3fs total task time, %.3fs max task\n"
+    s.Exec.Pool.workers s.Exec.Pool.tasks_run s.Exec.Pool.total_task_s
+    s.Exec.Pool.max_task_s
+
+(* The acceptance benchmark for the exec subsystem: one fixed WID
+   buffering of r3, 2000 MC trials, sequential vs pool.  The sample
+   arrays must match exactly (chunk-keyed RNG streams) while the
+   wall-clock drops with the job count. *)
+let run_mc_speedup ~jobs () =
+  let trials = 2000 and seed = 11 in
   let setup = Experiments.Common.default_setup in
+  let info = Rctree.Benchmarks.find "r3" in
+  let tree = Rctree.Benchmarks.load info in
+  let grid = Experiments.Common.grid_for setup ~die_um:info.Rctree.Benchmarks.die_um in
+  let spatial = Varmodel.Model.default_heterogeneous in
+  let wid = Experiments.Common.run_algo setup ~spatial ~grid Experiments.Common.Wid tree in
+  let inst =
+    Experiments.Common.instance_for setup ~spatial ~grid tree wid.Bufins.Engine.buffers
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let mc ?pool () =
+    Sta.Buffered.monte_carlo ?pool inst ~rng:(Numeric.Rng.create ~seed) ~trials
+  in
+  let seq, t_seq = time (fun () -> mc ()) in
+  Printf.printf "== Monte-Carlo scaling (r3, %d trials) ==\n" trials;
+  Printf.printf "%-24s %10.3fs\n" "sequential" t_seq;
+  Exec.Pool.with_pool ~jobs (fun pool ->
+      let par, t_par = time (fun () -> mc ~pool ()) in
+      Printf.printf "%-24s %10.3fs  (speedup %.2fx, bit-identical: %b)\n"
+        (Printf.sprintf "pool --jobs %d" jobs)
+        t_par (t_seq /. t_par) (seq = par);
+      pp_pool_stats pool);
+  print_newline ()
+
+let run_tables ~pool () =
+  let setup = { Experiments.Common.default_setup with Experiments.Common.pool } in
   List.iter
     (fun (e : Experiments.Registry.entry) ->
       e.Experiments.Registry.exec Format.std_formatter setup;
@@ -117,11 +166,25 @@ let run_tables () =
          the memory-hungry stages (table2's 4P, the level-8 H-tree)
          don't stack. *)
       Gc.compact ())
-    Experiments.Registry.all
+    Experiments.Registry.all;
+  Option.iter pp_pool_stats pool
 
 let () =
   let args = Array.to_list Sys.argv in
-  let micro = not (List.mem "--tables-only" args) in
-  let tables = not (List.mem "--micro-only" args) in
-  if micro then run_micro ();
-  if tables then run_tables ()
+  let jobs =
+    let rec find = function
+      | "--jobs" :: v :: _ -> int_of_string_opt v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    max 1 (Option.value (find args) ~default:(Exec.Pool.default_jobs ()))
+  in
+  let only p = List.mem p args in
+  let all = not (only "--micro-only" || only "--mc-only" || only "--tables-only") in
+  if all || only "--micro-only" then run_micro ();
+  if all || only "--mc-only" then run_mc_speedup ~jobs ();
+  if all || only "--tables-only" then begin
+    let pool = if jobs > 1 then Some (Exec.Pool.create ~jobs ()) else None in
+    run_tables ~pool ();
+    Option.iter Exec.Pool.shutdown pool
+  end

@@ -1,8 +1,9 @@
 (* CLI runner for the paper's tables and figures: one id per experiment,
    "all" for the full evaluation section. *)
 
-let run_ids ids mc_trials =
-  let setup = { Experiments.Common.default_setup with mc_trials } in
+let run_ids ids mc_trials jobs =
+  let pool = if jobs > 1 then Some (Exec.Pool.create ~jobs ()) else None in
+  let setup = { Experiments.Common.default_setup with mc_trials; pool } in
   let ppf = Format.std_formatter in
   let run_one id =
     match Experiments.Registry.find id with
@@ -22,7 +23,9 @@ let run_ids ids mc_trials =
     | [] -> Ok ()
     | id :: rest -> ( match run_one id with Ok () -> go rest | Error _ as e -> e)
   in
-  match go ids with
+  let status = go ids in
+  Option.iter Exec.Pool.shutdown pool;
+  match status with
   | Ok () -> 0
   | Error msg ->
     prerr_endline msg;
@@ -44,9 +47,17 @@ let trials_arg =
     & opt int Experiments.Common.default_setup.Experiments.Common.mc_trials
     & info [ "trials" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains to run experiment cells and Monte-Carlo chunks on \
+     (1 = sequential).  Defaults to $(b,VARBUF_JOBS) or the \
+     recommended domain count; results are identical at any value."
+  in
+  Arg.(value & opt int (Exec.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   let info = Cmd.info "varbuf-experiments" ~doc in
-  Cmd.v info Term.(const run_ids $ ids_arg $ trials_arg)
+  Cmd.v info Term.(const run_ids $ ids_arg $ trials_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -19,7 +19,9 @@ type budget = {
   max_candidates : int option;
       (** cap on any per-node candidate list (checked after pruning and
           on 4P cross products before pruning) *)
-  max_seconds : float option;  (** CPU-time cap for the whole run *)
+  max_seconds : float option;
+      (** wall-clock cap for the whole run (CPU time would sum over
+          domains and trip early under parallel load) *)
 }
 
 val no_budget : budget
@@ -64,7 +66,7 @@ exception Budget_exceeded of string
     limit tripped and where. *)
 
 type stats = {
-  runtime_s : float;        (** CPU seconds for the whole run *)
+  runtime_s : float;        (** wall-clock seconds for the whole run *)
   peak_candidates : int;    (** largest pruned per-node candidate list *)
   total_candidates : int;   (** sum of pruned list sizes over all nodes *)
   nodes : int;

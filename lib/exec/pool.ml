@@ -1,0 +1,193 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;                 (* signalled when tasks are queued *)
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+  mutable tasks_run : int;
+  mutable total_task_s : float;
+  mutable max_task_s : float;
+}
+
+type stats = {
+  workers : int;
+  tasks_run : int;
+  total_task_s : float;
+  max_task_s : float;
+}
+
+(* True while the current domain is executing a pool task (worker
+   domains always; the caller only while helping).  Combinators check
+   it to run nested batches inline instead of deadlocking on their own
+   pool. *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let default_jobs () =
+  match Sys.getenv_opt "VARBUF_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let worker_loop t =
+  Domain.DLS.set in_task true;
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.work t.mutex
+    done;
+    (* Drain any leftovers even when closing, so no task is dropped. *)
+    match Queue.take_opt t.queue with
+    | None -> Mutex.unlock t.mutex
+    | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = max 1 (Option.value jobs ~default:(default_jobs ())) in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      domains = [];
+      tasks_run = 0;
+      total_task_s = 0.0;
+      max_task_s = 0.0;
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      workers = t.jobs;
+      tasks_run = t.tasks_run;
+      total_task_s = t.total_task_s;
+      max_task_s = t.max_task_s;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.work;
+  let domains = t.domains in
+  t.domains <- [];
+  Mutex.unlock t.mutex;
+  List.iter Domain.join domains
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* One batch = the tasks of one combinator call.  Completion is
+   tracked under the pool mutex; the first exception wins and is
+   re-raised in the submitting domain once the batch has drained. *)
+type batch = {
+  mutable remaining : int;
+  mutable failed : (exn * Printexc.raw_backtrace) option;
+  finished : Condition.t;
+}
+
+let run_batch t fns =
+  let n = Array.length fns in
+  if n = 0 then ()
+  else begin
+    let b = { remaining = n; failed = None; finished = Condition.create () } in
+    let wrap fn () =
+      let t0 = Unix.gettimeofday () in
+      (try fn ()
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.mutex;
+         if b.failed = None then b.failed <- Some (e, bt);
+         Mutex.unlock t.mutex);
+      let dt = Unix.gettimeofday () -. t0 in
+      Mutex.lock t.mutex;
+      t.tasks_run <- t.tasks_run + 1;
+      t.total_task_s <- t.total_task_s +. dt;
+      if dt > t.max_task_s then t.max_task_s <- dt;
+      b.remaining <- b.remaining - 1;
+      if b.remaining = 0 then Condition.broadcast b.finished;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Exec.Pool: pool is shut down"
+    end;
+    Array.iter (fun fn -> Queue.push (wrap fn) t.queue) fns;
+    Condition.broadcast t.work;
+    (* Help: the caller executes queued tasks instead of blocking, so a
+       pool of [jobs] really runs [jobs] tasks at a time. *)
+    let rec help () =
+      if b.remaining > 0 then
+        match Queue.take_opt t.queue with
+        | Some task ->
+          Mutex.unlock t.mutex;
+          Domain.DLS.set in_task true;
+          Fun.protect ~finally:(fun () -> Domain.DLS.set in_task false) task;
+          Mutex.lock t.mutex;
+          help ()
+        | None ->
+          while b.remaining > 0 do
+            Condition.wait b.finished t.mutex
+          done
+    in
+    help ();
+    let failed = b.failed in
+    Mutex.unlock t.mutex;
+    match failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let resolve_chunk t ~chunk n =
+  match chunk with
+  | Some c when c >= 1 -> c
+  | Some _ -> invalid_arg "Exec.Pool: chunk must be >= 1"
+  | None ->
+    (* A few tasks per job smooths imbalance without drowning in
+       scheduling overhead. *)
+    max 1 ((n + (4 * t.jobs) - 1) / (4 * t.jobs))
+
+let parallel_map_array ?chunk t ~f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if t.jobs <= 1 || Domain.DLS.get in_task then Array.map f arr
+  else begin
+    let chunk = resolve_chunk t ~chunk n in
+    let out = Array.make n None in
+    let tasks = (n + chunk - 1) / chunk in
+    let fns =
+      Array.init tasks (fun k () ->
+          let lo = k * chunk in
+          let hi = min n (lo + chunk) - 1 in
+          for i = lo to hi do
+            out.(i) <- Some (f arr.(i))
+          done)
+    in
+    run_batch t fns;
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let parallel_map ?chunk t ~f xs =
+  Array.to_list (parallel_map_array ?chunk t ~f (Array.of_list xs))
+
+let parallel_init ?chunk t n ~f =
+  if n < 0 then invalid_arg "Exec.Pool.parallel_init: negative length";
+  parallel_map_array ?chunk t ~f (Array.init n Fun.id)

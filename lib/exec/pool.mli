@@ -1,0 +1,76 @@
+(** A fixed-size domain pool for deterministic multicore execution.
+
+    OCaml 5 gives us true shared-memory parallelism via [Domain], but
+    spawning a domain per task is expensive and unbounded spawning
+    oversubscribes the machine.  This pool spawns its workers once and
+    feeds them batches of tasks; the submitting domain helps execute
+    its own batch, so a pool with [jobs = n] runs at most [n] tasks at
+    a time (n − 1 workers plus the caller) and [jobs = 1] degenerates
+    to plain sequential execution with no domains at all.
+
+    {b Determinism.}  The combinators below return results in input
+    order regardless of which domain ran which task and in what order,
+    so a {e pure} [f] yields identical output at any job count.  For
+    stochastic work, derive one RNG stream per task/chunk with
+    {!Numeric.Rng.split_at} keyed by task index — never share a stream
+    across tasks — and the samples are bit-identical at any job count
+    too ({!Sta.Buffered.monte_carlo} is the reference user).
+
+    {b Nesting.}  A combinator called from inside a pool task runs its
+    batch inline (sequentially) instead of re-submitting to the pool:
+    nested parallelism cannot deadlock, and because results are
+    order-deterministic the answer is unchanged.
+
+    {b Errors.}  If a task raises, the batch finishes draining, the
+    first exception is re-raised in the caller (with its backtrace)
+    and the pool remains usable. *)
+
+type t
+
+val default_jobs : unit -> int
+(** Worker budget resolved from the environment: [VARBUF_JOBS] if set
+    to a positive integer, else [Domain.recommended_domain_count ()].
+    CLI [--jobs] flags default to this. *)
+
+val create : ?jobs:int -> unit -> t
+(** A pool running at most [jobs] tasks concurrently ([jobs - 1]
+    worker domains; the caller executes tasks too while waiting).
+    [jobs] defaults to {!default_jobs}; values below 1 are clamped
+    to 1. *)
+
+val jobs : t -> int
+(** The concurrency bound this pool was created with. *)
+
+val parallel_map_array : ?chunk:int -> t -> f:('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map_array pool ~f arr] is [Array.map f arr] computed in
+    parallel, results in input order.  Elements are grouped into
+    chunks of [chunk] (default: enough to give each job a few tasks)
+    and each chunk is one pool task; chunking never affects results,
+    only scheduling granularity.
+    @raise Invalid_argument if [chunk < 1] or the pool is shut down. *)
+
+val parallel_map : ?chunk:int -> t -> f:('a -> 'b) -> 'a list -> 'b list
+(** List version of {!parallel_map_array}. *)
+
+val parallel_init : ?chunk:int -> t -> int -> f:(int -> 'a) -> 'a array
+(** [parallel_init pool n ~f] is [Array.init n f] computed in
+    parallel.  @raise Invalid_argument if [n < 0]. *)
+
+type stats = {
+  workers : int;       (** concurrency bound (the [jobs] value) *)
+  tasks_run : int;     (** pool tasks executed since creation *)
+  total_task_s : float;(** wall-clock seconds summed over tasks *)
+  max_task_s : float;  (** longest single task, wall-clock seconds *)
+}
+
+val stats : t -> stats
+(** Snapshot of the per-task wall-clock counters (bench harnesses
+    print these to show load balance). *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; subsequent combinator calls
+    raise [Invalid_argument].  Call only after all batches returned. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down on the
+    way out, even on exception. *)

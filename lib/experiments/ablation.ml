@@ -21,8 +21,8 @@ let configs =
 let compute setup ?(bench = "r1") () =
   let info = Rctree.Benchmarks.find bench in
   let tree = Rctree.Benchmarks.load info in
-  List.map
-    (fun (label, frac, ramp_hi) ->
+  Common.map_cells setup
+    ~f:(fun (label, frac, ramp_hi) ->
       (* The first three rows scale all three categories together; the
          "sp" rows amplify only the spatial category, the one WID alone
          can see. *)

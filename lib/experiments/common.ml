@@ -5,6 +5,7 @@ type setup = {
   pitch_um : float;
   range_um : float;
   mc_trials : int;
+  pool : Exec.Pool.t option;
 }
 
 let default_setup =
@@ -15,7 +16,19 @@ let default_setup =
     pitch_um = 500.0;
     range_um = 2000.0;
     mc_trials = 2000;
+    pool = None;
   }
+
+let map_cells setup ~f xs =
+  match setup.pool with
+  | Some pool when Exec.Pool.jobs pool > 1 ->
+    (* Cells are few and heavy: one pool task each. *)
+    Exec.Pool.parallel_map ~chunk:1 pool ~f xs
+  | _ -> List.map f xs
+
+let mc_samples setup inst ~seed ~trials =
+  Sta.Buffered.monte_carlo ?pool:setup.pool inst
+    ~rng:(Numeric.Rng.create ~seed) ~trials
 
 let grid_for setup ~die_um =
   Varmodel.Grid.create ~width_um:die_um ~height_um:die_um ~pitch_um:setup.pitch_um

@@ -10,11 +10,25 @@ type setup = {
   pitch_um : float;
   range_um : float;
   mc_trials : int;  (** Monte-Carlo sample count for MC-based figures *)
+  pool : Exec.Pool.t option;
+      (** When set (CLI [--jobs]), independent experiment cells and
+          Monte-Carlo chunks run across its domains.  Results are
+          identical with or without it. *)
 }
 
 val default_setup : setup
 (** The paper's §5.1 numbers: 5%/5%/5% budget, 500 µm grid, 2 mm
-    range; 2000 MC trials. *)
+    range; 2000 MC trials; no pool (sequential). *)
+
+val map_cells : setup -> f:('a -> 'b) -> 'a list -> 'b list
+(** [List.map f], parallelised over the setup's pool when one is
+    present.  [f] must not depend on shared mutable state — each cell
+    builds its own tree/model/engine run.  Order is preserved. *)
+
+val mc_samples :
+  setup -> Sta.Buffered.instance -> seed:int -> trials:int -> float array
+(** Monte-Carlo samples through the setup's pool (deterministic in
+    [seed] at any job count; see {!Sta.Buffered.monte_carlo}). *)
 
 val grid_for : setup -> die_um:float -> Varmodel.Grid.t
 

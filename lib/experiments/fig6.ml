@@ -15,8 +15,7 @@ let compute setup ?(bench = "r5") ?(seed = 7) () =
   let wid = Common.run_algo setup ~spatial ~grid Common.Wid tree in
   let inst = Common.instance_for setup ~spatial ~grid tree wid.Bufins.Engine.buffers in
   let form = Sta.Buffered.canonical_rat inst in
-  let rng = Numeric.Rng.create ~seed in
-  let samples = Sta.Buffered.monte_carlo inst ~rng ~trials:setup.Common.mc_trials in
+  let samples = Common.mc_samples setup inst ~seed ~trials:setup.Common.mc_trials in
   let s = Numeric.Stats.summarize samples in
   let hist = Numeric.Histogram.of_samples ~bins:40 samples in
   let mu = Linform.mean form and sigma = Linform.std form in

@@ -17,8 +17,8 @@ let compute setup ?(sinks = 64) ?(seed = 77)
   let grid = Common.grid_for setup ~die_um in
   let spatial = Varmodel.Model.default_heterogeneous in
   let rows =
-    List.map
-      (fun p ->
+    Common.map_cells setup
+      ~f:(fun p ->
         let rule = Bufins.Prune.two_param ~p_l:p ~p_t:p () in
         let r = Common.run_algo setup ~rule ~spatial ~grid Common.Wid tree in
         let form = Common.evaluate setup ~spatial ~grid tree r.Bufins.Engine.buffers in

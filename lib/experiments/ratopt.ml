@@ -28,22 +28,30 @@ let cache_key setup ~spatial benches =
     (String.concat "," benches)
 
 let compute_uncached setup ~spatial benches =
-  List.map
-    (fun bname ->
-      let info = Rctree.Benchmarks.find bname in
-      let tree = Rctree.Benchmarks.load info in
-      let grid = Common.grid_for setup ~die_um:info.Rctree.Benchmarks.die_um in
-      let optimize algo =
+  (* Every (benchmark × algorithm) cell is independent — its own tree,
+     grid and variation model — so the whole table fans out over the
+     setup's pool as one flat batch of cells. *)
+  let cells =
+    List.concat_map
+      (fun bname -> List.map (fun a -> (bname, a)) [ Common.Nom; Common.D2d; Common.Wid ])
+      benches
+  in
+  let optimized =
+    Common.map_cells setup cells ~f:(fun (bname, algo) ->
+        let info = Rctree.Benchmarks.find bname in
+        let tree = Rctree.Benchmarks.load info in
+        let grid = Common.grid_for setup ~die_um:info.Rctree.Benchmarks.die_um in
         let r = Common.run_algo setup ~spatial ~grid algo tree in
         let form =
           Common.evaluate setup ~spatial ~grid tree r.Bufins.Engine.buffers
         in
         (form, List.length r.Bufins.Engine.buffers,
-         r.Bufins.Engine.stats.Bufins.Engine.runtime_s)
-      in
-      let fn, bn, tn = optimize Common.Nom in
-      let fd, bd, td = optimize Common.D2d in
-      let fw, bw, tw = optimize Common.Wid in
+         r.Bufins.Engine.stats.Bufins.Engine.runtime_s))
+  in
+  let rec rows benches optimized =
+    match (benches, optimized) with
+    | [], [] -> []
+    | bname :: rest_b, (fn, bn, tn) :: (fd, bd, td) :: (fw, bw, tw) :: rest ->
       (* §5.3: the common target is the WID mean RAT degraded by 10%
          (RATs are negative, so 10% more negative). *)
       let target = Linform.mean fw *. 1.10 in
@@ -62,8 +70,11 @@ let compute_uncached setup ~spatial benches =
         nom = result fn bn tn;
         d2d = result fd bd td;
         wid = result fw bw tw;
-      })
-    benches
+      }
+      :: rows rest_b rest
+    | _ -> assert false
+  in
+  rows benches optimized
 
 let compute setup ~spatial ?(benches = Rctree.Benchmarks.names) () =
   let key = cache_key setup ~spatial benches in

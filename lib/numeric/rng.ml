@@ -2,8 +2,30 @@ type t = { state : Random.State.t; mutable spare : float option }
 
 let create ~seed = { state = Random.State.make [| seed |]; spare = None }
 
+(* Children are keyed by 120 bits of parent entropy, not a single
+   30-bit word: with one word, two of ~2^15 streams collide with
+   noticeable probability (birthday bound), which is within reach of a
+   large Monte-Carlo fan-out. *)
+let child_key state =
+  let k1 = Random.State.bits state in
+  let k2 = Random.State.bits state in
+  let k3 = Random.State.bits state in
+  let k4 = Random.State.bits state in
+  (k1, k2, k3, k4)
+
 let split t =
-  { state = Random.State.make [| Random.State.bits t.state |]; spare = None }
+  let k1, k2, k3, k4 = child_key t.state in
+  { state = Random.State.make [| k1; k2; k3; k4 |]; spare = None }
+
+let split_at t index =
+  if index < 0 then invalid_arg "Rng.split_at: index must be >= 0";
+  (* Probe a copy so the parent is not advanced: every [split_at t i]
+     on an unchanged parent derives the same key material, and the
+     index alone separates the streams. *)
+  let k1, k2, k3, k4 = child_key (Random.State.copy t.state) in
+  (* A constant tag keeps the 5-word seed space disjoint from the
+     4-word seeds [split] uses. *)
+  { state = Random.State.make [| k1; k2; k3; k4; 0x53504c54; index |]; spare = None }
 
 let uniform t = Random.State.float t.state 1.0
 

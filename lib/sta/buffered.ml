@@ -195,16 +195,48 @@ let forms_at inst node =
 
 let wire_forms_at inst node = inst.wire_forms.(node)
 
-let monte_carlo inst ~rng ~trials =
+(* Trials are sampled in fixed chunks, each from its own RNG stream
+   keyed by chunk index ([Rng.split_at]).  The chunk size is a
+   constant — never derived from the job count — so the sample stream
+   of trial [i] depends only on the seed, and sequential and parallel
+   runs at any job count are bit-identical. *)
+let mc_chunk_trials = 64
+
+let mc_trial inst rng =
+  let drawn : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let lookup id =
+    match Hashtbl.find_opt drawn id with
+    | Some v -> v
+    | None ->
+      let v = Numeric.Rng.gaussian rng in
+      Hashtbl.add drawn id v;
+      v
+  in
+  sample_rat inst ~lookup
+
+let monte_carlo ?pool inst ~rng ~trials =
   if trials <= 0 then invalid_arg "Buffered.monte_carlo: trials must be > 0";
-  Array.init trials (fun _ ->
-      let drawn : (int, float) Hashtbl.t = Hashtbl.create 64 in
-      let lookup id =
-        match Hashtbl.find_opt drawn id with
-        | Some v -> v
-        | None ->
-          let v = Numeric.Rng.gaussian rng in
-          Hashtbl.add drawn id v;
-          v
-      in
-      sample_rat inst ~lookup)
+  let chunks = (trials + mc_chunk_trials - 1) / mc_chunk_trials in
+  let streams = Array.init chunks (fun c -> Numeric.Rng.split_at rng c) in
+  let sample_chunk c =
+    let lo = c * mc_chunk_trials in
+    let len = min mc_chunk_trials (trials - lo) in
+    let out = Array.make len 0.0 in
+    (* Explicit in-order loop: trials within a chunk share its stream. *)
+    for i = 0 to len - 1 do
+      out.(i) <- mc_trial inst streams.(c)
+    done;
+    out
+  in
+  let sampled =
+    match pool with
+    | Some pool when Exec.Pool.jobs pool > 1 ->
+      Exec.Pool.parallel_init pool chunks ~f:sample_chunk
+    | _ ->
+      let out = Array.make chunks [||] in
+      for c = 0 to chunks - 1 do
+        out.(c) <- sample_chunk c
+      done;
+      out
+  in
+  Array.concat (Array.to_list sampled)

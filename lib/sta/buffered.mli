@@ -52,9 +52,15 @@ val sample_rat : instance -> lookup:(int -> float) -> float
     floats are propagated with a true [min].  [lookup] must be
     consistent within a call (same id ↦ same value). *)
 
-val monte_carlo : instance -> rng:Numeric.Rng.t -> trials:int -> float array
+val monte_carlo :
+  ?pool:Exec.Pool.t -> instance -> rng:Numeric.Rng.t -> trials:int -> float array
 (** [trials] independent joint samples of all sources, one
-    {!sample_rat} each.  @raise Invalid_argument if [trials <= 0]. *)
+    {!sample_rat} each.  Trials are drawn in fixed-size chunks, each
+    chunk from its own stream ([Numeric.Rng.split_at rng chunk]), so
+    for a given seed the returned array is {e bit-identical} whether
+    sampled sequentially (no [pool], or a 1-job pool) or across any
+    number of domains of [pool].  [rng] itself is never advanced.
+    @raise Invalid_argument if [trials <= 0]. *)
 
 (** {1 Low-level access}
 

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "varbuf"
     [
       ("numeric", Test_numeric.suite);
+      ("exec", Test_exec.suite);
       ("linform", Test_linform.suite);
       ("varmodel", Test_varmodel.suite);
       ("device", Test_device.suite);
