@@ -13,12 +13,17 @@
       two are bit-identical and reporting the wall-clock speedup plus
       the pool's per-task statistics.
 
-   3. Regeneration of every table and figure of the evaluation section
+   3. A loopback benchmark of the varbuf-serve daemon: throughput and
+      p50/p95 request latency at one and at N concurrent clients,
+      against an in-process server sharing one `Exec.Pool`.
+
+   4. Regeneration of every table and figure of the evaluation section
       (the same harnesses `bin/experiments_main.exe` exposes), so that
       `dune exec bench/main.exe` prints the full paper-shaped output —
       run across the pool's domains when --jobs > 1.
 
-   Pass --micro-only, --mc-only or --tables-only to run one part;
+   Pass --micro-only, --mc-only, --serve-only or --tables-only to run
+   one part;
    --jobs N (default: VARBUF_JOBS or the recommended domain count)
    sizes the pool. *)
 
@@ -156,6 +161,96 @@ let run_mc_speedup ~jobs () =
       pp_pool_stats pool);
   print_newline ()
 
+(* Loopback throughput/latency of the varbuf-serve daemon: an
+   in-process server on a temp socket sharing one explicit Exec.Pool,
+   measured at one client and at N concurrent client domains.  The
+   interesting comparison is the N-client row against the 1-client
+   row: requests overlap on the pool's workers, so with --jobs > 1
+   aggregate req/s should rise while per-request p50 stays near the
+   single-client value.  (On a single-core host the N-client row
+   instead shows fair time-sharing: flat req/s and roughly N× the
+   per-request p50.) *)
+let run_serve ~jobs () =
+  let socket_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "varbuf-bench-%d.sock" (Unix.getpid ()))
+  in
+  let tree = Rctree.Generate.random_steiner ~seed:3 ~sinks:60 ~die_um:4000.0 () in
+  let req = Serve.Protocol.default_request ~tree in
+  let pool = Exec.Pool.create ~jobs () in
+  let metrics = Serve.Metrics.create () in
+  let stop = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.Server.run ~pool ~metrics
+          ~should_stop:(fun () -> Atomic.get stop)
+          { (Serve.Server.default_config ~socket_path) with Serve.Server.jobs })
+  in
+  let rec connect tries =
+    match Serve.Client.connect socket_path with
+    | c -> c
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when tries > 0 ->
+      Unix.sleepf 0.02;
+      connect (tries - 1)
+  in
+  (* One connection issuing [n] sequential requests; per-request
+     latencies in ms. *)
+  let client_run n =
+    let c = connect 250 in
+    let lats =
+      Array.init n (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          match Serve.Client.request c req with
+          | Ok _ -> (Unix.gettimeofday () -. t0) *. 1000.0
+          | Error e -> failwith e.Serve.Protocol.message)
+    in
+    Serve.Client.close c;
+    lats
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  ignore (client_run 2) (* warmup *);
+  Printf.printf "== Serve loopback (60-sink net, --jobs %d) ==\n" jobs;
+  let report label lats t_wall =
+    Printf.printf "%-24s %4d req %8.1f req/s  p50 %7.1f ms  p95 %7.1f ms\n"
+      label (Array.length lats)
+      (float_of_int (Array.length lats) /. t_wall)
+      (Numeric.Stats.percentile lats 0.5)
+      (Numeric.Stats.percentile lats 0.95)
+  in
+  let lats, t1 = time (fun () -> client_run 20) in
+  report "1 client" lats t1;
+  let clients = max 2 jobs in
+  let lats_n, t_n =
+    time (fun () ->
+        let ds =
+          List.init clients (fun _ -> Domain.spawn (fun () -> client_run 10))
+        in
+        Array.concat (List.map Domain.join ds))
+  in
+  report (Printf.sprintf "%d clients" clients) lats_n t_n;
+  (* Drain the server, then report its and the pool's view. *)
+  let c = connect 10 in
+  Serve.Client.shutdown c;
+  Serve.Client.close c;
+  Domain.join server;
+  String.split_on_char '\n' (Serve.Metrics.render metrics)
+  |> List.iter (fun line ->
+         let bucket = "latency_ms_bucket" in
+         let is_bucket =
+           String.length line >= String.length bucket
+           && String.sub line 0 (String.length bucket) = bucket
+         in
+         if line <> "" && not is_bucket then Printf.printf "server: %s\n" line);
+  pp_pool_stats pool;
+  Exec.Pool.shutdown pool;
+  print_newline ()
+
 let run_tables ~pool () =
   let setup = { Experiments.Common.default_setup with Experiments.Common.pool } in
   List.iter
@@ -180,9 +275,14 @@ let () =
     max 1 (Option.value (find args) ~default:(Exec.Pool.default_jobs ()))
   in
   let only p = List.mem p args in
-  let all = not (only "--micro-only" || only "--mc-only" || only "--tables-only") in
+  let all =
+    not
+      (only "--micro-only" || only "--mc-only" || only "--serve-only"
+      || only "--tables-only")
+  in
   if all || only "--micro-only" then run_micro ();
   if all || only "--mc-only" then run_mc_speedup ~jobs ();
+  if all || only "--serve-only" then run_serve ~jobs ();
   if all || only "--tables-only" then begin
     let pool = if jobs > 1 then Some (Exec.Pool.create ~jobs ()) else None in
     run_tables ~pool ();

@@ -72,11 +72,14 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
     | Ok algo, Ok rule -> (
       let setup = { Experiments.Common.default_setup with mc_trials = mc } in
       let tree, die_um =
-        try load_tree source seed
-        with Not_found ->
+        try load_tree source seed with
+        | Not_found ->
           prerr_endline
             (Printf.sprintf "unknown benchmark (known: %s)"
                (String.concat ", " Rctree.Benchmarks.names));
+          exit 1
+        | Sys_error msg | Failure msg ->
+          prerr_endline ("cannot load tree: " ^ msg);
           exit 1
       in
       let grid = Experiments.Common.grid_for setup ~die_um in
@@ -87,7 +90,10 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
       Format.printf "tree: %a@." Rctree.Tree.pp_stats tree;
       Option.iter
         (fun path ->
-          Rctree.Io.save path tree;
+          (try Rctree.Io.save path tree
+           with Sys_error msg ->
+             prerr_endline ("cannot save tree: " ^ msg);
+             exit 1);
           Format.printf "tree written to %s@." path)
         save_tree;
       try
@@ -115,7 +121,10 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
           (Sta.Yield.rat_at_yield form ~yield:0.95);
         Option.iter
           (fun path ->
-            Bufins.Assignment.save path (Bufins.Assignment.of_result r);
+            (try Bufins.Assignment.save path (Bufins.Assignment.of_result r)
+             with Sys_error msg ->
+               prerr_endline ("cannot save buffering: " ^ msg);
+               exit 1);
             Format.printf "buffering written to %s@." path)
           save_buffering;
         if mc > 0 then begin

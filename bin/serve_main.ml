@@ -1,0 +1,267 @@
+(* varbuf-serve: the buffer-insertion daemon and its control client.
+
+   `start` runs the optimiser as a long-lived server on a Unix-domain
+   socket (graceful drain on SIGINT/SIGTERM or a `shutdown` request);
+   `request`, `stats` and `shutdown` are one-shot clients. *)
+
+open Cmdliner
+
+let default_socket = Filename.concat (Filename.get_temp_dir_name ()) "varbuf-serve.sock"
+
+let socket_arg =
+  Arg.(value & opt string default_socket & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path.")
+
+(* ---------- start ---------- *)
+
+let start socket jobs queue_depth max_request_bytes =
+  let stop = Atomic.make false in
+  let handle = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  Sys.set_signal Sys.sigint handle;
+  Sys.set_signal Sys.sigterm handle;
+  let config =
+    {
+      (Serve.Server.default_config ~socket_path:socket) with
+      Serve.Server.jobs;
+      queue_depth;
+      max_payload = max_request_bytes;
+    }
+  in
+  Printf.printf "varbuf-serve: listening on %s (jobs=%d, queue=%d)\n%!" socket
+    jobs queue_depth;
+  (try Serve.Server.run ~should_stop:(fun () -> Atomic.get stop) config
+   with Unix.Unix_error (e, fn, arg) ->
+     prerr_endline
+       (Printf.sprintf "cannot serve on %s: %s (%s %s)" socket
+          (Unix.error_message e) fn arg);
+     exit 1);
+  Printf.printf "varbuf-serve: drained, exiting\n%!";
+  0
+
+let start_cmd =
+  let jobs_arg =
+    Arg.(value & opt int (Exec.Pool.default_jobs ()) & info [ "jobs"; "j" ]
+           ~docv:"N" ~doc:"Pool size (defaults to \\$VARBUF_JOBS or the \
+                           recommended domain count).")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N"
+           ~doc:"Maximum requests queued or running; beyond it requests \
+                 are refused with a busy error.")
+  in
+  let max_bytes_arg =
+    Arg.(value & opt int (8 * 1024 * 1024) & info [ "max-request-bytes" ]
+           ~docv:"BYTES" ~doc:"Request frame size limit.")
+  in
+  Cmd.v
+    (Cmd.info "start" ~doc:"run the buffering daemon (foreground)")
+    Term.(const start $ socket_arg $ jobs_arg $ queue_arg $ max_bytes_arg)
+
+(* ---------- request ---------- *)
+
+let load_tree bench file seed sinks =
+  match (bench, file, sinks) with
+  | Some name, None, None -> (
+    match Rctree.Benchmarks.load_by_name name with
+    | tree -> Ok tree
+    | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown benchmark %S (known: %s)" name
+           (String.concat ", " Rctree.Benchmarks.names)))
+  | None, Some path, None -> (
+    try Ok (Rctree.Io.load path)
+    with Sys_error msg | Failure msg -> Error ("cannot load tree: " ^ msg))
+  | None, None, Some n ->
+    let die_um = Float.max 4000.0 (sqrt (float_of_int n) *. 400.0) in
+    Ok (Rctree.Generate.random_steiner ~seed ~sinks:n ~die_um ())
+  | None, None, None -> Error "give one of --bench, --load or --sinks"
+  | _ -> Error "give exactly one of --bench, --load or --sinks"
+
+let rule_of_string p = function
+  | "det" -> Ok Bufins.Prune.deterministic
+  | "2p" -> Ok (Bufins.Prune.two_param ~p_l:p ~p_t:p ())
+  | "1p" -> Ok (Bufins.Prune.one_param ~alpha:0.95)
+  | "4p" -> Ok (Bufins.Prune.four_param ())
+  | s -> Error (Printf.sprintf "unknown pruning rule %S (det|2p|1p|4p)" s)
+
+let mode_of_string = function
+  | "nom" -> Ok Experiments.Common.Nom
+  | "d2d" -> Ok Experiments.Common.D2d
+  | "wid" -> Ok Experiments.Common.Wid
+  | s -> Error (Printf.sprintf "unknown algorithm %S (nom|d2d|wid)" s)
+
+let probe_malformed client =
+  (* A request frame whose payload is not a request: the server must
+     answer with a parse error and keep the connection serving. *)
+  let reply =
+    Serve.Client.roundtrip client ~kind:"request" "this is not a request\n"
+  in
+  match reply.Serve.Wire.kind with
+  | "error" ->
+    let e = Serve.Protocol.decode_error reply.Serve.Wire.payload in
+    Printf.printf "probe: error code=%s message=%s\n" e.Serve.Protocol.code
+      e.Serve.Protocol.message;
+    if e.Serve.Protocol.code <> Serve.Protocol.err_parse then begin
+      prerr_endline "probe: expected a parse error";
+      exit 1
+    end
+  | kind ->
+    prerr_endline
+      (Printf.sprintf "probe: expected an error frame, got %S" kind);
+    exit 1
+
+let request socket bench file sinks algo_s rule_s p seed deadline_ms mc
+    wire_sizing save_buffering probe =
+  let ( let* ) r f = match r with Ok v -> f v | Error msg ->
+    prerr_endline msg; 1
+  in
+  let* tree = load_tree bench file seed sinks in
+  let* mode = mode_of_string algo_s in
+  let* rule = rule_of_string p rule_s in
+  let req =
+    {
+      (Serve.Protocol.default_request ~tree) with
+      Serve.Protocol.seed;
+      mode;
+      rule;
+      deadline_ms;
+      mc_trials = mc;
+      wire_sizing;
+    }
+  in
+  match Serve.Client.connect socket with
+  | exception Unix.Unix_error (e, _, _) ->
+    prerr_endline
+      (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e));
+    1
+  | client ->
+    Fun.protect ~finally:(fun () -> Serve.Client.close client) @@ fun () ->
+    if probe then probe_malformed client;
+    (match Serve.Client.request client req with
+    | Ok r ->
+      Printf.printf
+        "%s/%s: buffers=%d sized-wires=%d nodes=%d peak-candidates=%d\n"
+        algo_s rule_s
+        (List.length r.Serve.Protocol.assignment.Bufins.Assignment.buffers)
+        (List.length r.Serve.Protocol.assignment.Bufins.Assignment.widths)
+        r.Serve.Protocol.nodes r.Serve.Protocol.peak_candidates;
+      Printf.printf
+        "root RAT under full model: mu=%.1f ps, sigma=%.1f ps, 95%%-yield RAT=%.1f ps\n"
+        r.Serve.Protocol.root_mean r.Serve.Protocol.root_std
+        r.Serve.Protocol.root_yield95;
+      (match r.Serve.Protocol.mc with
+      | Some (mean, std) ->
+        Printf.printf "Monte Carlo (%d trials): mu=%.1f ps, sigma=%.1f ps\n" mc
+          mean std
+      | None -> ());
+      (match save_buffering with
+      | Some path -> (
+        try
+          Bufins.Assignment.save path r.Serve.Protocol.assignment;
+          Printf.printf "buffering written to %s\n" path
+        with Sys_error msg ->
+          prerr_endline ("cannot save buffering: " ^ msg);
+          exit 1)
+      | None -> ());
+      0
+    | Error e ->
+      prerr_endline
+        (Printf.sprintf "server error: code=%s message=%s" e.Serve.Protocol.code
+           e.Serve.Protocol.message);
+      if e.Serve.Protocol.code = Serve.Protocol.err_deadline then 2 else 1)
+
+let request_cmd =
+  let bench_arg =
+    Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"NAME"
+           ~doc:"Benchmark name (p1, p2, r1..r5).")
+  in
+  let file_arg =
+    Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE"
+           ~doc:"Load the routing tree from a varbuf tree file.")
+  in
+  let sinks_arg =
+    Arg.(value & opt (some int) None & info [ "sinks" ] ~docv:"N"
+           ~doc:"Generate a random Steiner tree with N sinks.")
+  in
+  let algo_arg =
+    Arg.(value & opt string "wid" & info [ "algo" ] ~docv:"ALGO"
+           ~doc:"Algorithm: nom, d2d or wid.")
+  in
+  let rule_arg =
+    Arg.(value & opt string "2p" & info [ "rule" ] ~docv:"RULE"
+           ~doc:"Pruning rule: det, 2p, 1p or 4p.")
+  in
+  let p_arg =
+    Arg.(value & opt float 0.5 & info [ "p" ] ~docv:"P"
+           ~doc:"The 2P parameters p_L = p_T (0.5 to 1).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Request seed (generator and Monte Carlo).")
+  in
+  let deadline_arg =
+    Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-request wall-clock deadline; 0 = none.")
+  in
+  let mc_arg =
+    Arg.(value & opt int 0 & info [ "mc" ] ~docv:"N"
+           ~doc:"Also run N Monte-Carlo trials on the result.")
+  in
+  let wire_sizing_arg =
+    Arg.(value & flag & info [ "wire-sizing" ]
+           ~doc:"Size wires simultaneously with buffer insertion.")
+  in
+  let save_buffering_arg =
+    Arg.(value & opt (some string) None & info [ "save-buffering" ]
+           ~docv:"FILE" ~doc:"Write the returned buffering to FILE.")
+  in
+  let probe_arg =
+    Arg.(value & flag & info [ "probe-malformed" ]
+           ~doc:"First send a malformed request on the same connection and \
+                 check the server answers it with a parse error (used by the \
+                 CI smoke test).")
+  in
+  Cmd.v
+    (Cmd.info "request" ~doc:"submit one buffering request to the daemon")
+    Term.(
+      const request $ socket_arg $ bench_arg $ file_arg $ sinks_arg $ algo_arg
+      $ rule_arg $ p_arg $ seed_arg $ deadline_arg $ mc_arg $ wire_sizing_arg
+      $ save_buffering_arg $ probe_arg)
+
+(* ---------- stats / shutdown ---------- *)
+
+let with_client socket f =
+  match Serve.Client.connect socket with
+  | exception Unix.Unix_error (e, _, _) ->
+    prerr_endline
+      (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e));
+    1
+  | client ->
+    Fun.protect ~finally:(fun () -> Serve.Client.close client) (fun () ->
+        f client)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"print the daemon's counters and latency histogram")
+    Term.(
+      const (fun socket ->
+          with_client socket (fun client ->
+              print_string (Serve.Client.stats client);
+              0))
+      $ socket_arg)
+
+let shutdown_cmd =
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"ask the daemon to drain and exit")
+    Term.(
+      const (fun socket ->
+          with_client socket (fun client ->
+              Serve.Client.shutdown client;
+              print_endline "server draining";
+              0))
+      $ socket_arg)
+
+let () =
+  let doc = "variation-aware buffer insertion as a service" in
+  let info = Cmd.info "varbuf-serve" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ start_cmd; request_cmd; stats_cmd; shutdown_cmd ]))

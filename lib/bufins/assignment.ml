@@ -25,6 +25,7 @@ let to_string t =
 
 let of_string text =
   let buffers = ref [] and widths = ref [] in
+  let seen_buffers = Hashtbl.create 16 and seen_widths = Hashtbl.create 16 in
   let lines = String.split_on_char '\n' text in
   List.iteri
     (fun i line ->
@@ -64,6 +65,9 @@ let of_string text =
             | Some n -> n
             | None -> fail "bad node id %S" node
           in
+          if Hashtbl.mem seen_buffers node then
+            fail "duplicate buffer at node %d" node;
+          Hashtbl.add seen_buffers node ();
           let assoc = fields rest in
           buffers :=
             ( node,
@@ -80,6 +84,9 @@ let of_string text =
             | Some n -> n
             | None -> fail "bad node id %S" node
           in
+          if Hashtbl.mem seen_widths node then
+            fail "duplicate width at node %d" node;
+          Hashtbl.add seen_widths node ();
           let assoc = fields rest in
           widths :=
             ( node,

@@ -23,7 +23,9 @@ val to_string : t -> string
 (** Round-trips through {!of_string} exactly. *)
 
 val of_string : string -> t
-(** @raise Failure with a line-numbered message on malformed input. *)
+(** @raise Failure with a line-numbered message on malformed input
+    (unknown directive, missing or non-numeric field, or a node listed
+    twice within a section). *)
 
 val save : string -> t -> unit
 val load : string -> t

@@ -156,6 +156,79 @@ let run_batch t fns =
     | None -> ()
   end
 
+(* ---------- futures ---------- *)
+
+type 'a state =
+  | Pending
+  | Value of 'a
+  | Error of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a state;
+}
+
+let submit ?(on_complete = fun () -> ()) t f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  let run () =
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      match f () with
+      | v -> Value v
+      | exception e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.fm;
+    fut.state <- outcome;
+    Condition.broadcast fut.fc;
+    Mutex.unlock fut.fm;
+    let dt = Unix.gettimeofday () -. t0 in
+    Mutex.lock t.mutex;
+    t.tasks_run <- t.tasks_run + 1;
+    t.total_task_s <- t.total_task_s +. dt;
+    if dt > t.max_task_s then t.max_task_s <- dt;
+    Mutex.unlock t.mutex;
+    on_complete ()
+  in
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Exec.Pool: pool is shut down"
+  end;
+  if t.jobs <= 1 || Domain.DLS.get in_task then begin
+    (* No workers (or we are one): complete inline, never deadlock. *)
+    Mutex.unlock t.mutex;
+    run ()
+  end
+  else begin
+    Queue.push run t.queue;
+    Condition.signal t.work;
+    Mutex.unlock t.mutex
+  end;
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec settled () =
+    match fut.state with
+    | Pending ->
+      Condition.wait fut.fc fut.fm;
+      settled ()
+    | Value v ->
+      Mutex.unlock fut.fm;
+      v
+    | Error (e, bt) ->
+      Mutex.unlock fut.fm;
+      Printexc.raise_with_backtrace e bt
+  in
+  settled ()
+
+let poll fut =
+  Mutex.lock fut.fm;
+  let done_ = match fut.state with Pending -> false | Value _ | Error _ -> true in
+  Mutex.unlock fut.fm;
+  done_
+
 let resolve_chunk t ~chunk n =
   match chunk with
   | Some c when c >= 1 -> c

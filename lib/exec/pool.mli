@@ -56,6 +56,41 @@ val parallel_init : ?chunk:int -> t -> int -> f:(int -> 'a) -> 'a array
 (** [parallel_init pool n ~f] is [Array.init n f] computed in
     parallel.  @raise Invalid_argument if [n < 0]. *)
 
+(** {1 Futures}
+
+    The combinators above serve one submitter that blocks on its whole
+    batch.  Long-lived services ({!Serve.Server}) instead interleave
+    many independent submitters over one shared pool: [submit] enqueues
+    a single task and returns immediately; the task runs on whichever
+    worker domain frees up first, and the caller collects the result
+    later with [await] (or tests with [poll]).
+
+    A pool with [jobs = 1] has no worker domains, so [submit] runs the
+    task inline before returning (the future is already completed);
+    the same applies when submitting from inside a pool task, so
+    futures can never deadlock the pool.  With [jobs = n > 1], up to
+    [n - 1] submitted tasks run concurrently (the workers; no caller
+    is helping). *)
+
+type 'a future
+
+val submit : ?on_complete:(unit -> unit) -> t -> (unit -> 'a) -> 'a future
+(** [submit pool f] schedules [f ()] on the pool and returns a handle.
+    [on_complete] (default: nothing) runs on the executing domain right
+    after the future completes — successfully or not — and must not
+    raise; services use it to poke an event loop (e.g. write one byte
+    to a self-pipe).  @raise Invalid_argument if the pool is shut
+    down. *)
+
+val await : 'a future -> 'a
+(** Block until the future completes; return its value or re-raise the
+    task's exception (with its backtrace).  [await] may be called any
+    number of times and from any domain. *)
+
+val poll : 'a future -> bool
+(** [true] once the future has completed (even exceptionally) — then
+    [await] returns without blocking. *)
+
 type stats = {
   workers : int;       (** concurrency bound (the [jobs] value) *)
   tasks_run : int;     (** pool tasks executed since creation *)

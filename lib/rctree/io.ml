@@ -119,7 +119,7 @@ let parse_line lineno line =
   | [] -> None
 
 let of_string text =
-  let nodes : (int, parsed_node) Hashtbl.t = Hashtbl.create 64 in
+  let nodes : (int, parsed_node * int) Hashtbl.t = Hashtbl.create 64 in
   let children : (int, int list) Hashtbl.t = Hashtbl.create 64 in
   let root = ref None in
   let lines = String.split_on_char '\n' text in
@@ -133,7 +133,7 @@ let of_string text =
         | Some (id, node) ->
           if Hashtbl.mem nodes id then
             failwith (Printf.sprintf "line %d: duplicate node id %d" lineno id);
-          Hashtbl.add nodes id node;
+          Hashtbl.add nodes id (node, lineno);
           (match node.p_parent with
           | None ->
             if !root <> None then
@@ -143,12 +143,33 @@ let of_string text =
             Hashtbl.replace children p
               (id :: (Option.value (Hashtbl.find_opt children p) ~default:[]))))
     lines;
+  (* Structural errors cite the line that defined the offending node. *)
+  Hashtbl.iter
+    (fun id ((node, lineno) : parsed_node * int) ->
+      (match node.p_parent with
+      | Some p when not (Hashtbl.mem nodes p) ->
+        failwith
+          (Printf.sprintf "line %d: dangling parent reference from node %d to node %d"
+             lineno id p)
+      | _ -> ());
+      if node.p_wire < 0.0 || Float.is_nan node.p_wire then
+        failwith
+          (Printf.sprintf "line %d: node %d has a negative wire length" lineno id);
+      let arity =
+        List.length (Option.value (Hashtbl.find_opt children id) ~default:[])
+      in
+      if node.p_parent = None && node.p_sink = None && arity > 1 then
+        failwith
+          (Printf.sprintf "line %d: the root must have exactly one child, node %d has %d"
+             lineno id arity);
+      if arity > 2 then
+        failwith
+          (Printf.sprintf "line %d: node %d has %d children (at most 2)" lineno id
+             arity))
+    nodes;
   let root = match !root with Some r -> r | None -> failwith "no root node" in
-  let lookup id =
-    match Hashtbl.find_opt nodes id with
-    | Some n -> n
-    | None -> failwith (Printf.sprintf "dangling parent reference to node %d" id)
-  in
+  let lookup id = fst (Hashtbl.find nodes id) in
+  let line_of id = snd (Hashtbl.find nodes id) in
   let rec spec_of id =
     let n = lookup id in
     let kids =
@@ -156,8 +177,11 @@ let of_string text =
     in
     match (n.p_sink, kids) with
     | Some sink, [] -> Tree.Leaf { x = n.p_x; y = n.p_y; sink }
-    | Some _, _ -> failwith (Printf.sprintf "sink %d has children" id)
-    | None, [] -> failwith (Printf.sprintf "internal node %d has no children" id)
+    | Some _, _ ->
+      failwith (Printf.sprintf "line %d: sink %d has children" (line_of id) id)
+    | None, [] ->
+      failwith
+        (Printf.sprintf "line %d: internal node %d has no children" (line_of id) id)
     | None, kids ->
       Tree.Node
         {
@@ -167,7 +191,10 @@ let of_string text =
             List.map (fun c -> (spec_of c, Some (lookup c).p_wire)) kids;
         }
   in
-  Tree.of_spec (spec_of root)
+  (* Residual structural rejections (e.g. a root with zero children)
+     surface as Failure too, never as a crash. *)
+  try Tree.of_spec (spec_of root)
+  with Invalid_argument msg -> failwith msg
 
 let save path t =
   let oc = open_out path in

@@ -1,0 +1,56 @@
+type t = {
+  fd : Unix.file_descr;
+  dec : Wire.decoder;
+}
+
+let recv_frame t =
+  match Wire.recv t.dec t.fd with
+  | Wire.Frame f -> f
+  | Wire.Oversized { kind; len } ->
+    failwith
+      (Printf.sprintf "server sent an oversized %s frame (%d bytes)" kind len)
+
+let connect ?(max_payload = 64 * 1024 * 1024) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    let t = { fd; dec = Wire.decoder ~max_payload () } in
+    let hello = recv_frame t in
+    if hello.Wire.kind <> "hello" then
+      failwith
+        (Printf.sprintf "expected a hello frame, got %S" hello.Wire.kind);
+    Protocol.check_hello hello.Wire.payload;
+    t
+  with
+  | t -> t
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let roundtrip t ~kind payload =
+  Wire.write_frame t.fd ~kind payload;
+  recv_frame t
+
+let request_raw t req =
+  let reply = roundtrip t ~kind:"request" (Protocol.encode_request req) in
+  match reply.Wire.kind with
+  | "response" -> Ok reply.Wire.payload
+  | "error" -> Error (Protocol.decode_error reply.Wire.payload)
+  | kind -> failwith (Printf.sprintf "unexpected reply frame %S" kind)
+
+let request t req =
+  Result.map Protocol.decode_response (request_raw t req)
+
+let stats t =
+  let reply = roundtrip t ~kind:"stats" "" in
+  match reply.Wire.kind with
+  | "stats" -> reply.Wire.payload
+  | kind -> failwith (Printf.sprintf "unexpected reply frame %S" kind)
+
+let shutdown t =
+  let reply = roundtrip t ~kind:"shutdown" "" in
+  match reply.Wire.kind with
+  | "ok" -> ()
+  | kind -> failwith (Printf.sprintf "unexpected reply frame %S" kind)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,35 @@
+(** Blocking client for the varbuf-serve protocol, used by the CLI,
+    the tests and the bench harness.
+
+    One connection serves any number of sequential requests; every
+    call below writes one frame and blocks until its reply frame
+    arrives. *)
+
+type t
+
+val connect : ?max_payload:int -> string -> t
+(** Connect to the daemon at the given socket path and validate its
+    [hello] handshake.  [max_payload] (default 64 MiB) bounds accepted
+    reply payloads.
+    @raise Unix.Unix_error if the socket cannot be reached;
+    @raise Failure on a handshake or protocol mismatch. *)
+
+val request : t -> Protocol.request -> (Protocol.response, Protocol.error) result
+
+val request_raw :
+  t -> Protocol.request -> (string, Protocol.error) result
+(** Like {!request} but returns the raw response payload bytes —
+    what the determinism tests compare. *)
+
+val stats : t -> string
+(** The server's {!Metrics.render} text. *)
+
+val shutdown : t -> unit
+(** Ask the server to drain and exit; returns once acknowledged. *)
+
+val roundtrip : t -> kind:string -> string -> Wire.frame
+(** Send an arbitrary frame and return the reply frame verbatim (how
+    tests probe malformed-request handling).
+    @raise Wire.Closed if the server hangs up instead. *)
+
+val close : t -> unit

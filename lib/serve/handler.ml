@@ -1,0 +1,70 @@
+let die_of_tree tree =
+  let hi = ref 4000.0 in
+  for id = 0 to Rctree.Tree.node_count tree - 1 do
+    let x, y = Rctree.Tree.position tree id in
+    hi := Float.max !hi (Float.max x y)
+  done;
+  ceil (!hi /. 500.0) *. 500.0
+
+let run ?pool ?deadline_s (req : Protocol.request) =
+  let deadline_s =
+    match deadline_s with
+    | Some s -> Some s
+    | None ->
+      if req.Protocol.deadline_ms > 0 then
+        Some (float_of_int req.Protocol.deadline_ms /. 1000.0)
+      else None
+  in
+  (match deadline_s with
+  | Some s when s <= 0.0 ->
+    raise (Bufins.Engine.Budget_exceeded "deadline expired before optimisation")
+  | _ -> ());
+  let setup =
+    {
+      Experiments.Common.default_setup with
+      Experiments.Common.mc_trials = req.Protocol.mc_trials;
+      pool;
+    }
+  in
+  let tree = req.Protocol.tree in
+  let die_um = die_of_tree tree in
+  let grid = Experiments.Common.grid_for setup ~die_um in
+  let spatial = Varmodel.Model.default_heterogeneous in
+  let budget =
+    { Bufins.Engine.max_candidates = None; max_seconds = deadline_s }
+  in
+  let r =
+    Experiments.Common.run_algo setup ~rule:req.Protocol.rule ~budget
+      ~wire_sizing:req.Protocol.wire_sizing ~spatial ~grid req.Protocol.mode
+      tree
+  in
+  let form =
+    Experiments.Common.evaluate setup ~spatial ~grid tree
+      ~widths:r.Bufins.Engine.widths r.Bufins.Engine.buffers
+  in
+  let mc =
+    if req.Protocol.mc_trials > 0 then begin
+      let inst =
+        Experiments.Common.instance_for setup ~spatial ~grid tree
+          ~widths:r.Bufins.Engine.widths r.Bufins.Engine.buffers
+      in
+      let samples =
+        Experiments.Common.mc_samples setup inst ~seed:req.Protocol.seed
+          ~trials:req.Protocol.mc_trials
+      in
+      let s = Numeric.Stats.summarize samples in
+      Some (s.Numeric.Stats.mean, s.Numeric.Stats.std)
+    end
+    else None
+  in
+  {
+    Protocol.r_id = req.Protocol.id;
+    nodes = r.Bufins.Engine.stats.Bufins.Engine.nodes;
+    peak_candidates = r.Bufins.Engine.stats.Bufins.Engine.peak_candidates;
+    total_candidates = r.Bufins.Engine.stats.Bufins.Engine.total_candidates;
+    root_mean = Linform.mean form;
+    root_std = Linform.std form;
+    root_yield95 = Sta.Yield.rat_at_yield form ~yield:0.95;
+    mc;
+    assignment = Bufins.Assignment.of_result r;
+  }

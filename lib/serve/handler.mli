@@ -1,0 +1,28 @@
+(** Request execution: the in-process library call behind the daemon.
+
+    {!run} is a pure function of the request (the response carries no
+    wall-clock fields), so the bytes of
+    [Protocol.encode_response (run req)] are identical whether the
+    request is answered here, by a server at [--jobs 1], or by a server
+    at [--jobs 8] — the determinism the protocol promises.  The server
+    routes every request through this module; tests call it directly
+    and compare bytes. *)
+
+val die_of_tree : Rctree.Tree.t -> float
+(** Grid-aligned bounding square of a net, for trees that arrive
+    without die metadata (same convention as the CLIs). *)
+
+val run :
+  ?pool:Exec.Pool.t -> ?deadline_s:float -> Protocol.request -> Protocol.response
+(** Optimise the request's tree with its mode/rule, evaluate the
+    solution under the full WID model, and (if [mc > 0]) run the
+    Monte-Carlo evaluation seeded by the request's [seed].
+
+    [deadline_s] (default: from the request's [deadline_ms]) is mapped
+    onto the engine's wall-clock budget; a non-positive value trips
+    immediately.  [pool] parallelises the Monte-Carlo stage when run
+    directly; under a server the call already executes on a pool
+    domain, where nested fan-out runs inline — results are identical
+    either way.
+
+    @raise Bufins.Engine.Budget_exceeded when the deadline trips. *)

@@ -1,0 +1,95 @@
+type t = {
+  started_at : float;
+  conns_open : int Atomic.t;
+  conns_total : int Atomic.t;
+  requests : int Atomic.t;
+  ok : int Atomic.t;
+  errors : int Atomic.t;
+  by_code : (string, int Atomic.t) Hashtbl.t;
+  code_mutex : Mutex.t;
+  hist : Numeric.Histogram.t;
+  mutable lat_sum : float;
+  mutable lat_max : float;
+  hist_mutex : Mutex.t;
+}
+
+let create () =
+  {
+    started_at = Unix.gettimeofday ();
+    conns_open = Atomic.make 0;
+    conns_total = Atomic.make 0;
+    requests = Atomic.make 0;
+    ok = Atomic.make 0;
+    errors = Atomic.make 0;
+    by_code = Hashtbl.create 8;
+    code_mutex = Mutex.create ();
+    (* 120 bins of 500 ms: interactive requests land in the first few
+       bins, the clamped top bin catches everything slower. *)
+    hist = Numeric.Histogram.create ~lo:0.0 ~hi:60_000.0 ~bins:120;
+    lat_sum = 0.0;
+    lat_max = 0.0;
+    hist_mutex = Mutex.create ();
+  }
+
+let conn_opened t =
+  Atomic.incr t.conns_open;
+  Atomic.incr t.conns_total
+
+let conn_closed t = Atomic.decr t.conns_open
+
+let request_ok t ~latency_ms =
+  Atomic.incr t.requests;
+  Atomic.incr t.ok;
+  Mutex.lock t.hist_mutex;
+  Numeric.Histogram.add t.hist latency_ms;
+  t.lat_sum <- t.lat_sum +. latency_ms;
+  if latency_ms > t.lat_max then t.lat_max <- latency_ms;
+  Mutex.unlock t.hist_mutex
+
+let request_error t ~code =
+  Atomic.incr t.requests;
+  Atomic.incr t.errors;
+  Mutex.lock t.code_mutex;
+  let counter =
+    match Hashtbl.find_opt t.by_code code with
+    | Some c -> c
+    | None ->
+      let c = Atomic.make 0 in
+      Hashtbl.add t.by_code code c;
+      c
+  in
+  Mutex.unlock t.code_mutex;
+  Atomic.incr counter
+
+let render t =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "uptime_s %.1f\n" (Unix.gettimeofday () -. t.started_at);
+  Printf.bprintf buf "connections %d\n" (Atomic.get t.conns_open);
+  Printf.bprintf buf "connections_total %d\n" (Atomic.get t.conns_total);
+  Printf.bprintf buf "requests %d\n" (Atomic.get t.requests);
+  Printf.bprintf buf "ok %d\n" (Atomic.get t.ok);
+  Printf.bprintf buf "errors %d\n" (Atomic.get t.errors);
+  Mutex.lock t.code_mutex;
+  let codes =
+    Hashtbl.fold (fun code c acc -> (code, Atomic.get c) :: acc) t.by_code []
+  in
+  Mutex.unlock t.code_mutex;
+  List.iter
+    (fun (code, n) -> Printf.bprintf buf "error_%s %d\n" code n)
+    (List.sort compare codes);
+  Mutex.lock t.hist_mutex;
+  let total = Numeric.Histogram.total t.hist in
+  Printf.bprintf buf "latency_ms_count %d\n" total;
+  if total > 0 then begin
+    Printf.bprintf buf "latency_ms_mean %.1f\n" (t.lat_sum /. float_of_int total);
+    Printf.bprintf buf "latency_ms_max %.1f\n" t.lat_max;
+    for i = 0 to Numeric.Histogram.bins t.hist - 1 do
+      let count = Numeric.Histogram.bin_count t.hist i in
+      if count > 0 then
+        Printf.bprintf buf "latency_ms_bucket %g %d\n"
+          (Numeric.Histogram.bin_center t.hist i)
+          count
+    done
+  end;
+  Mutex.unlock t.hist_mutex;
+  Buffer.contents buf

@@ -1,0 +1,42 @@
+(** Service counters and latency distribution, served by the [stats]
+    request.
+
+    Counters are {!Atomic} so any domain may record; the latency
+    histogram ({!Numeric.Histogram}) is guarded by a private mutex.
+    {!render} is the text payload of the [stats] frame — line-oriented
+    key-value pairs, one histogram bucket per non-empty bin. *)
+
+type t
+
+val create : unit -> t
+(** Fresh metrics; the latency histogram spans 0–60 000 ms (samples
+    beyond either end are clamped into the outermost bins, so no
+    request is ever lost from the distribution). *)
+
+val conn_opened : t -> unit
+val conn_closed : t -> unit
+
+val request_ok : t -> latency_ms:float -> unit
+(** A successful response; [latency_ms] is queue wait + execution. *)
+
+val request_error : t -> code:string -> unit
+(** An [error] response, by {!Protocol} error code. *)
+
+val render : t -> string
+(** {v
+    uptime_s 12.3
+    connections 1
+    connections_total 4
+    requests 7
+    ok 5
+    errors 2
+    error_parse 1
+    error_deadline 1
+    latency_ms_count 5
+    latency_ms_mean 41.3
+    latency_ms_max 80.1
+    latency_ms_bucket 25 3
+    latency_ms_bucket 75 2
+    v}
+    [error_<code>] lines appear only for codes seen; bucket lines only
+    for non-empty bins (center, count). *)

@@ -1,0 +1,281 @@
+let version = 1
+let hello = Printf.sprintf "varbuf-serve protocol %d" version
+
+let check_hello payload =
+  let first = match String.index_opt payload '\n' with
+    | Some i -> String.sub payload 0 i
+    | None -> payload
+  in
+  if String.trim first <> hello then
+    failwith
+      (Printf.sprintf "incompatible server handshake %S (expected %S)" first
+         hello)
+
+type request = {
+  id : int;
+  seed : int;
+  mode : Experiments.Common.algo;
+  rule : Bufins.Prune.t;
+  deadline_ms : int;
+  mc_trials : int;
+  wire_sizing : bool;
+  tree : Rctree.Tree.t;
+}
+
+let default_request ~tree =
+  {
+    id = 0;
+    seed = 1;
+    mode = Experiments.Common.Wid;
+    rule = Bufins.Prune.two_param ();
+    deadline_ms = 0;
+    mc_trials = 0;
+    wire_sizing = false;
+    tree;
+  }
+
+let mode_name = function
+  | Experiments.Common.Nom -> "nom"
+  | Experiments.Common.D2d -> "d2d"
+  | Experiments.Common.Wid -> "wid"
+
+let mode_of_name = function
+  | "nom" -> Experiments.Common.Nom
+  | "d2d" -> Experiments.Common.D2d
+  | "wid" -> Experiments.Common.Wid
+  | s -> failwith (Printf.sprintf "unknown mode %S (nom|d2d|wid)" s)
+
+let encode_rule buf = function
+  | Bufins.Prune.Deterministic -> Buffer.add_string buf "rule det\n"
+  | Bufins.Prune.Two_param { p_l; p_t } ->
+    Printf.bprintf buf "rule 2p\np_l %.17g\np_t %.17g\n" p_l p_t
+  | Bufins.Prune.One_param { alpha } ->
+    Printf.bprintf buf "rule 1p\nalpha %.17g\n" alpha
+  | Bufins.Prune.Four_param { alpha_l; alpha_u; beta_l; beta_u } ->
+    Printf.bprintf buf
+      "rule 4p\nalpha_l %.17g\nalpha_u %.17g\nbeta_l %.17g\nbeta_u %.17g\n"
+      alpha_l alpha_u beta_l beta_u
+
+let encode_request r =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "id %d\nseed %d\nmode %s\n" r.id r.seed (mode_name r.mode);
+  encode_rule buf r.rule;
+  Printf.bprintf buf "deadline_ms %d\nmc %d\nwire_sizing %b\ntree\n"
+    r.deadline_ms r.mc_trials r.wire_sizing;
+  Buffer.add_string buf (Rctree.Io.to_string r.tree);
+  Buffer.contents buf
+
+(* Split a payload into (header key-value lines, text after the marker
+   line).  Blank and [#] lines before the marker are ignored; header
+   values keep internal spaces. *)
+let split_at_marker ~marker text =
+  let n = String.length text in
+  let fields = ref [] in
+  let rec go lineno pos =
+    if pos >= n then
+      failwith (Printf.sprintf "missing %S marker line" marker)
+    else begin
+      let nl = match String.index_from_opt text pos '\n' with
+        | Some i -> i
+        | None -> n
+      in
+      let line = String.trim (String.sub text pos (nl - pos)) in
+      if line = marker then
+        if nl >= n then ""
+        else String.sub text (nl + 1) (n - nl - 1)
+      else begin
+        (if line <> "" && line.[0] <> '#' then
+           match String.index_opt line ' ' with
+           | None ->
+             failwith
+               (Printf.sprintf "line %d: field %S has no value" lineno line)
+           | Some sp ->
+             let key = String.sub line 0 sp in
+             let value =
+               String.trim (String.sub line (sp + 1) (String.length line - sp - 1))
+             in
+             fields := (lineno, key, value) :: !fields);
+        go (lineno + 1) (nl + 1)
+      end
+    end
+  in
+  let rest = go 1 0 in
+  (List.rev !fields, rest)
+
+let int_value lineno key v =
+  match int_of_string_opt v with
+  | Some i -> i
+  | None ->
+    failwith
+      (Printf.sprintf "line %d: field %S is not an integer: %S" lineno key v)
+
+let float_value lineno key v =
+  match float_of_string_opt v with
+  | Some f -> f
+  | None ->
+    failwith
+      (Printf.sprintf "line %d: field %S is not a number: %S" lineno key v)
+
+let bool_value lineno key v =
+  match bool_of_string_opt v with
+  | Some b -> b
+  | None ->
+    failwith
+      (Printf.sprintf "line %d: field %S is not a boolean: %S" lineno key v)
+
+let decode_request text =
+  let fields, tree_text = split_at_marker ~marker:"tree" text in
+  let id = ref 0 and seed = ref 1 and deadline = ref 0 and mc = ref 0 in
+  let wire_sizing = ref false in
+  let mode = ref Experiments.Common.Wid in
+  let rule_name = ref "2p" in
+  let rule_params : (string * float) list ref = ref [] in
+  List.iter
+    (fun (lineno, key, v) ->
+      match key with
+      | "id" -> id := int_value lineno key v
+      | "seed" -> seed := int_value lineno key v
+      | "deadline_ms" -> deadline := int_value lineno key v
+      | "mc" -> mc := int_value lineno key v
+      | "wire_sizing" -> wire_sizing := bool_value lineno key v
+      | "mode" -> (
+        try mode := mode_of_name v
+        with Failure m -> failwith (Printf.sprintf "line %d: %s" lineno m))
+      | "rule" -> rule_name := v
+      | "p_l" | "p_t" | "alpha" | "alpha_l" | "alpha_u" | "beta_l" | "beta_u"
+        -> rule_params := (key, float_value lineno key v) :: !rule_params
+      | _ -> failwith (Printf.sprintf "line %d: unknown request field %S" lineno key))
+    fields;
+  let param ?default key =
+    match (List.assoc_opt key !rule_params, default) with
+    | Some v, _ -> v
+    | None, Some d -> d
+    | None, None -> failwith (Printf.sprintf "rule %s needs field %S" !rule_name key)
+  in
+  let rule =
+    try
+      match !rule_name with
+      | "det" -> Bufins.Prune.deterministic
+      | "2p" ->
+        Bufins.Prune.two_param ~p_l:(param ~default:0.5 "p_l")
+          ~p_t:(param ~default:0.5 "p_t") ()
+      | "1p" -> Bufins.Prune.one_param ~alpha:(param ~default:0.95 "alpha")
+      | "4p" ->
+        Bufins.Prune.four_param
+          ~alpha_l:(param ~default:0.45 "alpha_l")
+          ~alpha_u:(param ~default:0.55 "alpha_u")
+          ~beta_l:(param ~default:0.45 "beta_l")
+          ~beta_u:(param ~default:0.55 "beta_u")
+          ()
+      | s -> failwith (Printf.sprintf "unknown rule %S (det|2p|1p|4p)" s)
+    with Invalid_argument m -> failwith ("bad rule parameters: " ^ m)
+  in
+  let tree =
+    try Rctree.Io.of_string tree_text
+    with Failure m -> failwith ("tree " ^ m)
+  in
+  {
+    id = !id;
+    seed = !seed;
+    mode = !mode;
+    rule;
+    deadline_ms = !deadline;
+    mc_trials = !mc;
+    wire_sizing = !wire_sizing;
+    tree;
+  }
+
+type response = {
+  r_id : int;
+  nodes : int;
+  peak_candidates : int;
+  total_candidates : int;
+  root_mean : float;
+  root_std : float;
+  root_yield95 : float;
+  mc : (float * float) option;
+  assignment : Bufins.Assignment.t;
+}
+
+let encode_response r =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "id %d\nnodes %d\npeak_candidates %d\ntotal_candidates %d\n"
+    r.r_id r.nodes r.peak_candidates r.total_candidates;
+  Printf.bprintf buf "root_mean %.17g\nroot_std %.17g\nroot_yield95 %.17g\n"
+    r.root_mean r.root_std r.root_yield95;
+  (match r.mc with
+  | Some (mean, std) -> Printf.bprintf buf "mc_mean %.17g\nmc_std %.17g\n" mean std
+  | None -> ());
+  Buffer.add_string buf "buffering\n";
+  Buffer.add_string buf (Bufins.Assignment.to_string r.assignment);
+  Buffer.contents buf
+
+let decode_response text =
+  let fields, buffering_text = split_at_marker ~marker:"buffering" text in
+  let r_id = ref 0 and nodes = ref 0 and peak = ref 0 and total = ref 0 in
+  let root_mean = ref nan and root_std = ref nan and root_yield95 = ref nan in
+  let mc_mean = ref None and mc_std = ref None in
+  List.iter
+    (fun (lineno, key, v) ->
+      match key with
+      | "id" -> r_id := int_value lineno key v
+      | "nodes" -> nodes := int_value lineno key v
+      | "peak_candidates" -> peak := int_value lineno key v
+      | "total_candidates" -> total := int_value lineno key v
+      | "root_mean" -> root_mean := float_value lineno key v
+      | "root_std" -> root_std := float_value lineno key v
+      | "root_yield95" -> root_yield95 := float_value lineno key v
+      | "mc_mean" -> mc_mean := Some (float_value lineno key v)
+      | "mc_std" -> mc_std := Some (float_value lineno key v)
+      | _ ->
+        failwith (Printf.sprintf "line %d: unknown response field %S" lineno key))
+    fields;
+  let assignment =
+    try Bufins.Assignment.of_string buffering_text
+    with Failure m -> failwith ("buffering " ^ m)
+  in
+  {
+    r_id = !r_id;
+    nodes = !nodes;
+    peak_candidates = !peak;
+    total_candidates = !total;
+    root_mean = !root_mean;
+    root_std = !root_std;
+    root_yield95 = !root_yield95;
+    mc =
+      (match (!mc_mean, !mc_std) with
+      | Some m, Some s -> Some (m, s)
+      | _ -> None);
+    assignment;
+  }
+
+type error = { code : string; message : string }
+
+let err_parse = "parse"
+let err_too_large = "too_large"
+let err_busy = "busy"
+let err_deadline = "deadline"
+let err_internal = "internal"
+let err_proto = "proto"
+
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let encode_error e =
+  Printf.sprintf "code %s\nmessage %s\n" (one_line e.code) (one_line e.message)
+
+let decode_error text =
+  let code = ref err_internal and message = ref "" in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      match String.index_opt line ' ' with
+      | Some sp -> (
+        let key = String.sub line 0 sp in
+        let v = String.sub line (sp + 1) (String.length line - sp - 1) in
+        match key with
+        | "code" -> code := String.trim v
+        | "message" -> message := v
+        | _ -> ())
+      | None -> ())
+    (String.split_on_char '\n' text);
+  { code = !code; message = !message }

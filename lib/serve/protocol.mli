@@ -1,0 +1,119 @@
+(** The varbuf-serve wire protocol, version {!version}.
+
+    Frames ({!Wire}) carry line-oriented text payloads.  On connect the
+    server sends one [hello] frame whose payload begins with
+    ["varbuf-serve protocol <version>"]; a client must check the
+    version before submitting.  Then, per client frame:
+
+    - [request] → one [response] (success) or [error] frame;
+    - [stats]   → one [stats] frame ({!Metrics.render} text);
+    - [shutdown] → one [ok] frame, after which the server drains
+      in-flight requests and exits.
+
+    A request payload is key-value lines followed by a [tree] marker
+    line and the routing tree in the {!Rctree.Io} text format:
+
+    {v
+    id 3
+    seed 42
+    mode wid
+    rule 2p
+    p_l 0.5
+    p_t 0.5
+    deadline_ms 5000
+    mc 0
+    wire_sizing false
+    tree
+    # varbuf tree v1
+    node 0 root x 500 y 500
+    ...
+    v}
+
+    Every field except the tree has a default; [seed], [rule] and
+    [mode] are explicit in the request so a response is a pure function
+    of the payload — the same request is answered bit-identically by
+    any server at any [--jobs] count.  A response payload is key-value
+    result lines followed by a [buffering] marker and the chosen
+    solution in the {!Bufins.Assignment} text format (responses carry
+    no wall-clock fields; latency lives in the [stats] report). *)
+
+val version : int
+
+val hello : string
+(** The [hello] payload, ["varbuf-serve protocol <version>"]. *)
+
+val check_hello : string -> unit
+(** @raise Failure if the peer's hello names an incompatible
+    protocol. *)
+
+(** {1 Requests} *)
+
+type request = {
+  id : int;  (** echoed verbatim in the response *)
+  seed : int;  (** Monte-Carlo seed *)
+  mode : Experiments.Common.algo;  (** nom | d2d | wid *)
+  rule : Bufins.Prune.t;
+  deadline_ms : int;  (** wall-clock deadline; 0 = none *)
+  mc_trials : int;  (** extra Monte-Carlo evaluation; 0 = skip *)
+  wire_sizing : bool;
+  tree : Rctree.Tree.t;
+}
+
+val default_request : tree:Rctree.Tree.t -> request
+(** id 0, seed 1, WID, 2P(0.5, 0.5), no deadline, no MC, no wire
+    sizing. *)
+
+val encode_request : request -> string
+
+val decode_request : string -> request
+(** @raise Failure with a line-numbered message on malformed input
+    (unknown field, bad value, missing [tree] marker, or any
+    {!Rctree.Io.of_string} error, prefixed with [tree]). *)
+
+(** {1 Responses} *)
+
+type response = {
+  r_id : int;
+  nodes : int;
+  peak_candidates : int;
+  total_candidates : int;
+  root_mean : float;  (** mean root RAT under the full model, ps *)
+  root_std : float;
+  root_yield95 : float;  (** the paper's 95%-yield RAT *)
+  mc : (float * float) option;  (** Monte-Carlo (mean, std) if requested *)
+  assignment : Bufins.Assignment.t;
+}
+
+val encode_response : response -> string
+(** Deterministic: floats printed with ["%.17g"] so
+    {!decode_response} round-trips exactly and equal results encode to
+    equal bytes. *)
+
+val decode_response : string -> response
+(** @raise Failure with a line-numbered message on malformed input. *)
+
+(** {1 Errors} *)
+
+type error = { code : string; message : string }
+
+val err_parse : string
+(** The request payload did not parse. *)
+
+val err_too_large : string
+(** The request frame exceeded the server's size limit. *)
+
+val err_busy : string
+(** The bounded request queue is full (or the server is draining). *)
+
+val err_deadline : string
+(** The deadline expired (in queue or mid-optimisation). *)
+
+val err_internal : string
+(** The optimiser failed unexpectedly. *)
+
+val err_proto : string
+(** Unknown frame kind or other protocol misuse. *)
+
+val encode_error : error -> string
+val decode_error : string -> error
+(** Tolerant: missing fields decode to ["internal"] / [""]. *)

@@ -1,0 +1,244 @@
+type config = {
+  socket_path : string;
+  jobs : int;
+  backlog : int;
+  max_payload : int;
+  queue_depth : int;
+  max_connections : int;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    jobs = Exec.Pool.default_jobs ();
+    backlog = 64;
+    max_payload = 8 * 1024 * 1024;
+    queue_depth = 64;
+    max_connections = 128;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Wire.decoder;
+  mutable alive : bool;
+}
+
+type job = {
+  j_conn : conn;
+  fut : (Protocol.response, Protocol.error) result Exec.Pool.future;
+  enqueued_at : float;
+}
+
+(* Write a frame, isolating connection death (EPIPE & friends) to this
+   connection. *)
+let send conn ~kind payload =
+  if conn.alive then
+    try Wire.write_frame conn.fd ~kind payload
+    with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false
+
+let send_error conn code message =
+  send conn ~kind:"error"
+    (Protocol.encode_error { Protocol.code; message })
+
+let close_conn metrics conn =
+  if conn.alive then conn.alive <- false;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Metrics.conn_closed metrics
+
+let run ?pool ?metrics ?(should_stop = fun () -> false) config =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let owned_pool = match pool with
+    | Some _ -> None
+    | None -> Some (Exec.Pool.create ~jobs:config.jobs ())
+  in
+  let pool = match pool with Some p -> p | None -> Option.get owned_pool in
+  let prev_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ -> None
+  in
+  (* Stale socket file from a crashed daemon. *)
+  (try Unix.unlink config.socket_path
+   with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listen_fd config.backlog;
+  (* Self-pipe: completing pool tasks poke it so [select] wakes as soon
+     as a response is ready instead of at the next timeout. *)
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
+  let poke () =
+    try ignore (Unix.write_substring pipe_w "x" 0 1)
+    with Unix.Unix_error _ -> ()
+  in
+  let drain_pipe () =
+    let buf = Bytes.create 256 in
+    let rec go () =
+      match Unix.read pipe_r buf 0 256 with
+      | n when n > 0 -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+  in
+  let conns : conn list ref = ref [] in
+  let jobs : job list ref = ref [] in
+  let draining = ref false in
+  let read_buf = Bytes.create 65536 in
+
+  let dispatch_request conn payload =
+    if !draining then begin
+      Metrics.request_error metrics ~code:Protocol.err_busy;
+      send_error conn Protocol.err_busy "server is draining"
+    end
+    else if List.length !jobs >= config.queue_depth then begin
+      Metrics.request_error metrics ~code:Protocol.err_busy;
+      send_error conn Protocol.err_busy
+        (Printf.sprintf "request queue full (depth %d)" config.queue_depth)
+    end
+    else
+      match Protocol.decode_request payload with
+      | exception Failure msg ->
+        Metrics.request_error metrics ~code:Protocol.err_parse;
+        send_error conn Protocol.err_parse msg
+      | req ->
+        let enqueued_at = Unix.gettimeofday () in
+        let deadline_at =
+          if req.Protocol.deadline_ms > 0 then
+            Some (enqueued_at +. (float_of_int req.Protocol.deadline_ms /. 1000.0))
+          else None
+        in
+        let task () =
+          (* Queue wait counts against the deadline: re-derive the
+             remaining budget at execution start. *)
+          let deadline_s =
+            Option.map (fun at -> at -. Unix.gettimeofday ()) deadline_at
+          in
+          match Handler.run ~pool ?deadline_s req with
+          | resp -> Ok resp
+          | exception Bufins.Engine.Budget_exceeded msg ->
+            Error { Protocol.code = Protocol.err_deadline; message = msg }
+          | exception (Failure msg | Invalid_argument msg) ->
+            Error { Protocol.code = Protocol.err_internal; message = msg }
+        in
+        let fut = Exec.Pool.submit ~on_complete:poke pool task in
+        jobs := !jobs @ [ { j_conn = conn; fut; enqueued_at } ]
+  in
+
+  let handle_frame conn (f : Wire.frame) =
+    match f.Wire.kind with
+    | "request" -> dispatch_request conn f.Wire.payload
+    | "stats" -> send conn ~kind:"stats" (Metrics.render metrics)
+    | "shutdown" ->
+      send conn ~kind:"ok" "";
+      draining := true
+    | kind ->
+      Metrics.request_error metrics ~code:Protocol.err_proto;
+      send_error conn Protocol.err_proto
+        (Printf.sprintf "unknown frame kind %S" kind)
+  in
+
+  let handle_readable conn =
+    match Unix.read conn.fd read_buf 0 (Bytes.length read_buf) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> conn.alive <- false
+    | 0 -> conn.alive <- false
+    | n -> (
+      Wire.feed conn.dec read_buf n;
+      let rec pump () =
+        match Wire.next conn.dec with
+        | None -> ()
+        | Some (Wire.Oversized { kind; len }) ->
+          Metrics.request_error metrics ~code:Protocol.err_too_large;
+          send_error conn Protocol.err_too_large
+            (Printf.sprintf "%s frame of %d bytes exceeds the %d-byte limit"
+               kind len config.max_payload);
+          pump ()
+        | Some (Wire.Frame f) ->
+          handle_frame conn f;
+          pump ()
+      in
+      try pump ()
+      with Failure msg ->
+        (* Framing is lost: tell the client why, then drop it.  The
+           daemon itself keeps serving. *)
+        send_error conn Protocol.err_proto msg;
+        conn.alive <- false)
+  in
+
+  let complete_jobs () =
+    let done_, still = List.partition (fun j -> Exec.Pool.poll j.fut) !jobs in
+    jobs := still;
+    List.iter
+      (fun j ->
+        let latency_ms = (Unix.gettimeofday () -. j.enqueued_at) *. 1000.0 in
+        match Exec.Pool.await j.fut with
+        | Ok resp ->
+          Metrics.request_ok metrics ~latency_ms;
+          send j.j_conn ~kind:"response" (Protocol.encode_response resp)
+        | Error err ->
+          Metrics.request_error metrics ~code:err.Protocol.code;
+          send j.j_conn ~kind:"error" (Protocol.encode_error err)
+        | exception e ->
+          (* A crash in the submit plumbing itself; isolate it too. *)
+          Metrics.request_error metrics ~code:Protocol.err_internal;
+          send_error j.j_conn Protocol.err_internal (Printexc.to_string e))
+      done_
+  in
+
+  let cleanup () =
+    List.iter (close_conn metrics) !conns;
+    conns := [];
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.close pipe_r with Unix.Unix_error _ -> ());
+    (try Unix.close pipe_w with Unix.Unix_error _ -> ());
+    (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+    Option.iter Exec.Pool.shutdown owned_pool;
+    match prev_sigpipe with
+    | Some b -> ( try Sys.set_signal Sys.sigpipe b with Invalid_argument _ -> ())
+    | None -> ()
+  in
+
+  let rec loop () =
+    if should_stop () then draining := true;
+    if !draining && !jobs = [] then ()
+    else begin
+      let accepting =
+        (not !draining) && List.length !conns < config.max_connections
+      in
+      let watched =
+        (if accepting then [ listen_fd ] else [])
+        @ (pipe_r :: List.map (fun c -> c.fd) !conns)
+      in
+      let readable, _, _ =
+        try Unix.select watched [] [] 0.2
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if List.mem pipe_r readable then drain_pipe ();
+      if accepting && List.mem listen_fd readable then begin
+        match Unix.accept listen_fd with
+        | fd, _ ->
+          let conn =
+            { fd; dec = Wire.decoder ~max_payload:config.max_payload (); alive = true }
+          in
+          Metrics.conn_opened metrics;
+          send conn ~kind:"hello" (Protocol.hello ^ "\n");
+          conns := conn :: !conns
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      end;
+      List.iter
+        (fun conn ->
+          if conn.alive && List.mem conn.fd readable then handle_readable conn)
+        !conns;
+      complete_jobs ();
+      (* Reap connections that died (EOF, write error, framing error).
+         Their still-running jobs finish and are discarded by [send]'s
+         alive check. *)
+      let dead, live = List.partition (fun c -> not c.alive) !conns in
+      List.iter (close_conn metrics) dead;
+      conns := live;
+      loop ()
+    end
+  in
+  Fun.protect ~finally:cleanup loop

@@ -1,0 +1,48 @@
+(** The varbuf-serve daemon: a Unix-domain-socket accept loop that fans
+    concurrent requests onto one shared {!Exec.Pool}.
+
+    One domain runs the event loop ([Unix.select] over the listening
+    socket, a self-pipe and every client connection); request
+    execution is submitted to the pool as {!Exec.Pool.submit} futures,
+    so with [jobs = n] up to [n − 1] optimisations run concurrently
+    while the loop keeps accepting, parsing and answering.  With
+    [jobs = 1] there are no workers and requests execute inline in the
+    loop — a degenerate but correct (and bit-identical) mode.
+
+    Robustness contract:
+    - a malformed or oversized request gets an [error] frame and the
+      connection (and daemon) keep serving; only a corrupt frame
+      {e header} closes that one connection;
+    - at most [queue_depth] requests are queued or running; beyond
+      that, requests are refused with [busy];
+    - a request's [deadline_ms] covers queue wait plus optimisation
+      (mapped onto the engine's wall-clock budget) — an expired request
+      gets a [deadline] error;
+    - [shutdown] requests and [should_stop] (the CLI's SIGINT/SIGTERM
+      flag) drain in-flight work, answer it, then exit cleanly,
+      removing the socket file. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** pool size when {!run} creates its own pool *)
+  backlog : int;  (** listen backlog *)
+  max_payload : int;  (** request-frame size limit, bytes *)
+  queue_depth : int;  (** max requests queued + running *)
+  max_connections : int;  (** accepting pauses above this *)
+}
+
+val default_config : socket_path:string -> config
+(** jobs {!Exec.Pool.default_jobs}, backlog 64, 8 MiB payloads,
+    queue depth 64, 128 connections. *)
+
+val run :
+  ?pool:Exec.Pool.t ->
+  ?metrics:Metrics.t ->
+  ?should_stop:(unit -> bool) ->
+  config ->
+  unit
+(** Bind, serve until a [shutdown] request or [should_stop] (polled at
+    least every 200 ms), drain, clean up.  A caller-supplied [pool] is
+    shared, not shut down; a caller-supplied [metrics] lets the host
+    observe counters from outside.
+    @raise Unix.Unix_error if the socket cannot be bound. *)

@@ -1,0 +1,111 @@
+type frame = { kind : string; payload : string }
+
+type event =
+  | Frame of frame
+  | Oversized of { kind : string; len : int }
+
+let magic = "varbuf1"
+let max_header = 128
+
+type decoder = {
+  mutable acc : string;        (* buffered, unconsumed input *)
+  mutable skip : int;          (* payload bytes of an oversized frame
+                                  still to discard *)
+  max_payload : int;
+}
+
+let decoder ?(max_payload = 8 * 1024 * 1024) () =
+  { acc = ""; skip = 0; max_payload }
+
+let feed d buf n =
+  if n > 0 then begin
+    let chunk = Bytes.sub_string buf 0 n in
+    if d.skip > 0 then begin
+      let eaten = min d.skip (String.length chunk) in
+      d.skip <- d.skip - eaten;
+      let rest = String.sub chunk eaten (String.length chunk - eaten) in
+      if rest <> "" then d.acc <- d.acc ^ rest
+    end
+    else d.acc <- d.acc ^ chunk
+  end
+
+let kind_ok kind =
+  kind <> ""
+  && String.for_all
+       (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+       kind
+
+let parse_header line =
+  match String.split_on_char ' ' line with
+  | [ m; kind; len ] when m = magic -> (
+    if not (kind_ok kind) then
+      failwith (Printf.sprintf "frame header: bad kind %S" kind);
+    match int_of_string_opt len with
+    | Some n when n >= 0 -> (kind, n)
+    | _ -> failwith (Printf.sprintf "frame header: bad length %S" len))
+  | _ -> failwith (Printf.sprintf "frame header: expected %S, got %S" magic line)
+
+let next d =
+  if d.skip > 0 then None
+  else
+    match String.index_opt d.acc '\n' with
+    | None ->
+      if String.length d.acc > max_header then
+        failwith "frame header: no newline within the header limit";
+      None
+    | Some nl when nl > max_header ->
+      failwith "frame header: header line too long"
+    | Some nl -> (
+      let kind, len = parse_header (String.sub d.acc 0 nl) in
+      let after = String.length d.acc - nl - 1 in
+      if len > d.max_payload then begin
+        (* Discard the payload but keep the stream in sync. *)
+        let eaten = min len after in
+        d.acc <- String.sub d.acc (nl + 1 + eaten) (after - eaten);
+        d.skip <- len - eaten;
+        Some (Oversized { kind; len })
+      end
+      else if after >= len then begin
+        let payload = String.sub d.acc (nl + 1) len in
+        d.acc <- String.sub d.acc (nl + 1 + len) (after - len);
+        Some (Frame { kind; payload })
+      end
+      else None)
+
+exception Closed
+
+let rec read_retry fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd buf
+
+let recv d fd =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match next d with
+    | Some ev -> ev
+    | None ->
+      let n = read_retry fd buf in
+      if n = 0 then
+        if d.acc = "" && d.skip = 0 then raise Closed
+        else failwith "connection closed mid-frame"
+      else begin
+        feed d buf n;
+        go ()
+      end
+  in
+  go ()
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let write_frame fd ~kind payload =
+  write_all fd
+    (Printf.sprintf "%s %s %d\n%s" magic kind (String.length payload) payload)

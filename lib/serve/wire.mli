@@ -1,0 +1,62 @@
+(** Length-delimited framing over a stream socket.
+
+    Every message in either direction is one frame: a single ASCII
+    header line followed by exactly the announced number of payload
+    bytes:
+
+    {v
+    varbuf1 <kind> <payload-bytes>\n
+    <payload>
+    v}
+
+    [kind] is a short lower-case token ([request], [response], [error],
+    [stats], [shutdown], [ok], [hello]); the payload is itself
+    line-oriented text defined by {!Protocol}.  Because the length is
+    explicit, a receiver can always resynchronise after a payload it
+    rejects (malformed or over the size limit) — only a corrupt
+    {e header} forces the connection closed. *)
+
+type frame = { kind : string; payload : string }
+
+type event =
+  | Frame of frame
+  | Oversized of { kind : string; len : int }
+      (** A syntactically valid header announcing a payload larger than
+          the decoder's limit.  The payload bytes are consumed and
+          discarded internally; the stream stays in sync and the next
+          {!next}/{!recv} yields the following frame. *)
+
+(** {1 Incremental decoding (the server side)} *)
+
+type decoder
+
+val decoder : ?max_payload:int -> unit -> decoder
+(** A fresh decoder.  [max_payload] (default 8 MiB) bounds accepted
+    payloads; longer ones come out as {!Oversized}. *)
+
+val feed : decoder -> bytes -> int -> unit
+(** [feed d buf n] appends the first [n] bytes of [buf] to the
+    decoder's input. *)
+
+val next : decoder -> event option
+(** The next complete event, or [None] if more input is needed.
+    @raise Failure on an unrecoverable framing error (bad magic,
+    malformed or oversized header line): the connection must be
+    closed. *)
+
+(** {1 Blocking transport (the client side)} *)
+
+exception Closed
+(** The peer closed the connection at a frame boundary. *)
+
+val recv : decoder -> Unix.file_descr -> event
+(** Read from [fd] into the decoder until one event is complete.
+    @raise Closed on EOF at a frame boundary;
+    @raise Failure on EOF mid-frame or a framing error. *)
+
+val write_frame : Unix.file_descr -> kind:string -> string -> unit
+(** Send one frame (blocking, handles partial writes).
+    @raise Unix.Unix_error as [Unix.write] (e.g. [EPIPE]). *)
+
+val max_header : int
+(** Longest accepted header line, bytes (framing constant). *)

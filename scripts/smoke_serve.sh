@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the varbuf-serve daemon (CI's server check):
+# start a daemon, send a malformed probe plus a real benchmark request
+# on the same connection, verify the saved buffering and the stats
+# counters, then drain and check the daemon's own exit status.
+set -ueo pipefail
+cd "$(dirname "$0")/.."
+
+dune build bin/serve_main.exe
+BIN=_build/default/bin/serve_main.exe
+
+SOCK="${TMPDIR:-/tmp}/varbuf-smoke-$$.sock"
+BUF="${TMPDIR:-/tmp}/varbuf-smoke-$$.buf"
+trap 'rm -f "$SOCK" "$BUF"' EXIT
+
+"$BIN" start --socket "$SOCK" --jobs 2 &
+SERVER=$!
+
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "FAIL: server socket never appeared"; exit 1; }
+
+# One connection: a malformed request (must be answered with a parse
+# error while the connection keeps serving) followed by a real request
+# that must produce a parseable buffering within the deadline.
+out=$("$BIN" request --socket "$SOCK" --bench r1 --algo wid --rule 2p \
+  --deadline-ms 120000 --probe-malformed --save-buffering "$BUF")
+echo "$out"
+grep -q "probe: error code=parse" <<<"$out"
+grep -q "wid/2p: buffers=" <<<"$out"
+head -1 "$BUF" | grep -q "# varbuf buffering v1"
+
+stats=$("$BIN" stats --socket "$SOCK")
+grep -qx "requests 2" <<<"$stats"
+grep -qx "ok 1" <<<"$stats"
+grep -qx "error_parse 1" <<<"$stats"
+grep -q "^latency_ms_bucket " <<<"$stats"
+
+"$BIN" shutdown --socket "$SOCK"
+wait "$SERVER"
+[ ! -e "$SOCK" ] || { echo "FAIL: socket not removed on shutdown"; exit 1; }
+
+echo "smoke_serve: all checks passed"

@@ -10,4 +10,6 @@ let () =
       ("bufins", Test_bufins.suite);
       ("sta", Test_sta.suite);
       ("experiments", Test_experiments.suite);
+      ("wire_formats", Test_wire_formats.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,206 @@
+(* End-to-end tests for lib/serve: protocol round-trips, a live server
+   exercised over a loopback Unix-domain socket (error isolation,
+   stats, graceful shutdown), and the byte-identical determinism
+   contract across --jobs counts. *)
+
+let sock_counter = Atomic.make 0
+
+let fresh_socket_path () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "varbuf-test-%d-%d.sock" (Unix.getpid ())
+       (Atomic.fetch_and_add sock_counter 1))
+
+(* Start a server in its own domain, hand a connected client to [f],
+   and always drain the server before returning — via the stop flag if
+   [f] did not already ask for shutdown. *)
+let with_server ?(jobs = 2) ?(tweak = fun c -> c) f =
+  let socket_path = fresh_socket_path () in
+  let config = tweak { (Serve.Server.default_config ~socket_path) with jobs } in
+  let stop = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.Server.run ~should_stop:(fun () -> Atomic.get stop) config)
+  in
+  let rec connect tries =
+    match Serve.Client.connect socket_path with
+    | c -> c
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when tries > 0 ->
+      Unix.sleepf 0.02;
+      connect (tries - 1)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join server)
+    (fun () ->
+      let client = connect 250 in
+      Fun.protect ~finally:(fun () -> Serve.Client.close client) (fun () -> f client))
+
+let small_tree = Rctree.Generate.random_steiner ~seed:11 ~sinks:9 ~die_um:2000.0 ()
+
+(* ---------- protocol round-trips (no server) ---------- *)
+
+let test_request_roundtrip () =
+  let req =
+    {
+      (Serve.Protocol.default_request ~tree:small_tree) with
+      Serve.Protocol.id = 42;
+      seed = 7;
+      mode = Experiments.Common.D2d;
+      rule = Bufins.Prune.two_param ~p_l:0.6 ~p_t:0.85 ();
+      deadline_ms = 1500;
+      mc_trials = 64;
+      wire_sizing = true;
+    }
+  in
+  let text = Serve.Protocol.encode_request req in
+  let decoded = Serve.Protocol.decode_request text in
+  Alcotest.(check string)
+    "request encoding round-trips exactly" text
+    (Serve.Protocol.encode_request decoded);
+  Alcotest.(check int) "id" 42 decoded.Serve.Protocol.id;
+  Alcotest.(check bool) "rule" true
+    (decoded.Serve.Protocol.rule = Bufins.Prune.two_param ~p_l:0.6 ~p_t:0.85 ())
+
+let test_response_roundtrip () =
+  let req =
+    { (Serve.Protocol.default_request ~tree:small_tree) with
+      Serve.Protocol.id = 3; mc_trials = 32 }
+  in
+  let resp = Serve.Handler.run req in
+  let text = Serve.Protocol.encode_response resp in
+  let decoded = Serve.Protocol.decode_response text in
+  Alcotest.(check string)
+    "response encoding round-trips exactly" text
+    (Serve.Protocol.encode_response decoded);
+  Alcotest.(check int) "id echoed" 3 resp.Serve.Protocol.r_id;
+  Alcotest.(check bool) "mc present" true (resp.Serve.Protocol.mc <> None)
+
+let test_error_roundtrip () =
+  let e =
+    { Serve.Protocol.code = Serve.Protocol.err_parse;
+      message = "line 3: unknown field" }
+  in
+  let decoded = Serve.Protocol.decode_error (Serve.Protocol.encode_error e) in
+  Alcotest.(check string) "code" e.Serve.Protocol.code decoded.Serve.Protocol.code;
+  Alcotest.(check string) "message" e.Serve.Protocol.message
+    decoded.Serve.Protocol.message
+
+let test_handler_deadline () =
+  let req = Serve.Protocol.default_request ~tree:small_tree in
+  match Serve.Handler.run ~deadline_s:0.0 req with
+  | _ -> Alcotest.fail "an expired deadline must raise Budget_exceeded"
+  | exception Bufins.Engine.Budget_exceeded _ -> ()
+
+(* ---------- live server ---------- *)
+
+let test_server_errors_and_requests () =
+  (* A small frame limit so the oversized path is cheap to exercise. *)
+  let tweak c = { c with Serve.Server.max_payload = 16_384 } in
+  with_server ~jobs:2 ~tweak (fun client ->
+      (* 1. Malformed request: error frame, connection survives. *)
+      let reply =
+        Serve.Client.roundtrip client ~kind:"request" "this is not a request\n"
+      in
+      Alcotest.(check string) "malformed -> error frame" "error"
+        reply.Serve.Wire.kind;
+      let e = Serve.Protocol.decode_error reply.Serve.Wire.payload in
+      Alcotest.(check string) "malformed -> parse" Serve.Protocol.err_parse
+        e.Serve.Protocol.code;
+      (* 2. Oversized request: rejected, stream stays in sync. *)
+      let reply =
+        Serve.Client.roundtrip client ~kind:"request" (String.make 20_000 'x')
+      in
+      let e = Serve.Protocol.decode_error reply.Serve.Wire.payload in
+      Alcotest.(check string) "oversized -> too_large"
+        Serve.Protocol.err_too_large e.Serve.Protocol.code;
+      (* 3. Unknown frame kind: protocol error, connection survives. *)
+      let reply = Serve.Client.roundtrip client ~kind:"bogus" "" in
+      let e = Serve.Protocol.decode_error reply.Serve.Wire.payload in
+      Alcotest.(check string) "unknown kind -> proto" Serve.Protocol.err_proto
+        e.Serve.Protocol.code;
+      (* 4. The same connection still serves a real request. *)
+      let req =
+        { (Serve.Protocol.default_request ~tree:small_tree) with
+          Serve.Protocol.id = 5 }
+      in
+      (match Serve.Client.request client req with
+      | Ok resp ->
+        Alcotest.(check int) "id echoed" 5 resp.Serve.Protocol.r_id;
+        Alcotest.(check bool) "some buffers placed" true
+          (resp.Serve.Protocol.assignment.Bufins.Assignment.buffers <> [])
+      | Error e -> Alcotest.failf "request failed: %s" e.Serve.Protocol.message);
+      (* 5. Stats report the traffic above. *)
+      let stats = Serve.Client.stats client in
+      let has sub =
+        Alcotest.(check bool) (Printf.sprintf "stats contain %S" sub) true
+          (List.exists
+             (fun line ->
+               String.length line >= String.length sub
+               && String.sub line 0 (String.length sub) = sub)
+             (String.split_on_char '\n' stats))
+      in
+      has "requests 4";
+      has "ok 1";
+      has "error_parse 1";
+      has "error_too_large 1";
+      has "error_proto 1";
+      has "latency_ms_count 1";
+      has "latency_ms_bucket";
+      (* 6. Graceful shutdown acknowledged. *)
+      Serve.Client.shutdown client)
+
+let test_server_deadline () =
+  with_server ~jobs:2 (fun client ->
+      let tree =
+        Rctree.Generate.random_steiner ~seed:2 ~sinks:400 ~die_um:8000.0 ()
+      in
+      let req =
+        { (Serve.Protocol.default_request ~tree) with
+          Serve.Protocol.deadline_ms = 1 }
+      in
+      match Serve.Client.request client req with
+      | Ok _ -> Alcotest.fail "a 1 ms deadline on a 400-sink net must trip"
+      | Error e ->
+        Alcotest.(check string) "deadline error" Serve.Protocol.err_deadline
+          e.Serve.Protocol.code)
+
+(* ---------- determinism across jobs counts ---------- *)
+
+let test_determinism_across_jobs () =
+  let tree = Rctree.Generate.random_steiner ~seed:5 ~sinks:40 ~die_um:3000.0 () in
+  let req =
+    { (Serve.Protocol.default_request ~tree) with
+      Serve.Protocol.id = 9; seed = 7; mc_trials = 128 }
+  in
+  (* The in-process library call is the reference. *)
+  let expected = Serve.Protocol.encode_response (Serve.Handler.run req) in
+  let via_server jobs =
+    let payload = ref "" in
+    with_server ~jobs (fun client ->
+        match Serve.Client.request_raw client req with
+        | Ok raw -> payload := raw
+        | Error e -> Alcotest.failf "request failed: %s" e.Serve.Protocol.message);
+    !payload
+  in
+  Alcotest.(check string) "server at --jobs 1 is byte-identical" expected
+    (via_server 1);
+  Alcotest.(check string) "server at --jobs 4 is byte-identical" expected
+    (via_server 4)
+
+let suite =
+  [
+    Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+    Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+    Alcotest.test_case "error round-trip" `Quick test_error_roundtrip;
+    Alcotest.test_case "expired deadline trips the budget" `Quick
+      test_handler_deadline;
+    Alcotest.test_case "error isolation, stats, shutdown" `Quick
+      test_server_errors_and_requests;
+    Alcotest.test_case "deadline maps to a deadline error" `Quick
+      test_server_deadline;
+    Alcotest.test_case "byte-identical at jobs 1 and 4" `Quick
+      test_determinism_across_jobs;
+  ]
