@@ -23,7 +23,11 @@
       run across the pool's domains when --jobs > 1.
 
    Pass --micro-only, --mc-only, --serve-only or --tables-only to run
-   one part;
+   one part; --smoke runs a reduced micro pass with tight iteration
+   budgets (the CI smoke-bench).  Whenever the micro pass runs, the
+   per-benchmark ns/run figures plus a DP allocation probe are written
+   as machine-readable JSON to BENCH.json (override with
+   --bench-json PATH);
    --jobs N (default: VARBUF_JOBS or the recommended domain count)
    sizes the pool. *)
 
@@ -33,10 +37,10 @@ open Toolkit
 (* ---------- fixtures ---------- *)
 
 let fixture_sols n ~sigma =
-  (* A synthetic pruned-frontier-like candidate list: loads and rats
-     increasing, each with a couple of shared plus one private
+  (* A synthetic pruned-frontier-like candidate frontier: loads and
+     rats increasing, each with a couple of shared plus one private
      variation source. *)
-  List.init n (fun i ->
+  Array.init n (fun i ->
       let fi = float_of_int i in
       let load =
         Linform.make ~nominal:(20.0 +. (3.0 *. fi))
@@ -50,9 +54,8 @@ let fixture_sols n ~sigma =
 
 let shuffled sols =
   (* Deterministic interleave so pruning has work to do. *)
-  let arr = Array.of_list sols in
-  let n = Array.length arr in
-  List.init n (fun i -> arr.((i * 7919) mod n))
+  let n = Array.length sols in
+  Array.init n (fun i -> sols.((i * 7919) mod n))
 
 let bench_prune rule n =
   let sols = shuffled (fixture_sols n ~sigma:1.0) in
@@ -62,6 +65,45 @@ let bench_merge n =
   let a = fixture_sols n ~sigma:1.0 in
   let b = fixture_sols n ~sigma:1.2 in
   Staged.stage (fun () -> ignore (Bufins.Engine.merge_frontiers ~node:0 a b))
+
+(* Canonical forms shaped like the DP's: a handful of sources each,
+   with partial overlap (the shared inter-die/spatial ids) so the merge
+   walk exercises all three branches.  The [Linform.Reference] oracle
+   is the pre-SoA-style assoc-list implementation — benchmarking both
+   measures exactly the kernel rewrite's speedup. *)
+let fixture_form ~offset k =
+  Linform.make ~nominal:(100.0 +. float_of_int offset)
+    ~sens:
+      (List.init k (fun i ->
+           if i < 4 then (i, 0.5 +. (0.1 *. float_of_int i))
+           else (100 + (2 * i) + offset, 0.3 +. (0.05 *. float_of_int i))))
+
+let kernel_tests =
+  let a = fixture_form ~offset:0 12 and b = fixture_form ~offset:1 12 in
+  let ra = Linform.Reference.of_form a and rb = Linform.Reference.of_form b in
+  Test.make_grouped ~name:"kernel"
+    [
+      Test.make ~name:"add/soa" (Staged.stage (fun () -> ignore (Linform.add a b)));
+      Test.make ~name:"add/ref"
+        (Staged.stage (fun () -> ignore (Linform.Reference.add ra rb)));
+      Test.make ~name:"axpy_shift/soa"
+        (Staged.stage (fun () -> ignore (Linform.axpy_shift (-0.7) a b 3.5)));
+      Test.make ~name:"axpy_shift/unfused"
+        (Staged.stage (fun () ->
+             ignore (Linform.shift 3.5 (Linform.axpy (-0.7) a b))));
+      Test.make ~name:"stat_min/soa"
+        (Staged.stage (fun () -> ignore (Linform.stat_min a b)));
+      Test.make ~name:"stat_min/ref"
+        (Staged.stage (fun () -> ignore (Linform.Reference.stat_min ra rb)));
+      Test.make ~name:"mul_first_order/soa"
+        (Staged.stage (fun () -> ignore (Linform.mul_first_order a b)));
+      Test.make ~name:"mul_first_order/ref"
+        (Staged.stage (fun () -> ignore (Linform.Reference.mul_first_order ra rb)));
+      Test.make ~name:"covariance/soa"
+        (Staged.stage (fun () -> ignore (Linform.covariance a b)));
+      Test.make ~name:"covariance/ref"
+        (Staged.stage (fun () -> ignore (Linform.Reference.covariance ra rb)));
+    ]
 
 let bench_dp bench_name =
   let info = Rctree.Benchmarks.find bench_name in
@@ -76,49 +118,161 @@ let bench_dp bench_name =
            ~spatial:Varmodel.Model.default_heterogeneous ~grid
            Experiments.Common.Wid tree))
 
-let micro_tests =
+let micro_tests ~smoke =
   Test.make_grouped ~name:"varbuf"
-    [
-      (* Table 2 / Fig 5: the pruning rules' costs *)
-      Test.make ~name:"prune/2P/n=100" (bench_prune (Bufins.Prune.two_param ()) 100);
-      Test.make ~name:"prune/2P/n=1000" (bench_prune (Bufins.Prune.two_param ()) 1000);
-      Test.make ~name:"prune/2P/n=10000"
-        (bench_prune (Bufins.Prune.two_param ()) 10000);
-      Test.make ~name:"prune/4P/n=100" (bench_prune (Bufins.Prune.four_param ()) 100);
-      Test.make ~name:"prune/4P/n=1000"
-        (bench_prune (Bufins.Prune.four_param ()) 1000);
-      Test.make ~name:"prune/1P/n=1000"
-        (bench_prune (Bufins.Prune.one_param ~alpha:0.95) 1000);
-      (* Fig 1: linear merge *)
-      Test.make ~name:"merge/2P/n=100" (bench_merge 100);
-      Test.make ~name:"merge/2P/n=1000" (bench_merge 1000);
-      (* end-to-end DP, one per benchmark size class (Table 2 rows) *)
-      Test.make ~name:"dp/2P/p1" (bench_dp "p1");
-      Test.make ~name:"dp/2P/r1" (bench_dp "r1");
-    ]
+    ([
+       kernel_tests;
+       (* Table 2 / Fig 5: the pruning rules' costs *)
+       Test.make ~name:"prune/2P/n=100" (bench_prune (Bufins.Prune.two_param ()) 100);
+       Test.make ~name:"prune/2P/n=1000"
+         (bench_prune (Bufins.Prune.two_param ()) 1000);
+       Test.make ~name:"prune/2P(0.9)/n=1000"
+         (bench_prune (Bufins.Prune.two_param ~p_l:0.9 ~p_t:0.9 ()) 1000);
+       Test.make ~name:"prune/4P/n=100" (bench_prune (Bufins.Prune.four_param ()) 100);
+       (* Fig 1: linear merge *)
+       Test.make ~name:"merge/2P/n=100" (bench_merge 100);
+     ]
+    @
+    if smoke then []
+    else
+      [
+        Test.make ~name:"prune/2P/n=10000"
+          (bench_prune (Bufins.Prune.two_param ()) 10000);
+        Test.make ~name:"prune/4P/n=1000"
+          (bench_prune (Bufins.Prune.four_param ()) 1000);
+        Test.make ~name:"prune/1P/n=1000"
+          (bench_prune (Bufins.Prune.one_param ~alpha:0.95) 1000);
+        Test.make ~name:"merge/2P/n=1000" (bench_merge 1000);
+        (* end-to-end DP, one per benchmark size class (Table 2 rows) *)
+        Test.make ~name:"dp/2P/p1" (bench_dp "p1");
+        Test.make ~name:"dp/2P/r1" (bench_dp "r1");
+      ])
 
-let run_micro () =
+(* Runs the micro suite and returns [(name, ns_per_run)] rows for the
+   JSON report. *)
+let run_micro ~smoke () =
   let instance = Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
-  let raw = Benchmark.all cfg [ instance ] micro_tests in
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.05) ()
+    else Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (micro_tests ~smoke) in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols instance raw in
   print_endline "== Micro-benchmarks (bechamel, monotonic clock) ==";
-  Printf.printf "%-28s %16s %8s\n" "benchmark" "ns/run" "r^2";
+  Printf.printf "%-34s %16s %8s\n" "benchmark" "ns/run" "r^2";
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let json_rows = ref [] in
   List.iter
     (fun (name, result) ->
       match Analyze.OLS.estimates result with
       | Some [ est ] ->
-        Printf.printf "%-28s %16.1f %8s\n" name est
+        json_rows := (name, est) :: !json_rows;
+        Printf.printf "%-34s %16.1f %8s\n" name est
           (match Analyze.OLS.r_square result with
           | Some r2 -> Printf.sprintf "%.3f" r2
           | None -> "-")
-      | _ -> Printf.printf "%-28s %16s\n" name "n/a")
+      | _ -> Printf.printf "%-34s %16s\n" name "n/a")
     (List.sort compare rows);
-  print_newline ()
+  print_newline ();
+  List.rev !json_rows
+
+(* ---------- DP allocation probe ---------- *)
+
+type dp_probe = {
+  probe_sinks : int;
+  allocated_bytes : float;
+  peak_candidates : int;
+  total_candidates : int;
+  dp_runtime_s : float;
+}
+
+(* One full WID DP on the largest generated tree of the suite, with the
+   allocation delta measured by [Gc.allocated_bytes]: the figure the
+   SoA/array-frontier work is meant to push down, tracked per run in
+   BENCH.json. *)
+let run_dp_probe ~smoke () =
+  let sinks = if smoke then 100 else 300 in
+  let die = 8000.0 in
+  let tree = Rctree.Generate.random_steiner ~seed:7 ~sinks ~die_um:die () in
+  let grid =
+    Varmodel.Grid.create ~width_um:die ~height_um:die ~pitch_um:500.0
+      ~range_um:2000.0
+  in
+  let model =
+    Varmodel.Model.create ~mode:Varmodel.Model.Wid
+      ~spatial:Varmodel.Model.default_heterogeneous ~grid ()
+  in
+  let config = Bufins.Engine.default_config () in
+  let before = Gc.allocated_bytes () in
+  let r = Bufins.Engine.run config ~model tree in
+  let allocated = Gc.allocated_bytes () -. before in
+  let s = r.Bufins.Engine.stats in
+  Printf.printf
+    "== DP allocation probe (%d sinks, WID) ==\n\
+     allocated %.1f MB, peak %d candidates, total %d, %.3fs\n\n"
+    sinks
+    (allocated /. 1e6)
+    s.Bufins.Engine.peak_candidates s.Bufins.Engine.total_candidates
+    s.Bufins.Engine.runtime_s;
+  {
+    probe_sinks = sinks;
+    allocated_bytes = allocated;
+    peak_candidates = s.Bufins.Engine.peak_candidates;
+    total_candidates = s.Bufins.Engine.total_candidates;
+    dp_runtime_s = s.Bufins.Engine.runtime_s;
+  }
+
+(* ---------- BENCH.json (hand-rolled writer; no JSON dependency) ---------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  (* %.17g roundtrips; JSON has no infinities, clamp defensively. *)
+  if Float.is_finite x then Printf.sprintf "%.17g" x else "null"
+
+let write_bench_json ~path ~smoke ~micro ~probe =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"varbuf-bench/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n"
+           (json_escape name) (json_float ns)
+           (if i = List.length micro - 1 then "" else ",")))
+    micro;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"dp_probe\": {\"sinks\": %d, \"allocated_bytes\": %s, \
+        \"peak_candidates\": %d, \"total_candidates\": %d, \"runtime_s\": \
+        %s}\n"
+       probe.probe_sinks
+       (json_float probe.allocated_bytes)
+       probe.peak_candidates probe.total_candidates
+       (json_float probe.dp_runtime_s));
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n\n" path
 
 let pp_pool_stats pool =
   let s = Exec.Pool.stats pool in
@@ -266,21 +420,34 @@ let run_tables ~pool () =
 
 let () =
   let args = Array.to_list Sys.argv in
-  let jobs =
+  let find_value flag =
     let rec find = function
-      | "--jobs" :: v :: _ -> int_of_string_opt v
+      | f :: v :: _ when f = flag -> Some v
       | _ :: rest -> find rest
       | [] -> None
     in
-    max 1 (Option.value (find args) ~default:(Exec.Pool.default_jobs ()))
+    find args
+  in
+  let jobs =
+    max 1
+      (Option.value
+         (Option.bind (find_value "--jobs") int_of_string_opt)
+         ~default:(Exec.Pool.default_jobs ()))
   in
   let only p = List.mem p args in
+  let smoke = only "--smoke" in
+  let json_path = Option.value (find_value "--bench-json") ~default:"BENCH.json" in
   let all =
-    not
-      (only "--micro-only" || only "--mc-only" || only "--serve-only"
-      || only "--tables-only")
+    (not smoke)
+    && not
+         (only "--micro-only" || only "--mc-only" || only "--serve-only"
+         || only "--tables-only")
   in
-  if all || only "--micro-only" then run_micro ();
+  if all || smoke || only "--micro-only" then begin
+    let micro = run_micro ~smoke () in
+    let probe = run_dp_probe ~smoke () in
+    write_bench_json ~path:json_path ~smoke ~micro ~probe
+  end;
   if all || only "--mc-only" then run_mc_speedup ~jobs ();
   if all || only "--serve-only" then run_serve ~jobs ();
   if all || only "--tables-only" then begin

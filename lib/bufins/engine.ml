@@ -60,8 +60,8 @@ let lift_wire wire ~node ~width ~length (s : Sol.t) =
   let r = wire.Device.Wire_lib.res_per_um *. length in
   let load = Linform.shift (Device.Wire_lib.wire_cap wire ~length) s.Sol.load in
   let rat =
-    Linform.axpy (-.r) s.Sol.load s.Sol.rat
-    |> Linform.shift (-.(0.5 *. r *. wire.Device.Wire_lib.cap_per_um *. length))
+    Linform.axpy_shift (-.r) s.Sol.load s.Sol.rat
+      (-.(0.5 *. r *. wire.Device.Wire_lib.cap_per_um *. length))
   in
   { Sol.load; rat; choice = Wire { node; width; from = s.Sol.choice } }
 
@@ -91,49 +91,53 @@ let insert_buffer ~node ~buffer_index ~cb_form ~tb_form ~res (wired : Sol.t) =
     choice = Buffered { node; buffer = buffer_index; from = wired.Sol.choice };
   }
 
+let combine_pair ~node (sa : Sol.t) (sb : Sol.t) =
+  {
+    Sol.load = Linform.add sa.Sol.load sb.Sol.load;
+    rat = Linform.stat_min sa.Sol.rat sb.Sol.rat;
+    choice = Merged { node; left = sa.Sol.choice; right = sb.Sol.choice };
+  }
+
 (* Classical linear merge (Fig. 1) on two load-sorted frontiers: emit
    the combination of the current pair, then advance the side whose RAT
    binds the min; at most n + m - 1 combinations. *)
-let merge_linear ~node a b =
-  let combine (sa : Sol.t) (sb : Sol.t) =
-    {
-      Sol.load = Linform.add sa.Sol.load sb.Sol.load;
-      rat = Linform.stat_min sa.Sol.rat sb.Sol.rat;
-      choice = Merged { node; left = sa.Sol.choice; right = sb.Sol.choice };
-    }
-  in
-  let rec walk acc a b =
-    match (a, b) with
-    | [], _ | _, [] -> List.rev acc
-    | (sa :: resta as la), (sb :: restb as lb) ->
-      let merged = combine sa sb in
-      if Sol.mean_rat sa < Sol.mean_rat sb then walk (merged :: acc) resta lb
-      else walk (merged :: acc) la restb
-  in
-  walk [] a b
+let merge_linear ~node (a : Sol.t array) (b : Sol.t array) =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then [||]
+  else begin
+    let out = Array.make (na + nb - 1) a.(0) in
+    let k = ref 0 and ia = ref 0 and ib = ref 0 in
+    while !ia < na && !ib < nb do
+      let sa = a.(!ia) and sb = b.(!ib) in
+      out.(!k) <- combine_pair ~node sa sb;
+      incr k;
+      if Sol.mean_rat sa < Sol.mean_rat sb then incr ia else incr ib
+    done;
+    if !k = na + nb - 1 then out else Array.sub out 0 !k
+  end
 
 let merge_frontiers ~node a b = merge_linear ~node a b
 
-(* 4P cannot exploit any ordering: full cross product (§2.2). *)
-let merge_cross ~node ~check a b =
-  let acc = ref [] in
-  let count = ref 0 in
-  List.iter
-    (fun (sa : Sol.t) ->
-      List.iter
-        (fun (sb : Sol.t) ->
-          incr count;
-          check !count;
-          acc :=
-            {
-              Sol.load = Linform.add sa.Sol.load sb.Sol.load;
-              rat = Linform.stat_min sa.Sol.rat sb.Sol.rat;
-              choice = Merged { node; left = sa.Sol.choice; right = sb.Sol.choice };
-            }
-            :: !acc)
-        b)
-    a;
-  !acc
+(* 4P cannot exploit any ordering: full cross product (§2.2).  The
+   combinations are stored newest-first, preserving the order the
+   original accumulator-list construction fed the pruner. *)
+let merge_cross ~node ~check (a : Sol.t array) (b : Sol.t array) =
+  let na = Array.length a and nb = Array.length b in
+  let total = na * nb in
+  if total = 0 then [||]
+  else begin
+    let out = Array.make total (combine_pair ~node a.(0) b.(0)) in
+    let count = ref 0 in
+    for i = 0 to na - 1 do
+      let sa = a.(i) in
+      for j = 0 to nb - 1 do
+        incr count;
+        check !count;
+        out.(total - !count) <- combine_pair ~node sa b.(j)
+      done
+    done;
+    out
+  end
 
 let run config ~model tree =
   (* Wall-clock, not [Sys.time]: CPU time sums over domains, so it
@@ -156,59 +160,75 @@ let run config ~model tree =
     | _ -> ()
   in
   let n = Rctree.Tree.node_count tree in
-  let results : Sol.t list array = Array.make n [] in
+  let results : Sol.t array array = Array.make n [||] in
   let peak = ref 0 in
   let total = ref 0 in
   (* Lift a child's candidate set through the edge above it: wire-only
      candidates plus one buffered variant per library type.  The
      buffer's canonical forms are built once per (site, type): the same
      physical device serves every candidate that buffers here, so all
-     of them share its variation sources. *)
+     of them share its variation sources.  The location-dependent part
+     of those forms (spatial weights, heterogeneity ramp) depends only
+     on the site's coordinates, so it is computed once per node and
+     shared by every edge hanging under it. *)
   let wire_variation = Varmodel.Model.wire_frac model > 0.0 in
-  let lift ~child ~length sols =
-    let bx, by =
-      match Rctree.Tree.parent tree child with
-      | Some p -> Rctree.Tree.position tree p
-      | None -> Rctree.Tree.position tree child
+  let sites : Varmodel.Model.site option array = Array.make n None in
+  let site_at id =
+    match sites.(id) with
+    | Some s -> s
+    | None ->
+      let x, y = Rctree.Tree.position tree id in
+      let s = Varmodel.Model.site model ~x ~y in
+      sites.(id) <- Some s;
+      s
+  in
+  let lift ~child ~length (sols : Sol.t array) =
+    let site_node =
+      match Rctree.Tree.parent tree child with Some p -> p | None -> child
     in
+    let ns = Array.length sols in
     let wired =
       if wire_variation then begin
         (* One CMP source per physical edge, shared by all widths. *)
         let edge_id = Varmodel.Model.fresh_device_id model in
+        let bx, by = Rctree.Tree.position tree site_node in
         let cx, cy = Rctree.Tree.position tree child in
         let mx = 0.5 *. (bx +. cx) and my = 0.5 *. (by +. cy) in
-        List.concat
-          (Array.to_list
-             (Array.mapi
-                (fun width wire ->
-                  let r_form, c_form =
-                    Varmodel.Model.wire_forms model ~edge_id ~x:mx ~y:my
-                      ~r0:wire.Device.Wire_lib.res_per_um
-                      ~c0:wire.Device.Wire_lib.cap_per_um
-                  in
-                  List.map
-                    (lift_wire_var ~node:child ~width ~length ~r_form ~c_form)
-                    sols)
-                config.wires))
+        let forms =
+          Array.map
+            (fun wire ->
+              Varmodel.Model.wire_forms model ~edge_id ~x:mx ~y:my
+                ~r0:wire.Device.Wire_lib.res_per_um
+                ~c0:wire.Device.Wire_lib.cap_per_um)
+            config.wires
+        in
+        Array.init
+          (Array.length config.wires * ns)
+          (fun k ->
+            let width = k / ns in
+            let r_form, c_form = forms.(width) in
+            lift_wire_var ~node:child ~width ~length ~r_form ~c_form
+              sols.(k mod ns))
       end
       else
-        List.concat
-          (Array.to_list
-             (Array.mapi
-                (fun width wire ->
-                  List.map (lift_wire wire ~node:child ~width ~length) sols)
-                config.wires))
+        Array.init
+          (Array.length config.wires * ns)
+          (fun k ->
+            let width = k / ns in
+            lift_wire config.wires.(width) ~node:child ~width ~length
+              sols.(k mod ns))
     in
+    let psite = site_at site_node in
     let site_forms =
       Array.map
         (fun (b : Device.Buffer.t) ->
           let device_id = Varmodel.Model.fresh_device_id model in
           let cb =
-            Varmodel.Model.device_form model ~device_id ~x:bx ~y:by
+            Varmodel.Model.site_device_form model psite ~device_id
               ~nominal:b.Device.Buffer.cap_ff
           in
           let tb =
-            Varmodel.Model.device_form model ~device_id ~x:bx ~y:by
+            Varmodel.Model.site_device_form model psite ~device_id
               ~nominal:b.Device.Buffer.delay_ps
           in
           (cb, tb, b.Device.Buffer.res_kohm))
@@ -219,20 +239,32 @@ let run config ~model tree =
       | None -> true
       | Some limit -> Sol.mean_load s <= limit
     in
-    let buffered =
-      List.concat_map
-        (fun wired_sol ->
-          if drivable wired_sol then
-            Array.to_list
-              (Array.mapi
-                 (fun buffer_index (cb_form, tb_form, res) ->
-                   insert_buffer ~node:child ~buffer_index ~cb_form ~tb_form ~res
-                     wired_sol)
-                 site_forms)
-          else [])
-        wired
-    in
-    Prune.prune config.rule (List.rev_append wired buffered)
+    (* The pruner's input replicates the historical generation order —
+       wired candidates reversed, then one buffered variant per library
+       type for each drivable wired candidate — so that the stable sort
+       keeps the same representative among exact duplicates. *)
+    let nw = Array.length wired in
+    let nlib = Array.length config.library in
+    let ndrivable = ref 0 in
+    for i = 0 to nw - 1 do
+      if drivable wired.(i) then incr ndrivable
+    done;
+    let cand = Array.make (nw + (!ndrivable * nlib)) wired.(0) in
+    for i = 0 to nw - 1 do
+      cand.(nw - 1 - i) <- wired.(i)
+    done;
+    let k = ref nw in
+    for i = 0 to nw - 1 do
+      if drivable wired.(i) then
+        for buffer_index = 0 to nlib - 1 do
+          let cb_form, tb_form, res = site_forms.(buffer_index) in
+          cand.(!k) <-
+            insert_buffer ~node:child ~buffer_index ~cb_form ~tb_form ~res
+              wired.(i);
+          incr k
+        done
+    done;
+    Prune.prune config.rule cand
   in
   let post = Rctree.Tree.postorder tree in
   Array.iter
@@ -241,16 +273,16 @@ let run config ~model tree =
       let sols =
         match Rctree.Tree.sink tree id with
         | Some s ->
-          [ Sol.of_sink ~node:id ~cap:s.Rctree.Tree.sink_cap ~rat:s.Rctree.Tree.sink_rat ]
+          [| Sol.of_sink ~node:id ~cap:s.Rctree.Tree.sink_cap ~rat:s.Rctree.Tree.sink_rat |]
         | None ->
           let lifted =
             List.map
               (fun (child, length) ->
                 let child_sols = results.(child) in
-                results.(child) <- [];
+                results.(child) <- [||];
                 let l = lift ~child ~length child_sols in
                 check_count ~where:(Printf.sprintf "edge above node %d" child)
-                  (List.length l);
+                  (Array.length l);
                 l)
               (Rctree.Tree.children tree id)
           in
@@ -268,7 +300,7 @@ let run config ~model tree =
             Prune.prune config.rule merged
           | _ -> assert false)
       in
-      let len = List.length sols in
+      let len = Array.length sols in
       check_count ~where:(Printf.sprintf "node %d" id) len;
       if len > !peak then peak := len;
       total := !total + len;
@@ -283,10 +315,14 @@ let run config ~model tree =
     match config.load_limit with
     | None -> root_sols
     | Some limit ->
-      List.filter (fun s -> Sol.mean_load s <= limit) root_sols
+      Array.of_list
+        (List.filter
+           (fun s -> Sol.mean_load s <= limit)
+           (Array.to_list root_sols))
   in
   let load_limit_met, root_sols =
-    match compliant with [] -> (config.load_limit = None, root_sols) | _ -> (true, compliant)
+    if Array.length compliant = 0 then (config.load_limit = None, root_sols)
+    else (true, compliant)
   in
   let driver_rat (s : Sol.t) =
     Linform.axpy (-.tech.Device.Tech.driver_r) s.Sol.load s.Sol.rat
@@ -298,17 +334,17 @@ let run config ~model tree =
       if Linform.is_deterministic q then Linform.mean q
       else Linform.percentile q (1.0 -. y)
   in
-  let best, root_rat =
-    match root_sols with
-    | [] -> assert false (* every node always yields >= 1 candidate *)
-    | first :: rest ->
-      List.fold_left
-        (fun (bs, bq) s ->
-          let q = driver_rat s in
-          if score q > score bq then (s, q) else (bs, bq))
-        (first, driver_rat first)
-        rest
-  in
+  assert (Array.length root_sols > 0) (* every node always yields >= 1 candidate *);
+  let best = ref root_sols.(0) in
+  let root_rat = ref (driver_rat root_sols.(0)) in
+  for i = 1 to Array.length root_sols - 1 do
+    let q = driver_rat root_sols.(i) in
+    if score q > score !root_rat then begin
+      best := root_sols.(i);
+      root_rat := q
+    end
+  done;
+  let best = !best and root_rat = !root_rat in
   let buffers =
     List.map
       (fun (node, bi) -> (node, config.library.(bi)))

@@ -93,9 +93,9 @@ val run : config -> model:Varmodel.Model.t -> Rctree.Tree.t -> result
     {!objective} over the driver-output RAT.
     @raise Budget_exceeded when the configured budget trips. *)
 
-val merge_frontiers : node:int -> Sol.t list -> Sol.t list -> Sol.t list
+val merge_frontiers : node:int -> Sol.t array -> Sol.t array -> Sol.t array
 (** The linear O(n + m) merge of Fig. 1, exposed for demonstration and
     testing: both inputs must be pruned frontiers sorted by ascending
-    mean load; the result pairs the current heads and advances the side
+    mean load; the result pairs the current pair and advances the side
     whose RAT binds the statistical min.  At most [n + m - 1] merged
     candidates are produced, already frontier-ordered. *)

@@ -57,49 +57,70 @@ let dominates heuristic a b =
     && Numeric.Pmf.stochastically_dominates a.rat b.rat
 
 (* Mean and percentile dominance are total orders, so the sorted sweep
-   is exact; stochastic dominance is partial, so candidates are tested
-   against every kept solution (the unbounded-complexity behaviour [6]
-   was criticised for). *)
-let prune heuristic sols =
-  match sols with
-  | [] | [ _ ] -> sols
-  | _ ->
-    let key_load, key_rat =
-      match heuristic with
-      | Percentile_dominance p ->
-        ((fun s -> Numeric.Pmf.percentile s.load p),
-         fun s -> Numeric.Pmf.percentile s.rat p)
-      | Mean_dominance | Stochastic_dominance ->
-        ((fun s -> Numeric.Pmf.mean s.load), fun s -> Numeric.Pmf.mean s.rat)
-    in
-    let sorted =
-      List.sort
-        (fun a b ->
-          let c = compare (key_load a) (key_load b) in
-          if c <> 0 then c else compare (key_rat b) (key_rat a))
-        sols
-    in
-    let rec go kept = function
-      | [] -> List.rev kept
-      | s :: rest ->
-        let dominated =
-          match heuristic with
-          | Stochastic_dominance -> List.exists (fun k -> dominates heuristic k s) kept
-          | _ -> (
-            match kept with
-            | k :: _ -> dominates heuristic k s
-            | [] -> false)
-        in
-        if dominated then go kept rest else go (s :: kept) rest
-    in
-    go [] sorted
+   is exact and only the last kept candidate need be tested; stochastic
+   dominance is partial, so candidates are tested against every kept
+   solution (the unbounded-complexity behaviour [6] was criticised
+   for).  A mean-ordering prefilter like the 2P sweep's would not be
+   exact here: [Pmf.stochastically_dominates] admits a small CDF
+   tolerance, so a dominating PMF's mean may sit fractionally below the
+   dominated one's.  Keys are computed once per candidate and the sort
+   is stable, so which duplicate survives (and hence the choice trail)
+   is unchanged from the list implementation. *)
+let prune heuristic (sols : sol array) =
+  let n = Array.length sols in
+  if n <= 1 then sols
+  else begin
+    let kl = Array.make n 0.0 and kr = Array.make n 0.0 in
+    (match heuristic with
+    | Percentile_dominance p ->
+      for i = 0 to n - 1 do
+        kl.(i) <- Numeric.Pmf.percentile sols.(i).load p;
+        kr.(i) <- Numeric.Pmf.percentile sols.(i).rat p
+      done
+    | Mean_dominance | Stochastic_dominance ->
+      for i = 0 to n - 1 do
+        kl.(i) <- Numeric.Pmf.mean sols.(i).load;
+        kr.(i) <- Numeric.Pmf.mean sols.(i).rat
+      done);
+    let idx = Array.init n Fun.id in
+    Array.stable_sort
+      (fun a b ->
+        let c = Float.compare kl.(a) kl.(b) in
+        if c <> 0 then c else Float.compare kr.(b) kr.(a))
+      idx;
+    let kept = Array.make n 0 in
+    let nkept = ref 0 in
+    for s = 0 to n - 1 do
+      let i = idx.(s) in
+      let dominated =
+        match heuristic with
+        | Stochastic_dominance ->
+          let rec scan k =
+            k >= 0
+            && (dominates heuristic sols.(kept.(k)) sols.(i) || scan (k - 1))
+          in
+          scan (!nkept - 1)
+        | Mean_dominance | Percentile_dominance _ ->
+          !nkept > 0 && dominates heuristic sols.(kept.(!nkept - 1)) sols.(i)
+      in
+      if not dominated then begin
+        kept.(!nkept) <- i;
+        incr nkept
+      end
+    done;
+    Array.init !nkept (fun k -> sols.(kept.(k)))
+  end
 
 let run config tree =
-  let t_start = Sys.time () in
+  (* Wall-clock, not [Sys.time]: CPU time sums over domains, so both
+     the budget and the reported runtime would over-count as soon as
+     anything else runs in parallel with this DP (exactly the bug the
+     engine fixed; [Exec.run_trials] routinely wraps this module). *)
+  let t_start = Unix.gettimeofday () in
   let tech = config.tech in
   let check_time () =
     match config.budget.Engine.max_seconds with
-    | Some limit when Sys.time () -. t_start > limit ->
+    | Some limit when Unix.gettimeofday () -. t_start > limit ->
       raise (Engine.Budget_exceeded (Printf.sprintf "time limit %.1fs exceeded" limit))
     | _ -> ()
   in
@@ -112,7 +133,7 @@ let run config tree =
     | _ -> ()
   in
   let n = Rctree.Tree.node_count tree in
-  let results : sol list array = Array.make n [] in
+  let results : sol array array = Array.make n [||] in
   let peak = ref 0 in
   (* The manufactured length of each segment: drawn length times
      (1 + delta), delta discretised from N(0, length_frac^2). *)
@@ -141,29 +162,38 @@ let run config tree =
         choice = Sol.Wire { node = child; width = 0; from = s.choice };
       }
     in
-    let wired = List.map wire sols in
-    let buffered =
-      List.concat_map
-        (fun ws ->
-          Array.to_list
-            (Array.mapi
-               (fun buffer_index (b : Device.Buffer.t) ->
-                 let gate_delay =
-                   Numeric.Pmf.map
-                     (fun load ->
-                       b.Device.Buffer.delay_ps +. (b.Device.Buffer.res_kohm *. load))
-                     ws.load
-                 in
-                 {
-                   load = Numeric.Pmf.constant b.Device.Buffer.cap_ff;
-                   rat = Numeric.Pmf.sub ws.rat gate_delay;
-                   choice =
-                     Sol.Buffered { node = child; buffer = buffer_index; from = ws.choice };
-                 })
-               config.library))
-        wired
-    in
-    prune config.heuristic (List.rev_append wired buffered)
+    let wired = Array.map wire sols in
+    (* Reversed wired candidates first, then the buffered variants in
+       generation order — the same sequence [List.rev_append] fed the
+       pruner, kept so the stable sort sees identical input. *)
+    let nw = Array.length wired in
+    let nlib = Array.length config.library in
+    let cand = Array.make (nw * (nlib + 1)) wired.(0) in
+    for i = 0 to nw - 1 do
+      cand.(nw - 1 - i) <- wired.(i)
+    done;
+    let k = ref nw in
+    for i = 0 to nw - 1 do
+      let ws = wired.(i) in
+      for buffer_index = 0 to nlib - 1 do
+        let b = config.library.(buffer_index) in
+        let gate_delay =
+          Numeric.Pmf.map
+            (fun load ->
+              b.Device.Buffer.delay_ps +. (b.Device.Buffer.res_kohm *. load))
+            ws.load
+        in
+        cand.(!k) <-
+          {
+            load = Numeric.Pmf.constant b.Device.Buffer.cap_ff;
+            rat = Numeric.Pmf.sub ws.rat gate_delay;
+            choice =
+              Sol.Buffered { node = child; buffer = buffer_index; from = ws.choice };
+          };
+        incr k
+      done
+    done;
+    prune config.heuristic cand
   in
   Array.iter
     (fun id ->
@@ -171,61 +201,66 @@ let run config tree =
       let sols =
         match Rctree.Tree.sink tree id with
         | Some s ->
-          [
+          [|
             {
               load = Numeric.Pmf.constant s.Rctree.Tree.sink_cap;
               rat = Numeric.Pmf.constant s.Rctree.Tree.sink_rat;
               choice = Sol.At_sink id;
             };
-          ]
+          |]
         | None -> (
           let lifted =
             List.map
               (fun (child, length) ->
                 let cs = results.(child) in
-                results.(child) <- [];
+                results.(child) <- [||];
                 let l = lift ~child ~length cs in
                 check_count ~where:(Printf.sprintf "edge above node %d" child)
-                  (List.length l);
+                  (Array.length l);
                 l)
               (Rctree.Tree.children tree id)
           in
           match lifted with
           | [ only ] -> only
           | [ a; b ] ->
-            let merged =
-              List.concat_map
-                (fun sa ->
-                  List.map
-                    (fun sb ->
-                      {
-                        load = Numeric.Pmf.add sa.load sb.load;
-                        rat = Numeric.Pmf.min2 sa.rat sb.rat;
-                        choice =
-                          Sol.Merged { node = id; left = sa.choice; right = sb.choice };
-                      })
-                    b)
-                a
+            (* [6] assumes independence between solutions, so the merge
+               is the full cross product. *)
+            let na = Array.length a and nb = Array.length b in
+            let combine sa sb =
+              {
+                load = Numeric.Pmf.add sa.load sb.load;
+                rat = Numeric.Pmf.min2 sa.rat sb.rat;
+                choice = Sol.Merged { node = id; left = sa.choice; right = sb.choice };
+              }
             in
+            let merged = Array.make (na * nb) (combine a.(0) b.(0)) in
+            for i = 0 to na - 1 do
+              for j = 0 to nb - 1 do
+                merged.((i * nb) + j) <- combine a.(i) b.(j)
+              done
+            done;
             check_count ~where:(Printf.sprintf "merge at node %d" id)
-              (List.length merged);
+              (Array.length merged);
             prune config.heuristic merged
           | _ -> assert false)
       in
-      let len = List.length sols in
+      let len = Array.length sols in
       check_count ~where:(Printf.sprintf "node %d" id) len;
       if len > !peak then peak := len;
       results.(id) <- sols)
     (Rctree.Tree.postorder tree);
   let best =
-    match results.(Rctree.Tree.root tree) with
-    | [] -> assert false
-    | first :: rest ->
-      let q s =
-        Numeric.Pmf.mean s.rat
-        -. (tech.Device.Tech.driver_r *. Numeric.Pmf.mean s.load)
-      in
-      List.fold_left (fun bs s -> if q s > q bs then s else bs) first rest
+    let root_sols = results.(Rctree.Tree.root tree) in
+    assert (Array.length root_sols > 0);
+    let q s =
+      Numeric.Pmf.mean s.rat
+      -. (tech.Device.Tech.driver_r *. Numeric.Pmf.mean s.load)
+    in
+    let bs = ref root_sols.(0) in
+    for i = 1 to Array.length root_sols - 1 do
+      if q root_sols.(i) > q !bs then bs := root_sols.(i)
+    done;
+    !bs
   in
   let rat =
     Numeric.Pmf.sub best.rat
@@ -240,5 +275,5 @@ let run config tree =
         (fun (node, bi) -> (node, config.library.(bi)))
         (Sol.buffers_of_choice best.choice);
     peak_candidates = !peak;
-    runtime_s = Sys.time () -. t_start;
+    runtime_s = Unix.gettimeofday () -. t_start;
   }

@@ -50,7 +50,7 @@ type result = {
   rat_p05 : float;        (** 5th percentile: the 95%-yield RAT *)
   buffers : (int * Device.Buffer.t) list;
   peak_candidates : int;
-  runtime_s : float;
+  runtime_s : float;  (** wall-clock seconds, comparable to engine stats *)
 }
 
 val run : config -> Rctree.Tree.t -> result

@@ -84,39 +84,71 @@ let rat_key rule (s : Sol.t) =
   | Deterministic | Two_param _ | Four_param _ -> Sol.mean_rat s
   | One_param { alpha } -> safe_percentile s.Sol.rat alpha
 
-let sort rule sols =
-  List.sort
-    (fun a b ->
-      let c = compare (load_key rule a) (load_key rule b) in
-      if c <> 0 then c else compare (rat_key rule b) (rat_key rule a))
-    sols
+(* Linear-rule pruning over an array frontier: cache both keys once per
+   candidate, stable-sort an index permutation (stability preserves
+   which of several exact duplicates survives, hence the choice trail),
+   then sweep in load order.
 
-let sweep rule sols =
-  (* One pass over the load-sorted list.  For the scalar-key rules the
-     last kept candidate has the maximal RAT key seen, so testing
-     against it alone is exact dominance pruning in O(N).  For 2P with
-     p > 0.5 dominance is sparser (pairs with close means are
-     incomparable), so the candidate is tested against every kept
-     solution — Theorem 2's transitivity makes any kept dominator
-     sufficient grounds to drop, and the kept list stays short exactly
-     because this prunes harder. *)
+   For the scalar-key rules the last kept candidate has the maximal RAT
+   key seen, so testing against it alone is exact dominance pruning.
+   For 2P with p̄ > 0.5 dominance is sparser (pairs with close means are
+   incomparable), but every clause of [dominates rule k s] — the strict
+   probabilistic RAT test, its p = 0.5 mean reduction, and the duplicate
+   collapse — implies the mean ordering μ_rat(k) >= μ_rat(s) (Lemma 4:
+   P(K > S) > ½ iff μ_K > μ_S).  The sweep therefore keeps a running
+   maximum of kept RAT keys: a candidate strictly above it extends the
+   mean frontier and is kept with no pairwise test at all, and otherwise
+   only kept candidates passing the cheap mean filter are tested with
+   the erfc-based probabilistic comparison.  The kept set is exactly the
+   one the naive scan-all-kept sweep produces (Theorem 2's transitivity
+   already made any kept dominator sufficient grounds to drop). *)
+let prune_linear rule sols =
+  let n = Array.length sols in
+  let kl = Array.make n 0.0 and kr = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    kl.(i) <- load_key rule sols.(i);
+    kr.(i) <- rat_key rule sols.(i)
+  done;
+  let idx = Array.init n Fun.id in
+  Array.stable_sort
+    (fun a b ->
+      let c = Float.compare kl.(a) kl.(b) in
+      if c <> 0 then c else Float.compare kr.(b) kr.(a))
+    idx;
   let last_only =
     match rule with
     | Deterministic | One_param _ -> true
     | Two_param { p_l; p_t } -> p_l = 0.5 && p_t = 0.5
     | Four_param _ -> false
   in
-  let rec go kept = function
-    | [] -> List.rev kept
-    | s :: rest ->
-      let dominated =
-        if last_only then
-          match kept with last :: _ -> dominates rule last s | [] -> false
-        else List.exists (fun k -> dominates rule k s) kept
-      in
-      if dominated then go kept rest else go (s :: kept) rest
-  in
-  go [] sols
+  let kept = Array.make n 0 in
+  let nkept = ref 0 in
+  let rat_max = ref neg_infinity in
+  for s = 0 to n - 1 do
+    let i = idx.(s) in
+    let dominated =
+      if last_only then
+        !nkept > 0 && dominates rule sols.(kept.(!nkept - 1)) sols.(i)
+      else if kr.(i) > !rat_max then false
+      else begin
+        (* Newest kept first, mirroring the scan order of the original
+           kept list (irrelevant to the result — dropping is dropping —
+           but recent candidates are the likeliest dominators). *)
+        let rec scan k =
+          k >= 0
+          && ((kr.(kept.(k)) >= kr.(i) && dominates rule sols.(kept.(k)) sols.(i))
+             || scan (k - 1))
+        in
+        scan (!nkept - 1)
+      end
+    in
+    if not dominated then begin
+      kept.(!nkept) <- i;
+      incr nkept;
+      if kr.(i) > !rat_max then rat_max := kr.(i)
+    end
+  done;
+  Array.init !nkept (fun k -> sols.(kept.(k)))
 
 (* Exact 4P pruning in O(N log N).  4P dominance is transitive (the
    percentile intervals chain), so a candidate may be discarded as soon
@@ -211,10 +243,13 @@ let prune_4p ~alpha_l ~alpha_u ~beta_l ~beta_u sols =
   List.rev !kept
 
 let prune rule sols =
-  match sols with
-  | [] | [ _ ] -> sols
-  | _ -> (
+  if Array.length sols <= 1 then sols
+  else
     match rule with
-    | Deterministic | Two_param _ | One_param _ -> sweep rule (sort rule sols)
+    | Deterministic | Two_param _ | One_param _ -> prune_linear rule sols
     | Four_param { alpha_l; alpha_u; beta_l; beta_u } ->
-      prune_4p ~alpha_l ~alpha_u ~beta_l ~beta_u sols)
+      (* The 4P baseline stays list-based internally: it is the
+         deliberately quadratic reference [7] behaviour that Table 2
+         measures, not a kernel worth optimising. *)
+      Array.of_list
+        (prune_4p ~alpha_l ~alpha_u ~beta_l ~beta_u (Array.to_list sols))

@@ -59,7 +59,13 @@ val is_linear : t -> bool
 val dominates : t -> Sol.t -> Sol.t -> bool
 (** [dominates rule a b]: may [b] be discarded in favour of [a]? *)
 
-val prune : t -> Sol.t list -> Sol.t list
-(** Remove dominated candidates.  Linear rules: sort by the rule's load
-    key then sweep; [Four_param]: pairwise comparison.  The result is
-    sorted by the rule's load key (ascending). *)
+val prune : t -> Sol.t array -> Sol.t array
+(** Remove dominated candidates.  Linear rules: cache the rule's keys,
+    stable-sort an index permutation by the load key, then sweep —
+    testing only the last kept candidate for the scalar-key rules, and
+    for 2P with p̄ > 0.5 filtering the kept set by the necessary mean
+    ordering (Lemma 4 / Theorem 2) with a running-maximum fast path
+    before any probabilistic comparison.  [Four_param]: interval
+    comparison, quadratic in spirit.  The result is a fresh array sorted
+    by the rule's load key (ascending); frontiers of length <= 1 are
+    returned as-is. *)

@@ -12,7 +12,7 @@ let right =
   [ (12.0, 110.0); (25.0, 160.0); (50.0, 230.0) ]
 
 let to_sols node pts =
-  List.map (fun (l, t) -> Bufins.Sol.of_sink ~node ~cap:l ~rat:t) pts
+  Array.of_list (List.map (fun (l, t) -> Bufins.Sol.of_sink ~node ~cap:l ~rat:t) pts)
 
 let compute () =
   let a = to_sols 1 left in
@@ -20,7 +20,7 @@ let compute () =
   let merged = Bufins.Engine.merge_frontiers ~node:0 a b in
   List.map
     (fun s -> { load = Bufins.Sol.mean_load s; rat = Bufins.Sol.mean_rat s })
-    merged
+    (Array.to_list merged)
 
 let run ppf _setup =
   Format.fprintf ppf "== Fig 1: linear merging O(n+m) ==@.";

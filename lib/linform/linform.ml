@@ -1,13 +1,28 @@
+(* Canonical forms as a struct-of-arrays: the sensitivity vector is a
+   pair of parallel arrays (sorted ids, float coefficients) instead of
+   a boxed (int * float) array.  The coefficient array is an OCaml
+   float array — unboxed flat storage — so the merge kernels below
+   never allocate a tuple or a list cell: each binary operation is a
+   count pass over the two sorted id arrays followed by a fill pass
+   writing directly into exactly-sized result arrays.
+
+   Every kernel reproduces the operand-order float arithmetic of the
+   original list-based implementation bit for bit (DP results are
+   pinned by golden tests), which is why variance is sometimes
+   recomputed per-element instead of reusing a cached value: the
+   original recomputed it after every merge. *)
+
 type t = {
   nominal : float;
-  sens : (int * float) array; (* sorted by id, no zero coefficients *)
-  variance : float;           (* cached sum of squared coefficients *)
+  ids : int array;      (* sorted ascending, parallel to [coefs] *)
+  coefs : float array;  (* no zero entries *)
+  variance : float;     (* cached sum of squared coefficients *)
 }
 
-let variance_of_sens sens =
-  Array.fold_left (fun acc (_, a) -> acc +. (a *. a)) 0.0 sens
+let variance_of_coefs coefs =
+  Array.fold_left (fun acc a -> acc +. (a *. a)) 0.0 coefs
 
-let const nominal = { nominal; sens = [||]; variance = 0.0 }
+let const nominal = { nominal; ids = [||]; coefs = [||]; variance = 0.0 }
 let zero = const 0.0
 
 let make ~nominal ~sens =
@@ -22,82 +37,150 @@ let make ~nominal ~sens =
       [] sorted
   in
   let cleaned = List.filter (fun (_, a) -> a <> 0.0) (List.rev merged) in
-  let sens = Array.of_list cleaned in
-  { nominal; sens; variance = variance_of_sens sens }
+  let n = List.length cleaned in
+  let ids = Array.make n 0 and coefs = Array.make n 0.0 in
+  List.iteri
+    (fun k (i, a) ->
+      ids.(k) <- i;
+      coefs.(k) <- a)
+    cleaned;
+  { nominal; ids; coefs; variance = variance_of_coefs coefs }
 
 let mean f = f.nominal
 let variance f = f.variance
 let std f = sqrt f.variance
-let sensitivities f = Array.copy f.sens
-let support_size f = Array.length f.sens
-let is_deterministic f = Array.length f.sens = 0
+let sensitivities f = Array.init (Array.length f.ids) (fun k -> (f.ids.(k), f.coefs.(k)))
+let support_size f = Array.length f.ids
+let is_deterministic f = Array.length f.ids = 0
 
 let sensitivity f id =
-  let n = Array.length f.sens in
+  let n = Array.length f.ids in
   let rec search lo hi =
     if lo >= hi then 0.0
     else
       let mid = (lo + hi) / 2 in
-      let i, a = f.sens.(mid) in
-      if i = id then a else if i < id then search (mid + 1) hi else search lo mid
+      let i = f.ids.(mid) in
+      if i = id then f.coefs.(mid)
+      else if i < id then search (mid + 1) hi
+      else search lo mid
   in
   search 0 n
 
-(* Linear merge of two sorted sensitivity vectors, combining matching ids
-   with [combine a b] and passing lone entries through [left]/[right]. *)
-let merge_sens sa sb ~left ~right ~combine =
-  let na = Array.length sa and nb = Array.length sb in
-  let out = ref [] in
-  let push i a = if a <> 0.0 then out := (i, a) :: !out in
-  let ia = ref 0 and ib = ref 0 in
-  while !ia < na || !ib < nb do
-    if !ia >= na then begin
-      let i, b = sb.(!ib) in
-      push i (right b);
-      incr ib
-    end
-    else if !ib >= nb then begin
-      let i, a = sa.(!ia) in
-      push i (left a);
-      incr ia
-    end
-    else
-      let i, a = sa.(!ia) and j, b = sb.(!ib) in
-      if i = j then begin
-        push i (combine a b);
-        incr ia;
+(* The one merge kernel behind every binary operation: the sensitivity
+   vector of [ka*a + kb*b] (for suitable ka/kb this is add, sub, axpy,
+   the first-order product and the tightness-probability blend).  Pass
+   one counts surviving entries, pass two fills the exact-size arrays
+   and accumulates the variance in the same left-to-right order the
+   original implementation used.  Nothing is allocated beyond the two
+   result arrays. *)
+let merge_scaled ~nominal ka a kb b =
+  let aid = a.ids and aco = a.coefs in
+  let bid = b.ids and bco = b.coefs in
+  let na = Array.length aid and nb = Array.length bid in
+  if na = 0 && nb = 0 then { nominal; ids = [||]; coefs = [||]; variance = 0.0 }
+  else if na = 0 && kb = 1.0 then
+    (* Share the untouched arrays; the variance is still recomputed
+       per-element because that is what the merge path always did. *)
+    { nominal; ids = bid; coefs = bco; variance = variance_of_coefs bco }
+  else if nb = 0 && ka = 1.0 then
+    { nominal; ids = aid; coefs = aco; variance = variance_of_coefs aco }
+  else begin
+    (* Count pass. *)
+    let count = ref 0 in
+    let ia = ref 0 and ib = ref 0 in
+    while !ia < na || !ib < nb do
+      let v =
+        if !ia >= na then begin
+          let v = kb *. bco.(!ib) in
+          incr ib;
+          v
+        end
+        else if !ib >= nb then begin
+          let v = ka *. aco.(!ia) in
+          incr ia;
+          v
+        end
+        else
+          let i = aid.(!ia) and j = bid.(!ib) in
+          if i = j then begin
+            let v = (ka *. aco.(!ia)) +. (kb *. bco.(!ib)) in
+            incr ia;
+            incr ib;
+            v
+          end
+          else if i < j then begin
+            let v = ka *. aco.(!ia) in
+            incr ia;
+            v
+          end
+          else begin
+            let v = kb *. bco.(!ib) in
+            incr ib;
+            v
+          end
+      in
+      if v <> 0.0 then incr count
+    done;
+    (* Fill pass. *)
+    let ids = Array.make !count 0 and coefs = Array.make !count 0.0 in
+    let var = ref 0.0 in
+    let k = ref 0 in
+    let push i v =
+      if v <> 0.0 then begin
+        ids.(!k) <- i;
+        coefs.(!k) <- v;
+        var := !var +. (v *. v);
+        incr k
+      end
+    in
+    ia := 0;
+    ib := 0;
+    while !ia < na || !ib < nb do
+      if !ia >= na then begin
+        push bid.(!ib) (kb *. bco.(!ib));
         incr ib
       end
-      else if i < j then begin
-        push i (left a);
+      else if !ib >= nb then begin
+        push aid.(!ia) (ka *. aco.(!ia));
         incr ia
       end
-      else begin
-        push j (right b);
-        incr ib
-      end
-  done;
-  Array.of_list (List.rev !out)
+      else
+        let i = aid.(!ia) and j = bid.(!ib) in
+        if i = j then begin
+          push i ((ka *. aco.(!ia)) +. (kb *. bco.(!ib)));
+          incr ia;
+          incr ib
+        end
+        else if i < j then begin
+          push i (ka *. aco.(!ia));
+          incr ia
+        end
+        else begin
+          push j (kb *. bco.(!ib));
+          incr ib
+        end
+    done;
+    { nominal; ids; coefs; variance = !var }
+  end
 
-let of_sens nominal sens = { nominal; sens; variance = variance_of_sens sens }
+let add a b = merge_scaled ~nominal:(a.nominal +. b.nominal) 1.0 a 1.0 b
+let sub a b = merge_scaled ~nominal:(a.nominal -. b.nominal) 1.0 a (-1.0) b
 
-let add a b =
-  of_sens (a.nominal +. b.nominal)
-    (merge_sens a.sens b.sens ~left:Fun.id ~right:Fun.id ~combine:( +. ))
-
-let sub a b =
-  of_sens (a.nominal -. b.nominal)
-    (merge_sens a.sens b.sens ~left:Fun.id ~right:( ~-. )
-       ~combine:(fun x y -> x -. y))
-
-let neg a = of_sens (-.a.nominal) (Array.map (fun (i, x) -> (i, -.x)) a.sens)
+let neg a =
+  {
+    nominal = -.a.nominal;
+    ids = a.ids;
+    coefs = Array.map (fun x -> -.x) a.coefs;
+    variance = variance_of_coefs a.coefs;
+  }
 
 let scale k a =
   if k = 0.0 then zero
   else
     {
       nominal = k *. a.nominal;
-      sens = Array.map (fun (i, x) -> (i, k *. x)) a.sens;
+      ids = a.ids;
+      coefs = Array.map (fun x -> k *. x) a.coefs;
       variance = k *. k *. a.variance;
     }
 
@@ -105,28 +188,25 @@ let shift c a = { a with nominal = a.nominal +. c }
 
 let axpy k x y =
   if k = 0.0 then y
-  else
-    of_sens ((k *. x.nominal) +. y.nominal)
-      (merge_sens x.sens y.sens
-         ~left:(fun a -> k *. a)
-         ~right:Fun.id
-         ~combine:(fun a b -> (k *. a) +. b))
+  else merge_scaled ~nominal:((k *. x.nominal) +. y.nominal) k x 1.0 y
+
+let axpy_shift k x y c =
+  if k = 0.0 then shift c y
+  else merge_scaled ~nominal:(((k *. x.nominal) +. y.nominal) +. c) k x 1.0 y
 
 let mul_first_order a b =
-  of_sens (a.nominal *. b.nominal)
-    (merge_sens a.sens b.sens
-       ~left:(fun x -> b.nominal *. x)
-       ~right:(fun y -> a.nominal *. y)
-       ~combine:(fun x y -> (b.nominal *. x) +. (a.nominal *. y)))
+  merge_scaled ~nominal:(a.nominal *. b.nominal) b.nominal a a.nominal b
 
 let covariance a b =
-  let na = Array.length a.sens and nb = Array.length b.sens in
+  let aid = a.ids and aco = a.coefs in
+  let bid = b.ids and bco = b.coefs in
+  let na = Array.length aid and nb = Array.length bid in
   let acc = ref 0.0 in
   let ia = ref 0 and ib = ref 0 in
   while !ia < na && !ib < nb do
-    let i, x = a.sens.(!ia) and j, y = b.sens.(!ib) in
+    let i = aid.(!ia) and j = bid.(!ib) in
     if i = j then begin
-      acc := !acc +. (x *. y);
+      acc := !acc +. (aco.(!ia) *. bco.(!ib));
       incr ia;
       incr ib
     end
@@ -149,8 +229,10 @@ let prob_greater a b =
 let percentile f p = Numeric.Normal.percentile ~mu:f.nominal ~sigma:(std f) p
 
 (* Eq. (38)-(40): statistical min via tightness probability.  t is the
-   probability that [a] is the smaller one; the result's sensitivities are
-   the t-weighted blend, its nominal the moment-matched mean of min(A,B). *)
+   probability that [a] is the smaller one; the result's sensitivities
+   are the t-weighted blend, its nominal the moment-matched mean of
+   min(A,B) — the blend and the pdf correction are fused into a single
+   merge pass. *)
 let stat_min a b =
   let sigma = std_diff a b in
   if sigma = 0.0 then (if a.nominal <= b.nominal then a else b)
@@ -164,25 +246,128 @@ let stat_min a b =
         (t *. a.nominal) +. ((1.0 -. t) *. b.nominal)
         -. (sigma *. Numeric.Normal.pdf z)
       in
-      of_sens nominal
-        (merge_sens a.sens b.sens
-           ~left:(fun x -> t *. x)
-           ~right:(fun y -> (1.0 -. t) *. y)
-           ~combine:(fun x y -> (t *. x) +. ((1.0 -. t) *. y)))
+      merge_scaled ~nominal t a (1.0 -. t) b
 
 let stat_max a b = neg (stat_min (neg a) (neg b))
 
 let eval f lookup =
-  Array.fold_left (fun acc (i, a) -> acc +. (a *. lookup i)) f.nominal f.sens
+  let acc = ref f.nominal in
+  for k = 0 to Array.length f.ids - 1 do
+    acc := !acc +. (f.coefs.(k) *. lookup f.ids.(k))
+  done;
+  !acc
 
 let map_sens g f =
-  let mapped =
-    Array.to_list f.sens
-    |> List.filter_map (fun (i, a) ->
-           let a' = g i a in
-           if a' = 0.0 then None else Some (i, a'))
-  in
-  of_sens f.nominal (Array.of_list mapped)
+  let n = Array.length f.ids in
+  let count = ref 0 in
+  for k = 0 to n - 1 do
+    if g f.ids.(k) f.coefs.(k) <> 0.0 then incr count
+  done;
+  let ids = Array.make !count 0 and coefs = Array.make !count 0.0 in
+  let var = ref 0.0 in
+  let w = ref 0 in
+  for k = 0 to n - 1 do
+    let v = g f.ids.(k) f.coefs.(k) in
+    if v <> 0.0 then begin
+      ids.(!w) <- f.ids.(k);
+      coefs.(!w) <- v;
+      var := !var +. (v *. v);
+      incr w
+    end
+  done;
+  { nominal = f.nominal; ids; coefs; variance = !var }
+
+let of_sorted_arrays ~nominal ~ids ~coefs =
+  let n = Array.length ids in
+  if Array.length coefs <> n then
+    invalid_arg "Linform.of_sorted_arrays: length mismatch";
+  for k = 1 to n - 1 do
+    if ids.(k - 1) >= ids.(k) then
+      invalid_arg "Linform.of_sorted_arrays: ids must be strictly increasing"
+  done;
+  let zeros = ref 0 in
+  for k = 0 to n - 1 do
+    if coefs.(k) = 0.0 then incr zeros
+  done;
+  if !zeros = 0 then { nominal; ids; coefs; variance = variance_of_coefs coefs }
+  else begin
+    let m = n - !zeros in
+    let ids' = Array.make m 0 and coefs' = Array.make m 0.0 in
+    let w = ref 0 in
+    for k = 0 to n - 1 do
+      if coefs.(k) <> 0.0 then begin
+        ids'.(!w) <- ids.(k);
+        coefs'.(!w) <- coefs.(k);
+        incr w
+      end
+    done;
+    { nominal; ids = ids'; coefs = coefs'; variance = variance_of_coefs coefs' }
+  end
 
 let pp ppf f =
   Format.fprintf ppf "%g±%g(%d srcs)" f.nominal (std f) (support_size f)
+
+(* A deliberately naive assoc-list implementation of the same algebra:
+   the executable specification the SoA kernels are property-tested
+   (and benchmarked) against.  Nothing here is shared with the kernels
+   above — coefficients are looked up by id over the id union, so a
+   bug in the merge walk cannot hide in the oracle. *)
+module Reference = struct
+  type form = { r_nominal : float; r_sens : (int * float) list }
+
+  let of_form f =
+    { r_nominal = f.nominal; r_sens = Array.to_list (sensitivities f) }
+
+  let to_form { r_nominal; r_sens } = make ~nominal:r_nominal ~sens:r_sens
+  let mean f = f.r_nominal
+
+  let coeff f i =
+    match List.assoc_opt i f.r_sens with Some a -> a | None -> 0.0
+
+  let union a b =
+    List.sort_uniq compare (List.map fst a.r_sens @ List.map fst b.r_sens)
+
+  let lin ~nominal ka a kb b =
+    let sens =
+      List.filter_map
+        (fun i ->
+          let v = (ka *. coeff a i) +. (kb *. coeff b i) in
+          if v = 0.0 then None else Some (i, v))
+        (union a b)
+    in
+    { r_nominal = nominal; r_sens = sens }
+
+  let add a b = lin ~nominal:(a.r_nominal +. b.r_nominal) 1.0 a 1.0 b
+  let sub a b = lin ~nominal:(a.r_nominal -. b.r_nominal) 1.0 a (-1.0) b
+
+  let axpy k x y = lin ~nominal:((k *. x.r_nominal) +. y.r_nominal) k x 1.0 y
+
+  let mul_first_order a b =
+    lin ~nominal:(a.r_nominal *. b.r_nominal) b.r_nominal a a.r_nominal b
+
+  let variance f =
+    List.fold_left (fun acc (_, a) -> acc +. (a *. a)) 0.0 f.r_sens
+
+  let covariance a b =
+    List.fold_left
+      (fun acc i -> acc +. (coeff a i *. coeff b i))
+      0.0 (union a b)
+
+  let stat_min a b =
+    let v =
+      variance a -. (2.0 *. covariance a b) +. variance b
+    in
+    let sigma = if v <= 0.0 then 0.0 else sqrt v in
+    if sigma = 0.0 then (if a.r_nominal <= b.r_nominal then a else b)
+    else
+      let z = (b.r_nominal -. a.r_nominal) /. sigma in
+      let t = Numeric.Normal.cdf z in
+      if t >= 1.0 then a
+      else if t <= 0.0 then b
+      else
+        let nominal =
+          (t *. a.r_nominal) +. ((1.0 -. t) *. b.r_nominal)
+          -. (sigma *. Numeric.Normal.pdf z)
+        in
+        lin ~nominal t a (1.0 -. t) b
+end

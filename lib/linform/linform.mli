@@ -13,7 +13,13 @@
     allocator); two forms sharing an id are correlated through it.
 
     Sensitivity vectors are kept sparse, sorted by id and free of zero
-    coefficients, so every binary operation is a linear merge. *)
+    coefficients, so every binary operation is a linear merge.
+    Internally a form is a struct-of-arrays — one sorted [int array] of
+    source ids and one flat [float array] of coefficients — and every
+    merge kernel is a two-pass count-then-fill loop that writes
+    directly into exact-size result arrays: the per-candidate constant
+    factor of the DP inner loop allocates no lists, no tuples and no
+    boxed floats. *)
 
 type t
 
@@ -25,6 +31,15 @@ val const : float -> t
 val make : nominal:float -> sens:(int * float) list -> t
 (** [make ~nominal ~sens] builds a form; duplicate ids are summed and
     zero coefficients dropped. *)
+
+val of_sorted_arrays : nominal:float -> ids:int array -> coefs:float array -> t
+(** [of_sorted_arrays ~nominal ~ids ~coefs] builds a form directly from
+    parallel arrays, taking ownership of them (do not mutate after the
+    call).  [ids] must be strictly increasing; zero coefficients are
+    dropped.  This is the allocation-free construction path for callers
+    that already know the sorted source layout (e.g.
+    {!Varmodel.Model.site_device_form}).
+    @raise Invalid_argument on unsorted ids or length mismatch. *)
 
 val zero : t
 
@@ -64,6 +79,11 @@ val axpy : float -> t -> t -> t
 (** [axpy a x y] is [add (scale a x) y] without the intermediate
     allocation — the inner loop of the wire/buffer propagation
     (Eq. 34 and 36). *)
+
+val axpy_shift : float -> t -> t -> float -> t
+(** [axpy_shift a x y c] is [shift c (axpy a x y)] fused into one merge
+    pass — the exact composite the wire lift (Eq. 33-34) executes once
+    per candidate per edge, without the intermediate form. *)
 
 val mul_first_order : t -> t -> t
 (** First-order product: for {m X = x_0 + \sum x_i X_i } and
@@ -128,3 +148,26 @@ val map_sens : (int -> float -> float) -> t -> t
 
 val pp : Format.formatter -> t -> unit
 (** Prints mean, std and support size, e.g. [42.1±3.2(5 srcs)]. *)
+
+(** {1 Reference oracle}
+
+    A deliberately naive assoc-list implementation of the same algebra,
+    sharing no code with the SoA merge kernels: coefficients are looked
+    up by id over the union of the two supports.  Used by the qcheck
+    equivalence suite and the kernel micro-benchmarks as the baseline
+    the optimised kernels are validated (and measured) against. *)
+module Reference : sig
+  type form = { r_nominal : float; r_sens : (int * float) list }
+
+  val of_form : t -> form
+  val to_form : form -> t
+  val mean : form -> float
+  val coeff : form -> int -> float
+  val add : form -> form -> form
+  val sub : form -> form -> form
+  val axpy : float -> form -> form -> form
+  val mul_first_order : form -> form -> form
+  val variance : form -> float
+  val covariance : form -> form -> float
+  val stat_min : form -> form -> form
+end

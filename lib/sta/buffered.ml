@@ -67,12 +67,13 @@ let instantiate ~model b =
               | None -> Rctree.Tree.position b.tree node
             in
             let device_id = Varmodel.Model.fresh_device_id model in
+            let site = Varmodel.Model.site model ~x ~y in
             {
               cb =
-                Varmodel.Model.device_form model ~device_id ~x ~y
+                Varmodel.Model.site_device_form model site ~device_id
                   ~nominal:buf.Device.Buffer.cap_ff;
               tb =
-                Varmodel.Model.device_form model ~device_id ~x ~y
+                Varmodel.Model.site_device_form model site ~device_id
                   ~nominal:buf.Device.Buffer.delay_ps;
               res = buf.Device.Buffer.res_kohm;
             })
@@ -111,9 +112,8 @@ let canonical_rat inst =
       | None ->
         let r = wire.Device.Wire_lib.res_per_um *. length in
         ( Linform.shift (Device.Wire_lib.wire_cap wire ~length) load,
-          Linform.axpy (-.r) load rat
-          |> Linform.shift
-               (-.(0.5 *. r *. wire.Device.Wire_lib.cap_per_um *. length)) )
+          Linform.axpy_shift (-.r) load rat
+            (-.(0.5 *. r *. wire.Device.Wire_lib.cap_per_um *. length)) )
       | Some (r_form, c_form) ->
         let r_l = Linform.scale length r_form in
         ( Linform.add load (Linform.scale length c_form),

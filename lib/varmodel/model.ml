@@ -74,6 +74,57 @@ let device_sens m ~device_id ~x ~y ~nominal =
 let device_form m ~device_id ~x ~y ~nominal =
   Linform.make ~nominal ~sens:(device_sens m ~device_id ~x ~y ~nominal)
 
+(* Location-dependent part of a device form, precomputed once per
+   buffer site: the heterogeneity ramp and the normalised spatial
+   weights.  Building a form from it is a single pass writing the
+   sorted layout [inter-die(0); spatial ids ascending; device id]
+   directly — no list, no sort.  [Grid.weights_at] returns regions in
+   ascending index order, so the spatial ids come out sorted; device
+   ids are allocated above every spatial id by construction. *)
+type site = {
+  s_scale : float;
+  s_spatial_ids : int array;
+  s_weights : float array;
+}
+
+let site m ~x ~y =
+  match m.mode with
+  | Nom | D2d -> { s_scale = 1.0; s_spatial_ids = [||]; s_weights = [||] }
+  | Wid ->
+    let ws = Grid.weights_at m.grid ~x ~y in
+    let n = List.length ws in
+    let ids = Array.make n 0 and weights = Array.make n 0.0 in
+    List.iteri
+      (fun k (r, w) ->
+        ids.(k) <- spatial_source_id m r;
+        weights.(k) <- w)
+      ws;
+    { s_scale = spatial_scale m ~x ~y; s_spatial_ids = ids; s_weights = weights }
+
+let site_device_form m site ~device_id ~nominal =
+  match m.mode with
+  | Nom -> Linform.const nominal
+  | D2d ->
+    Linform.of_sorted_arrays ~nominal
+      ~ids:[| inter_die_id m; device_id |]
+      ~coefs:
+        [|
+          m.budget.inter_die_frac *. nominal; m.budget.random_frac *. nominal;
+        |]
+  | Wid ->
+    let ns = Array.length site.s_spatial_ids in
+    let sigma_sp = m.budget.spatial_frac *. nominal *. site.s_scale in
+    let ids = Array.make (ns + 2) 0 and coefs = Array.make (ns + 2) 0.0 in
+    ids.(0) <- inter_die_id m;
+    coefs.(0) <- m.budget.inter_die_frac *. nominal;
+    for k = 0 to ns - 1 do
+      ids.(k + 1) <- site.s_spatial_ids.(k);
+      coefs.(k + 1) <- sigma_sp *. site.s_weights.(k)
+    done;
+    ids.(ns + 1) <- device_id;
+    coefs.(ns + 1) <- m.budget.random_frac *. nominal;
+    Linform.of_sorted_arrays ~nominal ~ids ~coefs
+
 let wire_frac m = m.wire_frac
 
 let wire_forms m ~edge_id ~x ~y ~r0 ~c0 =

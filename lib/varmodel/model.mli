@@ -83,6 +83,20 @@ val device_form : t -> device_id:int -> x:float -> y:float -> nominal:float -> L
 (** [device_sens] packaged as a canonical form with the nominal as
     mean. *)
 
+type site
+(** The location-dependent part of a device form — the heterogeneity
+    ramp and spatial-region weights at an (x, y) — precomputed once and
+    shared by every characteristic of every device at that location
+    (e.g. all buffer types a DP considers at one insertion site). *)
+
+val site : t -> x:float -> y:float -> site
+
+val site_device_form : t -> site -> device_id:int -> nominal:float -> Linform.t
+(** Exactly {!device_form} at the site's location, but built in one
+    pass from the precomputed template: no list construction and no
+    sort.  Used by the DP inner loop, which builds two forms per
+    (site, buffer type). *)
+
 val wire_frac : t -> float
 
 val wire_forms :

@@ -30,11 +30,20 @@ let mk_sol ?(sens_l = []) ?(sens_t = []) l t =
 let frontier sols =
   List.map (fun s -> (Bufins.Sol.mean_load s, Bufins.Sol.mean_rat s)) sols
 
+(* The production API works on array frontiers; lists stay nicer to
+   write test fixtures and expectations in. *)
+let prune_list rule sols =
+  Array.to_list (Bufins.Prune.prune rule (Array.of_list sols))
+
+let merge_list ~node a b =
+  Array.to_list
+    (Bufins.Engine.merge_frontiers ~node (Array.of_list a) (Array.of_list b))
+
 (* ---------- pruning rules ---------- *)
 
 let test_det_prune () =
   let sols = [ mk_sol 10.0 100.0; mk_sol 12.0 90.0; mk_sol 11.0 105.0; mk_sol 20.0 120.0 ] in
-  let kept = Bufins.Prune.prune Bufins.Prune.deterministic sols in
+  let kept = prune_list Bufins.Prune.deterministic sols in
   Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
     "frontier"
     [ (10.0, 100.0); (11.0, 105.0); (20.0, 120.0) ]
@@ -43,7 +52,7 @@ let test_det_prune () =
 let test_det_prune_duplicates () =
   let sols = [ mk_sol 10.0 100.0; mk_sol 10.0 100.0; mk_sol 10.0 100.0 ] in
   Alcotest.(check int) "dedup" 1
-    (List.length (Bufins.Prune.prune Bufins.Prune.deterministic sols))
+    (List.length (prune_list Bufins.Prune.deterministic sols))
 
 let test_2p_half_equals_det () =
   let sols =
@@ -54,8 +63,8 @@ let test_2p_half_equals_det () =
       mk_sol 20.0 120.0;
     ]
   in
-  let det = frontier (Bufins.Prune.prune Bufins.Prune.deterministic sols) in
-  let tp = frontier (Bufins.Prune.prune (Bufins.Prune.two_param ()) sols) in
+  let det = frontier (prune_list Bufins.Prune.deterministic sols) in
+  let tp = frontier (prune_list (Bufins.Prune.two_param ()) sols) in
   Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
     "2P(0.5) = deterministic on means" det tp
 
@@ -69,10 +78,10 @@ let test_2p_stricter_threshold_prunes_less () =
     ]
   in
   Alcotest.(check int) "p=0.5 prunes" 1
-    (List.length (Bufins.Prune.prune (Bufins.Prune.two_param ()) sols));
+    (List.length (prune_list (Bufins.Prune.two_param ()) sols));
   Alcotest.(check int) "p=0.9 keeps both" 2
     (List.length
-       (Bufins.Prune.prune (Bufins.Prune.two_param ~p_l:0.9 ~p_t:0.9 ()) sols))
+       (prune_list (Bufins.Prune.two_param ~p_l:0.9 ~p_t:0.9 ()) sols))
 
 let test_2p_dominance_eq67 () =
   (* Eq. 6-7 directly: P(L1<L2) and P(T1>T2) must both clear the bar. *)
@@ -92,7 +101,7 @@ let test_1p_prune () =
   Alcotest.(check bool) "b dominates a on percentiles" true
     (Bufins.Prune.dominates rule b a);
   Alcotest.(check int) "prune keeps one" 1
-    (List.length (Bufins.Prune.prune rule [ a; b ]))
+    (List.length (prune_list rule [ a; b ]))
 
 let test_4p_interval_dominance () =
   let rule = Bufins.Prune.four_param ~alpha_l:0.05 ~alpha_u:0.95 ~beta_l:0.05 ~beta_u:0.95 () in
@@ -111,7 +120,7 @@ let test_4p_prune_same_load_group () =
      collapse them (cf. the equal-load special case). *)
   let same_load t = mk_sol ~sens_l:[ (1, 1.0) ] ~sens_t:[ (2, 1.0) ] 10.0 t in
   let sols = [ same_load 100.0; same_load 150.0; same_load 50.0 ] in
-  let kept = Bufins.Prune.prune (Bufins.Prune.four_param ()) sols in
+  let kept = prune_list (Bufins.Prune.four_param ()) sols in
   Alcotest.(check int) "one survivor" 1 (List.length kept);
   Alcotest.(check (float 1e-9)) "best rat survives" 150.0
     (Bufins.Sol.mean_rat (List.hd kept))
@@ -141,7 +150,7 @@ let prop_prune_keeps_best_rat =
       let best = List.fold_left (fun acc (_, t) -> Float.max acc t) neg_infinity pts in
       List.for_all
         (fun rule ->
-          let kept = Bufins.Prune.prune rule sols in
+          let kept = prune_list rule sols in
           List.exists (fun s -> Bufins.Sol.mean_rat s >= best -. 1e-9) kept)
         [
           Bufins.Prune.deterministic;
@@ -160,7 +169,7 @@ let prop_prune_output_sorted_nondominated =
   QCheck.Test.make ~name:"2P prune output is a strict frontier" ~count:200
     (QCheck.make gen) (fun pts ->
       let sols = List.map (fun (l, t) -> mk_sol l t) pts in
-      let kept = frontier (Bufins.Prune.prune (Bufins.Prune.two_param ()) sols) in
+      let kept = frontier (prune_list (Bufins.Prune.two_param ()) sols) in
       let rec strictly_increasing = function
         | (l1, t1) :: ((l2, t2) :: _ as rest) ->
           l1 < l2 && t1 < t2 && strictly_increasing rest
@@ -168,12 +177,140 @@ let prop_prune_output_sorted_nondominated =
       in
       strictly_increasing kept)
 
+(* ---------- array prune vs list-based reference ---------- *)
+
+(* Solutions drawn from small integer grids so exact duplicates and
+   mean ties are common — the cases where sort stability and the
+   duplicate-collapse clause decide which candidate survives. *)
+let prune_sols_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 40)
+      (let* l = int_range 1 25 in
+       let* t = int_range 0 30 in
+       let* sl = int_range 0 4 in
+       let* st = int_range 0 4 in
+       return
+         (mk_sol
+            ~sens_l:(if sl = 0 then [] else [ (1, float_of_int sl) ])
+            ~sens_t:(if st = 0 then [] else [ (2, float_of_int st) ])
+            (float_of_int l) (float_of_int t))))
+
+(* The pre-rewrite sweep: sort by the rule's load key (RAT key
+   descending on ties), then drop a candidate iff some already-kept
+   solution dominates it.  No running-maximum fast path, no mean
+   prefilter — this is the executable spec the array sweep's
+   monotone-frontier shortcuts must not deviate from. *)
+let reference_prune_linear ~load_key ~rat_key rule sols =
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        let c = Float.compare (load_key a) (load_key b) in
+        if c <> 0 then c else Float.compare (rat_key b) (rat_key a))
+      sols
+  in
+  List.rev
+    (List.fold_left
+       (fun kept s ->
+         if List.exists (fun k -> Bufins.Prune.dominates rule k s) kept then kept
+         else s :: kept)
+       [] sorted)
+
+let prop_prune_matches_list_reference =
+  QCheck.Test.make ~name:"array prune = list reference (det/2P/1P)" ~count:300
+    (QCheck.make prune_sols_gen) (fun sols ->
+      let mean_l = Bufins.Sol.mean_load and mean_r = Bufins.Sol.mean_rat in
+      let pctl_l s = Linform.percentile s.Bufins.Sol.load 0.95 in
+      let pctl_r s = Linform.percentile s.Bufins.Sol.rat 0.95 in
+      List.for_all
+        (fun (rule, load_key, rat_key) ->
+          let expect = reference_prune_linear ~load_key ~rat_key rule sols in
+          let got = prune_list rule sols in
+          (* Physically the same solutions, in the same order. *)
+          List.length expect = List.length got
+          && List.for_all2 (fun a b -> a == b) expect got)
+        [
+          (Bufins.Prune.deterministic, mean_l, mean_r);
+          (Bufins.Prune.two_param (), mean_l, mean_r);
+          (Bufins.Prune.two_param ~p_l:0.9 ~p_t:0.9 (), mean_l, mean_r);
+          (Bufins.Prune.two_param ~p_l:0.7 ~p_t:0.95 (), mean_l, mean_r);
+          (Bufins.Prune.one_param ~alpha:0.95, pctl_l, pctl_r);
+        ])
+
+(* 4P reference: the same quantum dedup and equal-load group collapse
+   the production rule applies (both predate the array rewrite), then a
+   naive quadratic all-pairs dominance filter in place of the
+   two-pointer sweep.  Output order is implementation-defined, so the
+   comparison is as a set of physical solutions. *)
+let reference_prune_4p rule sols =
+  let q x = Float.round (x /. 0.01) in
+  let seen = Hashtbl.create 16 in
+  let deduped =
+    List.filter
+      (fun (s : Bufins.Sol.t) ->
+        let key =
+          ( q (Bufins.Sol.mean_load s),
+            q (Bufins.Sol.mean_rat s),
+            q (Linform.std s.Bufins.Sol.load),
+            q (Linform.std s.Bufins.Sol.rat) )
+        in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      sols
+  in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Bufins.Sol.t) ->
+      let key = (q (Bufins.Sol.mean_load s), q (Linform.std s.Bufins.Sol.load)) in
+      Hashtbl.replace groups key
+        (s :: Option.value (Hashtbl.find_opt groups key) ~default:[]))
+    deduped;
+  let survivors =
+    Hashtbl.fold
+      (fun _ group acc ->
+        let sorted =
+          List.sort
+            (fun a b -> compare (Bufins.Sol.mean_rat b) (Bufins.Sol.mean_rat a))
+            group
+        in
+        let kept, _ =
+          List.fold_left
+            (fun (kept, best_lo) (s : Bufins.Sol.t) ->
+              if best_lo > Linform.percentile s.Bufins.Sol.rat 0.55 then
+                (kept, best_lo)
+              else
+                ( s :: kept,
+                  Float.max best_lo (Linform.percentile s.Bufins.Sol.rat 0.45) ))
+            ([], neg_infinity) sorted
+        in
+        List.rev_append kept acc)
+      groups []
+  in
+  List.filter
+    (fun s ->
+      not
+        (List.exists
+           (fun k -> k != s && Bufins.Prune.dominates rule k s)
+           survivors))
+    survivors
+
+let prop_prune_4p_matches_quadratic_reference =
+  QCheck.Test.make ~name:"4P prune = quadratic reference (as a set)" ~count:200
+    (QCheck.make prune_sols_gen) (fun sols ->
+      let rule = Bufins.Prune.four_param () in
+      let expect = reference_prune_4p rule sols in
+      let got = prune_list rule sols in
+      List.length expect = List.length got
+      && List.for_all (fun s -> List.memq s expect) got)
+
 (* ---------- linear merge ---------- *)
 
 let test_merge_frontiers_count_and_order () =
   let a = [ mk_sol 10.0 100.0; mk_sol 20.0 140.0; mk_sol 40.0 200.0 ] in
   let b = [ mk_sol 12.0 110.0; mk_sol 25.0 160.0; mk_sol 50.0 230.0 ] in
-  let merged = Bufins.Engine.merge_frontiers ~node:0 a b in
+  let merged = merge_list ~node:0 a b in
   Alcotest.(check bool) "at most n+m-1" true (List.length merged <= 5);
   let f = frontier merged in
   Alcotest.(check (list (pair (float 1e-6) (float 1e-6))))
@@ -183,7 +320,7 @@ let test_merge_frontiers_count_and_order () =
 
 let test_merge_frontiers_load_adds () =
   let a = [ mk_sol 10.0 100.0 ] and b = [ mk_sol 7.0 50.0 ] in
-  match Bufins.Engine.merge_frontiers ~node:3 a b with
+  match merge_list ~node:3 a b with
   | [ m ] ->
     Alcotest.(check (float 1e-9)) "load sum" 17.0 (Bufins.Sol.mean_load m);
     Alcotest.(check (float 1e-9)) "rat min" 50.0 (Bufins.Sol.mean_rat m);
@@ -598,11 +735,11 @@ let test_generous_budget_is_identity () =
 let test_merge_frontiers_degenerate () =
   let s = [ mk_sol 10.0 100.0 ] in
   Alcotest.(check int) "empty left" 0
-    (List.length (Bufins.Engine.merge_frontiers ~node:0 [] s));
+    (List.length (merge_list ~node:0 [] s));
   Alcotest.(check int) "empty right" 0
-    (List.length (Bufins.Engine.merge_frontiers ~node:0 s []));
+    (List.length (merge_list ~node:0 s []));
   Alcotest.(check int) "prune empty" 0
-    (List.length (Bufins.Prune.prune (Bufins.Prune.two_param ()) []))
+    (List.length (prune_list (Bufins.Prune.two_param ()) []))
 
 (* ---------- the [6]-style probabilistic baseline ---------- *)
 
@@ -740,6 +877,8 @@ let suite =
       test_prune_parameter_validation;
     qcheck prop_prune_keeps_best_rat;
     qcheck prop_prune_output_sorted_nondominated;
+    qcheck prop_prune_matches_list_reference;
+    qcheck prop_prune_4p_matches_quadratic_reference;
     Alcotest.test_case "merge: figure-1 example" `Quick
       test_merge_frontiers_count_and_order;
     Alcotest.test_case "merge: load adds, rat mins" `Quick

@@ -387,6 +387,100 @@ let prop_eval_linear =
       in
       Float.abs (direct -. by_hand) < 1e-9)
 
+(* ---------- SoA kernels vs the assoc-list reference oracle ---------- *)
+
+(* [Linform.Reference] is a deliberately naive assoc-list
+   implementation of the same algebra, sharing nothing with the merge
+   kernels.  Random forms with overlapping supports (shared low ids,
+   private high ids, duplicates and sign cancellations in the raw sens
+   list) are pushed through both; means, variances, covariances,
+   stat_min and every coefficient must agree to 1e-12. *)
+
+let oracle_form_gen =
+  QCheck.Gen.(
+    let* nominal = float_range (-50.0) 50.0 in
+    let* sens =
+      list_size (int_range 0 8)
+        (pair (int_range 0 12) (float_range (-5.0) 5.0))
+    in
+    return (Linform.make ~nominal ~sens))
+
+let oracle_close x y =
+  Float.abs (x -. y) <= 1e-12 *. Float.max 1.0 (Float.abs x)
+
+(* Compare over the union of both supports, so a coefficient dropped by
+   one side but kept (tiny) by the other still gets checked. *)
+let oracle_agrees f rf =
+  let ids =
+    List.sort_uniq compare
+      (List.map fst rf.Linform.Reference.r_sens
+      @ Array.to_list (Array.map fst (Linform.sensitivities f)))
+  in
+  oracle_close (Linform.mean f) (Linform.Reference.mean rf)
+  && oracle_close (Linform.variance f) (Linform.Reference.variance rf)
+  && List.for_all
+       (fun i ->
+         oracle_close (Linform.sensitivity f i) (Linform.Reference.coeff rf i))
+       ids
+
+let prop_oracle_linear_ops =
+  let gen =
+    QCheck.Gen.(triple (float_range (-3.0) 3.0) oracle_form_gen oracle_form_gen)
+  in
+  QCheck.Test.make ~name:"SoA add/sub/axpy/mul match reference (1e-12)"
+    ~count:500 (QCheck.make gen) (fun (k, a, b) ->
+      let ra = Linform.Reference.of_form a in
+      let rb = Linform.Reference.of_form b in
+      oracle_agrees (Linform.add a b) (Linform.Reference.add ra rb)
+      && oracle_agrees (Linform.sub a b) (Linform.Reference.sub ra rb)
+      && oracle_agrees (Linform.axpy k a b) (Linform.Reference.axpy k ra rb)
+      && oracle_agrees
+           (Linform.mul_first_order a b)
+           (Linform.Reference.mul_first_order ra rb))
+
+let prop_oracle_second_order =
+  let gen = QCheck.Gen.(pair oracle_form_gen oracle_form_gen) in
+  QCheck.Test.make ~name:"SoA variance/covariance match reference (1e-12)"
+    ~count:500 (QCheck.make gen) (fun (a, b) ->
+      let ra = Linform.Reference.of_form a in
+      let rb = Linform.Reference.of_form b in
+      oracle_close (Linform.variance a) (Linform.Reference.variance ra)
+      && oracle_close (Linform.covariance a b)
+           (Linform.Reference.covariance ra rb))
+
+let prop_oracle_stat_min =
+  let gen = QCheck.Gen.(pair oracle_form_gen oracle_form_gen) in
+  QCheck.Test.make ~name:"SoA stat_min matches reference (1e-12)" ~count:500
+    (QCheck.make gen) (fun (a, b) ->
+      let ra = Linform.Reference.of_form a in
+      let rb = Linform.Reference.of_form b in
+      oracle_agrees (Linform.stat_min a b) (Linform.Reference.stat_min ra rb))
+
+let prop_oracle_roundtrip =
+  QCheck.Test.make ~name:"Reference.to_form . of_form = id" ~count:300
+    (QCheck.make oracle_form_gen) (fun f ->
+      let g = Linform.Reference.(to_form (of_form f)) in
+      Linform.mean g = Linform.mean f
+      && Linform.sensitivities g = Linform.sensitivities f)
+
+let prop_axpy_shift_fused =
+  (* The fused wire-lift kernel must be bit-identical to the two-step
+     form it replaced — the DP goldens depend on it. *)
+  let gen =
+    QCheck.Gen.(
+      let* k = float_range (-3.0) 3.0 in
+      let* c = float_range (-10.0) 10.0 in
+      let* x = oracle_form_gen and* y = oracle_form_gen in
+      return (k, c, x, y))
+  in
+  QCheck.Test.make ~name:"axpy_shift k x y c = shift c (axpy k x y) exactly"
+    ~count:300 (QCheck.make gen) (fun (k, c, x, y) ->
+      let fused = Linform.axpy_shift k x y c in
+      let unfused = Linform.shift c (Linform.axpy k x y) in
+      Linform.mean fused = Linform.mean unfused
+      && Linform.variance fused = Linform.variance unfused
+      && Linform.sensitivities fused = Linform.sensitivities unfused)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -424,4 +518,9 @@ let suite =
       test_prob_greater_identical_forms;
     qcheck prop_percentile_monotone;
     qcheck prop_sensitivities_canonical;
+    qcheck prop_oracle_linear_ops;
+    qcheck prop_oracle_second_order;
+    qcheck prop_oracle_stat_min;
+    qcheck prop_oracle_roundtrip;
+    qcheck prop_axpy_shift_fused;
   ]
