@@ -225,6 +225,106 @@ let run_dp_probe ~smoke () =
     dp_runtime_s = s.Bufins.Engine.runtime_s;
   }
 
+(* ---------- parallel-DP scaling + arena probe ---------- *)
+
+type par_dp = {
+  par_sinks : int;
+  par_jobs : int;
+  par_grain : int;
+  seq_s : float;
+  par_s : float;
+  par_identical : bool;
+  arena_bytes : float;
+  noarena_bytes : float;
+}
+
+let strip_result (r : Bufins.Engine.result) =
+  ( r.Bufins.Engine.root_rat,
+    r.Bufins.Engine.best,
+    r.Bufins.Engine.buffers,
+    r.Bufins.Engine.widths,
+    r.Bufins.Engine.stats.Bufins.Engine.peak_candidates,
+    r.Bufins.Engine.stats.Bufins.Engine.total_candidates )
+
+(* The task-parallel DP on the suite's largest synthetic net: wall
+   clock at jobs=1 vs jobs=N (best of a few runs — the DP is short
+   enough to jitter), a structural identity check between the two, and
+   the allocation saved by the arena (same sequential run with the
+   arena disabled).  The model is consumed by a run (device-id
+   counter), so every run gets a fresh one. *)
+let run_par_dp ~smoke ~jobs () =
+  let sinks = if smoke then 100 else 300 in
+  let die = 8000.0 in
+  let tree = Rctree.Generate.random_steiner ~seed:7 ~sinks ~die_um:die () in
+  let grid =
+    Varmodel.Grid.create ~width_um:die ~height_um:die ~pitch_um:500.0
+      ~range_um:2000.0
+  in
+  let model () =
+    Varmodel.Model.create ~mode:Varmodel.Model.Wid
+      ~spatial:Varmodel.Model.default_heterogeneous ~grid ()
+  in
+  let config = Bufins.Engine.default_config () in
+  let grain = Bufins.Engine.default_grain in
+  let repeats = if smoke then 1 else 3 in
+  let timed ?pool () =
+    let t0 = Unix.gettimeofday () in
+    let r = Bufins.Engine.run ?pool ~grain config ~model:(model ()) tree in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let best f =
+    let acc = ref None in
+    for _ = 1 to repeats do
+      let t, r = f () in
+      match !acc with
+      | Some (bt, _) when bt <= t -> ()
+      | _ -> acc := Some (t, r)
+    done;
+    Option.get !acc
+  in
+  let seq_s, seq_r = best (fun () -> timed ()) in
+  let pool = Exec.Pool.create ~jobs () in
+  let par_s, par_r =
+    Fun.protect
+      ~finally:(fun () -> Exec.Pool.shutdown pool)
+      (fun () -> best (fun () -> timed ~pool ()))
+  in
+  let par_identical = strip_result par_r = strip_result seq_r in
+  let alloc_run () =
+    let before = Gc.allocated_bytes () in
+    ignore (Bufins.Engine.run ~grain config ~model:(model ()) tree);
+    Gc.allocated_bytes () -. before
+  in
+  let arena_bytes = alloc_run () in
+  Bufins.Arena.enabled := false;
+  let noarena_bytes =
+    Fun.protect
+      ~finally:(fun () -> Bufins.Arena.enabled := true)
+      alloc_run
+  in
+  Printf.printf
+    "== parallel DP (%d sinks, WID, grain %d) ==\n\
+     jobs=1 %.3fs, jobs=%d %.3fs, speedup %.2fx, identical %b\n\
+     arena on %.1f MB, arena off %.1f MB (saved %.1f%%)\n\n"
+    sinks grain seq_s jobs par_s
+    (seq_s /. Float.max par_s 1e-9)
+    par_identical (arena_bytes /. 1e6) (noarena_bytes /. 1e6)
+    (100.0 *. (1.0 -. (arena_bytes /. Float.max noarena_bytes 1.0)));
+  if not par_identical then begin
+    prerr_endline "FATAL: parallel DP diverged from sequential";
+    exit 1
+  end;
+  {
+    par_sinks = sinks;
+    par_jobs = jobs;
+    par_grain = grain;
+    seq_s;
+    par_s;
+    par_identical;
+    arena_bytes;
+    noarena_bytes;
+  }
+
 (* ---------- BENCH.json (hand-rolled writer; no JSON dependency) ---------- *)
 
 let json_escape s =
@@ -245,7 +345,7 @@ let json_float x =
   (* %.17g roundtrips; JSON has no infinities, clamp defensively. *)
   if Float.is_finite x then Printf.sprintf "%.17g" x else "null"
 
-let write_bench_json ~path ~smoke ~micro ~probe =
+let write_bench_json ~path ~smoke ~micro ~probe ~par =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema\": \"varbuf-bench/1\",\n";
@@ -263,11 +363,24 @@ let write_bench_json ~path ~smoke ~micro ~probe =
     (Printf.sprintf
        "  \"dp_probe\": {\"sinks\": %d, \"allocated_bytes\": %s, \
         \"peak_candidates\": %d, \"total_candidates\": %d, \"runtime_s\": \
-        %s}\n"
+        %s},\n"
        probe.probe_sinks
        (json_float probe.allocated_bytes)
        probe.peak_candidates probe.total_candidates
        (json_float probe.dp_runtime_s));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"par_dp\": {\"sinks\": %d, \"jobs\": %d, \"grain\": %d, \
+        \"seq_ns_per_op\": %s, \"par_ns_per_op\": %s, \"speedup\": %s, \
+        \"identical\": %b, \"arena_allocated_bytes\": %s, \
+        \"noarena_allocated_bytes\": %s}\n"
+       par.par_sinks par.par_jobs par.par_grain
+       (json_float (par.seq_s *. 1e9))
+       (json_float (par.par_s *. 1e9))
+       (json_float (par.seq_s /. Float.max par.par_s 1e-9))
+       par.par_identical
+       (json_float par.arena_bytes)
+       (json_float par.noarena_bytes));
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -446,7 +559,8 @@ let () =
   if all || smoke || only "--micro-only" then begin
     let micro = run_micro ~smoke () in
     let probe = run_dp_probe ~smoke () in
-    write_bench_json ~path:json_path ~smoke ~micro ~probe
+    let par = run_par_dp ~smoke ~jobs () in
+    write_bench_json ~path:json_path ~smoke ~micro ~probe ~par
   end;
   if all || only "--mc-only" then run_mc_speedup ~jobs ();
   if all || only "--serve-only" then run_serve ~jobs ();

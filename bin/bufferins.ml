@@ -50,7 +50,7 @@ let rule_of_string p = function
   | s -> Error (Printf.sprintf "unknown pruning rule %S (det|2p|1p|4p)" s)
 
 let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
-    wire_sizing save_buffering load_limit =
+    wire_sizing save_buffering load_limit jobs par_grain =
   let source =
     match (bench, sinks, htree, file) with
     | Some b, None, None, None -> Ok (Bench b)
@@ -70,7 +70,17 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
       prerr_endline msg;
       1
     | Ok algo, Ok rule -> (
-      let setup = { Experiments.Common.default_setup with mc_trials = mc } in
+      let pool = if jobs > 1 then Some (Exec.Pool.create ~jobs ()) else None in
+      let finally () = Option.iter Exec.Pool.shutdown pool in
+      Fun.protect ~finally @@ fun () ->
+      let setup =
+        {
+          Experiments.Common.default_setup with
+          mc_trials = mc;
+          pool;
+          par_grain;
+        }
+      in
       let tree, die_um =
         try load_tree source seed with
         | Not_found ->
@@ -133,7 +143,7 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
               ~widths:r.Bufins.Engine.widths r.Bufins.Engine.buffers
           in
           let rng = Numeric.Rng.create ~seed in
-          let samples = Sta.Buffered.monte_carlo inst ~rng ~trials:mc in
+          let samples = Sta.Buffered.monte_carlo ?pool inst ~rng ~trials:mc in
           let s = Numeric.Stats.summarize samples in
           Format.printf "Monte Carlo (%d trials): mu=%.1f ps, sigma=%.1f ps@." mc
             s.Numeric.Stats.mean s.Numeric.Stats.std
@@ -198,6 +208,18 @@ let load_limit_arg =
   Arg.(value & opt (some float) None & info [ "load-limit" ] ~docv:"FF"
          ~doc:"Maximum capacitance (fF) any buffer or the driver may drive.")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains: the DP's subtree tasks and Monte-Carlo \
+               chunks run across them.  Results are identical at any \
+               job count.")
+
+let par_grain_arg =
+  Arg.(value & opt (some int) None & info [ "par-grain" ] ~docv:"NODES"
+         ~doc:"Subtree-size cutoff for DP parallelism: subtrees at or \
+               below it run inline inside their parent task (default: \
+               the engine's built-in grain).")
+
 let cmd =
   let doc = "variation-aware buffer insertion on a routing tree" in
   let info = Cmd.info "varbuf-bufferins" ~doc in
@@ -205,6 +227,7 @@ let cmd =
     Term.(
       const run $ bench_arg $ sinks_arg $ htree_arg $ file_arg $ algo_arg
       $ rule_arg $ p_arg $ seed_arg $ mc_arg $ homogeneous_arg $ save_arg
-      $ wire_sizing_arg $ save_buffering_arg $ load_limit_arg)
+      $ wire_sizing_arg $ save_buffering_arg $ load_limit_arg $ jobs_arg
+      $ par_grain_arg)
 
 let () = exit (Cmd.eval' cmd)

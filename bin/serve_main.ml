@@ -14,7 +14,7 @@ let socket_arg =
 
 (* ---------- start ---------- *)
 
-let start socket jobs queue_depth max_request_bytes =
+let start socket jobs queue_depth max_request_bytes cache_entries =
   let stop = Atomic.make false in
   let handle = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
   Sys.set_signal Sys.sigint handle;
@@ -25,10 +25,11 @@ let start socket jobs queue_depth max_request_bytes =
       Serve.Server.jobs;
       queue_depth;
       max_payload = max_request_bytes;
+      cache_entries;
     }
   in
-  Printf.printf "varbuf-serve: listening on %s (jobs=%d, queue=%d)\n%!" socket
-    jobs queue_depth;
+  Printf.printf "varbuf-serve: listening on %s (jobs=%d, queue=%d, cache=%d)\n%!"
+    socket jobs queue_depth cache_entries;
   (try Serve.Server.run ~should_stop:(fun () -> Atomic.get stop) config
    with Unix.Unix_error (e, fn, arg) ->
      prerr_endline
@@ -53,9 +54,17 @@ let start_cmd =
     Arg.(value & opt int (8 * 1024 * 1024) & info [ "max-request-bytes" ]
            ~docv:"BYTES" ~doc:"Request frame size limit.")
   in
+  let cache_arg =
+    Arg.(value & opt int 128 & info [ "cache-entries" ] ~docv:"N"
+           ~doc:"Result-cache capacity (LRU); repeated request payloads \
+                 are answered from memory byte-identically.  0 disables \
+                 caching.")
+  in
   Cmd.v
     (Cmd.info "start" ~doc:"run the buffering daemon (foreground)")
-    Term.(const start $ socket_arg $ jobs_arg $ queue_arg $ max_bytes_arg)
+    Term.(
+      const start $ socket_arg $ jobs_arg $ queue_arg $ max_bytes_arg
+      $ cache_arg)
 
 (* ---------- request ---------- *)
 

@@ -1,0 +1,45 @@
+(** Per-domain scratch buffers for the DP hot path.
+
+    One arena per domain (worker or caller), fetched with {!get}
+    through domain-local storage: candidate staging, pruning key
+    caches, the stable index-permutation sort and its scratch all
+    borrow from it instead of allocating per node.  Buffers grow
+    geometrically to the running peak and are never shrunk.
+
+    A borrowed buffer is valid until the same domain's next borrow of
+    the {e same} buffer; the disjoint buffers below may be held
+    simultaneously (candidate generation stages into [stage_a]/
+    [stage_b] while pruning uses the key/permutation buffers).  Pruned
+    frontiers are always returned as fresh exact-size arrays, so
+    arena storage never escapes into results. *)
+
+type t
+
+val enabled : bool ref
+(** When [false], {!get} returns a fresh empty arena per call —
+    restoring the allocate-per-node behaviour.  Only the bench harness
+    toggles this, to measure the allocation the arena saves. *)
+
+val get : unit -> t
+(** The calling domain's arena (fresh and empty if {!enabled} is
+    off). *)
+
+val load_keys : t -> int -> float array
+(** A buffer of length >= n; contents unspecified. *)
+
+val rat_keys : t -> int -> float array
+val perm : t -> int -> int array
+val kept : t -> int -> int array
+
+val stage_a : t -> int -> dummy:Sol.t -> Sol.t array
+(** Candidate staging buffer (wired candidates); [dummy] fills any
+    newly grown slots. *)
+
+val stage_b : t -> int -> dummy:Sol.t -> Sol.t array
+(** Second staging buffer (wired + buffered candidates). *)
+
+val sort_prefix : t -> int array -> int -> cmp:(int -> int -> int) -> unit
+(** [sort_prefix t idx n ~cmp] stable-sorts [idx.(0 .. n-1)] in place
+    (bottom-up mergesort over the arena's scratch).  Produces exactly
+    the permutation [Array.stable_sort] would: stability plus an
+    identical comparator pin which duplicate survives pruning. *)

@@ -139,7 +139,9 @@ let merge_cross ~node ~check (a : Sol.t array) (b : Sol.t array) =
     out
   end
 
-let run config ~model tree =
+let default_grain = 64
+
+let run ?pool ?(grain = default_grain) config ~model tree =
   (* Wall-clock, not [Sys.time]: CPU time sums over domains, so it
      over-counts budgets and runtimes as soon as anything else runs in
      parallel with the DP. *)
@@ -161,17 +163,40 @@ let run config ~model tree =
   in
   let n = Rctree.Tree.node_count tree in
   let results : Sol.t array array = Array.make n [||] in
-  let peak = ref 0 in
-  let total = ref 0 in
-  (* Lift a child's candidate set through the edge above it: wire-only
-     candidates plus one buffered variant per library type.  The
-     buffer's canonical forms are built once per (site, type): the same
-     physical device serves every candidate that buffers here, so all
-     of them share its variation sources.  The location-dependent part
-     of those forms (spatial weights, heterogeneity ramp) depends only
-     on the site's coordinates, so it is computed once per node and
-     shared by every edge hanging under it. *)
+  (* Atomics, not refs: subtree tasks on different domains bump them
+     concurrently.  Max and sum commute, so the reported stats are
+     identical at any job count. *)
+  let peak = Atomic.make 0 in
+  let total = Atomic.make 0 in
   let wire_variation = Varmodel.Model.wire_frac model > 0.0 in
+  let post = Rctree.Tree.postorder tree in
+  (* Deterministic device-id pre-pass.  The model hands out variation
+     source ids from a mutable counter, and the output bytes depend on
+     them; consuming them inside the DP would make ids — and therefore
+     results — depend on task scheduling.  Instead, walk the tree in
+     the exact order the sequential DP consumes ids (postorder; per
+     non-sink node its child edges in order; per edge one wire CMP id
+     when wire variation is on, then one id per library buffer) and
+     record each edge's first id.  The DP below computes ids from this
+     base, so any schedule produces the bytes the sequential walk
+     does — and the model's counter advances exactly as before. *)
+  let nlib = Array.length config.library in
+  let ids_per_edge = (if wire_variation then 1 else 0) + nlib in
+  let device_base = Array.make n (-1) in
+  Array.iter
+    (fun id ->
+      if not (Rctree.Tree.is_sink tree id) then
+        List.iter
+          (fun (child, _length) ->
+            device_base.(child) <- Varmodel.Model.fresh_device_id model;
+            for _ = 2 to ids_per_edge do
+              ignore (Varmodel.Model.fresh_device_id model)
+            done)
+          (Rctree.Tree.children tree id))
+    post;
+  (* Per-site data below is written and read only by the one task that
+     owns the node (the site of an edge is the parent's node id), so
+     the plain array is race-free under the scheduler. *)
   let sites : Varmodel.Model.site option array = Array.make n None in
   let site_at id =
     match sites.(id) with
@@ -182,47 +207,59 @@ let run config ~model tree =
       sites.(id) <- Some s;
       s
   in
+  (* Lift a child's candidate set through the edge above it: wire-only
+     candidates plus one buffered variant per library type.  The
+     buffer's canonical forms are built once per (site, type): the same
+     physical device serves every candidate that buffers here, so all
+     of them share its variation sources.  The location-dependent part
+     of those forms (spatial weights, heterogeneity ramp) depends only
+     on the site's coordinates, so it is computed once per node and
+     shared by every edge hanging under it.  Candidates are staged in
+     the domain's arena buffers — only the pruned frontier is a fresh
+     allocation. *)
   let lift ~child ~length (sols : Sol.t array) =
+    let arena = Arena.get () in
     let site_node =
       match Rctree.Tree.parent tree child with Some p -> p | None -> child
     in
     let ns = Array.length sols in
-    let wired =
-      if wire_variation then begin
-        (* One CMP source per physical edge, shared by all widths. *)
-        let edge_id = Varmodel.Model.fresh_device_id model in
-        let bx, by = Rctree.Tree.position tree site_node in
-        let cx, cy = Rctree.Tree.position tree child in
-        let mx = 0.5 *. (bx +. cx) and my = 0.5 *. (by +. cy) in
-        let forms =
-          Array.map
-            (fun wire ->
-              Varmodel.Model.wire_forms model ~edge_id ~x:mx ~y:my
-                ~r0:wire.Device.Wire_lib.res_per_um
-                ~c0:wire.Device.Wire_lib.cap_per_um)
-            config.wires
-        in
-        Array.init
-          (Array.length config.wires * ns)
-          (fun k ->
-            let width = k / ns in
-            let r_form, c_form = forms.(width) in
-            lift_wire_var ~node:child ~width ~length ~r_form ~c_form
-              sols.(k mod ns))
-      end
-      else
-        Array.init
-          (Array.length config.wires * ns)
-          (fun k ->
-            let width = k / ns in
-            lift_wire config.wires.(width) ~node:child ~width ~length
-              sols.(k mod ns))
-    in
+    let nw = Array.length config.wires * ns in
+    let wired = Arena.stage_a arena nw ~dummy:sols.(0) in
+    (if wire_variation then begin
+       (* One CMP source per physical edge, shared by all widths. *)
+       let edge_id = device_base.(child) in
+       let bx, by = Rctree.Tree.position tree site_node in
+       let cx, cy = Rctree.Tree.position tree child in
+       let mx = 0.5 *. (bx +. cx) and my = 0.5 *. (by +. cy) in
+       let forms =
+         Array.map
+           (fun wire ->
+             Varmodel.Model.wire_forms model ~edge_id ~x:mx ~y:my
+               ~r0:wire.Device.Wire_lib.res_per_um
+               ~c0:wire.Device.Wire_lib.cap_per_um)
+           config.wires
+       in
+       for k = 0 to nw - 1 do
+         let width = k / ns in
+         let r_form, c_form = forms.(width) in
+         wired.(k) <-
+           lift_wire_var ~node:child ~width ~length ~r_form ~c_form
+             sols.(k mod ns)
+       done
+     end
+     else
+       for k = 0 to nw - 1 do
+         let width = k / ns in
+         wired.(k) <-
+           lift_wire config.wires.(width) ~node:child ~width ~length
+             sols.(k mod ns)
+       done);
     let psite = site_at site_node in
+    let buf_base = device_base.(child) + if wire_variation then 1 else 0 in
     let site_forms =
-      Array.map
-        (fun (b : Device.Buffer.t) ->
-          let device_id = Varmodel.Model.fresh_device_id model in
+      Array.init nlib (fun bi ->
+          let b = config.library.(bi) in
+          let device_id = buf_base + bi in
           let cb =
             Varmodel.Model.site_device_form model psite ~device_id
               ~nominal:b.Device.Buffer.cap_ff
@@ -232,7 +269,6 @@ let run config ~model tree =
               ~nominal:b.Device.Buffer.delay_ps
           in
           (cb, tb, b.Device.Buffer.res_kohm))
-        config.library
     in
     let drivable (s : Sol.t) =
       match config.load_limit with
@@ -243,13 +279,12 @@ let run config ~model tree =
        wired candidates reversed, then one buffered variant per library
        type for each drivable wired candidate — so that the stable sort
        keeps the same representative among exact duplicates. *)
-    let nw = Array.length wired in
-    let nlib = Array.length config.library in
     let ndrivable = ref 0 in
     for i = 0 to nw - 1 do
       if drivable wired.(i) then incr ndrivable
     done;
-    let cand = Array.make (nw + (!ndrivable * nlib)) wired.(0) in
+    let ncand = nw + (!ndrivable * nlib) in
+    let cand = Arena.stage_b arena ncand ~dummy:wired.(0) in
     for i = 0 to nw - 1 do
       cand.(nw - 1 - i) <- wired.(i)
     done;
@@ -264,49 +299,118 @@ let run config ~model tree =
           incr k
         done
     done;
-    Prune.prune config.rule cand
+    Prune.prune_sub config.rule cand ncand
   in
-  let post = Rctree.Tree.postorder tree in
-  Array.iter
-    (fun id ->
-      check_time ();
-      let sols =
-        match Rctree.Tree.sink tree id with
-        | Some s ->
-          [| Sol.of_sink ~node:id ~cap:s.Rctree.Tree.sink_cap ~rat:s.Rctree.Tree.sink_rat |]
-        | None ->
-          let lifted =
-            List.map
-              (fun (child, length) ->
-                let child_sols = results.(child) in
-                results.(child) <- [||];
-                let l = lift ~child ~length child_sols in
-                check_count ~where:(Printf.sprintf "edge above node %d" child)
-                  (Array.length l);
-                l)
-              (Rctree.Tree.children tree id)
+  let compute id =
+    check_time ();
+    let sols =
+      match Rctree.Tree.sink tree id with
+      | Some s ->
+        [| Sol.of_sink ~node:id ~cap:s.Rctree.Tree.sink_cap ~rat:s.Rctree.Tree.sink_rat |]
+      | None ->
+        let lifted =
+          Array.of_list
+            (List.map
+               (fun (child, length) ->
+                 let child_sols = results.(child) in
+                 results.(child) <- [||];
+                 let l = lift ~child ~length child_sols in
+                 check_count ~where:(Printf.sprintf "edge above node %d" child)
+                   (Array.length l);
+                 l)
+               (Rctree.Tree.children tree id))
+        in
+        if Array.length lifted = 1 then lifted.(0)
+        else begin
+          assert (Array.length lifted = 2);
+          let merged =
+            if Prune.is_linear config.rule then
+              merge_linear ~node:id lifted.(0) lifted.(1)
+            else
+              merge_cross ~node:id
+                ~check:(fun c ->
+                  check_count ~where:(Printf.sprintf "merge at node %d" id) c;
+                  (* A 4P cross product is quadratic: without a
+                     deadline check inside the candidate loop, one
+                     pathological merge can overshoot a serve deadline
+                     by its whole runtime. *)
+                  if c land 1023 = 0 then check_time ())
+                lifted.(0) lifted.(1)
           in
-          (match lifted with
-          | [ only ] -> only
-          | [ a; b ] ->
-            let merged =
-              if Prune.is_linear config.rule then merge_linear ~node:id a b
-              else
-                merge_cross ~node:id
-                  ~check:(fun c ->
-                    check_count ~where:(Printf.sprintf "merge at node %d" id) c)
-                  a b
-            in
-            Prune.prune config.rule merged
-          | _ -> assert false)
-      in
-      let len = Array.length sols in
-      check_count ~where:(Printf.sprintf "node %d" id) len;
-      if len > !peak then peak := len;
-      total := !total + len;
-      Log.debug (fun m -> m "node %d: %d candidates kept" id len);
-      results.(id) <- sols)
-    post;
+          (* The lifted child frontiers are dead the moment the merge
+             has combined them: clear the slots so both arrays can be
+             collected while the (larger) merged set is pruned, instead
+             of pinning memory across every concurrently live task. *)
+          lifted.(0) <- [||];
+          lifted.(1) <- [||];
+          Prune.prune config.rule merged
+        end
+    in
+    let len = Array.length sols in
+    check_count ~where:(Printf.sprintf "node %d" id) len;
+    let rec bump_peak () =
+      let cur = Atomic.get peak in
+      if len > cur && not (Atomic.compare_and_set peak cur len) then bump_peak ()
+    in
+    bump_peak ();
+    ignore (Atomic.fetch_and_add total len);
+    Log.debug (fun m -> m "node %d: %d candidates kept" id len);
+    results.(id) <- sols
+  in
+  (match pool with
+  | Some pool when Exec.Pool.jobs pool > 1 && n > max 1 grain ->
+    (* Task-parallel subtree DP.  Nodes whose subtree exceeds the grain
+       become tasks; each task first processes its small child subtrees
+       inline (sequential postorder), then computes its own node, and
+       the dependency-counted release in [Exec.Pool.run_graph] starts a
+       merge node's task only once all its subtree tasks finished.
+       Merge order stays the fixed child order, so the frontier bytes
+       are independent of which domain ran what when. *)
+    let grain = max 1 grain in
+    let size = Array.make n 1 in
+    Array.iter
+      (fun id ->
+        List.iter
+          (fun (c, _) -> size.(id) <- size.(id) + size.(c))
+          (Rctree.Tree.children tree id))
+      post;
+    let ntasks = ref 0 in
+    let task_index = Array.make n (-1) in
+    Array.iter
+      (fun id ->
+        if size.(id) > grain then begin
+          task_index.(id) <- !ntasks;
+          incr ntasks
+        end)
+      post;
+    (* size(root) = n > grain, so the root is always a task. *)
+    let task_ids = Array.make !ntasks 0 in
+    Array.iter
+      (fun id -> if task_index.(id) >= 0 then task_ids.(task_index.(id)) <- id)
+      post;
+    let deps =
+      Array.map
+        (fun id ->
+          Rctree.Tree.children tree id
+          |> List.filter_map (fun (c, _) ->
+                 if task_index.(c) >= 0 then Some task_index.(c) else None)
+          |> Array.of_list)
+        task_ids
+    in
+    let rec inline_subtree id =
+      List.iter (fun (c, _) -> inline_subtree c) (Rctree.Tree.children tree id);
+      compute id
+    in
+    Exec.Pool.run_graph pool ~deps ~run:(fun ti ->
+        let id = task_ids.(ti) in
+        List.iter
+          (fun (c, _) -> if task_index.(c) < 0 then inline_subtree c)
+          (Rctree.Tree.children tree id);
+        compute id)
+  | _ ->
+    (* No pool (or one job, or a net below the grain): exactly the
+       classical sequential postorder loop. *)
+    Array.iter compute post);
   let root_sols = results.(Rctree.Tree.root tree) in
   (* The driver is a gate too: apply the load limit at the root if
      configured, falling back to the unconstrained set when nothing
@@ -356,8 +460,8 @@ let run config ~model tree =
       (Sol.widths_of_choice best.Sol.choice)
   in
   Log.info (fun m ->
-      m "done: %d nodes, peak %d candidates, %d buffers, RAT mean %.1f" n !peak
-        (List.length buffers) (Linform.mean root_rat));
+      m "done: %d nodes, peak %d candidates, %d buffers, RAT mean %.1f" n
+        (Atomic.get peak) (List.length buffers) (Linform.mean root_rat));
   {
     root_rat;
     best;
@@ -367,8 +471,8 @@ let run config ~model tree =
     stats =
       {
         runtime_s = Unix.gettimeofday () -. t_start;
-        peak_candidates = !peak;
-        total_candidates = !total;
+        peak_candidates = Atomic.get peak;
+        total_candidates = Atomic.get total;
         nodes = n;
       };
   }

@@ -88,9 +88,30 @@ type result = {
   stats : stats;
 }
 
-val run : config -> model:Varmodel.Model.t -> Rctree.Tree.t -> result
+val default_grain : int
+(** Default subtree-size cutoff for task decomposition (see {!run}). *)
+
+val run :
+  ?pool:Exec.Pool.t ->
+  ?grain:int ->
+  config ->
+  model:Varmodel.Model.t ->
+  Rctree.Tree.t ->
+  result
 (** Optimise the tree.  The root candidate is chosen by the configured
     {!objective} over the driver-output RAT.
+
+    With a [pool] of more than one job and a net larger than [grain]
+    (default {!default_grain}), independent subtrees run as
+    dependency-counted tasks on the pool: every node whose subtree
+    exceeds [grain] candidates a task, smaller subtrees run inline
+    inside their nearest task ancestor, and a merge node's task is
+    released only when all its subtree tasks have finished.  Device
+    variation ids are assigned in a sequential pre-pass and merges keep
+    the fixed child order, so the result is byte-identical to the
+    sequential run at any job count.  Without a pool (or with
+    [jobs = 1], or a small net) the classical sequential postorder loop
+    runs unchanged.
     @raise Budget_exceeded when the configured budget trips. *)
 
 val merge_frontiers : node:int -> Sol.t array -> Sol.t array -> Sol.t array

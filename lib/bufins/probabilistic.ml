@@ -70,7 +70,8 @@ let prune heuristic (sols : sol array) =
   let n = Array.length sols in
   if n <= 1 then sols
   else begin
-    let kl = Array.make n 0.0 and kr = Array.make n 0.0 in
+    let arena = Arena.get () in
+    let kl = Arena.load_keys arena n and kr = Arena.rat_keys arena n in
     (match heuristic with
     | Percentile_dominance p ->
       for i = 0 to n - 1 do
@@ -82,13 +83,14 @@ let prune heuristic (sols : sol array) =
         kl.(i) <- Numeric.Pmf.mean sols.(i).load;
         kr.(i) <- Numeric.Pmf.mean sols.(i).rat
       done);
-    let idx = Array.init n Fun.id in
-    Array.stable_sort
-      (fun a b ->
+    let idx = Arena.perm arena n in
+    for i = 0 to n - 1 do
+      idx.(i) <- i
+    done;
+    Arena.sort_prefix arena idx n ~cmp:(fun a b ->
         let c = Float.compare kl.(a) kl.(b) in
-        if c <> 0 then c else Float.compare kr.(b) kr.(a))
-      idx;
-    let kept = Array.make n 0 in
+        if c <> 0 then c else Float.compare kr.(b) kr.(a));
+    let kept = Arena.kept arena n in
     let nkept = ref 0 in
     for s = 0 to n - 1 do
       let i = idx.(s) in
@@ -111,7 +113,7 @@ let prune heuristic (sols : sol array) =
     Array.init !nkept (fun k -> sols.(kept.(k)))
   end
 
-let run config tree =
+let run ?pool ?(grain = Engine.default_grain) config tree =
   (* Wall-clock, not [Sys.time]: CPU time sums over domains, so both
      the budget and the reported runtime would over-count as soon as
      anything else runs in parallel with this DP (exactly the bug the
@@ -134,7 +136,9 @@ let run config tree =
   in
   let n = Rctree.Tree.node_count tree in
   let results : sol array array = Array.make n [||] in
-  let peak = ref 0 in
+  (* Atomic: subtree tasks on different domains bump it concurrently;
+     max commutes, so the stat is identical at any job count. *)
+  let peak = Atomic.make 0 in
   (* The manufactured length of each segment: drawn length times
      (1 + delta), delta discretised from N(0, length_frac^2). *)
   let length_pmf length =
@@ -195,60 +199,124 @@ let run config tree =
     done;
     prune config.heuristic cand
   in
-  Array.iter
-    (fun id ->
-      check_time ();
-      let sols =
-        match Rctree.Tree.sink tree id with
-        | Some s ->
-          [|
+  let compute id =
+    check_time ();
+    let sols =
+      match Rctree.Tree.sink tree id with
+      | Some s ->
+        [|
+          {
+            load = Numeric.Pmf.constant s.Rctree.Tree.sink_cap;
+            rat = Numeric.Pmf.constant s.Rctree.Tree.sink_rat;
+            choice = Sol.At_sink id;
+          };
+        |]
+      | None ->
+        let lifted =
+          Array.of_list
+            (List.map
+               (fun (child, length) ->
+                 let cs = results.(child) in
+                 results.(child) <- [||];
+                 let l = lift ~child ~length cs in
+                 check_count ~where:(Printf.sprintf "edge above node %d" child)
+                   (Array.length l);
+                 l)
+               (Rctree.Tree.children tree id))
+        in
+        if Array.length lifted = 1 then lifted.(0)
+        else begin
+          assert (Array.length lifted = 2);
+          (* [6] assumes independence between solutions, so the merge
+             is the full cross product. *)
+          let a = lifted.(0) and b = lifted.(1) in
+          let na = Array.length a and nb = Array.length b in
+          let combine sa sb =
             {
-              load = Numeric.Pmf.constant s.Rctree.Tree.sink_cap;
-              rat = Numeric.Pmf.constant s.Rctree.Tree.sink_rat;
-              choice = Sol.At_sink id;
-            };
-          |]
-        | None -> (
-          let lifted =
-            List.map
-              (fun (child, length) ->
-                let cs = results.(child) in
-                results.(child) <- [||];
-                let l = lift ~child ~length cs in
-                check_count ~where:(Printf.sprintf "edge above node %d" child)
-                  (Array.length l);
-                l)
-              (Rctree.Tree.children tree id)
+              load = Numeric.Pmf.add sa.load sb.load;
+              rat = Numeric.Pmf.min2 sa.rat sb.rat;
+              choice = Sol.Merged { node = id; left = sa.choice; right = sb.choice };
+            }
           in
-          match lifted with
-          | [ only ] -> only
-          | [ a; b ] ->
-            (* [6] assumes independence between solutions, so the merge
-               is the full cross product. *)
-            let na = Array.length a and nb = Array.length b in
-            let combine sa sb =
-              {
-                load = Numeric.Pmf.add sa.load sb.load;
-                rat = Numeric.Pmf.min2 sa.rat sb.rat;
-                choice = Sol.Merged { node = id; left = sa.choice; right = sb.choice };
-              }
-            in
-            let merged = Array.make (na * nb) (combine a.(0) b.(0)) in
-            for i = 0 to na - 1 do
-              for j = 0 to nb - 1 do
-                merged.((i * nb) + j) <- combine a.(i) b.(j)
-              done
-            done;
-            check_count ~where:(Printf.sprintf "merge at node %d" id)
-              (Array.length merged);
-            prune config.heuristic merged
-          | _ -> assert false)
-      in
-      let len = Array.length sols in
-      check_count ~where:(Printf.sprintf "node %d" id) len;
-      if len > !peak then peak := len;
-      results.(id) <- sols)
-    (Rctree.Tree.postorder tree);
+          let merged = Array.make (na * nb) (combine a.(0) b.(0)) in
+          for i = 0 to na - 1 do
+            for j = 0 to nb - 1 do
+              let k = (i * nb) + j in
+              (* The cross product is quadratic: check the deadline
+                 inside the loop, not only per node, so one pathological
+                 merge cannot overshoot the budget by its whole
+                 runtime. *)
+              if k land 1023 = 0 then check_time ();
+              merged.(k) <- combine a.(i) b.(j)
+            done
+          done;
+          (* The lifted child frontiers are dead once the cross product
+             has combined them: clear the slots so they can be collected
+             while the (much larger) merged set is pruned. *)
+          lifted.(0) <- [||];
+          lifted.(1) <- [||];
+          check_count ~where:(Printf.sprintf "merge at node %d" id)
+            (Array.length merged);
+          prune config.heuristic merged
+        end
+    in
+    let len = Array.length sols in
+    check_count ~where:(Printf.sprintf "node %d" id) len;
+    let rec bump_peak () =
+      let cur = Atomic.get peak in
+      if len > cur && not (Atomic.compare_and_set peak cur len) then bump_peak ()
+    in
+    bump_peak ();
+    results.(id) <- sols
+  in
+  let post = Rctree.Tree.postorder tree in
+  (match pool with
+  | Some pool when Exec.Pool.jobs pool > 1 && n > max 1 grain ->
+    (* Same task decomposition as {!Engine.run}: subtree tasks above the
+       grain, dependency-counted release, fixed merge order.  This DP
+       consumes no shared mutable state at all (no device-id counter),
+       so determinism needs only the fixed merge order. *)
+    let grain = max 1 grain in
+    let size = Array.make n 1 in
+    Array.iter
+      (fun id ->
+        List.iter
+          (fun (c, _) -> size.(id) <- size.(id) + size.(c))
+          (Rctree.Tree.children tree id))
+      post;
+    let ntasks = ref 0 in
+    let task_index = Array.make n (-1) in
+    Array.iter
+      (fun id ->
+        if size.(id) > grain then begin
+          task_index.(id) <- !ntasks;
+          incr ntasks
+        end)
+      post;
+    let task_ids = Array.make !ntasks 0 in
+    Array.iter
+      (fun id -> if task_index.(id) >= 0 then task_ids.(task_index.(id)) <- id)
+      post;
+    let deps =
+      Array.map
+        (fun id ->
+          Rctree.Tree.children tree id
+          |> List.filter_map (fun (c, _) ->
+                 if task_index.(c) >= 0 then Some task_index.(c) else None)
+          |> Array.of_list)
+        task_ids
+    in
+    let rec inline_subtree id =
+      List.iter (fun (c, _) -> inline_subtree c) (Rctree.Tree.children tree id);
+      compute id
+    in
+    Exec.Pool.run_graph pool ~deps ~run:(fun ti ->
+        let id = task_ids.(ti) in
+        List.iter
+          (fun (c, _) -> if task_index.(c) < 0 then inline_subtree c)
+          (Rctree.Tree.children tree id);
+        compute id)
+  | _ -> Array.iter compute post);
   let best =
     let root_sols = results.(Rctree.Tree.root tree) in
     assert (Array.length root_sols > 0);
@@ -274,6 +342,6 @@ let run config tree =
       List.map
         (fun (node, bi) -> (node, config.library.(bi)))
         (Sol.buffers_of_choice best.choice);
-    peak_candidates = !peak;
+    peak_candidates = Atomic.get peak;
     runtime_s = Unix.gettimeofday () -. t_start;
   }

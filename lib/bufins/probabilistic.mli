@@ -53,5 +53,11 @@ type result = {
   runtime_s : float;  (** wall-clock seconds, comparable to engine stats *)
 }
 
-val run : config -> Rctree.Tree.t -> result
-(** @raise Engine.Budget_exceeded when the configured budget trips. *)
+val run :
+  ?pool:Exec.Pool.t -> ?grain:int -> config -> Rctree.Tree.t -> result
+(** With a multi-job [pool] and a net larger than [grain] (default
+    {!Engine.default_grain}), independent subtrees run as tasks on the
+    pool with the same dependency-counted decomposition as
+    {!Engine.run}; merges keep the fixed child order, so the result is
+    identical at any job count.
+    @raise Engine.Budget_exceeded when the configured budget trips. *)

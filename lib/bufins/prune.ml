@@ -102,26 +102,32 @@ let rat_key rule (s : Sol.t) =
    the erfc-based probabilistic comparison.  The kept set is exactly the
    one the naive scan-all-kept sweep produces (Theorem 2's transitivity
    already made any kept dominator sufficient grounds to drop). *)
-let prune_linear rule sols =
-  let n = Array.length sols in
-  let kl = Array.make n 0.0 and kr = Array.make n 0.0 in
+(* The scratch (key caches, permutation, kept set, sort temp) comes
+   from the calling domain's {!Arena} instead of being allocated per
+   call; only the pruned frontier itself is fresh.  [n] is the prefix
+   of [sols] holding candidates — staging buffers hand over capacity,
+   not exact length. *)
+let prune_linear rule sols n =
+  let arena = Arena.get () in
+  let kl = Arena.load_keys arena n and kr = Arena.rat_keys arena n in
   for i = 0 to n - 1 do
     kl.(i) <- load_key rule sols.(i);
     kr.(i) <- rat_key rule sols.(i)
   done;
-  let idx = Array.init n Fun.id in
-  Array.stable_sort
-    (fun a b ->
+  let idx = Arena.perm arena n in
+  for i = 0 to n - 1 do
+    idx.(i) <- i
+  done;
+  Arena.sort_prefix arena idx n ~cmp:(fun a b ->
       let c = Float.compare kl.(a) kl.(b) in
-      if c <> 0 then c else Float.compare kr.(b) kr.(a))
-    idx;
+      if c <> 0 then c else Float.compare kr.(b) kr.(a));
   let last_only =
     match rule with
     | Deterministic | One_param _ -> true
     | Two_param { p_l; p_t } -> p_l = 0.5 && p_t = 0.5
     | Four_param _ -> false
   in
-  let kept = Array.make n 0 in
+  let kept = Arena.kept arena n in
   let nkept = ref 0 in
   let rat_max = ref neg_infinity in
   for s = 0 to n - 1 do
@@ -242,14 +248,21 @@ let prune_4p ~alpha_l ~alpha_u ~beta_l ~beta_u sols =
     by_lo;
   List.rev !kept
 
-let prune rule sols =
-  if Array.length sols <= 1 then sols
+let prefix_list sols n =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (sols.(i) :: acc) in
+  go (n - 1) []
+
+let prune_sub rule sols n =
+  if n <= 1 then if n = 0 then [||] else [| sols.(0) |]
   else
     match rule with
-    | Deterministic | Two_param _ | One_param _ -> prune_linear rule sols
+    | Deterministic | Two_param _ | One_param _ -> prune_linear rule sols n
     | Four_param { alpha_l; alpha_u; beta_l; beta_u } ->
       (* The 4P baseline stays list-based internally: it is the
          deliberately quadratic reference [7] behaviour that Table 2
          measures, not a kernel worth optimising. *)
-      Array.of_list
-        (prune_4p ~alpha_l ~alpha_u ~beta_l ~beta_u (Array.to_list sols))
+      Array.of_list (prune_4p ~alpha_l ~alpha_u ~beta_l ~beta_u (prefix_list sols n))
+
+let prune rule sols =
+  if Array.length sols <= 1 then sols
+  else prune_sub rule sols (Array.length sols)

@@ -68,4 +68,10 @@ val prune : t -> Sol.t array -> Sol.t array
     before any probabilistic comparison.  [Four_param]: interval
     comparison, quadratic in spirit.  The result is a fresh array sorted
     by the rule's load key (ascending); frontiers of length <= 1 are
-    returned as-is. *)
+    returned as-is.  Scratch (key caches, permutation, kept set) comes
+    from the calling domain's {!Arena}. *)
+
+val prune_sub : t -> Sol.t array -> int -> Sol.t array
+(** [prune_sub rule sols n] prunes the first [n] elements of [sols] —
+    the staging-buffer entry point ([sols] may be arena capacity larger
+    than [n]).  Always returns a fresh array, even for [n <= 1]. *)

@@ -229,6 +229,109 @@ let poll fut =
   Mutex.unlock fut.fm;
   done_
 
+(* ---------- dependency-counted task graphs ---------- *)
+
+(* Graph tasks bypass [submit]'s inline-when-nested rule: they are
+   always enqueued, because a release-driven graph never blocks inside
+   a task (tasks only decrement counters and enqueue dependents), and
+   the caller of [run_graph] drains the queue while waiting.  Keeping
+   released tasks on the shared queue instead of running them inline
+   lets idle workers steal them — including graphs started from inside
+   another pool task (e.g. a serve request fanning its DP out). *)
+let enqueue_task t fn =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Exec.Pool: pool is shut down"
+  end;
+  Queue.push fn t.queue;
+  Condition.signal t.work;
+  Mutex.unlock t.mutex
+
+let run_graph t ~deps ~run:run_node =
+  let n = Array.length deps in
+  if n = 0 then ()
+  else begin
+    let dependents = Array.make n [] in
+    let counters = Array.map (fun ds -> Atomic.make (Array.length ds)) deps in
+    Array.iteri
+      (fun i ds ->
+        Array.iter
+          (fun d ->
+            if d < 0 || d >= n then
+              invalid_arg "Exec.Pool.run_graph: dependency out of range";
+            dependents.(d) <- i :: dependents.(d))
+          ds)
+      deps;
+    let remaining = Atomic.make n in
+    let failed :
+        (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    (* Signalled (under the pool mutex) on every task completion so the
+       helping caller re-checks the queue and the remaining count. *)
+    let progress = Condition.create () in
+    let rec wrapped i () =
+      let t0 = Unix.gettimeofday () in
+      (match Atomic.get failed with
+      | Some _ -> () (* poisoned: drain the graph without running bodies *)
+      | None -> (
+        try run_node i
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set failed None (Some (e, bt)))));
+      (* Dependency-counted release: the last-finishing dependency
+         enqueues each dependent, so a task starts exactly once, as
+         soon as its inputs exist. *)
+      List.iter
+        (fun j ->
+          if Atomic.fetch_and_add counters.(j) (-1) = 1 then
+            enqueue_task t (wrapped j))
+        dependents.(i);
+      ignore (Atomic.fetch_and_add remaining (-1));
+      let dt = Unix.gettimeofday () -. t0 in
+      Mutex.lock t.mutex;
+      t.tasks_run <- t.tasks_run + 1;
+      t.total_task_s <- t.total_task_s +. dt;
+      if dt > t.max_task_s then t.max_task_s <- dt;
+      Condition.broadcast progress;
+      Mutex.unlock t.mutex
+    in
+    let sources = ref 0 in
+    Array.iteri
+      (fun i ds ->
+        if Array.length ds = 0 then begin
+          incr sources;
+          enqueue_task t (wrapped i)
+        end)
+      deps;
+    if !sources = 0 then
+      invalid_arg "Exec.Pool.run_graph: no source tasks (dependency cycle)";
+    (* Help: drain queued tasks (this graph's or anyone else's) instead
+       of blocking, so [run_graph] makes progress even with no worker
+       domains (jobs = 1) or when called from inside a pool task. *)
+    Mutex.lock t.mutex;
+    let rec help () =
+      if Atomic.get remaining > 0 then
+        match Queue.take_opt t.queue with
+        | Some task ->
+          Mutex.unlock t.mutex;
+          let saved = Domain.DLS.get in_task in
+          Domain.DLS.set in_task true;
+          Fun.protect ~finally:(fun () -> Domain.DLS.set in_task saved) task;
+          Mutex.lock t.mutex;
+          help ()
+        | None ->
+          Condition.wait progress t.mutex;
+          help ()
+    in
+    help ();
+    Mutex.unlock t.mutex;
+    match Atomic.get failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
 let resolve_chunk t ~chunk n =
   match chunk with
   | Some c when c >= 1 -> c

@@ -91,6 +91,37 @@ val poll : 'a future -> bool
 (** [true] once the future has completed (even exceptionally) — then
     [await] returns without blocking. *)
 
+(** {1 Dependency-counted task graphs}
+
+    [parallel_map] fans one flat batch out; DP-shaped workloads instead
+    have tasks whose inputs are other tasks' outputs (sibling subtrees
+    meeting at their merge node).  [run_graph] executes such a DAG with
+    dependency-counted release: every task carries an atomic
+    remaining-dependencies counter, sources are enqueued immediately,
+    and each remaining task is enqueued by whichever dependency
+    finishes last.  No task ever blocks — release is pure counter
+    arithmetic — so the graph cannot deadlock the pool, and because a
+    task starts only after {e all} its inputs completed, a pure [run]
+    function yields identical results at any job count and any
+    scheduling order.
+
+    Graph tasks are always placed on the shared queue (never run inline
+    at enqueue time, unlike {!submit} from inside a pool task), so idle
+    workers steal them even when the graph was started from within
+    another pool task — e.g. a serve request parallelising its own DP
+    across the server's pool.  The calling domain helps drain the queue
+    while it waits, so [run_graph] completes even with [jobs = 1]. *)
+
+val run_graph : t -> deps:int array array -> run:(int -> unit) -> unit
+(** [run_graph pool ~deps ~run] executes tasks [0 .. n-1] where
+    [n = Array.length deps] and [deps.(i)] lists the tasks that must
+    complete before task [i] starts.  The graph must be acyclic with at
+    least one dependency-free task.  If a task raises, the remaining
+    task bodies are skipped (the graph still drains) and the first
+    exception is re-raised in the caller with its backtrace.
+    @raise Invalid_argument on an out-of-range dependency, a graph with
+    no sources, or a pool that is shut down. *)
+
 type stats = {
   workers : int;       (** concurrency bound (the [jobs] value) *)
   tasks_run : int;     (** pool tasks executed since creation *)

@@ -6,6 +6,7 @@ type setup = {
   range_um : float;
   mc_trials : int;
   pool : Exec.Pool.t option;
+  par_grain : int option;
 }
 
 let default_setup =
@@ -17,6 +18,7 @@ let default_setup =
     range_um = 2000.0;
     mc_trials = 2000;
     pool = None;
+    par_grain = None;
   }
 
 let map_cells setup ~f xs =
@@ -66,7 +68,7 @@ let run_algo setup ?rule ?budget ?(wire_sizing = false) ?load_limit ~spatial ~gr
       load_limit;
     }
   in
-  Bufins.Engine.run config ~model tree
+  Bufins.Engine.run ?pool:setup.pool ?grain:setup.par_grain config ~model tree
 
 let instance_for setup ~spatial ~grid tree ?(widths = []) buffers =
   let model =

@@ -11,9 +11,12 @@ type setup = {
   range_um : float;
   mc_trials : int;  (** Monte-Carlo sample count for MC-based figures *)
   pool : Exec.Pool.t option;
-      (** When set (CLI [--jobs]), independent experiment cells and
-          Monte-Carlo chunks run across its domains.  Results are
-          identical with or without it. *)
+      (** When set (CLI [--jobs]), independent experiment cells,
+          Monte-Carlo chunks and DP subtree tasks run across its
+          domains.  Results are identical with or without it. *)
+  par_grain : int option;
+      (** Subtree-size cutoff for intra-net DP parallelism (CLI
+          [--par-grain]); [None] uses {!Bufins.Engine.default_grain}. *)
 }
 
 val default_setup : setup

@@ -6,19 +6,7 @@ let die_of_tree tree =
   done;
   ceil (!hi /. 500.0) *. 500.0
 
-let run ?pool ?deadline_s (req : Protocol.request) =
-  let deadline_s =
-    match deadline_s with
-    | Some s -> Some s
-    | None ->
-      if req.Protocol.deadline_ms > 0 then
-        Some (float_of_int req.Protocol.deadline_ms /. 1000.0)
-      else None
-  in
-  (match deadline_s with
-  | Some s when s <= 0.0 ->
-    raise (Bufins.Engine.Budget_exceeded "deadline expired before optimisation")
-  | _ -> ());
+let compute ?pool ?deadline_s (req : Protocol.request) =
   let setup =
     {
       Experiments.Common.default_setup with
@@ -68,3 +56,37 @@ let run ?pool ?deadline_s (req : Protocol.request) =
     mc;
     assignment = Bufins.Assignment.of_result r;
   }
+
+let run ?pool ?cache ?metrics ?deadline_s (req : Protocol.request) =
+  let deadline_s =
+    match deadline_s with
+    | Some s -> Some s
+    | None ->
+      if req.Protocol.deadline_ms > 0 then
+        Some (float_of_int req.Protocol.deadline_ms /. 1000.0)
+      else None
+  in
+  (* The deadline applies whether or not the answer is cached: a client
+     whose budget already expired gets the deadline error it asked
+     for, not a stale-looking instant success. *)
+  (match deadline_s with
+  | Some s when s <= 0.0 ->
+    raise (Bufins.Engine.Budget_exceeded "deadline expired before optimisation")
+  | _ -> ());
+  match cache with
+  | None -> compute ?pool ?deadline_s req
+  | Some cache -> (
+    let key = Cache.key_of_request req in
+    match Cache.find cache key with
+    | Some resp ->
+      Option.iter Metrics.cache_hit metrics;
+      (* The cached body is id-independent; only the echo differs. *)
+      { resp with Protocol.r_id = req.Protocol.id }
+    | None ->
+      Option.iter Metrics.cache_miss metrics;
+      let resp = compute ?pool ?deadline_s req in
+      (* Only successful results are cached — a deadline trip depends
+         on the budget, not the payload, and must not poison faster
+         retries. *)
+      Cache.add cache key resp;
+      resp)

@@ -13,16 +13,25 @@ val die_of_tree : Rctree.Tree.t -> float
     without die metadata (same convention as the CLIs). *)
 
 val run :
-  ?pool:Exec.Pool.t -> ?deadline_s:float -> Protocol.request -> Protocol.response
+  ?pool:Exec.Pool.t ->
+  ?cache:Cache.t ->
+  ?metrics:Metrics.t ->
+  ?deadline_s:float ->
+  Protocol.request ->
+  Protocol.response
 (** Optimise the request's tree with its mode/rule, evaluate the
     solution under the full WID model, and (if [mc > 0]) run the
     Monte-Carlo evaluation seeded by the request's [seed].
 
     [deadline_s] (default: from the request's [deadline_ms]) is mapped
     onto the engine's wall-clock budget; a non-positive value trips
-    immediately.  [pool] parallelises the Monte-Carlo stage when run
-    directly; under a server the call already executes on a pool
-    domain, where nested fan-out runs inline — results are identical
-    either way.
+    immediately — even when the answer sits in the cache.  [pool]
+    parallelises the Monte-Carlo stage and the DP's subtree tasks.
+
+    [cache] answers repeated payloads from memory: the key zeroes the
+    request's [id] and [deadline_ms] (see {!Cache.key_of_request}), a
+    hit rewrites [r_id] to the incoming id, and only successful
+    results are stored — deadline trips are never cached.  [metrics]
+    records hits and misses (only consulted when [cache] is given).
 
     @raise Bufins.Engine.Budget_exceeded when the deadline trips. *)

@@ -5,6 +5,8 @@ type t = {
   requests : int Atomic.t;
   ok : int Atomic.t;
   errors : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
   by_code : (string, int Atomic.t) Hashtbl.t;
   code_mutex : Mutex.t;
   hist : Numeric.Histogram.t;
@@ -21,6 +23,8 @@ let create () =
     requests = Atomic.make 0;
     ok = Atomic.make 0;
     errors = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
     by_code = Hashtbl.create 8;
     code_mutex = Mutex.create ();
     (* 120 bins of 500 ms: interactive requests land in the first few
@@ -46,6 +50,9 @@ let request_ok t ~latency_ms =
   if latency_ms > t.lat_max then t.lat_max <- latency_ms;
   Mutex.unlock t.hist_mutex
 
+let cache_hit t = Atomic.incr t.cache_hits
+let cache_miss t = Atomic.incr t.cache_misses
+
 let request_error t ~code =
   Atomic.incr t.requests;
   Atomic.incr t.errors;
@@ -69,6 +76,8 @@ let render t =
   Printf.bprintf buf "requests %d\n" (Atomic.get t.requests);
   Printf.bprintf buf "ok %d\n" (Atomic.get t.ok);
   Printf.bprintf buf "errors %d\n" (Atomic.get t.errors);
+  Printf.bprintf buf "cache_hits %d\n" (Atomic.get t.cache_hits);
+  Printf.bprintf buf "cache_misses %d\n" (Atomic.get t.cache_misses);
   Mutex.lock t.code_mutex;
   let codes =
     Hashtbl.fold (fun code c acc -> (code, Atomic.get c) :: acc) t.by_code []

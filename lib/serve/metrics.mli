@@ -22,6 +22,12 @@ val request_ok : t -> latency_ms:float -> unit
 val request_error : t -> code:string -> unit
 (** An [error] response, by {!Protocol} error code. *)
 
+val cache_hit : t -> unit
+(** A request answered from the result {!Cache}. *)
+
+val cache_miss : t -> unit
+(** A request that went to the optimiser (cache enabled but cold). *)
+
 val render : t -> string
 (** {v
     uptime_s 12.3
@@ -30,6 +36,8 @@ val render : t -> string
     requests 7
     ok 5
     errors 2
+    cache_hits 1
+    cache_misses 4
     error_parse 1
     error_deadline 1
     latency_ms_count 5

@@ -5,6 +5,7 @@ type config = {
   max_payload : int;
   queue_depth : int;
   max_connections : int;
+  cache_entries : int;
 }
 
 let default_config ~socket_path =
@@ -15,6 +16,7 @@ let default_config ~socket_path =
     max_payload = 8 * 1024 * 1024;
     queue_depth = 64;
     max_connections = 128;
+    cache_entries = 128;
   }
 
 type conn = {
@@ -47,6 +49,10 @@ let close_conn metrics conn =
 
 let run ?pool ?metrics ?(should_stop = fun () -> false) config =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let cache =
+    if config.cache_entries > 0 then Some (Cache.create ~entries:config.cache_entries)
+    else None
+  in
   let owned_pool = match pool with
     | Some _ -> None
     | None -> Some (Exec.Pool.create ~jobs:config.jobs ())
@@ -115,7 +121,7 @@ let run ?pool ?metrics ?(should_stop = fun () -> false) config =
           let deadline_s =
             Option.map (fun at -> at -. Unix.gettimeofday ()) deadline_at
           in
-          match Handler.run ~pool ?deadline_s req with
+          match Handler.run ~pool ?cache ~metrics ?deadline_s req with
           | resp -> Ok resp
           | exception Bufins.Engine.Budget_exceeded msg ->
             Error { Protocol.code = Protocol.err_deadline; message = msg }

@@ -29,11 +29,16 @@ type config = {
   max_payload : int;  (** request-frame size limit, bytes *)
   queue_depth : int;  (** max requests queued + running *)
   max_connections : int;  (** accepting pauses above this *)
+  cache_entries : int;
+      (** result-{!Cache} capacity; [0] disables caching.  Repeated
+          payloads (same seed/mode/rule/tree, ids and deadlines aside)
+          are answered from memory, byte-identically; hits and misses
+          show up in the [stats] report. *)
 }
 
 val default_config : socket_path:string -> config
 (** jobs {!Exec.Pool.default_jobs}, backlog 64, 8 MiB payloads,
-    queue depth 64, 128 connections. *)
+    queue depth 64, 128 connections, 128 cache entries. *)
 
 val run :
   ?pool:Exec.Pool.t ->

@@ -859,6 +859,138 @@ let prop_bigger_library_never_hurts =
       in
       rat library >= rat (Array.sub library 0 1) -. 1e-9)
 
+(* ---------- parallel determinism ---------- *)
+
+(* Everything but the wall clock: identical here means identical
+   response bytes (the serve layer encodes exactly these fields). *)
+let strip_result (r : Bufins.Engine.result) =
+  ( r.Bufins.Engine.root_rat,
+    r.Bufins.Engine.best,
+    r.Bufins.Engine.buffers,
+    r.Bufins.Engine.widths,
+    r.Bufins.Engine.load_limit_met,
+    r.Bufins.Engine.stats.Bufins.Engine.peak_candidates,
+    r.Bufins.Engine.stats.Bufins.Engine.total_candidates )
+
+let with_pool jobs f =
+  let pool = Exec.Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Exec.Pool.shutdown pool) (fun () -> f pool)
+
+let par_rules =
+  [
+    Bufins.Prune.deterministic;
+    Bufins.Prune.two_param ~p_l:0.9 ~p_t:0.9 ();
+    Bufins.Prune.one_param ~alpha:0.95;
+    Bufins.Prune.four_param ();
+  ]
+
+(* The model consumes device ids as the DP runs, so every run needs a
+   fresh model; determinism across job counts is exactly the claim
+   under test. *)
+let test_parallel_engine_deterministic () =
+  let die = 4000.0 in
+  List.iter
+    (fun rule ->
+      (* The 4P cross product is quadratic: keep its instances small. *)
+      let cases =
+        if Bufins.Prune.is_linear rule then [ (201, 12); (202, 30) ]
+        else [ (201, 8) ]
+      in
+      List.iter
+        (fun (seed, sinks) ->
+          let tree = Rctree.Generate.random_steiner ~seed ~sinks ~die_um:die () in
+          let cfg = config ~rule () in
+          let seq =
+            strip_result
+              (Bufins.Engine.run cfg ~model:(model ~mode:Varmodel.Model.Wid die)
+                 tree)
+          in
+          List.iter
+            (fun jobs ->
+              with_pool jobs (fun pool ->
+                  let r =
+                    Bufins.Engine.run ~pool ~grain:2 cfg
+                      ~model:(model ~mode:Varmodel.Model.Wid die)
+                      tree
+                  in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s seed=%d jobs=%d identical"
+                       (Bufins.Prune.name rule) seed jobs)
+                    true
+                    (strip_result r = seq)))
+            [ 1; 2; 4 ])
+        cases)
+    par_rules
+
+let prop_parallel_engine_matches_sequential =
+  QCheck.Test.make ~name:"parallel DP = sequential (random trees, jobs 1/2/4)"
+    ~count:10
+    QCheck.(
+      quad (int_range 2 20) (int_range 0 1000) (int_range 0 3) (int_range 0 2))
+    (fun (sinks, seed, rule_idx, jobs_idx) ->
+      let rule = List.nth par_rules rule_idx in
+      let sinks = if Bufins.Prune.is_linear rule then sinks else min sinks 8 in
+      let jobs = List.nth [ 1; 2; 4 ] jobs_idx in
+      let die = 4000.0 in
+      let tree = Rctree.Generate.random_steiner ~seed ~sinks ~die_um:die () in
+      let cfg = config ~rule () in
+      let seq =
+        strip_result
+          (Bufins.Engine.run cfg ~model:(model ~mode:Varmodel.Model.Wid die) tree)
+      in
+      with_pool jobs (fun pool ->
+          let par =
+            strip_result
+              (Bufins.Engine.run ~pool ~grain:2 cfg
+                 ~model:(model ~mode:Varmodel.Model.Wid die)
+                 tree)
+          in
+          par = seq))
+
+let strip_prob (r : Bufins.Probabilistic.result) =
+  (r.rat_mean, r.rat_std, r.rat_p05, r.buffers, r.peak_candidates)
+
+let test_parallel_probabilistic_deterministic () =
+  List.iter
+    (fun (heuristic, sinks, seed) ->
+      let tree =
+        Rctree.Generate.random_steiner ~seed ~sinks ~die_um:4000.0 ()
+      in
+      let cfg = Bufins.Probabilistic.default_config ~heuristic () in
+      let seq = strip_prob (Bufins.Probabilistic.run cfg tree) in
+      List.iter
+        (fun jobs ->
+          with_pool jobs (fun pool ->
+              let r = Bufins.Probabilistic.run ~pool ~grain:2 cfg tree in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s jobs=%d identical"
+                   (Bufins.Probabilistic.heuristic_name heuristic) jobs)
+                true
+                (strip_prob r = seq)))
+        [ 2; 4 ])
+    [
+      (Bufins.Probabilistic.Mean_dominance, 30, 303);
+      (Bufins.Probabilistic.Stochastic_dominance, 12, 304);
+    ]
+
+(* The arena is a pure allocation optimisation: disabling it (fresh
+   buffers per node) must not change a byte of the result. *)
+let test_arena_off_identical () =
+  let die = 4000.0 in
+  let tree = Rctree.Generate.random_steiner ~seed:204 ~sinks:25 ~die_um:die () in
+  let cfg = config () in
+  let on =
+    strip_result
+      (Bufins.Engine.run cfg ~model:(model ~mode:Varmodel.Model.Wid die) tree)
+  in
+  Bufins.Arena.enabled := false;
+  let off =
+    Fun.protect ~finally:(fun () -> Bufins.Arena.enabled := true) (fun () ->
+        strip_result
+          (Bufins.Engine.run cfg ~model:(model ~mode:Varmodel.Model.Wid die) tree))
+  in
+  Alcotest.(check bool) "arena on/off identical" true (on = off)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -928,4 +1060,10 @@ let suite =
       test_generous_budget_is_identity;
     Alcotest.test_case "merge/prune degenerate inputs" `Quick
       test_merge_frontiers_degenerate;
+    Alcotest.test_case "parallel DP deterministic (all rules)" `Quick
+      test_parallel_engine_deterministic;
+    qcheck prop_parallel_engine_matches_sequential;
+    Alcotest.test_case "parallel [6] deterministic" `Quick
+      test_parallel_probabilistic_deterministic;
+    Alcotest.test_case "arena off = arena on" `Quick test_arena_off_identical;
   ]

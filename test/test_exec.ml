@@ -170,6 +170,71 @@ let test_monte_carlo_rng_not_advanced () =
   ignore (Sta.Buffered.monte_carlo inst ~rng ~trials:10);
   Alcotest.(check (float 0.0)) "caller rng untouched" before (Numeric.Rng.uniform rng)
 
+(* ---------- dependency-counted graphs ---------- *)
+
+(* A random layered DAG: every node depends on a subset of the
+   previous layer.  Each task records the max of its dependencies'
+   values plus one; the result is schedule-independent, so any
+   interleaving bug shows up as a wrong level. *)
+let test_run_graph_levels () =
+  List.iter
+    (fun jobs ->
+      Exec.Pool.with_pool ~jobs (fun pool ->
+          let n = 200 in
+          let deps =
+            Array.init n (fun i ->
+                if i < 10 then [||]
+                else
+                  Array.init
+                    (1 + (i mod 3))
+                    (fun k -> (i * 7 + k * 13) mod i))
+          in
+          let level = Array.make n (-1) in
+          Exec.Pool.run_graph pool ~deps ~run:(fun i ->
+              let l =
+                Array.fold_left (fun acc d -> max acc level.(d)) (-1) deps.(i)
+              in
+              level.(i) <- l + 1);
+          let expected = Array.make n (-1) in
+          for i = 0 to n - 1 do
+            let l =
+              Array.fold_left (fun acc d -> max acc expected.(d)) (-1) deps.(i)
+            in
+            expected.(i) <- l + 1
+          done;
+          Alcotest.(check (array int))
+            (Printf.sprintf "levels at jobs=%d" jobs)
+            expected level))
+    [ 1; 2; 4 ]
+
+let test_run_graph_failure () =
+  Exec.Pool.with_pool ~jobs:2 (fun pool ->
+      let deps = [| [||]; [| 0 |]; [| 1 |]; [| 2 |] |] in
+      let ran = Array.make 4 false in
+      (match
+         Exec.Pool.run_graph pool ~deps ~run:(fun i ->
+             if i = 1 then failwith "boom";
+             ran.(i) <- true)
+       with
+      | () -> Alcotest.fail "the task failure must propagate"
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
+      Alcotest.(check bool) "source ran" true ran.(0);
+      (* Tasks downstream of the failure are skipped, not run. *)
+      Alcotest.(check bool) "downstream skipped" false (ran.(2) || ran.(3));
+      (* The pool survives a poisoned graph. *)
+      Alcotest.(check (list int)) "pool reusable" [ 2; 4 ]
+        (Exec.Pool.parallel_map pool ~f:(fun x -> 2 * x) [ 1; 2 ]))
+
+let test_run_graph_degenerate () =
+  Exec.Pool.with_pool ~jobs:2 (fun pool ->
+      Exec.Pool.run_graph pool ~deps:[||] ~run:(fun _ -> assert false);
+      (match Exec.Pool.run_graph pool ~deps:[| [| 1 |]; [| 0 |] |] ~run:ignore with
+      | () -> Alcotest.fail "a cycle must be rejected"
+      | exception Invalid_argument _ -> ());
+      match Exec.Pool.run_graph pool ~deps:[| [| 5 |] |] ~run:ignore with
+      | () -> Alcotest.fail "an out-of-range dependency must be rejected"
+      | exception Invalid_argument _ -> ())
+
 let suite =
   [
     Alcotest.test_case "parallel_map = sequential map" `Quick
@@ -186,6 +251,12 @@ let suite =
     Alcotest.test_case "shutdown rejects work" `Quick test_shutdown_rejects_work;
     Alcotest.test_case "per-task stats" `Quick test_stats_counted;
     Alcotest.test_case "split_at determinism contract" `Quick test_split_at_contract;
+    Alcotest.test_case "run_graph: layered DAG at any jobs" `Quick
+      test_run_graph_levels;
+    Alcotest.test_case "run_graph: failure poisons, pool survives" `Quick
+      test_run_graph_failure;
+    Alcotest.test_case "run_graph: degenerate inputs" `Quick
+      test_run_graph_degenerate;
     Alcotest.test_case "Monte Carlo bit-identical at jobs 1/2/4" `Quick
       test_monte_carlo_bit_identical_across_jobs;
     Alcotest.test_case "Monte Carlo leaves caller rng untouched" `Quick

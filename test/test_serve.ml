@@ -190,6 +190,98 @@ let test_determinism_across_jobs () =
   Alcotest.(check string) "server at --jobs 4 is byte-identical" expected
     (via_server 4)
 
+(* ---------- result cache ---------- *)
+
+let test_cache_key () =
+  let req = Serve.Protocol.default_request ~tree:small_tree in
+  let k = Serve.Cache.key_of_request req in
+  (* id and deadline are routing, not payload: they must not split the
+     cache; everything else must. *)
+  Alcotest.(check string) "id ignored" k
+    (Serve.Cache.key_of_request { req with Serve.Protocol.id = 99 });
+  Alcotest.(check string) "deadline ignored" k
+    (Serve.Cache.key_of_request { req with Serve.Protocol.deadline_ms = 5000 });
+  Alcotest.(check bool) "seed splits" false
+    (k = Serve.Cache.key_of_request { req with Serve.Protocol.seed = 2 });
+  Alcotest.(check bool) "mode splits" false
+    (k
+    = Serve.Cache.key_of_request
+        { req with Serve.Protocol.mode = Experiments.Common.Nom })
+
+let test_cache_lru () =
+  let cache = Serve.Cache.create ~entries:2 in
+  let resp id =
+    { (Serve.Handler.run (Serve.Protocol.default_request ~tree:small_tree)) with
+      Serve.Protocol.r_id = id }
+  in
+  Serve.Cache.add cache "a" (resp 1);
+  Serve.Cache.add cache "b" (resp 2);
+  (* Touch "a" so "b" is the LRU victim when "c" arrives. *)
+  Alcotest.(check bool) "a hits" true (Serve.Cache.find cache "a" <> None);
+  Serve.Cache.add cache "c" (resp 3);
+  Alcotest.(check int) "bounded" 2 (Serve.Cache.length cache);
+  Alcotest.(check bool) "a survived" true (Serve.Cache.find cache "a" <> None);
+  Alcotest.(check bool) "b evicted" true (Serve.Cache.find cache "b" = None);
+  Alcotest.(check bool) "c present" true (Serve.Cache.find cache "c" <> None)
+
+let test_cache_end_to_end () =
+  let req =
+    { (Serve.Protocol.default_request ~tree:small_tree) with
+      Serve.Protocol.id = 21; mc_trials = 16 }
+  in
+  with_server ~jobs:2 (fun client ->
+      let ask r =
+        match Serve.Client.request_raw client r with
+        | Ok raw -> raw
+        | Error e -> Alcotest.failf "request failed: %s" e.Serve.Protocol.message
+      in
+      let first = ask req in
+      (* A repeat of the same payload must be answered from the cache
+         with byte-identical payload. *)
+      let second = ask req in
+      Alcotest.(check string) "repeat is byte-identical" first second;
+      (* Same payload under a different id and deadline: still a hit,
+         identical modulo the echoed id. *)
+      let third =
+        ask { req with Serve.Protocol.id = 22; deadline_ms = 60_000 }
+      in
+      let strip raw =
+        Serve.Protocol.encode_response
+          { (Serve.Protocol.decode_response raw) with Serve.Protocol.r_id = 0 }
+      in
+      Alcotest.(check int) "new id echoed on hit" 22
+        (Serve.Protocol.decode_response third).Serve.Protocol.r_id;
+      Alcotest.(check string) "hit differs only in id" (strip first)
+        (strip third);
+      let stats = Serve.Client.stats client in
+      let has sub =
+        Alcotest.(check bool) (Printf.sprintf "stats contain %S" sub) true
+          (List.exists
+             (fun line ->
+               String.length line >= String.length sub
+               && String.sub line 0 (String.length sub) = sub)
+             (String.split_on_char '\n' stats))
+      in
+      has "cache_hits 2";
+      has "cache_misses 1")
+
+let test_cache_disabled () =
+  let tweak c = { c with Serve.Server.cache_entries = 0 } in
+  let req = Serve.Protocol.default_request ~tree:small_tree in
+  with_server ~jobs:2 ~tweak (fun client ->
+      let ask () =
+        match Serve.Client.request_raw client req with
+        | Ok raw -> raw
+        | Error e -> Alcotest.failf "request failed: %s" e.Serve.Protocol.message
+      in
+      (* Still deterministic, just recomputed; counters stay zero. *)
+      Alcotest.(check string) "recompute is byte-identical" (ask ()) (ask ());
+      let stats = Serve.Client.stats client in
+      Alcotest.(check bool) "no hits counted" true
+        (List.mem "cache_hits 0" (String.split_on_char '\n' stats));
+      Alcotest.(check bool) "no misses counted" true
+        (List.mem "cache_misses 0" (String.split_on_char '\n' stats)))
+
 let suite =
   [
     Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
@@ -203,4 +295,8 @@ let suite =
       test_server_deadline;
     Alcotest.test_case "byte-identical at jobs 1 and 4" `Quick
       test_determinism_across_jobs;
+    Alcotest.test_case "cache key canonicalisation" `Quick test_cache_key;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru;
+    Alcotest.test_case "cache hit end to end" `Quick test_cache_end_to_end;
+    Alcotest.test_case "cache disabled" `Quick test_cache_disabled;
   ]
