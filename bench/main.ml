@@ -325,6 +325,77 @@ let run_par_dp ~smoke ~jobs () =
     noarena_bytes;
   }
 
+(* ---------- observability (--obs / --trace) ---------- *)
+
+type obs_report = {
+  obs_identical : bool;
+  obs_counters : (string * int) list;
+  (* per cat.name span totals: (label, count, total_ms) *)
+  obs_phases : (string * int * float) list;
+}
+
+(* The observability layer must not change what the engine computes:
+   the disabled path is a single branch, and the enabled path only
+   reads.  Same tree and config twice, obs off then on; any structural
+   difference between the two results is fatal. *)
+let run_obs_identity () =
+  let die = 4000.0 in
+  let tree = Rctree.Generate.random_steiner ~seed:5 ~sinks:60 ~die_um:die () in
+  let grid =
+    Varmodel.Grid.create ~width_um:die ~height_um:die ~pitch_um:500.0
+      ~range_um:2000.0
+  in
+  let model () =
+    Varmodel.Model.create ~mode:Varmodel.Model.Wid
+      ~spatial:Varmodel.Model.default_heterogeneous ~grid ()
+  in
+  let config = Bufins.Engine.default_config () in
+  let run_with enabled =
+    let was = Obs.Control.on () in
+    if enabled then Obs.Control.enable () else Obs.Control.disable ();
+    Fun.protect
+      ~finally:(fun () ->
+        if was then Obs.Control.enable () else Obs.Control.disable ())
+      (fun () -> Bufins.Engine.run config ~model:(model ()) tree)
+  in
+  let off = run_with false in
+  let on = run_with true in
+  let identical = strip_result off = strip_result on in
+  Printf.printf "== obs identity check ==\nenabled vs disabled identical: %b\n\n"
+    identical;
+  if not identical then begin
+    prerr_endline "FATAL: enabling observability changed the engine's output";
+    exit 1
+  end;
+  identical
+
+(* Fold the span buffer into per-label (cat.name) phase totals for the
+   JSON report. *)
+let span_phase_totals () =
+  Obs.Span.flush ();
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Obs.Span.span) ->
+      let label = s.Obs.Span.cat ^ "." ^ s.Obs.Span.name in
+      let count, total_ns =
+        Option.value (Hashtbl.find_opt tbl label) ~default:(0, 0)
+      in
+      Hashtbl.replace tbl label (count + 1, total_ns + s.Obs.Span.dur_ns))
+    (Obs.Span.snapshot ());
+  Hashtbl.fold
+    (fun label (count, total_ns) acc ->
+      (label, count, float_of_int total_ns /. 1e6) :: acc)
+    tbl []
+  |> List.sort compare
+
+let collect_obs_report () =
+  let obs_identical = run_obs_identity () in
+  {
+    obs_identical;
+    obs_counters = Obs.Counters.counter_values Obs.Counters.global;
+    obs_phases = span_phase_totals ();
+  }
+
 (* ---------- BENCH.json (hand-rolled writer; no JSON dependency) ---------- *)
 
 let json_escape s =
@@ -345,7 +416,7 @@ let json_float x =
   (* %.17g roundtrips; JSON has no infinities, clamp defensively. *)
   if Float.is_finite x then Printf.sprintf "%.17g" x else "null"
 
-let write_bench_json ~path ~smoke ~micro ~probe ~par =
+let write_bench_json ~path ~smoke ~micro ~probe ~par ~obs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema\": \"varbuf-bench/1\",\n";
@@ -373,7 +444,7 @@ let write_bench_json ~path ~smoke ~micro ~probe ~par =
        "  \"par_dp\": {\"sinks\": %d, \"jobs\": %d, \"grain\": %d, \
         \"seq_ns_per_op\": %s, \"par_ns_per_op\": %s, \"speedup\": %s, \
         \"identical\": %b, \"arena_allocated_bytes\": %s, \
-        \"noarena_allocated_bytes\": %s}\n"
+        \"noarena_allocated_bytes\": %s}"
        par.par_sinks par.par_jobs par.par_grain
        (json_float (par.seq_s *. 1e9))
        (json_float (par.par_s *. 1e9))
@@ -381,6 +452,31 @@ let write_bench_json ~path ~smoke ~micro ~probe ~par =
        par.par_identical
        (json_float par.arena_bytes)
        (json_float par.noarena_bytes));
+  (match obs with
+  | None -> Buffer.add_string buf "\n"
+  | Some o ->
+    Buffer.add_string buf ",\n  \"obs\": {\n";
+    Buffer.add_string buf
+      (Printf.sprintf "    \"enabled\": true,\n    \"identical\": %b,\n"
+         o.obs_identical);
+    Buffer.add_string buf "    \"counters\": [\n";
+    List.iteri
+      (fun i (name, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "      {\"name\": \"%s\", \"value\": %d}%s\n"
+             (json_escape name) v
+             (if i = List.length o.obs_counters - 1 then "" else ",")))
+      o.obs_counters;
+    Buffer.add_string buf "    ],\n    \"phases\": [\n";
+    List.iteri
+      (fun i (label, count, total_ms) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "      {\"name\": \"%s\", \"count\": %d, \"total_ms\": %s}%s\n"
+             (json_escape label) count (json_float total_ms)
+             (if i = List.length o.obs_phases - 1 then "" else ",")))
+      o.obs_phases;
+    Buffer.add_string buf "    ]\n  }\n");
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -550,6 +646,9 @@ let () =
   let only p = List.mem p args in
   let smoke = only "--smoke" in
   let json_path = Option.value (find_value "--bench-json") ~default:"BENCH.json" in
+  let trace_path = find_value "--trace" in
+  let obs_on = only "--obs" || trace_path <> None in
+  if obs_on then Obs.Control.enable ();
   let all =
     (not smoke)
     && not
@@ -560,7 +659,8 @@ let () =
     let micro = run_micro ~smoke () in
     let probe = run_dp_probe ~smoke () in
     let par = run_par_dp ~smoke ~jobs () in
-    write_bench_json ~path:json_path ~smoke ~micro ~probe ~par
+    let obs = if obs_on then Some (collect_obs_report ()) else None in
+    write_bench_json ~path:json_path ~smoke ~micro ~probe ~par ~obs
   end;
   if all || only "--mc-only" then run_mc_speedup ~jobs ();
   if all || only "--serve-only" then run_serve ~jobs ();
@@ -568,4 +668,10 @@ let () =
     let pool = if jobs > 1 then Some (Exec.Pool.create ~jobs ()) else None in
     run_tables ~pool ();
     Option.iter Exec.Pool.shutdown pool
-  end
+  end;
+  Option.iter
+    (fun path ->
+      Obs.Span.flush ();
+      Obs.Export.write_chrome ~path (Obs.Span.snapshot ());
+      Printf.printf "trace written to %s\n" path)
+    trace_path

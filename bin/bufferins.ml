@@ -49,8 +49,28 @@ let rule_of_string p = function
   | "4p" -> Ok (Bufins.Prune.four_param ())
   | s -> Error (Printf.sprintf "unknown pruning rule %S (det|2p|1p|4p)" s)
 
+(* Flush, then write/print the observability outputs the flags asked
+   for.  Runs on both the normal and the DNF exit path, so an aborted
+   run still leaves a partial trace to look at. *)
+let dump_obs ~obs ~trace =
+  if obs || trace <> None then begin
+    Obs.Span.flush ();
+    let spans = Obs.Span.snapshot () in
+    Option.iter
+      (fun path ->
+        (try Obs.Export.write_chrome ~path spans
+         with Sys_error msg ->
+           prerr_endline ("cannot write trace: " ^ msg);
+           exit 1);
+        Format.printf "trace written to %s@." path)
+      trace;
+    if obs then
+      print_string (Obs.Export.summary ~counters:Obs.Counters.global spans)
+  end
+
 let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
-    wire_sizing save_buffering load_limit jobs par_grain =
+    wire_sizing save_buffering load_limit jobs par_grain obs trace =
+  if obs || trace <> None then Obs.Control.enable ();
   let source =
     match (bench, sinks, htree, file) with
     | Some b, None, None, None -> Ok (Bench b)
@@ -148,9 +168,11 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
           Format.printf "Monte Carlo (%d trials): mu=%.1f ps, sigma=%.1f ps@." mc
             s.Numeric.Stats.mean s.Numeric.Stats.std
         end;
+        dump_obs ~obs ~trace;
         0
       with Bufins.Engine.Budget_exceeded msg ->
         Format.printf "DNF: %s@." msg;
+        dump_obs ~obs ~trace;
         2))
 
 let bench_arg =
@@ -220,6 +242,19 @@ let par_grain_arg =
                below it run inline inside their parent task (default: \
                the engine's built-in grain).")
 
+let obs_arg =
+  Arg.(value & flag & info [ "obs" ]
+         ~doc:"Enable observability (spans + counters) and print a text \
+               summary — per-phase span totals, per-rule candidate \
+               generated/kept/pruned counters, arena hit rates — after \
+               the run.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Enable observability and write the run's spans to FILE as \
+               Chrome trace_event JSON (load in chrome://tracing or \
+               Perfetto).")
+
 let cmd =
   let doc = "variation-aware buffer insertion on a routing tree" in
   let info = Cmd.info "varbuf-bufferins" ~doc in
@@ -228,6 +263,6 @@ let cmd =
       const run $ bench_arg $ sinks_arg $ htree_arg $ file_arg $ algo_arg
       $ rule_arg $ p_arg $ seed_arg $ mc_arg $ homogeneous_arg $ save_arg
       $ wire_sizing_arg $ save_buffering_arg $ load_limit_arg $ jobs_arg
-      $ par_grain_arg)
+      $ par_grain_arg $ obs_arg $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

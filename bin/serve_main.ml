@@ -14,7 +14,8 @@ let socket_arg =
 
 (* ---------- start ---------- *)
 
-let start socket jobs queue_depth max_request_bytes cache_entries =
+let start socket jobs queue_depth max_request_bytes cache_entries obs trace =
+  if obs || trace <> None then Obs.Control.enable ();
   let stop = Atomic.make false in
   let handle = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
   Sys.set_signal Sys.sigint handle;
@@ -36,6 +37,15 @@ let start socket jobs queue_depth max_request_bytes cache_entries =
        (Printf.sprintf "cannot serve on %s: %s (%s %s)" socket
           (Unix.error_message e) fn arg);
      exit 1);
+  (match trace with
+  | Some path ->
+    Obs.Span.flush ();
+    (try Obs.Export.write_chrome ~path (Obs.Span.snapshot ())
+     with Sys_error msg ->
+       prerr_endline ("cannot write trace: " ^ msg);
+       exit 1);
+    Printf.printf "varbuf-serve: trace written to %s\n%!" path
+  | None -> ());
   Printf.printf "varbuf-serve: drained, exiting\n%!";
   0
 
@@ -60,11 +70,22 @@ let start_cmd =
                  are answered from memory byte-identically.  0 disables \
                  caching.")
   in
+  let obs_arg =
+    Arg.(value & flag & info [ "obs" ]
+           ~doc:"Enable observability: stats replies gain obs_* lines \
+                 (queue wait vs execution split, DP phase counters) and \
+                 the trace request returns the recent span buffer.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Enable observability and, after draining, write the \
+                 daemon's span buffer to FILE as Chrome trace_event JSON.")
+  in
   Cmd.v
     (Cmd.info "start" ~doc:"run the buffering daemon (foreground)")
     Term.(
       const start $ socket_arg $ jobs_arg $ queue_arg $ max_bytes_arg
-      $ cache_arg)
+      $ cache_arg $ obs_arg $ trace_arg)
 
 (* ---------- request ---------- *)
 
@@ -259,6 +280,35 @@ let stats_cmd =
               0))
       $ socket_arg)
 
+let trace_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the trace JSON to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"fetch the daemon's recent span buffer as Chrome trace JSON")
+    Term.(
+      const (fun socket out ->
+          with_client socket (fun client ->
+              let payload = Serve.Client.trace client in
+              match out with
+              | None ->
+                print_string payload;
+                0
+              | Some path -> (
+                try
+                  let oc = open_out path in
+                  Fun.protect
+                    ~finally:(fun () -> close_out oc)
+                    (fun () -> output_string oc payload);
+                  Printf.printf "trace written to %s\n" path;
+                  0
+                with Sys_error msg ->
+                  prerr_endline ("cannot write trace: " ^ msg);
+                  1)))
+      $ socket_arg $ out_arg)
+
 let shutdown_cmd =
   Cmd.v
     (Cmd.info "shutdown" ~doc:"ask the daemon to drain and exit")
@@ -273,4 +323,7 @@ let shutdown_cmd =
 let () =
   let doc = "variation-aware buffer insertion as a service" in
   let info = Cmd.info "varbuf-serve" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ start_cmd; request_cmd; stats_cmd; shutdown_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ start_cmd; request_cmd; stats_cmd; trace_cmd; shutdown_cmd ]))

@@ -51,28 +51,50 @@ let cap n =
   done;
   !c
 
+(* Arena hit-rate: a borrow that fits the existing buffer is a reuse,
+   one that has to (re)allocate is a grow.  Handles are resolved once
+   at module initialisation; only the enabled path touches them. *)
+let obs_reuse = Obs.Counters.counter Obs.Counters.global "arena.reuse"
+let obs_grow = Obs.Counters.counter Obs.Counters.global "arena.grow"
+
+let note_borrow grew =
+  if Obs.Control.on () then
+    Obs.Counters.incr (if grew then obs_grow else obs_reuse) 1
+
 let load_keys t n =
-  if Array.length t.load_keys < n then t.load_keys <- Array.make (cap n) 0.0;
+  let grew = Array.length t.load_keys < n in
+  if grew then t.load_keys <- Array.make (cap n) 0.0;
+  note_borrow grew;
   t.load_keys
 
 let rat_keys t n =
-  if Array.length t.rat_keys < n then t.rat_keys <- Array.make (cap n) 0.0;
+  let grew = Array.length t.rat_keys < n in
+  if grew then t.rat_keys <- Array.make (cap n) 0.0;
+  note_borrow grew;
   t.rat_keys
 
 let perm t n =
-  if Array.length t.perm < n then t.perm <- Array.make (cap n) 0;
+  let grew = Array.length t.perm < n in
+  if grew then t.perm <- Array.make (cap n) 0;
+  note_borrow grew;
   t.perm
 
 let kept t n =
-  if Array.length t.kept < n then t.kept <- Array.make (cap n) 0;
+  let grew = Array.length t.kept < n in
+  if grew then t.kept <- Array.make (cap n) 0;
+  note_borrow grew;
   t.kept
 
 let stage_a t n ~dummy =
-  if Array.length t.stage_a < n then t.stage_a <- Array.make (cap n) dummy;
+  let grew = Array.length t.stage_a < n in
+  if grew then t.stage_a <- Array.make (cap n) dummy;
+  note_borrow grew;
   t.stage_a
 
 let stage_b t n ~dummy =
-  if Array.length t.stage_b < n then t.stage_b <- Array.make (cap n) dummy;
+  let grew = Array.length t.stage_b < n in
+  if grew then t.stage_b <- Array.make (cap n) dummy;
+  note_borrow grew;
   t.stage_b
 
 (* Stable bottom-up mergesort of [idx.(0 .. n-1)].  Any stable sort

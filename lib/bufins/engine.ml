@@ -141,6 +141,11 @@ let merge_cross ~node ~check (a : Sol.t array) (b : Sol.t array) =
 
 let default_grain = 64
 
+(* Handles resolved once at module initialisation; bumped only when
+   observability is enabled. *)
+let obs_nodes = Obs.Counters.counter Obs.Counters.global "dp.nodes"
+let obs_merged = Obs.Counters.counter Obs.Counters.global "dp.merged"
+
 let run ?pool ?(grain = default_grain) config ~model tree =
   (* Wall-clock, not [Sys.time]: CPU time sums over domains, so it
      over-counts budgets and runtimes as soon as anything else runs in
@@ -218,6 +223,8 @@ let run ?pool ?(grain = default_grain) config ~model tree =
      the domain's arena buffers — only the pruned frontier is a fresh
      allocation. *)
   let lift ~child ~length (sols : Sol.t array) =
+    let obs = Obs.Control.on () in
+    let t0 = if obs then Obs.Span.now_ns () else 0 in
     let arena = Arena.get () in
     let site_node =
       match Rctree.Tree.parent tree child with Some p -> p | None -> child
@@ -299,10 +306,14 @@ let run ?pool ?(grain = default_grain) config ~model tree =
           incr k
         done
     done;
-    Prune.prune_sub config.rule cand ncand
+    let pruned = Prune.prune_sub config.rule cand ncand in
+    if obs then Obs.Span.record ~name:"lift" ~cat:"dp" ~t0_ns:t0;
+    pruned
   in
   let compute id =
     check_time ();
+    let obs = Obs.Control.on () in
+    let t0 = if obs then Obs.Span.now_ns () else 0 in
     let sols =
       match Rctree.Tree.sink tree id with
       | Some s ->
@@ -343,9 +354,14 @@ let run ?pool ?(grain = default_grain) config ~model tree =
              of pinning memory across every concurrently live task. *)
           lifted.(0) <- [||];
           lifted.(1) <- [||];
+          if obs then Obs.Counters.incr obs_merged (Array.length merged);
           Prune.prune config.rule merged
         end
     in
+    if obs then begin
+      Obs.Counters.incr obs_nodes 1;
+      Obs.Span.record ~name:"node" ~cat:"dp" ~t0_ns:t0
+    end;
     let len = Array.length sols in
     check_count ~where:(Printf.sprintf "node %d" id) len;
     let rec bump_peak () =
@@ -411,6 +427,7 @@ let run ?pool ?(grain = default_grain) config ~model tree =
     (* No pool (or one job, or a net below the grain): exactly the
        classical sequential postorder loop. *)
     Array.iter compute post);
+  if Obs.Control.on () then Obs.Span.flush ();
   let root_sols = results.(Rctree.Tree.root tree) in
   (* The driver is a gate too: apply the load limit at the root if
      configured, falling back to the unconstrained set when nothing

@@ -120,3 +120,12 @@ val merge_frontiers : node:int -> Sol.t array -> Sol.t array -> Sol.t array
     mean load; the result pairs the current pair and advances the side
     whose RAT binds the statistical min.  At most [n + m - 1] merged
     candidates are produced, already frontier-ordered. *)
+
+val merge_cross :
+  node:int -> check:(int -> unit) -> Sol.t array -> Sol.t array -> Sol.t array
+(** The quadratic cross-product merge the 4P rule forces (§2.2),
+    exposed so its in-loop abort path is directly testable: [check] is
+    called with the running combination count (1-based) before each
+    combination is stored — [run] passes the candidate-budget test
+    plus a wall-clock deadline check every 1024 combinations, and an
+    exception raised by [check] aborts the merge mid-loop. *)

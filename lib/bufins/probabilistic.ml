@@ -66,7 +66,7 @@ let dominates heuristic a b =
    dominated one's.  Keys are computed once per candidate and the sort
    is stable, so which duplicate survives (and hence the choice trail)
    is unchanged from the list implementation. *)
-let prune heuristic (sols : sol array) =
+let prune_impl heuristic (sols : sol array) =
   let n = Array.length sols in
   if n <= 1 then sols
   else begin
@@ -111,6 +111,26 @@ let prune heuristic (sols : sol array) =
       end
     done;
     Array.init !nkept (fun k -> sols.(kept.(k)))
+  end
+
+(* Handles resolved once at module initialisation (handle lookup locks
+   the registry); bumped only when observability is enabled. *)
+let obs_generated = Obs.Counters.counter Obs.Counters.global "prob.generated"
+let obs_kept = Obs.Counters.counter Obs.Counters.global "prob.kept"
+let obs_pruned = Obs.Counters.counter Obs.Counters.global "prob.pruned"
+let obs_nodes = Obs.Counters.counter Obs.Counters.global "prob.nodes"
+let obs_merged = Obs.Counters.counter Obs.Counters.global "prob.merged"
+
+let prune heuristic sols =
+  if not (Obs.Control.on ()) then prune_impl heuristic sols
+  else begin
+    let t0 = Obs.Span.now_ns () in
+    let out = prune_impl heuristic sols in
+    Obs.Counters.incr obs_generated (Array.length sols);
+    Obs.Counters.incr obs_kept (Array.length out);
+    Obs.Counters.incr obs_pruned (Array.length sols - Array.length out);
+    Obs.Span.record ~name:"prune.prob" ~cat:"dp" ~t0_ns:t0;
+    out
   end
 
 let run ?pool ?(grain = Engine.default_grain) config tree =
@@ -201,6 +221,8 @@ let run ?pool ?(grain = Engine.default_grain) config tree =
   in
   let compute id =
     check_time ();
+    let obs = Obs.Control.on () in
+    let t0 = if obs then Obs.Span.now_ns () else 0 in
     let sols =
       match Rctree.Tree.sink tree id with
       | Some s ->
@@ -257,9 +279,14 @@ let run ?pool ?(grain = Engine.default_grain) config tree =
           lifted.(1) <- [||];
           check_count ~where:(Printf.sprintf "merge at node %d" id)
             (Array.length merged);
+          if obs then Obs.Counters.incr obs_merged (Array.length merged);
           prune config.heuristic merged
         end
     in
+    if obs then begin
+      Obs.Counters.incr obs_nodes 1;
+      Obs.Span.record ~name:"node" ~cat:"dp" ~t0_ns:t0
+    end;
     let len = Array.length sols in
     check_count ~where:(Printf.sprintf "node %d" id) len;
     let rec bump_peak () =
@@ -317,6 +344,7 @@ let run ?pool ?(grain = Engine.default_grain) config tree =
           (Rctree.Tree.children tree id);
         compute id)
   | _ -> Array.iter compute post);
+  if Obs.Control.on () then Obs.Span.flush ();
   let best =
     let root_sols = results.(Rctree.Tree.root tree) in
     assert (Array.length root_sols > 0);

@@ -252,7 +252,7 @@ let prefix_list sols n =
   let rec go i acc = if i < 0 then acc else go (i - 1) (sols.(i) :: acc) in
   go (n - 1) []
 
-let prune_sub rule sols n =
+let prune_dispatch rule sols n =
   if n <= 1 then if n = 0 then [||] else [| sols.(0) |]
   else
     match rule with
@@ -262,6 +262,42 @@ let prune_sub rule sols n =
          deliberately quadratic reference [7] behaviour that Table 2
          measures, not a kernel worth optimising. *)
       Array.of_list (prune_4p ~alpha_l ~alpha_u ~beta_l ~beta_u (prefix_list sols n))
+
+(* Per-rule candidate accounting.  Counter handles are resolved once
+   at module initialisation (handle lookup locks the registry, and
+   [Lazy] is not domain-safe), indexed by the rule's constructor; the
+   invariant pruned = generated - kept holds at every call, hence
+   cumulatively at any snapshot. *)
+let obs_tags = [| "det"; "2p"; "1p"; "4p" |]
+
+let obs_tag_index = function
+  | Deterministic -> 0
+  | Two_param _ -> 1
+  | One_param _ -> 2
+  | Four_param _ -> 3
+
+let obs_handle stem =
+  Array.map
+    (fun tag -> Obs.Counters.counter Obs.Counters.global (stem ^ "." ^ tag))
+    obs_tags
+
+let obs_generated = obs_handle "dp.generated"
+let obs_kept = obs_handle "dp.kept"
+let obs_pruned = obs_handle "dp.pruned"
+let obs_span_names = Array.map (fun tag -> "prune." ^ tag) obs_tags
+
+let prune_sub rule sols n =
+  if not (Obs.Control.on ()) then prune_dispatch rule sols n
+  else begin
+    let t0 = Obs.Span.now_ns () in
+    let out = prune_dispatch rule sols n in
+    let i = obs_tag_index rule in
+    Obs.Counters.incr obs_generated.(i) n;
+    Obs.Counters.incr obs_kept.(i) (Array.length out);
+    Obs.Counters.incr obs_pruned.(i) (n - Array.length out);
+    Obs.Span.record ~name:obs_span_names.(i) ~cat:"dp" ~t0_ns:t0;
+    out
+  end
 
 let prune rule sols =
   if Array.length sols <= 1 then sols

@@ -31,6 +31,35 @@ let default_jobs () =
     | _ -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
+(* Observability.  Counter handles are resolved once at module
+   initialisation (lookup locks the registry; [Lazy] is not
+   domain-safe); [run_task] wraps every queue-executed task in a span
+   and flushes the executing domain's span buffer so worker-domain
+   spans are never stranded while the worker idles.  The helper
+   counter covers tasks stolen by the caller inside [run_batch] /
+   [run_graph]'s help loops. *)
+let obs_worker = Obs.Counters.counter Obs.Counters.global "pool.tasks.worker"
+let obs_helper = Obs.Counters.counter Obs.Counters.global "pool.tasks.helper"
+
+let run_task ~counter task =
+  if not (Obs.Control.on ()) then task ()
+  else begin
+    let t0 = Obs.Span.now_ns () in
+    Fun.protect task ~finally:(fun () ->
+        Obs.Counters.incr counter 1;
+        Obs.Span.record ~name:"task" ~cat:"pool" ~t0_ns:t0;
+        Obs.Span.flush ())
+  end
+
+(* Queue depth at enqueue time, sampled under the pool mutex (the
+   [Queue.length] read is O(1); the histogram takes its own locks but
+   never the pool's, so the lock order is acyclic). *)
+let observe_queue_depth t =
+  if Obs.Control.on () then
+    Obs.Counters.observe Obs.Counters.global "pool.queue_depth" ~lo:0.0
+      ~hi:1024.0 ~bins:128
+      (float_of_int (Queue.length t.queue))
+
 let worker_loop t =
   Domain.DLS.set in_task true;
   let rec loop () =
@@ -43,7 +72,7 @@ let worker_loop t =
     | None -> Mutex.unlock t.mutex
     | Some task ->
       Mutex.unlock t.mutex;
-      task ();
+      run_task ~counter:obs_worker task;
       loop ()
   in
   loop ()
@@ -131,6 +160,7 @@ let run_batch t fns =
       invalid_arg "Exec.Pool: pool is shut down"
     end;
     Array.iter (fun fn -> Queue.push (wrap fn) t.queue) fns;
+    observe_queue_depth t;
     Condition.broadcast t.work;
     (* Help: the caller executes queued tasks instead of blocking, so a
        pool of [jobs] really runs [jobs] tasks at a time. *)
@@ -140,7 +170,9 @@ let run_batch t fns =
         | Some task ->
           Mutex.unlock t.mutex;
           Domain.DLS.set in_task true;
-          Fun.protect ~finally:(fun () -> Domain.DLS.set in_task false) task;
+          Fun.protect
+            ~finally:(fun () -> Domain.DLS.set in_task false)
+            (fun () -> run_task ~counter:obs_helper task);
           Mutex.lock t.mutex;
           help ()
         | None ->
@@ -202,6 +234,7 @@ let submit ?(on_complete = fun () -> ()) t f =
   end
   else begin
     Queue.push run t.queue;
+    observe_queue_depth t;
     Condition.signal t.work;
     Mutex.unlock t.mutex
   end;
@@ -245,6 +278,7 @@ let enqueue_task t fn =
     invalid_arg "Exec.Pool: pool is shut down"
   end;
   Queue.push fn t.queue;
+  observe_queue_depth t;
   Condition.signal t.work;
   Mutex.unlock t.mutex
 
@@ -318,7 +352,9 @@ let run_graph t ~deps ~run:run_node =
           Mutex.unlock t.mutex;
           let saved = Domain.DLS.get in_task in
           Domain.DLS.set in_task true;
-          Fun.protect ~finally:(fun () -> Domain.DLS.set in_task saved) task;
+          Fun.protect
+            ~finally:(fun () -> Domain.DLS.set in_task saved)
+            (fun () -> run_task ~counter:obs_helper task);
           Mutex.lock t.mutex;
           help ()
         | None ->

@@ -32,8 +32,21 @@ let of_samples ?bins xs =
   Array.iter (add h) xs;
   h
 
+let merge a b =
+  if a.lo <> b.lo || a.width <> b.width
+     || Array.length a.counts <> Array.length b.counts
+  then invalid_arg "Histogram.merge: histograms must share lo/hi/bins";
+  {
+    lo = a.lo;
+    width = a.width;
+    counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+    total = a.total + b.total;
+  }
+
 let total h = h.total
 let bins h = Array.length h.counts
+let lo h = h.lo
+let hi h = h.lo +. (h.width *. float_of_int (Array.length h.counts))
 let bin_center h i = h.lo +. ((float_of_int i +. 0.5) *. h.width)
 let bin_count h i = h.counts.(i)
 

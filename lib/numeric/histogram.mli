@@ -15,9 +15,25 @@ val of_samples : ?bins:int -> float array -> t
     size clamped to [10, 100].
     @raise Invalid_argument on an empty sample. *)
 
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram whose bins hold the per-bin sums
+    of [a] and [b] (neither input is modified).  Bin counts are summed
+    independently, so merging is associative and commutative — the
+    property per-domain observability registries rely on when folding
+    into one.
+    @raise Invalid_argument unless both histograms share the same
+    range and bin count. *)
+
 val add : t -> float -> unit
 val total : t -> int
 val bins : t -> int
+
+val lo : t -> float
+(** Lower edge of the first bin. *)
+
+val hi : t -> float
+(** Upper edge of the last bin: [lo] plus bins times bin width. *)
+
 val bin_center : t -> int -> float
 val bin_count : t -> int -> int
 

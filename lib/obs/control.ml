@@ -1,0 +1,10 @@
+let flag = Atomic.make false
+
+let () =
+  match Sys.getenv_opt "VARBUF_OBS" with
+  | Some ("1" | "true" | "yes") -> Atomic.set flag true
+  | _ -> ()
+
+let on () = Atomic.get flag
+let enable () = Atomic.set flag true
+let disable () = Atomic.set flag false

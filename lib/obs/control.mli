@@ -1,0 +1,16 @@
+(** Global observability switch.
+
+    Every instrumentation site in the engine, the pool and the serve
+    stack is gated on {!on}, a single [Atomic.get] of one boolean —
+    this is the whole cost of the disabled path, so default runs stay
+    byte-identical and within noise of un-instrumented builds.
+
+    The flag starts [false] unless the [VARBUF_OBS] environment
+    variable is [1]/[true]/[yes] at program start; the [--obs] and
+    [--trace] CLI flags call {!enable}. *)
+
+val on : unit -> bool
+(** Whether spans and counters are being recorded. *)
+
+val enable : unit -> unit
+val disable : unit -> unit

@@ -1,0 +1,72 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let chrome_json (spans : Span.span list) =
+  let base =
+    List.fold_left (fun acc (s : Span.span) -> min acc s.Span.ts_ns) max_int spans
+  in
+  let base = if spans = [] then 0 else base in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i (s : Span.span) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n';
+      Printf.bprintf buf
+        "{\"cat\":\"%s\",\"dur\":%d,\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%d}"
+        (escape s.Span.cat)
+        (s.Span.dur_ns / 1000)
+        (escape s.Span.name) s.Span.tid
+        ((s.Span.ts_ns - base) / 1000))
+    spans;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_chrome ~path spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_json spans))
+
+let summary ?counters (spans : Span.span list) =
+  let buf = Buffer.create 1024 in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Span.span) ->
+      let key = s.Span.cat ^ "." ^ s.Span.name in
+      let n, total, mx =
+        Option.value (Hashtbl.find_opt groups key) ~default:(0, 0, 0)
+      in
+      Hashtbl.replace groups key
+        (n + 1, total + s.Span.dur_ns, max mx s.Span.dur_ns))
+    spans;
+  let keys = Hashtbl.fold (fun k v acc -> (k, v) :: acc) groups [] in
+  List.iter
+    (fun (key, (n, total, mx)) ->
+      Printf.bprintf buf "span %s count %d total_ms %.3f max_ms %.3f\n" key n
+        (float_of_int total /. 1e6)
+        (float_of_int mx /. 1e6))
+    (List.sort compare keys);
+  Option.iter
+    (fun reg ->
+      List.iter
+        (fun (name, v) -> Printf.bprintf buf "counter %s %d\n" name v)
+        (Counters.counter_values reg);
+      List.iter
+        (fun (name, (s : Counters.hist_stats)) ->
+          Printf.bprintf buf "hist %s count %d mean %.3f max %.3f\n" name
+            s.Counters.count s.Counters.mean s.Counters.max_value)
+        (Counters.hist_values reg))
+    counters;
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** Trace and counter serialisation.
+
+    {!chrome_json} is the Chrome [trace_event] format (load in
+    [chrome://tracing] or Perfetto): one complete ["ph":"X"] event per
+    span, keys in alphabetical order, timestamps rebased to the
+    earliest span and emitted as integer microseconds — the output is
+    a pure function of the span list, so fixed spans serialise to
+    fixed bytes.
+
+    {!summary} is a line-oriented text digest (per-(cat,name) span
+    totals, counters, histogram stats) with the same determinism
+    guarantee. *)
+
+val chrome_json : Span.span list -> string
+(** [{"traceEvents":[...]}] with one event per span, in list order. *)
+
+val write_chrome : path:string -> Span.span list -> unit
+(** {!chrome_json} to a file.
+    @raise Sys_error as [open_out]. *)
+
+val summary : ?counters:Counters.t -> Span.span list -> string
+(** {v
+    span dp.node count 12 total_ms 3.200 max_ms 0.900
+    counter dp.generated.2p 1234
+    hist serve.exec_ms count 2 mean 5.000 max 7.500
+    v}
+    Span lines are grouped by [cat.name] and sorted; counter and
+    histogram lines (from [counters], when given) are sorted by
+    name. *)

@@ -1,0 +1,107 @@
+type span = {
+  name : string;
+  cat : string;
+  ts_ns : int;
+  dur_ns : int;
+  tid : int;
+}
+
+let dummy = { name = ""; cat = ""; ts_ns = 0; dur_ns = 0; tid = 0 }
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* Shared bounded ring: spans live at indices [head, head + count) mod
+   capacity; a push into a full ring overwrites the oldest span. *)
+let smu = Mutex.create ()
+let capacity = ref 65536
+let ring = ref [||]
+let head = ref 0
+let count = ref 0
+let dropped_n = ref 0
+
+let push_locked s =
+  if Array.length !ring <> !capacity then begin
+    ring := Array.make !capacity dummy;
+    head := 0;
+    count := 0
+  end;
+  let cap = Array.length !ring in
+  if !count < cap then begin
+    !ring.((!head + !count) mod cap) <- s;
+    incr count
+  end
+  else begin
+    !ring.(!head) <- s;
+    head := (!head + 1) mod cap;
+    incr dropped_n
+  end
+
+(* Per-domain buffer; full buffers spill into the ring early. *)
+type local = { arr : span array; mutable n : int }
+
+let local_key : local Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { arr = Array.make 256 dummy; n = 0 })
+
+let flush () =
+  let l = Domain.DLS.get local_key in
+  if l.n > 0 then begin
+    Mutex.lock smu;
+    for i = 0 to l.n - 1 do
+      push_locked l.arr.(i)
+    done;
+    Mutex.unlock smu;
+    l.n <- 0
+  end
+
+let emit s =
+  let l = Domain.DLS.get local_key in
+  if l.n = Array.length l.arr then flush ();
+  l.arr.(l.n) <- s;
+  l.n <- l.n + 1
+
+let record_dur ~name ~cat ~ts_ns ~dur_ns =
+  emit { name; cat; ts_ns; dur_ns; tid = (Domain.self () :> int) }
+
+let record ~name ~cat ~t0_ns =
+  record_dur ~name ~cat ~ts_ns:t0_ns ~dur_ns:(now_ns () - t0_ns)
+
+let snapshot () =
+  flush ();
+  Mutex.lock smu;
+  let cap = Array.length !ring in
+  let out =
+    List.init !count (fun i -> !ring.((!head + i) mod cap))
+  in
+  Mutex.unlock smu;
+  List.sort
+    (fun a b ->
+      let c = compare a.ts_ns b.ts_ns in
+      if c <> 0 then c
+      else
+        let c = compare a.tid b.tid in
+        if c <> 0 then c else compare a.name b.name)
+    out
+
+let clear () =
+  let l = Domain.DLS.get local_key in
+  l.n <- 0;
+  Mutex.lock smu;
+  head := 0;
+  count := 0;
+  dropped_n := 0;
+  Mutex.unlock smu
+
+let dropped () =
+  Mutex.lock smu;
+  let d = !dropped_n in
+  Mutex.unlock smu;
+  d
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Obs.Span.set_capacity: capacity must be > 0";
+  Mutex.lock smu;
+  capacity := n;
+  ring := [||];
+  head := 0;
+  count := 0;
+  dropped_n := 0;
+  Mutex.unlock smu

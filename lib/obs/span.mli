@@ -1,0 +1,51 @@
+(** Tracing spans: begin/end intervals with wall-clock timestamps.
+
+    Each domain buffers the spans it records in domain-local storage
+    (no locking on the hot path) and {!flush}es them under one mutex
+    into a shared bounded ring; when the ring is full the oldest spans
+    are overwritten and counted in {!dropped}.  The pool's task
+    wrappers flush after every task, so worker-domain spans are never
+    stranded in an idle domain's buffer.
+
+    Timestamps come from [Unix.gettimeofday] (the only clock the
+    dependency set offers) scaled to integer nanoseconds; they are
+    wall-clock, not strictly monotonic, which Chrome's trace viewer
+    tolerates and the export rebases anyway. *)
+
+type span = {
+  name : string;
+  cat : string;  (** coarse grouping: ["dp"], ["pool"], ["serve"] *)
+  ts_ns : int;  (** start timestamp, ns *)
+  dur_ns : int;
+  tid : int;  (** recording domain's id *)
+}
+
+val now_ns : unit -> int
+(** Current time in integer nanoseconds. *)
+
+val record : name:string -> cat:string -> t0_ns:int -> unit
+(** Record a span that began at [t0_ns] and ends now, into the calling
+    domain's buffer.  Call only when {!Control.on} — the
+    instrumentation sites take the timestamp and record under the same
+    check. *)
+
+val record_dur : name:string -> cat:string -> ts_ns:int -> dur_ns:int -> unit
+(** Record a fully specified span (tests and replay). *)
+
+val flush : unit -> unit
+(** Move the calling domain's buffered spans into the shared ring. *)
+
+val snapshot : unit -> span list
+(** Flush the calling domain, then return the ring's contents sorted
+    by (start, domain, name) — other domains' unflushed buffers are
+    not included. *)
+
+val clear : unit -> unit
+(** Empty the shared ring and reset the dropped count (the calling
+    domain's local buffer is discarded too). *)
+
+val dropped : unit -> int
+(** Spans overwritten because the ring was full. *)
+
+val set_capacity : int -> unit
+(** Resize the shared ring (default 65536); implies {!clear}. *)

@@ -47,6 +47,12 @@ let stats t =
   | "stats" -> reply.Wire.payload
   | kind -> failwith (Printf.sprintf "unexpected reply frame %S" kind)
 
+let trace t =
+  let reply = roundtrip t ~kind:"trace" "" in
+  match reply.Wire.kind with
+  | "trace" -> reply.Wire.payload
+  | kind -> failwith (Printf.sprintf "unexpected reply frame %S" kind)
+
 let shutdown t =
   let reply = roundtrip t ~kind:"shutdown" "" in
   match reply.Wire.kind with

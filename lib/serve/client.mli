@@ -24,6 +24,11 @@ val request_raw :
 val stats : t -> string
 (** The server's {!Metrics.render} text. *)
 
+val trace : t -> string
+(** The server's recent span buffer as Chrome [trace_event] JSON
+    ({!Obs.Export.chrome_json}); [{"traceEvents":[]}] (plus
+    whitespace) when the daemon runs without observability. *)
+
 val shutdown : t -> unit
 (** Ask the server to drain and exit; returns once acknowledged. *)
 

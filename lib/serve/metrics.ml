@@ -101,4 +101,18 @@ let render t =
     done
   end;
   Mutex.unlock t.hist_mutex;
+  (* With observability on, fold the global registry in: queue wait vs
+     execution split (serve.queue_wait_ms / serve.exec_ms histograms),
+     DP per-phase candidate totals, pool and arena counters. *)
+  if Obs.Control.on () then begin
+    List.iter
+      (fun (name, v) -> Printf.bprintf buf "obs_%s %d\n" name v)
+      (Obs.Counters.counter_values Obs.Counters.global);
+    List.iter
+      (fun (name, (s : Obs.Counters.hist_stats)) ->
+        Printf.bprintf buf "obs_%s_count %d\n" name s.Obs.Counters.count;
+        Printf.bprintf buf "obs_%s_mean %.3f\n" name s.Obs.Counters.mean;
+        Printf.bprintf buf "obs_%s_max %.3f\n" name s.Obs.Counters.max_value)
+      (Obs.Counters.hist_values Obs.Counters.global)
+  end;
   Buffer.contents buf

@@ -17,10 +17,14 @@ val conn_opened : t -> unit
 val conn_closed : t -> unit
 
 val request_ok : t -> latency_ms:float -> unit
-(** A successful response; [latency_ms] is queue wait + execution. *)
+(** A successful response; [latency_ms] is queue wait + execution.
+    This is the {e only} entry point feeding the latency
+    distribution. *)
 
 val request_error : t -> code:string -> unit
-(** An [error] response, by {!Protocol} error code. *)
+(** An [error] response, by {!Protocol} error code.  Errors bump the
+    request/error counters but never enter the latency
+    distribution. *)
 
 val cache_hit : t -> unit
 (** A request answered from the result {!Cache}. *)
@@ -47,4 +51,13 @@ val render : t -> string
     latency_ms_bucket 75 2
     v}
     [error_<code>] lines appear only for codes seen; bucket lines only
-    for non-empty bins (center, count). *)
+    for non-empty bins (center, count).  Every [latency_ms_*] line
+    covers successful (ok) responses only — errors are counted in
+    [errors] and [error_<code>] but excluded from the latency
+    distribution, so [latency_ms_count] equals [ok], not [requests].
+
+    When observability is enabled ({!Obs.Control.on}), the global
+    {!Obs.Counters} registry is appended as [obs_<name> <value>] lines
+    for counters and [obs_<name>_count/_mean/_max] triples for
+    histograms — including the server's [serve.queue_wait_ms] vs
+    [serve.exec_ms] split and the DP's per-rule candidate totals. *)

@@ -116,17 +116,31 @@ let run ?pool ?metrics ?(should_stop = fun () -> false) config =
           else None
         in
         let task () =
+          let started = Unix.gettimeofday () in
+          let obs = Obs.Control.on () in
+          let t0 = if obs then Obs.Span.now_ns () else 0 in
+          if obs then
+            Obs.Counters.observe Obs.Counters.global "serve.queue_wait_ms"
+              ((started -. enqueued_at) *. 1000.0);
           (* Queue wait counts against the deadline: re-derive the
              remaining budget at execution start. *)
           let deadline_s =
-            Option.map (fun at -> at -. Unix.gettimeofday ()) deadline_at
+            Option.map (fun at -> at -. started) deadline_at
           in
-          match Handler.run ~pool ?cache ~metrics ?deadline_s req with
-          | resp -> Ok resp
-          | exception Bufins.Engine.Budget_exceeded msg ->
-            Error { Protocol.code = Protocol.err_deadline; message = msg }
-          | exception (Failure msg | Invalid_argument msg) ->
-            Error { Protocol.code = Protocol.err_internal; message = msg }
+          let outcome =
+            match Handler.run ~pool ?cache ~metrics ?deadline_s req with
+            | resp -> Ok resp
+            | exception Bufins.Engine.Budget_exceeded msg ->
+              Error { Protocol.code = Protocol.err_deadline; message = msg }
+            | exception (Failure msg | Invalid_argument msg) ->
+              Error { Protocol.code = Protocol.err_internal; message = msg }
+          in
+          if obs then begin
+            Obs.Counters.observe Obs.Counters.global "serve.exec_ms"
+              ((Unix.gettimeofday () -. started) *. 1000.0);
+            Obs.Span.record ~name:"request" ~cat:"serve" ~t0_ns:t0
+          end;
+          outcome
         in
         let fut = Exec.Pool.submit ~on_complete:poke pool task in
         jobs := !jobs @ [ { j_conn = conn; fut; enqueued_at } ]
@@ -136,6 +150,10 @@ let run ?pool ?metrics ?(should_stop = fun () -> false) config =
     match f.Wire.kind with
     | "request" -> dispatch_request conn f.Wire.payload
     | "stats" -> send conn ~kind:"stats" (Metrics.render metrics)
+    | "trace" ->
+      (* The recent span buffer as Chrome trace JSON; an empty trace
+         when observability is off. *)
+      send conn ~kind:"trace" (Obs.Export.chrome_json (Obs.Span.snapshot ()))
     | "shutdown" ->
       send conn ~kind:"ok" "";
       draining := true

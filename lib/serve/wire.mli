@@ -10,7 +10,7 @@
     v}
 
     [kind] is a short lower-case token ([request], [response], [error],
-    [stats], [shutdown], [ok], [hello]); the payload is itself
+    [stats], [trace], [shutdown], [ok], [hello]); the payload is itself
     line-oriented text defined by {!Protocol}.  Because the length is
     explicit, a receiver can always resynchronise after a payload it
     rejects (malformed or over the size limit) — only a corrupt

@@ -569,6 +569,71 @@ let test_budget_time () =
        false
      with Bufins.Engine.Budget_exceeded _ -> true)
 
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_merge_cross_check_abort () =
+  (* The quadratic merge calls [check] before storing each combination;
+     an exception at count 1024 — the engine's in-loop deadline cadence
+     — must abort the merge mid-loop rather than after it. *)
+  let mk n =
+    Array.init n (fun i ->
+        mk_sol (10.0 +. float_of_int i) (100.0 +. float_of_int i))
+  in
+  let a = mk 40 and b = mk 40 in
+  let seen = ref 0 in
+  Alcotest.check_raises "check aborts the merge" (Failure "deadline")
+    (fun () ->
+      ignore
+        (Bufins.Engine.merge_cross ~node:0
+           ~check:(fun c ->
+             seen := c;
+             if c = 1024 then failwith "deadline")
+           a b));
+  Alcotest.(check int) "no combination ran past the abort" 1024 !seen;
+  let full = Bufins.Engine.merge_cross ~node:0 ~check:(fun _ -> ()) a b in
+  Alcotest.(check int) "full cross product without an abort" 1600
+    (Array.length full)
+
+let test_budget_trips_inside_4p_merge () =
+  (* A candidate budget sized above every pruned frontier but below a
+     4P cross product: the abort must come from the in-merge check,
+     not from a post-prune node count. *)
+  let die = 4000.0 in
+  let tree = Rctree.Generate.random_steiner ~seed:53 ~sinks:40 ~die_um:die () in
+  let budget =
+    { Bufins.Engine.max_candidates = Some 500; max_seconds = None }
+  in
+  let cfg = config ~rule:(Bufins.Prune.four_param ()) ~budget () in
+  match Bufins.Engine.run cfg ~model:(model ~mode:Varmodel.Model.Wid die) tree with
+  | _ -> Alcotest.fail "the 4P cross product must exhaust the budget"
+  | exception Bufins.Engine.Budget_exceeded msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "tripped inside the merge loop: %s" msg)
+      true
+      (contains msg "merge at node")
+
+let test_probabilistic_time_budget () =
+  (* The wall-clock deadline must also be checked inside [6]'s merge
+     loop (every 1024 combinations), so an expired deadline aborts a
+     large net promptly with the time message, not the candidate one. *)
+  let tree = Rctree.Generate.random_steiner ~seed:54 ~sinks:100 ~die_um:4000.0 () in
+  let cfg =
+    {
+      (Bufins.Probabilistic.default_config ()) with
+      Bufins.Probabilistic.budget =
+        { Bufins.Engine.max_candidates = None; max_seconds = Some 0.0 };
+    }
+  in
+  match Bufins.Probabilistic.run cfg tree with
+  | _ -> Alcotest.fail "an expired deadline must raise Budget_exceeded"
+  | exception Bufins.Engine.Budget_exceeded msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "time limit message: %s" msg)
+      true (contains msg "time limit")
+
 let test_objective_yield_vs_mean () =
   (* Max_yield must never beat Max_mean on the mean, and vice versa on
      the 95%-yield score. *)
@@ -1035,6 +1100,12 @@ let suite =
       test_wid_rules_agree_on_small_tree;
     Alcotest.test_case "budget: candidates" `Quick test_budget_candidates;
     Alcotest.test_case "budget: time" `Quick test_budget_time;
+    Alcotest.test_case "merge_cross: check aborts mid-loop" `Quick
+      test_merge_cross_check_abort;
+    Alcotest.test_case "budget: trips inside a 4P merge" `Quick
+      test_budget_trips_inside_4p_merge;
+    Alcotest.test_case "budget: [6] time limit" `Quick
+      test_probabilistic_time_budget;
     Alcotest.test_case "objective: yield vs mean" `Quick test_objective_yield_vs_mean;
     Alcotest.test_case "stats reported" `Quick test_stats_reported;
     Alcotest.test_case "buffers_of_choice" `Quick test_buffers_of_choice;

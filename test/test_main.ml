@@ -3,6 +3,7 @@ let () =
     [
       ("numeric", Test_numeric.suite);
       ("exec", Test_exec.suite);
+      ("obs", Test_obs.suite);
       ("linform", Test_linform.suite);
       ("varmodel", Test_varmodel.suite);
       ("device", Test_device.suite);

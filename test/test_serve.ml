@@ -11,10 +11,11 @@ let fresh_socket_path () =
     (Printf.sprintf "varbuf-test-%d-%d.sock" (Unix.getpid ())
        (Atomic.fetch_and_add sock_counter 1))
 
-(* Start a server in its own domain, hand a connected client to [f],
-   and always drain the server before returning — via the stop flag if
-   [f] did not already ask for shutdown. *)
-let with_server ?(jobs = 2) ?(tweak = fun c -> c) f =
+(* Start a server in its own domain, hand [f] a fresh-connection
+   maker (multi-client tests open several), and always drain the
+   server before returning — via the stop flag if [f] did not already
+   ask for shutdown. *)
+let with_server_multi ?(jobs = 2) ?(tweak = fun c -> c) f =
   let socket_path = fresh_socket_path () in
   let config = tweak { (Serve.Server.default_config ~socket_path) with jobs } in
   let stop = Atomic.make false in
@@ -34,9 +35,15 @@ let with_server ?(jobs = 2) ?(tweak = fun c -> c) f =
     ~finally:(fun () ->
       Atomic.set stop true;
       Domain.join server)
-    (fun () ->
-      let client = connect 250 in
-      Fun.protect ~finally:(fun () -> Serve.Client.close client) (fun () -> f client))
+    (fun () -> f (fun () -> connect 250))
+
+(* The common single-client shape. *)
+let with_server ?jobs ?tweak f =
+  with_server_multi ?jobs ?tweak (fun connect ->
+      let client = connect () in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close client)
+        (fun () -> f client))
 
 let small_tree = Rctree.Generate.random_steiner ~seed:11 ~sinks:9 ~die_um:2000.0 ()
 
@@ -282,6 +289,162 @@ let test_cache_disabled () =
       Alcotest.(check bool) "no misses counted" true
         (List.mem "cache_misses 0" (String.split_on_char '\n' stats)))
 
+(* ---------- metrics: the latency lines cover ok responses only ---------- *)
+
+let test_metrics_latency_ok_only () =
+  (* Regression for an impl/doc disagreement: errors bump the request
+     and error counters but must never enter the latency distribution,
+     so latency_ms_count equals ok (2), not requests (3), and the mean
+     averages the two successful latencies only. *)
+  let m = Serve.Metrics.create () in
+  Serve.Metrics.request_ok m ~latency_ms:10.0;
+  Serve.Metrics.request_ok m ~latency_ms:30.0;
+  Serve.Metrics.request_error m ~code:Serve.Protocol.err_parse;
+  let lines = String.split_on_char '\n' (Serve.Metrics.render m) in
+  let has line =
+    Alcotest.(check bool) (Printf.sprintf "render contains %S" line) true
+      (List.mem line lines)
+  in
+  has "requests 3";
+  has "ok 2";
+  has "errors 1";
+  has "error_parse 1";
+  has "latency_ms_count 2";
+  has "latency_ms_mean 20.0";
+  has "latency_ms_max 30.0"
+
+(* ---------- wire: resync after an oversized frame mid-stream ---------- *)
+
+let test_wire_resync_after_oversized () =
+  (* A tiny payload limit, the whole stream fed 3 bytes at a time so
+     the oversized frame's header and payload are both split across
+     feeds: the decoder must discard exactly the announced bytes and
+     hand over the following frame intact. *)
+  let dec = Serve.Wire.decoder ~max_payload:8 () in
+  let stream =
+    "varbuf1 ok 2\nhi" ^ "varbuf1 blob 20\n" ^ String.make 20 'x'
+    ^ "varbuf1 stats 3\nyes"
+  in
+  let events = ref [] in
+  let drain () =
+    let rec go () =
+      match Serve.Wire.next dec with
+      | Some e ->
+        events := e :: !events;
+        go ()
+      | None -> ()
+    in
+    go ()
+  in
+  let n = String.length stream in
+  let i = ref 0 in
+  while !i < n do
+    let len = min 3 (n - !i) in
+    Serve.Wire.feed dec (Bytes.of_string (String.sub stream !i len)) len;
+    drain ();
+    i := !i + len
+  done;
+  match List.rev !events with
+  | [ Serve.Wire.Frame f1; Serve.Wire.Oversized o; Serve.Wire.Frame f2 ] ->
+    Alcotest.(check string) "first frame kind" "ok" f1.Serve.Wire.kind;
+    Alcotest.(check string) "first frame payload" "hi" f1.Serve.Wire.payload;
+    Alcotest.(check string) "oversized kind" "blob" o.kind;
+    Alcotest.(check int) "oversized length" 20 o.len;
+    Alcotest.(check string) "stream resynced" "stats" f2.Serve.Wire.kind;
+    Alcotest.(check string) "payload after resync" "yes" f2.Serve.Wire.payload
+  | evs -> Alcotest.failf "unexpected event sequence (%d events)" (List.length evs)
+
+(* ---------- cache hits from concurrent clients ---------- *)
+
+let test_cache_hit_concurrent_clients () =
+  (* Two clients replay a cached payload concurrently under different
+     request ids: each must get the cached result with its own id
+     rewritten in — not the warm requester's id, and not the other
+     client's. *)
+  let req =
+    { (Serve.Protocol.default_request ~tree:small_tree) with
+      Serve.Protocol.id = 100; mc_trials = 16 }
+  in
+  with_server_multi (fun connect ->
+      let ask c r =
+        match Serve.Client.request_raw c r with
+        | Ok raw -> raw
+        | Error e -> Alcotest.failf "request failed: %s" e.Serve.Protocol.message
+      in
+      let warm_client = connect () in
+      Fun.protect ~finally:(fun () -> Serve.Client.close warm_client)
+      @@ fun () ->
+      let warm = ask warm_client req in
+      let ds =
+        List.map
+          (fun id ->
+            Domain.spawn (fun () ->
+                let c = connect () in
+                Fun.protect
+                  ~finally:(fun () -> Serve.Client.close c)
+                  (fun () -> ask c { req with Serve.Protocol.id })))
+          [ 101; 102 ]
+      in
+      let replies = List.map Domain.join ds in
+      let strip raw =
+        Serve.Protocol.encode_response
+          { (Serve.Protocol.decode_response raw) with Serve.Protocol.r_id = 0 }
+      in
+      List.iter2
+        (fun id raw ->
+          Alcotest.(check int) "hit echoes the caller's id" id
+            (Serve.Protocol.decode_response raw).Serve.Protocol.r_id;
+          Alcotest.(check string) "hit payload matches the cached result"
+            (strip warm) (strip raw))
+        [ 101; 102 ] replies;
+      Alcotest.(check bool) "both answered from the cache" true
+        (List.mem "cache_hits 2"
+           (String.split_on_char '\n' (Serve.Client.stats warm_client))))
+
+(* ---------- trace request ---------- *)
+
+let with_obs enabled f =
+  let was = Obs.Control.on () in
+  if enabled then Obs.Control.enable () else Obs.Control.disable ();
+  Fun.protect
+    ~finally:(fun () ->
+      if was then Obs.Control.enable () else Obs.Control.disable ())
+    f
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_trace_request () =
+  with_obs true (fun () ->
+      Obs.Span.clear ();
+      with_server ~jobs:2 (fun client ->
+          (match Serve.Client.request client
+                   { (Serve.Protocol.default_request ~tree:small_tree) with
+                     Serve.Protocol.id = 1 }
+          with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "request failed: %s" e.Serve.Protocol.message);
+          (* The worker flushes its span right after completing the
+             future, which can land a hair after our response frame:
+             poll briefly instead of racing it. *)
+          let rec poll tries =
+            let payload = Serve.Client.trace client in
+            if contains payload "\"name\":\"request\"" || tries = 0 then payload
+            else begin
+              Unix.sleepf 0.02;
+              poll (tries - 1)
+            end
+          in
+          let payload = poll 50 in
+          Alcotest.(check bool) "chrome trace shape" true
+            (contains payload "{\"traceEvents\":[");
+          Alcotest.(check bool) "request span present" true
+            (contains payload "\"name\":\"request\"");
+          Alcotest.(check bool) "serve category" true
+            (contains payload "\"cat\":\"serve\"")))
+
 let suite =
   [
     Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
@@ -299,4 +462,11 @@ let suite =
     Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru;
     Alcotest.test_case "cache hit end to end" `Quick test_cache_end_to_end;
     Alcotest.test_case "cache disabled" `Quick test_cache_disabled;
+    Alcotest.test_case "latency metrics cover ok only" `Quick
+      test_metrics_latency_ok_only;
+    Alcotest.test_case "wire resync after oversized frame" `Quick
+      test_wire_resync_after_oversized;
+    Alcotest.test_case "cache hits from concurrent clients" `Quick
+      test_cache_hit_concurrent_clients;
+    Alcotest.test_case "trace request" `Quick test_trace_request;
   ]
