@@ -396,6 +396,152 @@ let collect_obs_report () =
     obs_phases = span_phase_totals ();
   }
 
+(* ---------- cluster: routed throughput and the v2 codec ---------- *)
+
+type cluster_report = {
+  cl_requests : int;
+  cl_clients : int;
+  cl_shards : int;
+  cl_single_rps : float;
+  cl_single_p50 : float;
+  cl_single_p95 : float;
+  cl_sharded_rps : float;
+  cl_sharded_p50 : float;
+  cl_sharded_p95 : float;
+  cl_codec : (string * float) list;  (* name, ns/op *)
+}
+
+(* Closed-loop loopback throughput: a plain single daemon (one event
+   loop, one pool) vs the 3-shard in-process cluster (router + three
+   workers), same total request stream, caches off so every request
+   pays the optimiser.  On a multi-core host the sharded row should
+   approach [shards]× the single row; on one core it shows the
+   router's forwarding overhead instead — both are honest, so the
+   ratio is recorded, never gated on. *)
+let run_cluster ~smoke () =
+  let sinks = 40 and distinct = 12 in
+  let trees =
+    Array.init distinct (fun i ->
+        Rctree.Generate.random_steiner ~seed:(40 + i) ~sinks ~die_um:4000.0 ())
+  in
+  let reqs = Array.map (fun tree -> Serve.Protocol.default_request ~tree) trees in
+  let n = if smoke then 24 else 120 in
+  let clients = 4 in
+  let drive socket =
+    let next = Atomic.make 0 in
+    let worker () =
+      let c = Serve.Client.connect ~wire:Serve.Wire.V2 socket in
+      let lats = ref [] in
+      let rec go () =
+        let k = Atomic.fetch_and_add next 1 in
+        if k < n then begin
+          let t0 = Unix.gettimeofday () in
+          (match Serve.Client.request c
+                   { reqs.(k mod distinct) with Serve.Protocol.id = k }
+           with
+          | Ok _ -> lats := ((Unix.gettimeofday () -. t0) *. 1000.0) :: !lats
+          | Error e -> failwith e.Serve.Protocol.message);
+          go ()
+        end
+      in
+      go ();
+      Serve.Client.close c;
+      !lats
+    in
+    let t0 = Unix.gettimeofday () in
+    let ds = List.init clients (fun _ -> Domain.spawn worker) in
+    let lats = Array.of_list (List.concat_map Domain.join ds) in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    ( float_of_int (Array.length lats) /. elapsed,
+      Numeric.Stats.percentile lats 0.5,
+      Numeric.Stats.percentile lats 0.95 )
+  in
+  (* Single daemon, router-less. *)
+  let single_socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "varbuf-bench-single-%d.sock" (Unix.getpid ()))
+  in
+  let stop = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.Server.run
+          ~should_stop:(fun () -> Atomic.get stop)
+          { (Serve.Server.default_config ~socket_path:single_socket) with
+            Serve.Server.jobs = 2;
+            cache_entries = 0 })
+  in
+  let rec wait tries =
+    if Sys.file_exists single_socket then ()
+    else if tries = 0 then failwith "bench server did not bind"
+    else (Unix.sleepf 0.02; wait (tries - 1))
+  in
+  wait 250;
+  let single_rps, single_p50, single_p95 =
+    Fun.protect
+      ~finally:(fun () -> Atomic.set stop true; Domain.join server)
+      (fun () -> drive single_socket)
+  in
+  (* The 3-shard cluster, same per-worker resources. *)
+  let shards = 3 in
+  let sharded_rps, sharded_p50, sharded_p95 =
+    Cluster.Inproc.with_cluster ~shards ~jobs_per_shard:2 ~cache_entries:0
+      ~conns_per_shard:clients drive
+  in
+  (* v1 text vs v2 binary codec, ns/op on a representative request and
+     response. *)
+  let req = { reqs.(0) with Serve.Protocol.id = 1 } in
+  let resp = Serve.Handler.run req in
+  let per_op f =
+    let reps = if smoke then 300 else 3000 in
+    for _ = 1 to 20 do ignore (f ()) done;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do ignore (f ()) done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e9
+  in
+  let req_v1 = Serve.Protocol.encode_request req in
+  let req_v2 = Serve.Codec_bin.encode_request req in
+  let resp_v1 = Serve.Protocol.encode_response resp in
+  let resp_v2 = Serve.Codec_bin.encode_response resp in
+  let codec =
+    [
+      ("request_encode_v1", per_op (fun () -> Serve.Protocol.encode_request req));
+      ("request_encode_v2", per_op (fun () -> Serve.Codec_bin.encode_request req));
+      ("request_decode_v1", per_op (fun () -> Serve.Protocol.decode_request req_v1));
+      ("request_decode_v2", per_op (fun () -> Serve.Codec_bin.decode_request req_v2));
+      ("response_encode_v1", per_op (fun () -> Serve.Protocol.encode_response resp));
+      ("response_encode_v2", per_op (fun () -> Serve.Codec_bin.encode_response resp));
+      ("response_decode_v1", per_op (fun () -> Serve.Protocol.decode_response resp_v1));
+      ("response_decode_v2", per_op (fun () -> Serve.Codec_bin.decode_response resp_v2));
+    ]
+  in
+  Printf.printf "== Cluster loopback (%d-sink nets, %d clients, caches off) ==\n"
+    sinks clients;
+  Printf.printf "%-24s %8.1f req/s  p50 %7.1f ms  p95 %7.1f ms\n"
+    "single daemon" single_rps single_p50 single_p95;
+  Printf.printf "%-24s %8.1f req/s  p50 %7.1f ms  p95 %7.1f ms  (%.2fx)\n"
+    (Printf.sprintf "%d-shard cluster" shards)
+    sharded_rps sharded_p50 sharded_p95
+    (sharded_rps /. Float.max single_rps 1e-9);
+  List.iter
+    (fun (name, ns) -> Printf.printf "codec %-22s %10.0f ns/op\n" name ns)
+    codec;
+  Printf.printf "v2/v1 size: request %d/%d bytes, response %d/%d bytes\n\n"
+    (String.length req_v2) (String.length req_v1)
+    (String.length resp_v2) (String.length resp_v1);
+  {
+    cl_requests = n;
+    cl_clients = clients;
+    cl_shards = shards;
+    cl_single_rps = single_rps;
+    cl_single_p50 = single_p50;
+    cl_single_p95 = single_p95;
+    cl_sharded_rps = sharded_rps;
+    cl_sharded_p50 = sharded_p50;
+    cl_sharded_p95 = sharded_p95;
+    cl_codec = codec;
+  }
+
 (* ---------- BENCH.json (hand-rolled writer; no JSON dependency) ---------- *)
 
 let json_escape s =
@@ -416,7 +562,7 @@ let json_float x =
   (* %.17g roundtrips; JSON has no infinities, clamp defensively. *)
   if Float.is_finite x then Printf.sprintf "%.17g" x else "null"
 
-let write_bench_json ~path ~smoke ~micro ~probe ~par ~obs =
+let write_bench_json ~path ~smoke ~micro ~probe ~par ~cluster ~obs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema\": \"varbuf-bench/1\",\n";
@@ -452,6 +598,29 @@ let write_bench_json ~path ~smoke ~micro ~probe ~par ~obs =
        par.par_identical
        (json_float par.arena_bytes)
        (json_float par.noarena_bytes));
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\n  \"cluster\": {\"requests\": %d, \"clients\": %d, \"shards\": %d, \
+        \"single_rps\": %s, \"single_p50_ms\": %s, \"single_p95_ms\": %s, \
+        \"sharded_rps\": %s, \"sharded_p50_ms\": %s, \"sharded_p95_ms\": %s, \
+        \"speedup\": %s,\n    \"codec\": [\n"
+       cluster.cl_requests cluster.cl_clients cluster.cl_shards
+       (json_float cluster.cl_single_rps)
+       (json_float cluster.cl_single_p50)
+       (json_float cluster.cl_single_p95)
+       (json_float cluster.cl_sharded_rps)
+       (json_float cluster.cl_sharded_p50)
+       (json_float cluster.cl_sharded_p95)
+       (json_float
+          (cluster.cl_sharded_rps /. Float.max cluster.cl_single_rps 1e-9)));
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "      {\"name\": \"%s\", \"ns_per_op\": %s}%s\n"
+           (json_escape name) (json_float ns)
+           (if i = List.length cluster.cl_codec - 1 then "" else ",")))
+    cluster.cl_codec;
+  Buffer.add_string buf "    ]\n  }";
   (match obs with
   | None -> Buffer.add_string buf "\n"
   | Some o ->
@@ -659,8 +828,9 @@ let () =
     let micro = run_micro ~smoke () in
     let probe = run_dp_probe ~smoke () in
     let par = run_par_dp ~smoke ~jobs () in
+    let cluster = run_cluster ~smoke () in
     let obs = if obs_on then Some (collect_obs_report ()) else None in
-    write_bench_json ~path:json_path ~smoke ~micro ~probe ~par ~obs
+    write_bench_json ~path:json_path ~smoke ~micro ~probe ~par ~cluster ~obs
   end;
   if all || only "--mc-only" then run_mc_speedup ~jobs ();
   if all || only "--serve-only" then run_serve ~jobs ();

@@ -12,9 +12,32 @@ let socket_arg =
   Arg.(value & opt string default_socket & info [ "socket" ] ~docv:"PATH"
          ~doc:"Unix-domain socket path.")
 
+(* Client-side transport selection: the Unix socket by default, TCP
+   with --tcp.  A bare port means loopback. *)
+let tcp_client_arg =
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
+         ~doc:"Connect over TCP instead of the Unix socket; a bare PORT \
+               means 127.0.0.1:PORT.")
+
+let wire_arg =
+  Arg.(value
+       & opt (enum [ ("v1", Serve.Wire.V1); ("v2", Serve.Wire.V2) ])
+           Serve.Wire.V1
+       & info [ "wire" ] ~docv:"VER"
+           ~doc:"Wire encoding: v1 (text) or v2 (binary).")
+
+let resolve_addr socket tcp =
+  match tcp with
+  | None -> Serve.Client.Unix_sock socket
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some port -> Serve.Client.Tcp ("127.0.0.1", port)
+    | None -> Serve.Client.addr_of_string s)
+
 (* ---------- start ---------- *)
 
-let start socket jobs queue_depth max_request_bytes cache_entries obs trace =
+let start socket tcp_port jobs queue_depth max_request_bytes cache_entries obs
+    trace =
   if obs || trace <> None then Obs.Control.enable ();
   let stop = Atomic.make false in
   let handle = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
@@ -23,14 +46,19 @@ let start socket jobs queue_depth max_request_bytes cache_entries obs trace =
   let config =
     {
       (Serve.Server.default_config ~socket_path:socket) with
-      Serve.Server.jobs;
+      Serve.Server.tcp_port;
+      jobs;
       queue_depth;
       max_payload = max_request_bytes;
       cache_entries;
     }
   in
-  Printf.printf "varbuf-serve: listening on %s (jobs=%d, queue=%d, cache=%d)\n%!"
-    socket jobs queue_depth cache_entries;
+  Printf.printf "varbuf-serve: listening on %s%s (jobs=%d, queue=%d, cache=%d)\n%!"
+    socket
+    (match tcp_port with
+    | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+    | None -> "")
+    jobs queue_depth cache_entries;
   (try Serve.Server.run ~should_stop:(fun () -> Atomic.get stop) config
    with Unix.Unix_error (e, fn, arg) ->
      prerr_endline
@@ -48,6 +76,11 @@ let start socket jobs queue_depth max_request_bytes cache_entries obs trace =
   | None -> ());
   Printf.printf "varbuf-serve: drained, exiting\n%!";
   0
+
+let tcp_listen_arg =
+  Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT"
+         ~doc:"Also listen on 127.0.0.1:PORT (the Unix socket stays \
+               bound either way).")
 
 let start_cmd =
   let jobs_arg =
@@ -84,8 +117,79 @@ let start_cmd =
   Cmd.v
     (Cmd.info "start" ~doc:"run the buffering daemon (foreground)")
     Term.(
-      const start $ socket_arg $ jobs_arg $ queue_arg $ max_bytes_arg
-      $ cache_arg $ obs_arg $ trace_arg)
+      const start $ socket_arg $ tcp_listen_arg $ jobs_arg $ queue_arg
+      $ max_bytes_arg $ cache_arg $ obs_arg $ trace_arg)
+
+(* ---------- cluster ---------- *)
+
+let cluster socket tcp_port shards jobs_per_shard queue_depth
+    max_request_bytes cache_entries conns_per_shard =
+  let stop = Atomic.make false in
+  let handle = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  Sys.set_signal Sys.sigint handle;
+  Sys.set_signal Sys.sigterm handle;
+  let config =
+    {
+      Cluster.Supervisor.shards;
+      socket_path = socket;
+      tcp_port;
+      jobs_per_shard;
+      cache_entries;
+      queue_depth;
+      conns_per_shard;
+      max_payload = max_request_bytes;
+    }
+  in
+  Printf.printf
+    "varbuf-serve: cluster on %s%s (%d shards, jobs/shard=%d, cache/shard=%d)\n%!"
+    socket
+    (match tcp_port with
+    | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+    | None -> "")
+    shards jobs_per_shard cache_entries;
+  (try Cluster.Supervisor.run ~should_stop:(fun () -> Atomic.get stop) config
+   with Unix.Unix_error (e, fn, arg) ->
+     prerr_endline
+       (Printf.sprintf "cannot serve on %s: %s (%s %s)" socket
+          (Unix.error_message e) fn arg);
+     exit 1);
+  Printf.printf "varbuf-serve: cluster drained, exiting\n%!";
+  0
+
+let cluster_cmd =
+  let shards_arg =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N"
+           ~doc:"Worker processes; requests shard by a digest of the \
+                 routing tree, so each worker's result cache sees a \
+                 stable slice of the nets.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int (Exec.Pool.default_jobs ()) & info [ "jobs-per-shard" ]
+           ~docv:"N" ~doc:"Pool size inside each worker.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N"
+           ~doc:"Pending-queue bound per shard; beyond it requests are \
+                 refused with a busy error.")
+  in
+  let max_bytes_arg =
+    Arg.(value & opt int (8 * 1024 * 1024) & info [ "max-request-bytes" ]
+           ~docv:"BYTES" ~doc:"Request frame size limit.")
+  in
+  let cache_arg =
+    Arg.(value & opt int 128 & info [ "cache-entries" ] ~docv:"N"
+           ~doc:"Result-cache capacity per worker; 0 disables caching.")
+  in
+  let conns_arg =
+    Arg.(value & opt int 4 & info [ "conns-per-shard" ] ~docv:"N"
+           ~doc:"Router links (= max concurrent requests) per worker.")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"run a sharded multi-process cluster (router + N workers)")
+    Term.(
+      const cluster $ socket_arg $ tcp_listen_arg $ shards_arg $ jobs_arg
+      $ queue_arg $ max_bytes_arg $ cache_arg $ conns_arg)
 
 (* ---------- request ---------- *)
 
@@ -140,8 +244,8 @@ let probe_malformed client =
       (Printf.sprintf "probe: expected an error frame, got %S" kind);
     exit 1
 
-let request socket bench file sinks algo_s rule_s p seed deadline_ms mc
-    wire_sizing save_buffering probe =
+let request socket tcp wire bench file sinks algo_s rule_s p seed deadline_ms
+    mc wire_sizing save_buffering probe =
   let ( let* ) r f = match r with Ok v -> f v | Error msg ->
     prerr_endline msg; 1
   in
@@ -159,10 +263,15 @@ let request socket bench file sinks algo_s rule_s p seed deadline_ms mc
       wire_sizing;
     }
   in
-  match Serve.Client.connect socket with
+  let addr = resolve_addr socket tcp in
+  match Serve.Client.connect_addr ~wire addr with
   | exception Unix.Unix_error (e, _, _) ->
     prerr_endline
-      (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e));
+      (Printf.sprintf "cannot connect to %s: %s" (Serve.Client.pp_addr addr)
+         (Unix.error_message e));
+    1
+  | exception Failure msg ->
+    prerr_endline ("handshake failed: " ^ msg);
     1
   | client ->
     Fun.protect ~finally:(fun () -> Serve.Client.close client) @@ fun () ->
@@ -254,17 +363,23 @@ let request_cmd =
   Cmd.v
     (Cmd.info "request" ~doc:"submit one buffering request to the daemon")
     Term.(
-      const request $ socket_arg $ bench_arg $ file_arg $ sinks_arg $ algo_arg
-      $ rule_arg $ p_arg $ seed_arg $ deadline_arg $ mc_arg $ wire_sizing_arg
-      $ save_buffering_arg $ probe_arg)
+      const request $ socket_arg $ tcp_client_arg $ wire_arg $ bench_arg
+      $ file_arg $ sinks_arg $ algo_arg $ rule_arg $ p_arg $ seed_arg
+      $ deadline_arg $ mc_arg $ wire_sizing_arg $ save_buffering_arg
+      $ probe_arg)
 
 (* ---------- stats / shutdown ---------- *)
 
-let with_client socket f =
-  match Serve.Client.connect socket with
+let with_client socket tcp wire f =
+  let addr = resolve_addr socket tcp in
+  match Serve.Client.connect_addr ~wire addr with
   | exception Unix.Unix_error (e, _, _) ->
     prerr_endline
-      (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e));
+      (Printf.sprintf "cannot connect to %s: %s" (Serve.Client.pp_addr addr)
+         (Unix.error_message e));
+    1
+  | exception Failure msg ->
+    prerr_endline ("handshake failed: " ^ msg);
     1
   | client ->
     Fun.protect ~finally:(fun () -> Serve.Client.close client) (fun () ->
@@ -274,11 +389,11 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"print the daemon's counters and latency histogram")
     Term.(
-      const (fun socket ->
-          with_client socket (fun client ->
+      const (fun socket tcp wire ->
+          with_client socket tcp wire (fun client ->
               print_string (Serve.Client.stats client);
               0))
-      $ socket_arg)
+      $ socket_arg $ tcp_client_arg $ wire_arg)
 
 let trace_cmd =
   let out_arg =
@@ -289,8 +404,8 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"fetch the daemon's recent span buffer as Chrome trace JSON")
     Term.(
-      const (fun socket out ->
-          with_client socket (fun client ->
+      const (fun socket tcp wire out ->
+          with_client socket tcp wire (fun client ->
               let payload = Serve.Client.trace client in
               match out with
               | None ->
@@ -307,18 +422,18 @@ let trace_cmd =
                 with Sys_error msg ->
                   prerr_endline ("cannot write trace: " ^ msg);
                   1)))
-      $ socket_arg $ out_arg)
+      $ socket_arg $ tcp_client_arg $ wire_arg $ out_arg)
 
 let shutdown_cmd =
   Cmd.v
     (Cmd.info "shutdown" ~doc:"ask the daemon to drain and exit")
     Term.(
-      const (fun socket ->
-          with_client socket (fun client ->
+      const (fun socket tcp wire ->
+          with_client socket tcp wire (fun client ->
               Serve.Client.shutdown client;
               print_endline "server draining";
               0))
-      $ socket_arg)
+      $ socket_arg $ tcp_client_arg $ wire_arg)
 
 let () =
   let doc = "variation-aware buffer insertion as a service" in
@@ -326,4 +441,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ start_cmd; request_cmd; stats_cmd; trace_cmd; shutdown_cmd ]))
+          [ start_cmd; cluster_cmd; request_cmd; stats_cmd; trace_cmd;
+            shutdown_cmd ]))

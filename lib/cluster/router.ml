@@ -1,0 +1,564 @@
+module Wire = Serve.Wire
+module Protocol = Serve.Protocol
+module Codec_bin = Serve.Codec_bin
+module Metrics = Serve.Metrics
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;
+  shard_sockets : string array;
+  conns_per_shard : int;
+  queue_depth : int;
+  max_payload : int;
+  max_connections : int;
+  backlog : int;
+}
+
+let default_config ~socket_path ~shard_sockets =
+  {
+    socket_path;
+    tcp_port = None;
+    shard_sockets;
+    conns_per_shard = 4;
+    queue_depth = 64;
+    max_payload = 8 * 1024 * 1024;
+    max_connections = 128;
+    backlog = 64;
+  }
+
+let reconnect_interval = 0.25
+
+(* How long a drain may take before queued work is failed, and how long
+   we wait for workers to close their sockets after [shutdown]. *)
+let drain_budget = 30.0
+let worker_stop_budget = 5.0
+
+let shard_of_request ~shards payload =
+  let off, len = Codec_bin.request_tree_span payload in
+  let d = Digest.substring payload off len in
+  (* First four digest bytes as a non-negative int. *)
+  let b i = Char.code d.[i] in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  v mod shards
+
+type client = {
+  c_fd : Unix.file_descr;
+  c_dec : Wire.decoder;
+  mutable c_alive : bool;
+  mutable c_proto : Wire.proto;
+}
+
+(* One admitted request: the client to answer, the encoding it spoke,
+   and the payload already transcoded to v2 for the worker. *)
+type pending = {
+  p_client : client;
+  p_proto : Wire.proto;
+  p_payload : string;
+  p_enqueued : float;
+}
+
+(* A router→worker connection.  At most one request is outstanding per
+   link ([l_busy]), so the worker's reply — which may be an [error]
+   frame carrying no id — is unambiguously for that request. *)
+type link = {
+  l_fd : Unix.file_descr;
+  l_dec : Wire.decoder;
+  mutable l_ready : bool;  (* worker hello received and checked *)
+  mutable l_alive : bool;
+  mutable l_busy : pending option;
+}
+
+type shard = {
+  s_addr : string;
+  mutable s_links : link list;
+  s_queue : pending Queue.t;
+  mutable s_last_dial : float;
+  mutable s_stop_sent : bool;
+}
+
+let run ?metrics ?(should_stop = fun () -> false)
+    ?(on_tick = fun ~draining:_ -> ()) config =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let shards =
+    Array.map
+      (fun addr ->
+        {
+          s_addr = addr;
+          s_links = [];
+          s_queue = Queue.create ();
+          s_last_dial = 0.0;
+          s_stop_sent = false;
+        })
+      config.shard_sockets
+  in
+  let n_shards = Array.length shards in
+  if n_shards = 0 then invalid_arg "Router.run: no shards";
+  (* Worker responses (big assignments) may exceed the client-request
+     limit; give links generous headroom. *)
+  let link_max_payload = max config.max_payload (64 * 1024 * 1024) in
+  let prev_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ -> None
+  in
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  let listen_unix = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_unix (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listen_unix config.backlog;
+  let listen_tcp =
+    match config.tcp_port with
+    | None -> None
+    | Some port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+         Unix.listen fd config.backlog
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         (try Unix.close listen_unix with Unix.Unix_error _ -> ());
+         (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+         raise e);
+      Some fd
+  in
+  let listeners =
+    listen_unix :: (match listen_tcp with Some fd -> [ fd ] | None -> [])
+  in
+  let clients : client list ref = ref [] in
+  let draining = ref false in
+  let drain_deadline = ref infinity in
+  let stop_deadline = ref None in
+  let read_buf = Bytes.create 65536 in
+
+  let send_client c ~kind payload =
+    if c.c_alive then
+      try Wire.write_frame_pv c.c_fd ~proto:c.c_proto ~kind payload
+      with Unix.Unix_error _ | Sys_error _ -> c.c_alive <- false
+  in
+  let send_client_error c code message =
+    let body =
+      match c.c_proto with
+      | Wire.V1 -> Protocol.encode_error { Protocol.code; message }
+      | Wire.V2 -> Codec_bin.encode_error { Protocol.code; message }
+    in
+    send_client c ~kind:"error" body
+  in
+  let refuse c code message =
+    Metrics.request_error metrics ~code;
+    send_client_error c code message
+  in
+
+  (* Answer [p] with a worker reply frame ([kind] is "response" or
+     "error", [payload] is v2-encoded).  v2 clients get the worker's
+     bytes verbatim; v1 clients get the deterministic text
+     re-encoding. *)
+  let complete p ~kind ~payload =
+    let latency_ms = (Unix.gettimeofday () -. p.p_enqueued) *. 1000.0 in
+    match kind with
+    | "response" ->
+      Metrics.request_ok metrics ~latency_ms;
+      let body =
+        match p.p_proto with
+        | Wire.V2 -> payload
+        | Wire.V1 ->
+          Protocol.encode_response (Codec_bin.decode_response payload)
+      in
+      send_client p.p_client ~kind:"response" body
+    | _ ->
+      let err =
+        try Codec_bin.decode_error payload
+        with Failure _ ->
+          { Protocol.code = Protocol.err_internal;
+            message = "undecodable worker error" }
+      in
+      Metrics.request_error metrics ~code:err.Protocol.code;
+      let body =
+        match p.p_proto with
+        | Wire.V2 when kind = "error" -> payload
+        | _ -> Protocol.encode_error err
+      in
+      send_client p.p_client ~kind:"error" body
+  in
+  let fail p code message =
+    Metrics.request_error metrics ~code;
+    let body =
+      match p.p_proto with
+      | Wire.V1 -> Protocol.encode_error { Protocol.code; message }
+      | Wire.V2 -> Codec_bin.encode_error { Protocol.code; message }
+    in
+    send_client p.p_client ~kind:"error" body
+  in
+
+  let kill_link s l =
+    if l.l_alive then begin
+      l.l_alive <- false;
+      (try Unix.close l.l_fd with Unix.Unix_error _ -> ());
+      (match l.l_busy with
+      | Some p ->
+        l.l_busy <- None;
+        fail p Protocol.err_internal "worker connection lost"
+      | None -> ());
+      s.s_links <- List.filter (fun x -> x != l) s.s_links
+    end
+  in
+
+  let free_link s =
+    List.find_opt
+      (fun l -> l.l_alive && l.l_ready && l.l_busy = None)
+      s.s_links
+  in
+
+  (* Move queued requests onto free links.  A write failure kills that
+     link and requeues the request, so one pass makes progress until
+     either the queue or the free links run out. *)
+  let rec pump s =
+    if not (Queue.is_empty s.s_queue) then
+      match free_link s with
+      | None -> ()
+      | Some l ->
+        let p = Queue.pop s.s_queue in
+        if not p.p_client.c_alive then pump s
+        else begin
+          (match
+             Wire.write_frame_pv l.l_fd ~proto:Wire.V2 ~kind:"request"
+               p.p_payload
+           with
+          | () -> l.l_busy <- Some p
+          | exception (Unix.Unix_error _ | Sys_error _) ->
+            Queue.push p s.s_queue;
+            kill_link s l);
+          pump s
+        end
+  in
+
+  let dial s =
+    let now = Unix.gettimeofday () in
+    if
+      (not s.s_stop_sent)
+      && List.length s.s_links < config.conns_per_shard
+      && now -. s.s_last_dial >= reconnect_interval
+    then begin
+      s.s_last_dial <- now;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX s.s_addr) with
+      | () ->
+        let l =
+          {
+            l_fd = fd;
+            l_dec = Wire.decoder ~max_payload:link_max_payload ();
+            l_ready = false;
+            l_alive = true;
+            l_busy = None;
+          }
+        in
+        s.s_links <- s.s_links @ [ l ]
+      | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+    end
+  in
+
+  let handle_link_frame s l (f : Wire.frame) =
+    match f.Wire.kind with
+    | "hello" -> (
+      match
+        Protocol.check_hello f.Wire.payload;
+        if
+          not
+            (List.mem Protocol.version_bin
+               (Protocol.supported_protocols f.Wire.payload))
+        then failwith "worker does not speak the binary protocol"
+      with
+      | () -> l.l_ready <- true
+      | exception Failure _ -> kill_link s l)
+    | "response" | "error" -> (
+      match l.l_busy with
+      | Some p ->
+        l.l_busy <- None;
+        complete p ~kind:f.Wire.kind ~payload:f.Wire.payload;
+        pump s
+      | None -> () (* late reply for a request we already failed *))
+    | "ok" -> () (* shutdown acknowledgement *)
+    | _ -> ()
+  in
+
+  let handle_link_readable s l =
+    match Unix.read l.l_fd read_buf 0 (Bytes.length read_buf) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> kill_link s l
+    | 0 -> kill_link s l
+    | n -> (
+      Wire.feed l.l_dec read_buf n;
+      let rec go () =
+        match Wire.next l.l_dec with
+        | None -> ()
+        | Some (Wire.Oversized _) ->
+          (* The reply outgrew even the link limit; the stream is still
+             in sync but the answer is gone. *)
+          (match l.l_busy with
+          | Some p ->
+            l.l_busy <- None;
+            fail p Protocol.err_internal "worker reply exceeded size limit";
+            pump s
+          | None -> ());
+          go ()
+        | Some (Wire.Frame f) ->
+          handle_link_frame s l f;
+          if l.l_alive then go ()
+      in
+      try go () with Failure _ -> kill_link s l)
+  in
+
+  let dispatch_request c (f : Wire.frame) =
+    if !draining then
+      refuse c Protocol.err_busy "cluster is draining"
+    else
+      let v2_payload =
+        match f.Wire.proto with
+        | Wire.V2 ->
+          (* Validate the head (and locate the tree) without decoding
+             the tree itself; forwarded bytes are the client's own. *)
+          ignore (Codec_bin.request_tree_span f.Wire.payload : int * int);
+          f.Wire.payload
+        | Wire.V1 ->
+          Codec_bin.encode_request (Protocol.decode_request f.Wire.payload)
+      in
+      match shard_of_request ~shards:n_shards v2_payload with
+      | exception Failure msg -> refuse c Protocol.err_parse msg
+      | idx ->
+        let s = shards.(idx) in
+        if Queue.length s.s_queue >= config.queue_depth then
+          refuse c Protocol.err_busy
+            (Printf.sprintf "shard %d queue full (depth %d)" idx
+               config.queue_depth)
+        else begin
+          Queue.push
+            {
+              p_client = c;
+              p_proto = f.Wire.proto;
+              p_payload = v2_payload;
+              p_enqueued = Unix.gettimeofday ();
+            }
+            s.s_queue;
+          pump s
+        end
+  in
+  let dispatch_request c f =
+    try dispatch_request c f
+    with Failure msg -> refuse c Protocol.err_parse msg
+  in
+
+  let stats_payload () =
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf (Metrics.render metrics);
+    Printf.bprintf buf "cluster_shards %d\n" n_shards;
+    Array.iteri
+      (fun i s ->
+        let live = List.filter (fun l -> l.l_alive && l.l_ready) s.s_links in
+        let busy = List.filter (fun l -> l.l_busy <> None) live in
+        Printf.bprintf buf "cluster_shard_%d_links %d\n" i (List.length live);
+        Printf.bprintf buf "cluster_shard_%d_inflight %d\n" i
+          (List.length busy);
+        Printf.bprintf buf "cluster_shard_%d_queue %d\n" i
+          (Queue.length s.s_queue))
+      shards;
+    Buffer.contents buf
+  in
+
+  let handle_client_frame c (f : Wire.frame) =
+    c.c_proto <- f.Wire.proto;
+    Metrics.request_kind metrics ~kind:f.Wire.kind;
+    match f.Wire.kind with
+    | "request" -> dispatch_request c f
+    | "stats" -> send_client c ~kind:"stats" (stats_payload ())
+    | "trace" ->
+      send_client c ~kind:"trace"
+        (Obs.Export.chrome_json (Obs.Span.snapshot ()))
+    | "shutdown" ->
+      send_client c ~kind:"ok" "";
+      draining := true
+    | kind ->
+      refuse c Protocol.err_proto
+        (Printf.sprintf "unknown frame kind %S" kind)
+  in
+
+  let handle_client_readable c =
+    match Unix.read c.c_fd read_buf 0 (Bytes.length read_buf) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> c.c_alive <- false
+    | 0 -> c.c_alive <- false
+    | n -> (
+      Wire.feed c.c_dec read_buf n;
+      let rec go () =
+        match Wire.next c.c_dec with
+        | None -> ()
+        | Some (Wire.Oversized { kind; len; proto }) ->
+          c.c_proto <- proto;
+          refuse c Protocol.err_too_large
+            (Printf.sprintf "%s frame of %d bytes exceeds the %d-byte limit"
+               kind len config.max_payload);
+          go ()
+        | Some (Wire.Frame f) ->
+          handle_client_frame c f;
+          go ()
+      in
+      try go ()
+      with Failure msg ->
+        send_client_error c Protocol.err_proto msg;
+        c.c_alive <- false)
+  in
+
+  let close_client c =
+    c.c_alive <- false;
+    (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+    Metrics.conn_closed metrics
+  in
+
+  let queues_idle () =
+    Array.for_all
+      (fun s ->
+        Queue.is_empty s.s_queue
+        && List.for_all (fun l -> l.l_busy = None) s.s_links)
+      shards
+  in
+  let links_all_dead () =
+    Array.for_all (fun s -> s.s_links = []) shards
+  in
+
+  (* Phase 2 of shutdown: every client request is answered; tell the
+     workers to stop and wait (bounded) for them to close. *)
+  let send_worker_stops () =
+    Array.iter
+      (fun s ->
+        s.s_stop_sent <- true;
+        match free_link s with
+        | Some l -> (
+          try Wire.write_frame_pv l.l_fd ~proto:Wire.V2 ~kind:"shutdown" ""
+          with Unix.Unix_error _ | Sys_error _ -> kill_link s l)
+        | None ->
+          (* No live link: the worker is already gone (or unreachable);
+             nothing to stop. *)
+          List.iter (fun l -> kill_link s l) s.s_links)
+      shards;
+    stop_deadline := Some (Unix.gettimeofday () +. worker_stop_budget)
+  in
+
+  let cleanup () =
+    List.iter close_client !clients;
+    clients := [];
+    Array.iter (fun s -> List.iter (fun l -> kill_link s l) s.s_links) shards;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      listeners;
+    (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+    match prev_sigpipe with
+    | Some b -> ( try Sys.set_signal Sys.sigpipe b with Invalid_argument _ -> ())
+    | None -> ()
+  in
+
+  let finished () =
+    match !stop_deadline with
+    | None -> false
+    | Some dl -> links_all_dead () || Unix.gettimeofday () > dl
+  in
+
+  let rec loop () =
+    if finished () then ()
+    else begin
+      if (not !draining) && should_stop () then draining := true;
+      if !draining && !drain_deadline = infinity then
+        drain_deadline := Unix.gettimeofday () +. drain_budget;
+      on_tick ~draining:!draining;
+      (* Draining stops redialing and respawning, so a shard with no
+         ready link will never serve its queue — fail it now rather
+         than holding the drain open. *)
+      if !draining then
+        Array.iter
+          (fun s ->
+            if
+              (not (Queue.is_empty s.s_queue))
+              && not
+                   (List.exists (fun l -> l.l_alive && l.l_ready) s.s_links)
+            then begin
+              Queue.iter
+                (fun p -> fail p Protocol.err_internal "cluster shutting down")
+                s.s_queue;
+              Queue.clear s.s_queue
+            end)
+          shards;
+      (* A drain that cannot complete (a worker died mid-request and
+         nobody will restart it) fails the stuck work rather than
+         hanging. *)
+      if !draining && Unix.gettimeofday () > !drain_deadline then
+        Array.iter
+          (fun s ->
+            Queue.iter
+              (fun p -> fail p Protocol.err_internal "cluster shutting down")
+              s.s_queue;
+            Queue.clear s.s_queue;
+            List.iter
+              (fun l -> if l.l_busy <> None then kill_link s l)
+              s.s_links)
+          shards;
+      if !draining && !stop_deadline = None && queues_idle () then
+        send_worker_stops ();
+      if not !draining then Array.iter dial shards;
+      Array.iter pump shards;
+      let accepting =
+        (not !draining) && List.length !clients < config.max_connections
+      in
+      let link_fds =
+        Array.to_list shards
+        |> List.concat_map (fun s ->
+               List.filter_map
+                 (fun l -> if l.l_alive then Some l.l_fd else None)
+                 s.s_links)
+      in
+      let watched =
+        (if accepting then listeners else [])
+        @ List.map (fun c -> c.c_fd) !clients
+        @ link_fds
+      in
+      let readable, _, _ =
+        try Unix.select watched [] [] 0.2
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if accepting then
+        List.iter
+          (fun listen_fd ->
+            if List.mem listen_fd readable then
+              match Unix.accept listen_fd with
+              | fd, _ ->
+                (try Unix.setsockopt fd Unix.TCP_NODELAY true
+                 with Unix.Unix_error _ | Invalid_argument _ -> ());
+                let c =
+                  {
+                    c_fd = fd;
+                    c_dec = Wire.decoder ~max_payload:config.max_payload ();
+                    c_alive = true;
+                    c_proto = Wire.V1;
+                  }
+                in
+                Metrics.conn_opened metrics;
+                send_client c ~kind:"hello" (Protocol.hello_full ^ "\n");
+                clients := c :: !clients
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          listeners;
+      Array.iter
+        (fun s ->
+          List.iter
+            (fun l ->
+              if l.l_alive && List.mem l.l_fd readable then
+                handle_link_readable s l)
+            s.s_links)
+        shards;
+      List.iter
+        (fun c ->
+          if c.c_alive && List.mem c.c_fd readable then
+            handle_client_readable c)
+        !clients;
+      let dead, live = List.partition (fun c -> not c.c_alive) !clients in
+      List.iter close_client dead;
+      clients := live;
+      loop ()
+    end
+  in
+  Fun.protect ~finally:cleanup loop

@@ -1,25 +1,65 @@
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_of_string s =
+  match String.rindex_opt s ':' with
+  | Some i when i > 0 && i < String.length s - 1 -> (
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | Some port -> Tcp (String.sub s 0 i, port)
+    | None -> Unix_sock s)
+  | _ -> Unix_sock s
+
+let pp_addr = function
+  | Unix_sock path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
 type t = {
   fd : Unix.file_descr;
   dec : Wire.decoder;
+  proto : Wire.proto;
 }
 
 let recv_frame t =
   match Wire.recv t.dec t.fd with
   | Wire.Frame f -> f
-  | Wire.Oversized { kind; len } ->
+  | Wire.Oversized { kind; len; _ } ->
     failwith
       (Printf.sprintf "server sent an oversized %s frame (%d bytes)" kind len)
 
-let connect ?(max_payload = 64 * 1024 * 1024) path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+let connect_fd = function
+  | Unix_sock path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+    fd
+  | Tcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
+        | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.TCP_NODELAY true;
+       Unix.connect fd (Unix.ADDR_INET (ip, port))
+     with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+    fd
+
+let connect_addr ?(max_payload = 64 * 1024 * 1024) ?(wire = Wire.V1) addr =
+  let fd = connect_fd addr in
   match
-    Unix.connect fd (Unix.ADDR_UNIX path);
-    let t = { fd; dec = Wire.decoder ~max_payload () } in
+    let t = { fd; dec = Wire.decoder ~max_payload (); proto = wire } in
     let hello = recv_frame t in
     if hello.Wire.kind <> "hello" then
       failwith
         (Printf.sprintf "expected a hello frame, got %S" hello.Wire.kind);
     Protocol.check_hello hello.Wire.payload;
+    (if wire = Wire.V2
+     && not (List.mem Protocol.version_bin
+               (Protocol.supported_protocols hello.Wire.payload))
+     then
+       failwith "server does not support wire protocol v2");
     t
   with
   | t -> t
@@ -27,19 +67,38 @@ let connect ?(max_payload = 64 * 1024 * 1024) path =
     (try Unix.close fd with Unix.Unix_error _ -> ());
     raise e
 
+let connect ?max_payload ?wire path =
+  connect_addr ?max_payload ?wire (Unix_sock path)
+
 let roundtrip t ~kind payload =
-  Wire.write_frame t.fd ~kind payload;
+  Wire.write_frame_pv t.fd ~proto:t.proto ~kind payload;
   recv_frame t
 
+let encode_request t req =
+  match t.proto with
+  | Wire.V1 -> Protocol.encode_request req
+  | Wire.V2 -> Codec_bin.encode_request req
+
+let decode_error (f : Wire.frame) =
+  match f.Wire.proto with
+  | Wire.V1 -> Protocol.decode_error f.Wire.payload
+  | Wire.V2 -> Codec_bin.decode_error f.Wire.payload
+
 let request_raw t req =
-  let reply = roundtrip t ~kind:"request" (Protocol.encode_request req) in
+  let reply = roundtrip t ~kind:"request" (encode_request t req) in
   match reply.Wire.kind with
   | "response" -> Ok reply.Wire.payload
-  | "error" -> Error (Protocol.decode_error reply.Wire.payload)
+  | "error" -> Error (decode_error reply)
   | kind -> failwith (Printf.sprintf "unexpected reply frame %S" kind)
 
 let request t req =
-  Result.map Protocol.decode_response (request_raw t req)
+  match request_raw t req with
+  | Error e -> Error e
+  | Ok raw ->
+    Ok
+      (match t.proto with
+      | Wire.V1 -> Protocol.decode_response raw
+      | Wire.V2 -> Codec_bin.decode_response raw)
 
 let stats t =
   let reply = roundtrip t ~kind:"stats" "" in

@@ -1,25 +1,41 @@
 (** Blocking client for the varbuf-serve protocol, used by the CLI,
-    the tests and the bench harness.
+    the tests, the load generator and the bench harness.
 
     One connection serves any number of sequential requests; every
     call below writes one frame and blocks until its reply frame
-    arrives. *)
+    arrives.  The connection speaks the wire encoding chosen at
+    {!connect_addr} time ([V1] text or [V2] binary) — the server
+    answers each frame in the encoding it arrived in. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_of_string : string -> addr
+(** ["host:port"] (with a numeric port) parses as {!Tcp}; anything
+    else is a Unix-socket path. *)
+
+val pp_addr : addr -> string
 
 type t
 
-val connect : ?max_payload:int -> string -> t
-(** Connect to the daemon at the given socket path and validate its
-    [hello] handshake.  [max_payload] (default 64 MiB) bounds accepted
-    reply payloads.
-    @raise Unix.Unix_error if the socket cannot be reached;
+val connect_addr : ?max_payload:int -> ?wire:Wire.proto -> addr -> t
+(** Connect (Unix-domain or TCP with [TCP_NODELAY]) and validate the
+    server's [hello] handshake.  [max_payload] (default 64 MiB) bounds
+    accepted reply payloads; [wire] (default [V1]) selects the frame
+    and payload encoding this client sends — [V2] additionally checks
+    the hello's [protocols] line advertises v2.
+    @raise Unix.Unix_error if the peer cannot be reached;
     @raise Failure on a handshake or protocol mismatch. *)
+
+val connect : ?max_payload:int -> ?wire:Wire.proto -> string -> t
+(** [connect_addr (Unix_sock path)]. *)
 
 val request : t -> Protocol.request -> (Protocol.response, Protocol.error) result
 
 val request_raw :
   t -> Protocol.request -> (string, Protocol.error) result
 (** Like {!request} but returns the raw response payload bytes —
-    what the determinism tests compare. *)
+    what the determinism tests compare.  The bytes are in this
+    connection's wire encoding. *)
 
 val stats : t -> string
 (** The server's {!Metrics.render} text. *)

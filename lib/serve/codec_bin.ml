@@ -1,0 +1,485 @@
+(* Wire protocol v2: compact binary payload encodings.
+
+   Primitives: unsigned LEB128 varints for lengths/counts, zigzag
+   varints for signed integers, IEEE-754 float64 little-endian (the
+   exact bits, so encode→decode is lossless and equal values encode to
+   equal bytes), length-prefixed strings.
+
+   Envelope layouts put the request/response id first as a fixed
+   8-byte little-endian field so a router can read or rewrite it
+   without decoding the rest, and the request keeps the tree as one
+   length-prefixed blob at the tail so the shard hash can be computed
+   from the raw bytes ({!request_tree_span}) without building the
+   tree.
+
+   Every decoder is strict: trailing bytes, truncated input, unknown
+   tags and out-of-range values raise [Failure] — mirroring the text
+   protocol's parse errors — and never any other exception. *)
+
+(* ---------- primitives ---------- *)
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let add_varint buf v =
+  if v < 0 then invalid_arg "Codec_bin.add_varint: negative";
+  let rec go v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let add_zigzag buf v =
+  (* Standard zigzag: small magnitudes of either sign stay short. *)
+  add_varint buf ((v lsl 1) lxor (v asr (Sys.int_size - 1)))
+
+let add_f64 buf v = Buffer.add_int64_le buf (Int64.bits_of_float v)
+
+let token_ok s =
+  s <> "" && String.for_all (fun c -> c > ' ' && c <> '\x7f') s
+
+let add_string buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+type reader = { src : string; mutable pos : int; limit : int }
+
+let reader ?(pos = 0) ?limit src =
+  let limit = match limit with Some l -> l | None -> String.length src in
+  { src; pos; limit }
+
+let need r n what =
+  if r.limit - r.pos < n then
+    failwith (Printf.sprintf "binary payload: truncated %s at byte %d" what r.pos)
+
+let get_u8 r what =
+  need r 1 what;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_varint r what =
+  let rec go shift acc =
+    if shift > 62 then
+      failwith (Printf.sprintf "binary payload: varint overflow in %s" what);
+    let b = get_u8 r what in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_zigzag r what =
+  let v = get_varint r what in
+  (v lsr 1) lxor (- (v land 1))
+
+let get_f64 r what =
+  need r 8 what;
+  let v = Int64.float_of_bits (String.get_int64_le r.src r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let get_string r what =
+  let len = get_varint r what in
+  need r len what;
+  let s = String.sub r.src r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let get_token r what =
+  let s = get_string r what in
+  if not (token_ok s) then
+    failwith
+      (Printf.sprintf "binary payload: %s %S is not a printable token" what s);
+  s
+
+let expect_end r what =
+  if r.pos <> r.limit then
+    failwith
+      (Printf.sprintf "binary payload: %d trailing bytes after %s"
+         (r.limit - r.pos) what)
+
+let get_i64le r what =
+  need r 8 what;
+  let v = Int64.to_int (String.get_int64_le r.src r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+(* ---------- trees ---------- *)
+
+(* varint node-count, then each node in id (preorder) order:
+   tag u8 (0 root | 1 internal | 2 sink), x f64, y f64;
+   non-root: parent varint (must precede the node), wire f64;
+   sink: cap f64, rat f64, name string. *)
+
+let add_tree buf t =
+  let n = Rctree.Tree.node_count t in
+  add_varint buf n;
+  for id = 0 to n - 1 do
+    let x, y = Rctree.Tree.position t id in
+    match (Rctree.Tree.parent t id, Rctree.Tree.sink t id) with
+    | None, _ ->
+      add_u8 buf 0;
+      add_f64 buf x;
+      add_f64 buf y
+    | Some p, None ->
+      add_u8 buf 1;
+      add_f64 buf x;
+      add_f64 buf y;
+      add_varint buf p;
+      add_f64 buf (Rctree.Tree.wire_to t id)
+    | Some p, Some s ->
+      add_u8 buf 2;
+      add_f64 buf x;
+      add_f64 buf y;
+      add_varint buf p;
+      add_f64 buf (Rctree.Tree.wire_to t id);
+      add_f64 buf s.Rctree.Tree.sink_cap;
+      add_f64 buf s.Rctree.Tree.sink_rat;
+      add_string buf s.Rctree.Tree.sink_name
+  done
+
+let encode_tree t =
+  let buf = Buffer.create 1024 in
+  add_tree buf t;
+  Buffer.contents buf
+
+type bin_node = {
+  b_x : float;
+  b_y : float;
+  b_parent : int;  (* -1 for the root *)
+  b_wire : float;
+  b_sink : Rctree.Tree.sink option;
+}
+
+let read_tree r =
+  let n = get_varint r "tree node count" in
+  if n < 1 then failwith "binary payload: tree has no nodes";
+  if n > 16_777_216 then failwith "binary payload: absurd tree node count";
+  (* The reader is stateful: nodes must be read strictly in id order
+     (Array.init's application order is unspecified). *)
+  let read_node id =
+    let what = Printf.sprintf "tree node %d" id in
+        let tag = get_u8 r what in
+        let x = get_f64 r what in
+        let y = get_f64 r what in
+        match tag with
+        | 0 -> { b_x = x; b_y = y; b_parent = -1; b_wire = 0.0; b_sink = None }
+        | 1 | 2 ->
+          let parent = get_varint r what in
+          if parent >= id then
+            failwith
+              (Printf.sprintf
+                 "binary payload: node %d's parent %d does not precede it" id
+                 parent);
+          let wire = get_f64 r what in
+          if wire < 0.0 || Float.is_nan wire then
+            failwith
+              (Printf.sprintf "binary payload: node %d has a negative wire length"
+                 id);
+          let sink =
+            if tag = 2 then
+              let cap = get_f64 r what in
+              let rat = get_f64 r what in
+              let name = get_token r "sink name" in
+              Some { Rctree.Tree.sink_cap = cap; sink_rat = rat; sink_name = name }
+            else None
+          in
+          { b_x = x; b_y = y; b_parent = parent; b_wire = wire; b_sink = sink }
+        | t -> failwith (Printf.sprintf "binary payload: bad node tag %d" t)
+  in
+  let first = read_node 0 in
+  let nodes = Array.make n first in
+  for id = 1 to n - 1 do
+    nodes.(id) <- read_node id
+  done;
+  if nodes.(0).b_parent <> -1 then
+    failwith "binary payload: the first tree node must be the root";
+  Array.iteri
+    (fun id nd ->
+      if id > 0 && nd.b_parent = -1 then
+        failwith (Printf.sprintf "binary payload: second root at node %d" id))
+    nodes;
+  let children = Array.make n [] in
+  for id = n - 1 downto 1 do
+    let p = nodes.(id).b_parent in
+    children.(p) <- id :: children.(p)
+  done;
+  let rec spec_of id =
+    let nd = nodes.(id) in
+    match (nd.b_sink, children.(id)) with
+    | Some sink, [] -> Rctree.Tree.Leaf { x = nd.b_x; y = nd.b_y; sink }
+    | Some _, _ ->
+      failwith (Printf.sprintf "binary payload: sink %d has children" id)
+    | None, [] ->
+      failwith
+        (Printf.sprintf "binary payload: internal node %d has no children" id)
+    | None, kids ->
+      Rctree.Tree.Node
+        {
+          x = nd.b_x;
+          y = nd.b_y;
+          children = List.map (fun c -> (spec_of c, Some nodes.(c).b_wire)) kids;
+        }
+  in
+  try Rctree.Tree.of_spec (spec_of 0)
+  with Invalid_argument msg -> failwith ("binary payload: " ^ msg)
+
+let decode_tree s =
+  let r = reader s in
+  let t = read_tree r in
+  expect_end r "tree";
+  t
+
+(* ---------- assignments ---------- *)
+
+(* varint buffer-count, then per buffer: node zigzag, name string,
+   cap/delay/res f64; then the same shape for widths (r/c f64).
+   Entries are written node-sorted, like the text encoding. *)
+
+let add_assignment buf (a : Bufins.Assignment.t) =
+  add_varint buf (List.length a.Bufins.Assignment.buffers);
+  List.iter
+    (fun (node, (b : Device.Buffer.t)) ->
+      add_zigzag buf node;
+      add_string buf b.Device.Buffer.name;
+      add_f64 buf b.Device.Buffer.cap_ff;
+      add_f64 buf b.Device.Buffer.delay_ps;
+      add_f64 buf b.Device.Buffer.res_kohm)
+    (List.sort compare a.Bufins.Assignment.buffers);
+  add_varint buf (List.length a.Bufins.Assignment.widths);
+  List.iter
+    (fun (node, (w : Device.Wire_lib.t)) ->
+      add_zigzag buf node;
+      add_string buf w.Device.Wire_lib.name;
+      add_f64 buf w.Device.Wire_lib.res_per_um;
+      add_f64 buf w.Device.Wire_lib.cap_per_um)
+    (List.sort compare a.Bufins.Assignment.widths)
+
+let encode_assignment a =
+  let buf = Buffer.create 256 in
+  add_assignment buf a;
+  Buffer.contents buf
+
+let read_assignment r =
+  let read_section what read_entry =
+    let n = get_varint r (what ^ " count") in
+    if n > 16_777_216 then
+      failwith (Printf.sprintf "binary payload: absurd %s count" what);
+    let seen = Hashtbl.create (min n 64) in
+    List.init n (fun i ->
+        let node = get_zigzag r (Printf.sprintf "%s %d" what i) in
+        if Hashtbl.mem seen node then
+          failwith (Printf.sprintf "binary payload: duplicate %s at node %d" what node);
+        Hashtbl.add seen node ();
+        (node, read_entry i))
+  in
+  let buffers =
+    read_section "buffer" (fun i ->
+        let what = Printf.sprintf "buffer %d" i in
+        let name = get_token r (what ^ " name") in
+        let cap_ff = get_f64 r what in
+        let delay_ps = get_f64 r what in
+        let res_kohm = get_f64 r what in
+        { Device.Buffer.name; cap_ff; delay_ps; res_kohm })
+  in
+  let widths =
+    read_section "width" (fun i ->
+        let what = Printf.sprintf "width %d" i in
+        let name = get_token r (what ^ " name") in
+        let res_per_um = get_f64 r what in
+        let cap_per_um = get_f64 r what in
+        { Device.Wire_lib.name; res_per_um; cap_per_um })
+  in
+  { Bufins.Assignment.buffers; widths }
+
+let decode_assignment s =
+  let r = reader s in
+  let a = read_assignment r in
+  expect_end r "assignment";
+  a
+
+(* ---------- requests ---------- *)
+
+let mode_code = function
+  | Experiments.Common.Nom -> 0
+  | Experiments.Common.D2d -> 1
+  | Experiments.Common.Wid -> 2
+
+let mode_of_code = function
+  | 0 -> Experiments.Common.Nom
+  | 1 -> Experiments.Common.D2d
+  | 2 -> Experiments.Common.Wid
+  | c -> failwith (Printf.sprintf "binary payload: unknown mode code %d" c)
+
+let add_rule buf = function
+  | Bufins.Prune.Deterministic -> add_u8 buf 0
+  | Bufins.Prune.Two_param { p_l; p_t } ->
+    add_u8 buf 1;
+    add_f64 buf p_l;
+    add_f64 buf p_t
+  | Bufins.Prune.One_param { alpha } ->
+    add_u8 buf 2;
+    add_f64 buf alpha
+  | Bufins.Prune.Four_param { alpha_l; alpha_u; beta_l; beta_u } ->
+    add_u8 buf 3;
+    add_f64 buf alpha_l;
+    add_f64 buf alpha_u;
+    add_f64 buf beta_l;
+    add_f64 buf beta_u
+
+let read_rule r =
+  let smart f =
+    try f () with Invalid_argument m -> failwith ("binary payload: bad rule: " ^ m)
+  in
+  match get_u8 r "rule tag" with
+  | 0 -> Bufins.Prune.deterministic
+  | 1 ->
+    let p_l = get_f64 r "rule p_l" in
+    let p_t = get_f64 r "rule p_t" in
+    smart (fun () -> Bufins.Prune.two_param ~p_l ~p_t ())
+  | 2 ->
+    let alpha = get_f64 r "rule alpha" in
+    smart (fun () -> Bufins.Prune.one_param ~alpha)
+  | 3 ->
+    let alpha_l = get_f64 r "rule alpha_l" in
+    let alpha_u = get_f64 r "rule alpha_u" in
+    let beta_l = get_f64 r "rule beta_l" in
+    let beta_u = get_f64 r "rule beta_u" in
+    smart (fun () -> Bufins.Prune.four_param ~alpha_l ~alpha_u ~beta_l ~beta_u ())
+  | t -> failwith (Printf.sprintf "binary payload: unknown rule tag %d" t)
+
+let encode_request (r : Protocol.request) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_int64_le buf (Int64.of_int r.Protocol.id);
+  add_zigzag buf r.Protocol.seed;
+  add_u8 buf (mode_code r.Protocol.mode);
+  add_rule buf r.Protocol.rule;
+  add_zigzag buf r.Protocol.deadline_ms;
+  add_zigzag buf r.Protocol.mc_trials;
+  add_u8 buf (if r.Protocol.wire_sizing then 1 else 0);
+  let tree = encode_tree r.Protocol.tree in
+  add_varint buf (String.length tree);
+  Buffer.add_string buf tree;
+  Buffer.contents buf
+
+let get_bool r what =
+  match get_u8 r what with
+  | 0 -> false
+  | 1 -> true
+  | v -> failwith (Printf.sprintf "binary payload: %s byte %d is not a boolean" what v)
+
+(* Read everything up to (but not into) the tree blob; returns the
+   fields and leaves [r.pos] at the blob's first byte, with the blob
+   length already checked against the remaining input. *)
+let read_request_head r =
+  let id = get_i64le r "request id" in
+  let seed = get_zigzag r "seed" in
+  let mode = mode_of_code (get_u8 r "mode") in
+  let rule = read_rule r in
+  let deadline_ms = get_zigzag r "deadline_ms" in
+  let mc_trials = get_zigzag r "mc" in
+  let wire_sizing = get_bool r "wire_sizing" in
+  let tree_len = get_varint r "tree length" in
+  need r tree_len "tree blob";
+  if r.pos + tree_len <> r.limit then
+    failwith "binary payload: trailing bytes after the tree blob";
+  (id, seed, mode, rule, deadline_ms, mc_trials, wire_sizing, tree_len)
+
+let decode_request s =
+  let r = reader s in
+  let id, seed, mode, rule, deadline_ms, mc_trials, wire_sizing, tree_len =
+    read_request_head r
+  in
+  let tr = reader ~pos:r.pos ~limit:(r.pos + tree_len) s in
+  let tree = read_tree tr in
+  expect_end tr "tree";
+  { Protocol.id; seed; mode; rule; deadline_ms; mc_trials; wire_sizing; tree }
+
+let request_tree_span s =
+  let r = reader s in
+  let _, _, _, _, _, _, _, tree_len = read_request_head r in
+  (r.pos, tree_len)
+
+let request_id s =
+  let r = reader s in
+  get_i64le r "request id"
+
+let with_request_id s id =
+  if String.length s < 8 then failwith "binary payload: truncated request id";
+  let b = Bytes.of_string s in
+  Bytes.set_int64_le b 0 (Int64.of_int id);
+  Bytes.unsafe_to_string b
+
+(* ---------- responses ---------- *)
+
+let encode_response (r : Protocol.response) =
+  let buf = Buffer.create 512 in
+  Buffer.add_int64_le buf (Int64.of_int r.Protocol.r_id);
+  add_zigzag buf r.Protocol.nodes;
+  add_zigzag buf r.Protocol.peak_candidates;
+  add_zigzag buf r.Protocol.total_candidates;
+  add_f64 buf r.Protocol.root_mean;
+  add_f64 buf r.Protocol.root_std;
+  add_f64 buf r.Protocol.root_yield95;
+  (match r.Protocol.mc with
+  | None -> add_u8 buf 0
+  | Some (mean, std) ->
+    add_u8 buf 1;
+    add_f64 buf mean;
+    add_f64 buf std);
+  add_assignment buf r.Protocol.assignment;
+  Buffer.contents buf
+
+let decode_response s =
+  let r = reader s in
+  let r_id = get_i64le r "response id" in
+  let nodes = get_zigzag r "nodes" in
+  let peak_candidates = get_zigzag r "peak_candidates" in
+  let total_candidates = get_zigzag r "total_candidates" in
+  let root_mean = get_f64 r "root_mean" in
+  let root_std = get_f64 r "root_std" in
+  let root_yield95 = get_f64 r "root_yield95" in
+  let mc =
+    if get_bool r "mc flag" then begin
+      let mean = get_f64 r "mc_mean" in
+      let std = get_f64 r "mc_std" in
+      Some (mean, std)
+    end
+    else None
+  in
+  let assignment = read_assignment r in
+  expect_end r "response";
+  {
+    Protocol.r_id;
+    nodes;
+    peak_candidates;
+    total_candidates;
+    root_mean;
+    root_std;
+    root_yield95;
+    mc;
+    assignment;
+  }
+
+let response_id s =
+  let r = reader s in
+  get_i64le r "response id"
+
+let with_response_id = with_request_id
+
+(* ---------- errors ---------- *)
+
+let encode_error (e : Protocol.error) =
+  let buf = Buffer.create 64 in
+  add_string buf e.Protocol.code;
+  add_string buf e.Protocol.message;
+  Buffer.contents buf
+
+let decode_error s =
+  let r = reader s in
+  let code = get_string r "error code" in
+  let message = get_string r "error message" in
+  expect_end r "error";
+  { Protocol.code; message }

@@ -8,6 +8,7 @@ type t = {
   cache_hits : int Atomic.t;
   cache_misses : int Atomic.t;
   by_code : (string, int Atomic.t) Hashtbl.t;
+  by_kind : (string, int Atomic.t) Hashtbl.t;
   code_mutex : Mutex.t;
   hist : Numeric.Histogram.t;
   mutable lat_sum : float;
@@ -26,6 +27,7 @@ let create () =
     cache_hits = Atomic.make 0;
     cache_misses = Atomic.make 0;
     by_code = Hashtbl.create 8;
+    by_kind = Hashtbl.create 8;
     code_mutex = Mutex.create ();
     (* 120 bins of 500 ms: interactive requests land in the first few
        bins, the clamped top bin catches everything slower. *)
@@ -53,20 +55,27 @@ let request_ok t ~latency_ms =
 let cache_hit t = Atomic.incr t.cache_hits
 let cache_miss t = Atomic.incr t.cache_misses
 
-let request_error t ~code =
-  Atomic.incr t.requests;
-  Atomic.incr t.errors;
+(* by_code and by_kind share one mutex: both are tiny tables touched
+   once per request. *)
+let bump_keyed t table key =
   Mutex.lock t.code_mutex;
   let counter =
-    match Hashtbl.find_opt t.by_code code with
+    match Hashtbl.find_opt table key with
     | Some c -> c
     | None ->
       let c = Atomic.make 0 in
-      Hashtbl.add t.by_code code c;
+      Hashtbl.add table key c;
       c
   in
   Mutex.unlock t.code_mutex;
   Atomic.incr counter
+
+let request_error t ~code =
+  Atomic.incr t.requests;
+  Atomic.incr t.errors;
+  bump_keyed t t.by_code code
+
+let request_kind t ~kind = bump_keyed t t.by_kind kind
 
 let render t =
   let buf = Buffer.create 512 in
@@ -76,16 +85,28 @@ let render t =
   Printf.bprintf buf "requests %d\n" (Atomic.get t.requests);
   Printf.bprintf buf "ok %d\n" (Atomic.get t.ok);
   Printf.bprintf buf "errors %d\n" (Atomic.get t.errors);
-  Printf.bprintf buf "cache_hits %d\n" (Atomic.get t.cache_hits);
-  Printf.bprintf buf "cache_misses %d\n" (Atomic.get t.cache_misses);
+  let hits = Atomic.get t.cache_hits and misses = Atomic.get t.cache_misses in
+  Printf.bprintf buf "cache_hits %d\n" hits;
+  Printf.bprintf buf "cache_misses %d\n" misses;
+  (* The ratio shard dashboards want directly; only meaningful once the
+     cache has been consulted. *)
+  if hits + misses > 0 then
+    Printf.bprintf buf "cache_hit_ratio %.4f\n"
+      (float_of_int hits /. float_of_int (hits + misses));
   Mutex.lock t.code_mutex;
   let codes =
     Hashtbl.fold (fun code c acc -> (code, Atomic.get c) :: acc) t.by_code []
+  in
+  let kinds =
+    Hashtbl.fold (fun kind c acc -> (kind, Atomic.get c) :: acc) t.by_kind []
   in
   Mutex.unlock t.code_mutex;
   List.iter
     (fun (code, n) -> Printf.bprintf buf "error_%s %d\n" code n)
     (List.sort compare codes);
+  List.iter
+    (fun (kind, n) -> Printf.bprintf buf "kind_%s %d\n" kind n)
+    (List.sort compare kinds);
   Mutex.lock t.hist_mutex;
   let total = Numeric.Histogram.total t.hist in
   Printf.bprintf buf "latency_ms_count %d\n" total;

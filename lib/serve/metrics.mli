@@ -32,6 +32,10 @@ val cache_hit : t -> unit
 val cache_miss : t -> unit
 (** A request that went to the optimiser (cache enabled but cold). *)
 
+val request_kind : t -> kind:string -> unit
+(** A client frame arrived, by frame kind ([request], [stats], …), so
+    shard dashboards see the traffic mix without post-processing. *)
+
 val render : t -> string
 (** {v
     uptime_s 12.3
@@ -42,15 +46,21 @@ val render : t -> string
     errors 2
     cache_hits 1
     cache_misses 4
+    cache_hit_ratio 0.2000
     error_parse 1
     error_deadline 1
+    kind_request 7
+    kind_stats 1
     latency_ms_count 5
     latency_ms_mean 41.3
     latency_ms_max 80.1
     latency_ms_bucket 25 3
     latency_ms_bucket 75 2
     v}
-    [error_<code>] lines appear only for codes seen; bucket lines only
+    [cache_hit_ratio] is hits / (hits + misses), printed only once the
+    cache has been consulted at least once.  [error_<code>] lines
+    appear only for codes seen, [kind_<kind>] lines only for frame
+    kinds seen; bucket lines only
     for non-empty bins (center, count).  Every [latency_ms_*] line
     covers successful (ok) responses only — errors are counted in
     [errors] and [error_<code>] but excluded from the latency

@@ -1,5 +1,10 @@
 let version = 1
+let version_bin = 2
 let hello = Printf.sprintf "varbuf-serve protocol %d" version
+
+(* The full handshake payload: the v1 line old clients check, plus the
+   set of payload encodings this server accepts ("protocols 1 2"). *)
+let hello_full = hello ^ "\nprotocols 1 2"
 
 let check_hello payload =
   let first = match String.index_opt payload '\n' with
@@ -10,6 +15,17 @@ let check_hello payload =
     failwith
       (Printf.sprintf "incompatible server handshake %S (expected %S)" first
          hello)
+
+let supported_protocols payload =
+  let versions = ref [ version ] in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' (String.trim line) with
+      | "protocols" :: vs ->
+        versions := List.filter_map int_of_string_opt vs
+      | _ -> ())
+    (String.split_on_char '\n' payload);
+  !versions
 
 type request = {
   id : int;

@@ -39,12 +39,26 @@
 
 val version : int
 
+val version_bin : int
+(** The binary payload encoding ({!Codec_bin}), negotiated per
+    connection: the server's hello advertises it, and a frame that
+    arrives in v2 framing is answered in kind. *)
+
 val hello : string
-(** The [hello] payload, ["varbuf-serve protocol <version>"]. *)
+(** The first hello line, ["varbuf-serve protocol <version>"]. *)
+
+val hello_full : string
+(** The full [hello] payload the server sends: {!hello} plus a
+    ["protocols 1 2"] line advertising the payload encodings it
+    accepts. *)
 
 val check_hello : string -> unit
 (** @raise Failure if the peer's hello names an incompatible
     protocol. *)
+
+val supported_protocols : string -> int list
+(** The encodings a hello payload advertises; [[version]] when no
+    [protocols] line is present (a pre-v2 server). *)
 
 (** {1 Requests} *)
 

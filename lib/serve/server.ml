@@ -1,5 +1,6 @@
 type config = {
   socket_path : string;
+  tcp_port : int option;
   jobs : int;
   backlog : int;
   max_payload : int;
@@ -11,6 +12,7 @@ type config = {
 let default_config ~socket_path =
   {
     socket_path;
+    tcp_port = None;
     jobs = Exec.Pool.default_jobs ();
     backlog = 64;
     max_payload = 8 * 1024 * 1024;
@@ -23,24 +25,41 @@ type conn = {
   fd : Unix.file_descr;
   dec : Wire.decoder;
   mutable alive : bool;
+  (* The payload encoding of the last frame this client sent; replies
+     are encoded to match (negotiation is per connection, v1 until the
+     first v2 frame arrives). *)
+  mutable proto : Wire.proto;
 }
 
 type job = {
   j_conn : conn;
+  j_proto : Wire.proto;  (* encoding of the request frame *)
   fut : (Protocol.response, Protocol.error) result Exec.Pool.future;
   enqueued_at : float;
 }
 
 (* Write a frame, isolating connection death (EPIPE & friends) to this
    connection. *)
-let send conn ~kind payload =
+let send_pv conn ~proto ~kind payload =
   if conn.alive then
-    try Wire.write_frame conn.fd ~kind payload
+    try Wire.write_frame_pv conn.fd ~proto ~kind payload
     with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false
+
+let send conn ~kind payload = send_pv conn ~proto:conn.proto ~kind payload
+
+let encode_error_pv proto e =
+  match proto with
+  | Wire.V1 -> Protocol.encode_error e
+  | Wire.V2 -> Codec_bin.encode_error e
+
+let encode_response_pv proto r =
+  match proto with
+  | Wire.V1 -> Protocol.encode_response r
+  | Wire.V2 -> Codec_bin.encode_response r
 
 let send_error conn code message =
   send conn ~kind:"error"
-    (Protocol.encode_error { Protocol.code; message })
+    (encode_error_pv conn.proto { Protocol.code; message })
 
 let close_conn metrics conn =
   if conn.alive then conn.alive <- false;
@@ -65,9 +84,28 @@ let run ?pool ?metrics ?(should_stop = fun () -> false) config =
   (* Stale socket file from a crashed daemon. *)
   (try Unix.unlink config.socket_path
    with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
-  Unix.listen listen_fd config.backlog;
+  let listen_unix = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_unix (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listen_unix config.backlog;
+  let listen_tcp =
+    match config.tcp_port with
+    | None -> None
+    | Some port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+         Unix.listen fd config.backlog
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         (try Unix.close listen_unix with Unix.Unix_error _ -> ());
+         (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+         raise e);
+      Some fd
+  in
+  let listeners =
+    listen_unix :: (match listen_tcp with Some fd -> [ fd ] | None -> [])
+  in
   (* Self-pipe: completing pool tasks poke it so [select] wakes as soon
      as a response is ready instead of at the next timeout. *)
   let pipe_r, pipe_w = Unix.pipe () in
@@ -93,7 +131,7 @@ let run ?pool ?metrics ?(should_stop = fun () -> false) config =
   let draining = ref false in
   let read_buf = Bytes.create 65536 in
 
-  let dispatch_request conn payload =
+  let dispatch_request conn (f : Wire.frame) =
     if !draining then begin
       Metrics.request_error metrics ~code:Protocol.err_busy;
       send_error conn Protocol.err_busy "server is draining"
@@ -104,7 +142,12 @@ let run ?pool ?metrics ?(should_stop = fun () -> false) config =
         (Printf.sprintf "request queue full (depth %d)" config.queue_depth)
     end
     else
-      match Protocol.decode_request payload with
+      let decode =
+        match f.Wire.proto with
+        | Wire.V1 -> Protocol.decode_request
+        | Wire.V2 -> Codec_bin.decode_request
+      in
+      match decode f.Wire.payload with
       | exception Failure msg ->
         Metrics.request_error metrics ~code:Protocol.err_parse;
         send_error conn Protocol.err_parse msg
@@ -143,12 +186,15 @@ let run ?pool ?metrics ?(should_stop = fun () -> false) config =
           outcome
         in
         let fut = Exec.Pool.submit ~on_complete:poke pool task in
-        jobs := !jobs @ [ { j_conn = conn; fut; enqueued_at } ]
+        jobs :=
+          !jobs @ [ { j_conn = conn; j_proto = f.Wire.proto; fut; enqueued_at } ]
   in
 
   let handle_frame conn (f : Wire.frame) =
+    conn.proto <- f.Wire.proto;
+    Metrics.request_kind metrics ~kind:f.Wire.kind;
     match f.Wire.kind with
-    | "request" -> dispatch_request conn f.Wire.payload
+    | "request" -> dispatch_request conn f
     | "stats" -> send conn ~kind:"stats" (Metrics.render metrics)
     | "trace" ->
       (* The recent span buffer as Chrome trace JSON; an empty trace
@@ -173,7 +219,8 @@ let run ?pool ?metrics ?(should_stop = fun () -> false) config =
       let rec pump () =
         match Wire.next conn.dec with
         | None -> ()
-        | Some (Wire.Oversized { kind; len }) ->
+        | Some (Wire.Oversized { kind; len; proto }) ->
+          conn.proto <- proto;
           Metrics.request_error metrics ~code:Protocol.err_too_large;
           send_error conn Protocol.err_too_large
             (Printf.sprintf "%s frame of %d bytes exceeds the %d-byte limit"
@@ -200,21 +247,28 @@ let run ?pool ?metrics ?(should_stop = fun () -> false) config =
         match Exec.Pool.await j.fut with
         | Ok resp ->
           Metrics.request_ok metrics ~latency_ms;
-          send j.j_conn ~kind:"response" (Protocol.encode_response resp)
+          send_pv j.j_conn ~proto:j.j_proto ~kind:"response"
+            (encode_response_pv j.j_proto resp)
         | Error err ->
           Metrics.request_error metrics ~code:err.Protocol.code;
-          send j.j_conn ~kind:"error" (Protocol.encode_error err)
+          send_pv j.j_conn ~proto:j.j_proto ~kind:"error"
+            (encode_error_pv j.j_proto err)
         | exception e ->
           (* A crash in the submit plumbing itself; isolate it too. *)
           Metrics.request_error metrics ~code:Protocol.err_internal;
-          send_error j.j_conn Protocol.err_internal (Printexc.to_string e))
+          send_pv j.j_conn ~proto:j.j_proto ~kind:"error"
+            (encode_error_pv j.j_proto
+               { Protocol.code = Protocol.err_internal;
+                 message = Printexc.to_string e }))
       done_
   in
 
   let cleanup () =
     List.iter (close_conn metrics) !conns;
     conns := [];
-    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      listeners;
     (try Unix.close pipe_r with Unix.Unix_error _ -> ());
     (try Unix.close pipe_w with Unix.Unix_error _ -> ());
     (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
@@ -232,7 +286,7 @@ let run ?pool ?metrics ?(should_stop = fun () -> false) config =
         (not !draining) && List.length !conns < config.max_connections
       in
       let watched =
-        (if accepting then [ listen_fd ] else [])
+        (if accepting then listeners else [])
         @ (pipe_r :: List.map (fun c -> c.fd) !conns)
       in
       let readable, _, _ =
@@ -240,17 +294,26 @@ let run ?pool ?metrics ?(should_stop = fun () -> false) config =
         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
       in
       if List.mem pipe_r readable then drain_pipe ();
-      if accepting && List.mem listen_fd readable then begin
-        match Unix.accept listen_fd with
-        | fd, _ ->
-          let conn =
-            { fd; dec = Wire.decoder ~max_payload:config.max_payload (); alive = true }
-          in
-          Metrics.conn_opened metrics;
-          send conn ~kind:"hello" (Protocol.hello ^ "\n");
-          conns := conn :: !conns
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      end;
+      if accepting then
+        List.iter
+          (fun listen_fd ->
+            if List.mem listen_fd readable then
+              match Unix.accept listen_fd with
+              | fd, _ ->
+                (* TCP clients benefit from immediate small frames. *)
+                (try Unix.setsockopt fd Unix.TCP_NODELAY true
+                 with Unix.Unix_error _ | Invalid_argument _ -> ());
+                let conn =
+                  { fd;
+                    dec = Wire.decoder ~max_payload:config.max_payload ();
+                    alive = true;
+                    proto = Wire.V1 }
+                in
+                Metrics.conn_opened metrics;
+                send conn ~kind:"hello" (Protocol.hello_full ^ "\n");
+                conns := conn :: !conns
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          listeners;
       List.iter
         (fun conn ->
           if conn.alive && List.mem conn.fd readable then handle_readable conn)

@@ -1,8 +1,9 @@
-(** The varbuf-serve daemon: a Unix-domain-socket accept loop that fans
-    concurrent requests onto one shared {!Exec.Pool}.
+(** The varbuf-serve daemon: an accept loop over a Unix-domain socket
+    (and optionally a loopback TCP port) that fans concurrent requests
+    onto one shared {!Exec.Pool}.
 
     One domain runs the event loop ([Unix.select] over the listening
-    socket, a self-pipe and every client connection); request
+    sockets, a self-pipe and every client connection); request
     execution is submitted to the pool as {!Exec.Pool.submit} futures,
     so with [jobs = n] up to [n − 1] optimisations run concurrently
     while the loop keeps accepting, parsing and answering.  With
@@ -24,6 +25,11 @@
 
 type config = {
   socket_path : string;
+  tcp_port : int option;
+      (** also listen on 127.0.0.1:[port]; [None] (the default) keeps
+          the daemon Unix-socket-only.  Both listeners serve the same
+          protocol — wire encoding (v1 text or v2 binary) is per
+          connection, not per listener. *)
   jobs : int;  (** pool size when {!run} creates its own pool *)
   backlog : int;  (** listen backlog *)
   max_payload : int;  (** request-frame size limit, bytes *)

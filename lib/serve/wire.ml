@@ -1,11 +1,45 @@
-type frame = { kind : string; payload : string }
+type proto = V1 | V2
+
+type frame = { kind : string; payload : string; proto : proto }
 
 type event =
   | Frame of frame
-  | Oversized of { kind : string; len : int }
+  | Oversized of { kind : string; len : int; proto : proto }
 
 let magic = "varbuf1"
 let max_header = 128
+
+(* Binary (v2) framing: a fixed 10-byte header
+     0xAB 'V' 'B' '2'  version  kind  len_be32
+   followed by exactly [len] payload bytes.  The first byte 0xAB is
+   outside printable ASCII, so the decoder can tell the two framings
+   apart from the first buffered byte. *)
+let magic2_0 = '\xAB'
+let magic2 = "\xABVB2"
+let header2_len = 10
+let version2 = 2
+
+let kind_code = function
+  | "hello" -> 1
+  | "request" -> 2
+  | "response" -> 3
+  | "error" -> 4
+  | "stats" -> 5
+  | "trace" -> 6
+  | "shutdown" -> 7
+  | "ok" -> 8
+  | kind -> invalid_arg (Printf.sprintf "Wire.kind_code: unknown kind %S" kind)
+
+let kind_of_code = function
+  | 1 -> "hello"
+  | 2 -> "request"
+  | 3 -> "response"
+  | 4 -> "error"
+  | 5 -> "stats"
+  | 6 -> "trace"
+  | 7 -> "shutdown"
+  | 8 -> "ok"
+  | c -> failwith (Printf.sprintf "frame header: unknown v2 kind code %d" c)
 
 type decoder = {
   mutable acc : string;        (* buffered, unconsumed input *)
@@ -45,32 +79,75 @@ let parse_header line =
     | _ -> failwith (Printf.sprintf "frame header: bad length %S" len))
   | _ -> failwith (Printf.sprintf "frame header: expected %S, got %S" magic line)
 
+(* The accumulated input starts with a v2 header byte: parse the fixed
+   header once all 10 bytes are in. *)
+let next_v2 d =
+  let n = String.length d.acc in
+  if n < header2_len then begin
+    (* Reject a wrong magic as soon as the prefix diverges, not only
+       at 4 buffered bytes. *)
+    let avail = min n 4 in
+    if String.sub d.acc 0 avail <> String.sub magic2 0 avail then
+      failwith "frame header: bad v2 magic";
+    None
+  end
+  else begin
+    if String.sub d.acc 0 4 <> magic2 then failwith "frame header: bad v2 magic";
+    let version = Char.code d.acc.[4] in
+    if version <> version2 then
+      failwith (Printf.sprintf "frame header: unsupported v2 version %d" version);
+    let kind = kind_of_code (Char.code d.acc.[5]) in
+    let len =
+      (Char.code d.acc.[6] lsl 24)
+      lor (Char.code d.acc.[7] lsl 16)
+      lor (Char.code d.acc.[8] lsl 8)
+      lor Char.code d.acc.[9]
+    in
+    let after = n - header2_len in
+    if len > d.max_payload then begin
+      let eaten = min len after in
+      d.acc <- String.sub d.acc (header2_len + eaten) (after - eaten);
+      d.skip <- len - eaten;
+      Some (Oversized { kind; len; proto = V2 })
+    end
+    else if after >= len then begin
+      let payload = String.sub d.acc header2_len len in
+      d.acc <- String.sub d.acc (header2_len + len) (after - len);
+      Some (Frame { kind; payload; proto = V2 })
+    end
+    else None
+  end
+
+let next_v1 d =
+  match String.index_opt d.acc '\n' with
+  | None ->
+    if String.length d.acc > max_header then
+      failwith "frame header: no newline within the header limit";
+    None
+  | Some nl when nl > max_header ->
+    failwith "frame header: header line too long"
+  | Some nl -> (
+    let kind, len = parse_header (String.sub d.acc 0 nl) in
+    let after = String.length d.acc - nl - 1 in
+    if len > d.max_payload then begin
+      (* Discard the payload but keep the stream in sync. *)
+      let eaten = min len after in
+      d.acc <- String.sub d.acc (nl + 1 + eaten) (after - eaten);
+      d.skip <- len - eaten;
+      Some (Oversized { kind; len; proto = V1 })
+    end
+    else if after >= len then begin
+      let payload = String.sub d.acc (nl + 1) len in
+      d.acc <- String.sub d.acc (nl + 1 + len) (after - len);
+      Some (Frame { kind; payload; proto = V1 })
+    end
+    else None)
+
 let next d =
   if d.skip > 0 then None
-  else
-    match String.index_opt d.acc '\n' with
-    | None ->
-      if String.length d.acc > max_header then
-        failwith "frame header: no newline within the header limit";
-      None
-    | Some nl when nl > max_header ->
-      failwith "frame header: header line too long"
-    | Some nl -> (
-      let kind, len = parse_header (String.sub d.acc 0 nl) in
-      let after = String.length d.acc - nl - 1 in
-      if len > d.max_payload then begin
-        (* Discard the payload but keep the stream in sync. *)
-        let eaten = min len after in
-        d.acc <- String.sub d.acc (nl + 1 + eaten) (after - eaten);
-        d.skip <- len - eaten;
-        Some (Oversized { kind; len })
-      end
-      else if after >= len then begin
-        let payload = String.sub d.acc (nl + 1) len in
-        d.acc <- String.sub d.acc (nl + 1 + len) (after - len);
-        Some (Frame { kind; payload })
-      end
-      else None)
+  else if d.acc = "" then None
+  else if d.acc.[0] = magic2_0 then next_v2 d
+  else next_v1 d
 
 exception Closed
 
@@ -106,6 +183,24 @@ let write_all fd s =
   in
   go 0
 
-let write_frame fd ~kind payload =
-  write_all fd
-    (Printf.sprintf "%s %s %d\n%s" magic kind (String.length payload) payload)
+let frame_bytes ~proto ~kind payload =
+  match proto with
+  | V1 ->
+    Printf.sprintf "%s %s %d\n%s" magic kind (String.length payload) payload
+  | V2 ->
+    let len = String.length payload in
+    let b = Bytes.create (header2_len + len) in
+    Bytes.blit_string magic2 0 b 0 4;
+    Bytes.set b 4 (Char.chr version2);
+    Bytes.set b 5 (Char.chr (kind_code kind));
+    Bytes.set b 6 (Char.chr ((len lsr 24) land 0xff));
+    Bytes.set b 7 (Char.chr ((len lsr 16) land 0xff));
+    Bytes.set b 8 (Char.chr ((len lsr 8) land 0xff));
+    Bytes.set b 9 (Char.chr (len land 0xff));
+    Bytes.blit_string payload 0 b header2_len len;
+    Bytes.unsafe_to_string b
+
+let write_frame_pv fd ~proto ~kind payload =
+  write_all fd (frame_bytes ~proto ~kind payload)
+
+let write_frame fd ~kind payload = write_frame_pv fd ~proto:V1 ~kind payload

@@ -1,26 +1,43 @@
-(** Length-delimited framing over a stream socket.
+(** Length-delimited framing over a stream socket, in two concrete
+    encodings negotiated per connection.
 
-    Every message in either direction is one frame: a single ASCII
-    header line followed by exactly the announced number of payload
-    bytes:
+    {b v1 (text)}: a single ASCII header line followed by exactly the
+    announced number of payload bytes:
 
     {v
     varbuf1 <kind> <payload-bytes>\n
     <payload>
     v}
 
-    [kind] is a short lower-case token ([request], [response], [error],
-    [stats], [trace], [shutdown], [ok], [hello]); the payload is itself
-    line-oriented text defined by {!Protocol}.  Because the length is
-    explicit, a receiver can always resynchronise after a payload it
-    rejects (malformed or over the size limit) — only a corrupt
-    {e header} forces the connection closed. *)
+    {b v2 (binary)}: a fixed 10-byte header followed by the payload:
 
-type frame = { kind : string; payload : string }
+    {v
+    0xAB 'V' 'B' '2'   version(=2)   kind-code   length (4 bytes, BE)
+    <payload>
+    v}
+
+    The leading byte [0xAB] is outside printable ASCII, so a decoder
+    tells the framings apart from the first byte of every frame — the
+    same connection may carry both, and a server answers each frame in
+    the encoding it arrived in.  Kind codes: 1 hello, 2 request,
+    3 response, 4 error, 5 stats, 6 trace, 7 shutdown, 8 ok.
+
+    [kind] is a short lower-case token ([request], [response], [error],
+    [stats], [trace], [shutdown], [ok], [hello]); v1 payloads are
+    line-oriented text defined by {!Protocol}, v2 request/response/
+    error payloads are the compact binary encodings of {!Codec_bin}.
+    Because the length is explicit in both framings, a receiver can
+    always resynchronise after a payload it rejects (malformed or over
+    the size limit) — only a corrupt {e header} forces the connection
+    closed. *)
+
+type proto = V1 | V2
+
+type frame = { kind : string; payload : string; proto : proto }
 
 type event =
   | Frame of frame
-  | Oversized of { kind : string; len : int }
+  | Oversized of { kind : string; len : int; proto : proto }
       (** A syntactically valid header announcing a payload larger than
           the decoder's limit.  The payload bytes are consumed and
           discarded internally; the stream stays in sync and the next
@@ -41,8 +58,8 @@ val feed : decoder -> bytes -> int -> unit
 val next : decoder -> event option
 (** The next complete event, or [None] if more input is needed.
     @raise Failure on an unrecoverable framing error (bad magic,
-    malformed or oversized header line): the connection must be
-    closed. *)
+    malformed or oversized header line, unknown v2 version or kind
+    code): the connection must be closed. *)
 
 (** {1 Blocking transport (the client side)} *)
 
@@ -54,9 +71,29 @@ val recv : decoder -> Unix.file_descr -> event
     @raise Closed on EOF at a frame boundary;
     @raise Failure on EOF mid-frame or a framing error. *)
 
-val write_frame : Unix.file_descr -> kind:string -> string -> unit
-(** Send one frame (blocking, handles partial writes).
+val frame_bytes : proto:proto -> kind:string -> string -> string
+(** The on-the-wire bytes of one frame.
+    @raise Invalid_argument for a kind without a v2 code when
+    [proto = V2]. *)
+
+val write_frame_pv :
+  Unix.file_descr -> proto:proto -> kind:string -> string -> unit
+(** Send one frame in the given encoding (blocking, handles partial
+    writes).
     @raise Unix.Unix_error as [Unix.write] (e.g. [EPIPE]). *)
 
+val write_frame : Unix.file_descr -> kind:string -> string -> unit
+(** [write_frame_pv ~proto:V1]. *)
+
 val max_header : int
-(** Longest accepted header line, bytes (framing constant). *)
+(** Longest accepted v1 header line, bytes (framing constant). *)
+
+val header2_len : int
+(** Exact v2 header size, bytes. *)
+
+val kind_code : string -> int
+(** The v2 code of a kind token.
+    @raise Invalid_argument for an unknown kind. *)
+
+val kind_of_code : int -> string
+(** @raise Failure for an unassigned code. *)

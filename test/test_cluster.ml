@@ -1,0 +1,227 @@
+(* End-to-end tests for lib/cluster: the routed path must be
+   byte-identical to a single server at any shard count (including
+   cache-hit answers), v1 and v2 clients must agree through the
+   router, sharding must be a pure function of the routing tree, and
+   the bounded queues must refuse overload with busy. *)
+
+let streeq = Alcotest.(check (list string))
+
+(* The canonical 100-request stream of the determinism contract:
+   10 distinct nets, each requested 10 times (interleaved), so every
+   net is a cache miss once and a cache hit thereafter. *)
+let distinct_trees =
+  lazy
+    (Array.init 10 (fun i ->
+         Rctree.Generate.random_steiner ~seed:(100 + i) ~sinks:(6 + i)
+           ~die_um:3000.0 ()))
+
+let stream_request k =
+  let trees = Lazy.force distinct_trees in
+  {
+    (Serve.Protocol.default_request ~tree:trees.(k mod 10)) with
+    Serve.Protocol.id = k;
+    seed = 5;
+    mode = Experiments.Common.Wid;
+    rule = Bufins.Prune.two_param ~p_l:0.6 ~p_t:0.6 ();
+  }
+
+(* Raw response payloads for requests [0, n) over one connection. *)
+let run_stream ?(n = 100) ~wire socket =
+  let client = Serve.Client.connect ~wire socket in
+  Fun.protect ~finally:(fun () -> Serve.Client.close client) @@ fun () ->
+  List.init n (fun k ->
+      match Serve.Client.request_raw client (stream_request k) with
+      | Ok payload -> payload
+      | Error e ->
+        Alcotest.failf "request %d failed: %s %s" k e.Serve.Protocol.code
+          e.Serve.Protocol.message)
+
+let test_shard_counts_agree () =
+  let one =
+    Cluster.Inproc.with_cluster ~shards:1 (run_stream ~wire:Serve.Wire.V2)
+  in
+  let three =
+    Cluster.Inproc.with_cluster ~shards:3 (run_stream ~wire:Serve.Wire.V2)
+  in
+  streeq "1-shard and 3-shard raw response payloads" one three;
+  (* And both equal a plain router-less server: the cluster adds
+     routing, not semantics. *)
+  let direct =
+    let socket_path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "varbuf-direct-%d.sock" (Unix.getpid ()))
+    in
+    let stop = Atomic.make false in
+    let server =
+      Domain.spawn (fun () ->
+          Serve.Server.run
+            ~should_stop:(fun () -> Atomic.get stop)
+            { (Serve.Server.default_config ~socket_path) with jobs = 2 })
+    in
+    let rec wait tries =
+      if Sys.file_exists socket_path then ()
+      else if tries = 0 then Alcotest.fail "direct server did not bind"
+      else begin
+        Unix.sleepf 0.02;
+        wait (tries - 1)
+      end
+    in
+    wait 250;
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop true;
+        Domain.join server)
+      (fun () -> run_stream ~wire:Serve.Wire.V2 socket_path)
+  in
+  streeq "cluster equals a single router-less server" one direct
+
+let test_v1_v2_agree_through_router () =
+  Cluster.Inproc.with_cluster ~shards:2 (fun socket ->
+      let v1 = run_stream ~n:20 ~wire:Serve.Wire.V1 socket in
+      let v2 = run_stream ~n:20 ~wire:Serve.Wire.V2 socket in
+      (* Different bytes on the wire, same decoded values — and the
+         same canonical text once both are re-encoded. *)
+      List.iteri
+        (fun k (t, b) ->
+          let from_text = Serve.Protocol.decode_response t in
+          let from_bin = Serve.Codec_bin.decode_response b in
+          Alcotest.(check string)
+            (Printf.sprintf "request %d: v1 and v2 decode to one value" k)
+            (Serve.Protocol.encode_response from_text)
+            (Serve.Protocol.encode_response from_bin))
+        (List.combine v1 v2))
+
+let test_stats_topology_and_cache () =
+  Cluster.Inproc.with_cluster ~shards:2 (fun socket ->
+      ignore (run_stream ~n:30 ~wire:Serve.Wire.V2 socket);
+      let client = Serve.Client.connect socket in
+      Fun.protect ~finally:(fun () -> Serve.Client.close client) @@ fun () ->
+      let lines = String.split_on_char '\n' (Serve.Client.stats client) in
+      let has l =
+        Alcotest.(check bool) (Printf.sprintf "stats has %S" l) true
+          (List.mem l lines)
+      in
+      has "cluster_shards 2";
+      has "ok 30";
+      has "kind_request 30";
+      Alcotest.(check bool) "per-shard lines present" true
+        (List.exists
+           (fun l ->
+             String.length l >= 15 && String.sub l 0 15 = "cluster_shard_0")
+           lines))
+
+let test_shard_of_request_is_canonical () =
+  let shards = 5 in
+  let tree_shard k =
+    let q = stream_request k in
+    Cluster.Router.shard_of_request ~shards
+      (Serve.Codec_bin.encode_request q)
+  in
+  for k = 0 to 29 do
+    let s = tree_shard k in
+    Alcotest.(check bool) "in range" true (s >= 0 && s < shards);
+    (* Same net, different id/deadline → same shard (that is what
+       makes worker caches effective). *)
+    let q' =
+      { (stream_request k) with Serve.Protocol.id = 999_999;
+        deadline_ms = 77_000 }
+    in
+    Alcotest.(check int) "id/deadline do not move the shard" s
+      (Cluster.Router.shard_of_request ~shards
+         (Serve.Codec_bin.encode_request q'));
+    Alcotest.(check int) "stable across repeats" s (tree_shard k)
+  done
+
+let test_busy_backpressure_and_drain () =
+  (* A router whose single worker does not exist: requests queue up to
+     queue_depth, the next is refused with busy immediately, and a
+     drain fails the unreachable queue rather than hanging. *)
+  let socket_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "varbuf-router-%d.sock" (Unix.getpid ()))
+  in
+  let stop = Atomic.make false in
+  let router =
+    Domain.spawn (fun () ->
+        Cluster.Router.run
+          ~should_stop:(fun () -> Atomic.get stop)
+          {
+            (Cluster.Router.default_config ~socket_path
+               ~shard_sockets:[| socket_path ^ ".nowhere" |]) with
+            Cluster.Router.queue_depth = 2;
+          })
+  in
+  let rec wait tries =
+    if Sys.file_exists socket_path then ()
+    else if tries = 0 then Alcotest.fail "router did not bind"
+    else begin
+      Unix.sleepf 0.02;
+      wait (tries - 1)
+    end
+  in
+  wait 250;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join router)
+    (fun () ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+      @@ fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket_path);
+      let dec = Serve.Wire.decoder () in
+      (match Serve.Wire.recv dec fd with
+      | Serve.Wire.Frame { kind = "hello"; payload; _ } ->
+        Serve.Protocol.check_hello payload
+      | _ -> Alcotest.fail "expected hello");
+      (* Three requests into a depth-2 queue with no worker: the first
+         two pend, the third must bounce with busy while they are
+         still queued. *)
+      let payload =
+        Serve.Codec_bin.encode_request (stream_request 0)
+      in
+      for _ = 1 to 3 do
+        Serve.Wire.write_frame_pv fd ~proto:Serve.Wire.V2 ~kind:"request"
+          payload
+      done;
+      (match Serve.Wire.recv dec fd with
+      | Serve.Wire.Frame { kind = "error"; payload; _ } ->
+        let e = Serve.Codec_bin.decode_error payload in
+        Alcotest.(check string) "refused with busy" Serve.Protocol.err_busy
+          e.Serve.Protocol.code
+      | _ -> Alcotest.fail "expected a busy error frame");
+      (* Ask for a drain: the two queued requests have no worker to go
+         to, so they must come back as errors promptly instead of
+         holding the shutdown open. *)
+      Atomic.set stop true;
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec collect acc =
+        if List.length acc >= 2 || Unix.gettimeofday () > deadline then acc
+        else
+          match Serve.Wire.recv dec fd with
+          | Serve.Wire.Frame { kind = "error"; payload; _ } ->
+            collect (Serve.Codec_bin.decode_error payload :: acc)
+          | Serve.Wire.Frame _ -> collect acc
+          | Serve.Wire.Oversized _ -> collect acc
+          | exception (Serve.Wire.Closed | Failure _ | Unix.Unix_error _) ->
+            acc
+      in
+      let errors = collect [] in
+      Alcotest.(check int) "both queued requests failed on drain" 2
+        (List.length errors))
+
+let suite =
+  [
+    Alcotest.test_case "1-shard, 3-shard and router-less responses are byte-identical"
+      `Slow test_shard_counts_agree;
+    Alcotest.test_case "v1 and v2 clients agree through the router" `Slow
+      test_v1_v2_agree_through_router;
+    Alcotest.test_case "stats report topology and traffic" `Quick
+      test_stats_topology_and_cache;
+    Alcotest.test_case "sharding is canonical in the tree" `Quick
+      test_shard_of_request_is_canonical;
+    Alcotest.test_case "bounded queue refuses overload; drain fails stuck work"
+      `Quick test_busy_backpressure_and_drain;
+  ]

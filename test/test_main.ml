@@ -12,5 +12,7 @@ let () =
       ("sta", Test_sta.suite);
       ("experiments", Test_experiments.suite);
       ("wire_formats", Test_wire_formats.suite);
+      ("codec_bin", Test_codec_bin.suite);
       ("serve", Test_serve.suite);
+      ("cluster", Test_cluster.suite);
     ]

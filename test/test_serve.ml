@@ -313,6 +313,31 @@ let test_metrics_latency_ok_only () =
   has "latency_ms_mean 20.0";
   has "latency_ms_max 30.0"
 
+let test_metrics_hit_ratio_and_kinds () =
+  let m = Serve.Metrics.create () in
+  let lines () = String.split_on_char '\n' (Serve.Metrics.render m) in
+  (* Before the cache is consulted, no ratio line at all. *)
+  Alcotest.(check bool) "no ratio until the cache is consulted" false
+    (List.exists
+       (fun l -> String.length l >= 15 && String.sub l 0 15 = "cache_hit_ratio")
+       (lines ()));
+  Serve.Metrics.cache_hit m;
+  Serve.Metrics.cache_hit m;
+  Serve.Metrics.cache_hit m;
+  Serve.Metrics.cache_miss m;
+  Serve.Metrics.request_kind m ~kind:"request";
+  Serve.Metrics.request_kind m ~kind:"request";
+  Serve.Metrics.request_kind m ~kind:"stats";
+  let has line =
+    Alcotest.(check bool) (Printf.sprintf "render contains %S" line) true
+      (List.mem line (lines ()))
+  in
+  has "cache_hits 3";
+  has "cache_misses 1";
+  has "cache_hit_ratio 0.7500";
+  has "kind_request 2";
+  has "kind_stats 1"
+
 (* ---------- wire: resync after an oversized frame mid-stream ---------- *)
 
 let test_wire_resync_after_oversized () =
@@ -464,6 +489,8 @@ let suite =
     Alcotest.test_case "cache disabled" `Quick test_cache_disabled;
     Alcotest.test_case "latency metrics cover ok only" `Quick
       test_metrics_latency_ok_only;
+    Alcotest.test_case "cache hit ratio and per-kind counters" `Quick
+      test_metrics_hit_ratio_and_kinds;
     Alcotest.test_case "wire resync after oversized frame" `Quick
       test_wire_resync_after_oversized;
     Alcotest.test_case "cache hits from concurrent clients" `Quick
