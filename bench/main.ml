@@ -325,6 +325,113 @@ let run_par_dp ~smoke ~jobs () =
     noarena_bytes;
   }
 
+(* ---------- sample engine: ns/op and frontier size vs K ---------- *)
+
+type sample_row = {
+  sm_k : int;
+  sm_ns_per_op : float;
+  sm_peak : int;
+  sm_total : int;
+}
+
+type sample_report = {
+  sm_sinks : int;
+  sm_rows : sample_row list;
+  sm_jobs_identical : bool;
+  sm_obs_identical : bool;
+}
+
+let strip_sample (r : Sample.Engine.result) =
+  ( r.Sample.Engine.best.Sample.Engine.load,
+    r.Sample.Engine.best.Sample.Engine.rat,
+    r.Sample.Engine.root_rat,
+    r.Sample.Engine.buffers,
+    r.Sample.Engine.widths,
+    r.Sample.Engine.sampled_mean,
+    r.Sample.Engine.sampled_std,
+    r.Sample.Engine.rat_at_yield,
+    r.Sample.Engine.stats.Bufins.Engine.peak_candidates,
+    r.Sample.Engine.stats.Bufins.Engine.total_candidates )
+
+(* The sample-matrix DP on one WID net at K = 64/256/1024: per-run wall
+   clock and frontier size (cost grows ~linearly in K; the frontier
+   should grow slowly — per-sample dominance keeps pruning).  The same
+   determinism contract as the canonical engine is asserted, fatally:
+   jobs=1 vs jobs=N and obs off vs on must agree bit for bit. *)
+let run_sample ~smoke ~jobs () =
+  let sinks = if smoke then 30 else 60 in
+  let die = 4000.0 in
+  let tree = Rctree.Generate.random_steiner ~seed:7 ~sinks ~die_um:die () in
+  let grid =
+    Varmodel.Grid.create ~width_um:die ~height_um:die ~pitch_um:500.0
+      ~range_um:2000.0
+  in
+  let model () =
+    Varmodel.Model.create ~mode:Varmodel.Model.Wid
+      ~spatial:Varmodel.Model.default_heterogeneous ~grid ()
+  in
+  let repeats = if smoke then 1 else 3 in
+  let timed ?pool ?grain k =
+    let cfg = Sample.Engine.default_config ~samples:k () in
+    let acc = ref None in
+    for _ = 1 to repeats do
+      let t0 = Unix.gettimeofday () in
+      let r = Sample.Engine.run ?pool ?grain cfg ~model:(model ()) tree in
+      let t = Unix.gettimeofday () -. t0 in
+      match !acc with
+      | Some (bt, _) when bt <= t -> ()
+      | _ -> acc := Some (t, r)
+    done;
+    Option.get !acc
+  in
+  Printf.printf "== sample engine (%d sinks, WID) ==\n" sinks;
+  let rows =
+    List.map
+      (fun k ->
+        let t, r = timed k in
+        let s = r.Sample.Engine.stats in
+        Printf.printf
+          "K=%-5d %10.1f ms/run  peak %6d candidates  total %8d\n" k
+          (t *. 1e3) s.Bufins.Engine.peak_candidates
+          s.Bufins.Engine.total_candidates;
+        {
+          sm_k = k;
+          sm_ns_per_op = t *. 1e9;
+          sm_peak = s.Bufins.Engine.peak_candidates;
+          sm_total = s.Bufins.Engine.total_candidates;
+        })
+      [ 64; 256; 1024 ]
+  in
+  let _, seq = timed 64 in
+  let pool = Exec.Pool.create ~jobs () in
+  let _, par =
+    Fun.protect
+      ~finally:(fun () -> Exec.Pool.shutdown pool)
+      (fun () -> timed ~pool ~grain:2 64)
+  in
+  let jobs_identical = strip_sample par = strip_sample seq in
+  let with_obs enabled f =
+    let was = Obs.Control.on () in
+    if enabled then Obs.Control.enable () else Obs.Control.disable ();
+    Fun.protect f ~finally:(fun () ->
+        if was then Obs.Control.enable () else Obs.Control.disable ())
+  in
+  let off = with_obs false (fun () -> strip_sample (snd (timed 64))) in
+  let on = with_obs true (fun () -> strip_sample (snd (timed 64))) in
+  let obs_identical = off = on in
+  Printf.printf "jobs=1 vs jobs=%d identical %b, obs on/off identical %b\n\n"
+    jobs jobs_identical obs_identical;
+  if not jobs_identical then begin
+    prerr_endline "FATAL: parallel sample DP diverged from sequential";
+    exit 1
+  end;
+  if not obs_identical then begin
+    prerr_endline "FATAL: observability changed the sample engine's output";
+    exit 1
+  end;
+  { sm_sinks = sinks; sm_rows = rows; sm_jobs_identical = jobs_identical;
+    sm_obs_identical = obs_identical }
+
 (* ---------- observability (--obs / --trace) ---------- *)
 
 type obs_report = {
@@ -562,7 +669,7 @@ let json_float x =
   (* %.17g roundtrips; JSON has no infinities, clamp defensively. *)
   if Float.is_finite x then Printf.sprintf "%.17g" x else "null"
 
-let write_bench_json ~path ~smoke ~micro ~probe ~par ~cluster ~obs =
+let write_bench_json ~path ~smoke ~micro ~probe ~par ~sample ~cluster ~obs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema\": \"varbuf-bench/1\",\n";
@@ -598,6 +705,21 @@ let write_bench_json ~path ~smoke ~micro ~probe ~par ~cluster ~obs =
        par.par_identical
        (json_float par.arena_bytes)
        (json_float par.noarena_bytes));
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\n  \"sample\": {\"sinks\": %d, \"jobs_identical\": %b, \
+        \"obs_identical\": %b, \"rows\": [\n"
+       sample.sm_sinks sample.sm_jobs_identical sample.sm_obs_identical);
+  List.iteri
+    (fun i row ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"k\": %d, \"ns_per_op\": %s, \"peak_candidates\": %d, \
+            \"total_candidates\": %d}%s\n"
+           row.sm_k (json_float row.sm_ns_per_op) row.sm_peak row.sm_total
+           (if i = List.length sample.sm_rows - 1 then "" else ",")))
+    sample.sm_rows;
+  Buffer.add_string buf "  ]}";
   Buffer.add_string buf
     (Printf.sprintf
        ",\n  \"cluster\": {\"requests\": %d, \"clients\": %d, \"shards\": %d, \
@@ -828,9 +950,11 @@ let () =
     let micro = run_micro ~smoke () in
     let probe = run_dp_probe ~smoke () in
     let par = run_par_dp ~smoke ~jobs () in
+    let sample = run_sample ~smoke ~jobs () in
     let cluster = run_cluster ~smoke () in
     let obs = if obs_on then Some (collect_obs_report ()) else None in
-    write_bench_json ~path:json_path ~smoke ~micro ~probe ~par ~cluster ~obs
+    write_bench_json ~path:json_path ~smoke ~micro ~probe ~par ~sample ~cluster
+      ~obs
   end;
   if all || only "--mc-only" then run_mc_speedup ~jobs ();
   if all || only "--serve-only" then run_serve ~jobs ();

@@ -47,7 +47,8 @@ let rule_of_string p = function
   | "2p" -> Ok (Bufins.Prune.two_param ~p_l:p ~p_t:p ())
   | "1p" -> Ok (Bufins.Prune.one_param ~alpha:0.95)
   | "4p" -> Ok (Bufins.Prune.four_param ())
-  | s -> Error (Printf.sprintf "unknown pruning rule %S (det|2p|1p|4p)" s)
+  | s ->
+    Error (Printf.sprintf "unknown pruning rule %S (det|2p|1p|4p|sample)" s)
 
 (* Flush, then write/print the observability outputs the flags asked
    for.  Runs on both the normal and the DNF exit path, so an aborted
@@ -69,7 +70,8 @@ let dump_obs ~obs ~trace =
   end
 
 let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
-    wire_sizing save_buffering load_limit jobs par_grain obs trace =
+    wire_sizing save_buffering load_limit jobs par_grain samples relax obs
+    trace =
   if obs || trace <> None then Obs.Control.enable ();
   let source =
     match (bench, sinks, htree, file) with
@@ -85,7 +87,16 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
     prerr_endline msg;
     1
   | Ok source -> (
-    match (algo_of_string algo_s, rule_of_string p rule_s) with
+    (* "sample" is not a canonical pruning rule: it routes the run to
+       the sampling-based yield engine.  The placeholder rule below is
+       never used on that path. *)
+    let rule_res =
+      if rule_s = "sample" then
+        if samples < 1 then Error "--samples must be >= 1 with --rule sample"
+        else Ok Bufins.Prune.deterministic
+      else rule_of_string p rule_s
+    in
+    match (algo_of_string algo_s, rule_res) with
     | Error msg, _ | _, Error msg ->
       prerr_endline msg;
       1
@@ -127,31 +138,60 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
           Format.printf "tree written to %s@." path)
         save_tree;
       try
-        let r =
-          Experiments.Common.run_algo setup ~rule ~wire_sizing ?load_limit
-            ~spatial ~grid algo tree
+        let buffers, widths, stats, load_limit_met, label, sampled =
+          if rule_s = "sample" then begin
+            let r =
+              Experiments.Common.run_sampled setup ~wire_sizing ?load_limit
+                ~samples ~relax ~seed ~spatial ~grid algo tree
+            in
+            ( r.Sample.Engine.buffers,
+              r.Sample.Engine.widths,
+              r.Sample.Engine.stats,
+              r.Sample.Engine.load_limit_met,
+              Printf.sprintf "sample(K=%d)" samples,
+              Some
+                ( r.Sample.Engine.sampled_mean,
+                  r.Sample.Engine.sampled_std,
+                  r.Sample.Engine.rat_at_yield ) )
+          end
+          else begin
+            let r =
+              Experiments.Common.run_algo setup ~rule ~wire_sizing ?load_limit
+                ~spatial ~grid algo tree
+            in
+            ( r.Bufins.Engine.buffers,
+              r.Bufins.Engine.widths,
+              r.Bufins.Engine.stats,
+              r.Bufins.Engine.load_limit_met,
+              Bufins.Prune.name rule,
+              None )
+          end
         in
         let form =
-          Experiments.Common.evaluate setup ~spatial ~grid tree
-            ~widths:r.Bufins.Engine.widths r.Bufins.Engine.buffers
+          Experiments.Common.evaluate setup ~spatial ~grid tree ~widths buffers
         in
         Format.printf
           "%s/%s: buffers=%d sized-wires=%d runtime=%.2fs peak-candidates=%d@."
           (Experiments.Common.algo_name algo)
-          (Bufins.Prune.name rule)
-          (List.length r.Bufins.Engine.buffers)
-          (List.length r.Bufins.Engine.widths)
-          r.Bufins.Engine.stats.Bufins.Engine.runtime_s
-          r.Bufins.Engine.stats.Bufins.Engine.peak_candidates;
-        if not r.Bufins.Engine.load_limit_met then
+          label (List.length buffers) (List.length widths)
+          stats.Bufins.Engine.runtime_s stats.Bufins.Engine.peak_candidates;
+        if not load_limit_met then
           Format.printf "warning: the load limit could not be met anywhere@.";
+        Option.iter
+          (fun (mu, sigma, raty) ->
+            Format.printf
+              "sampled driver RAT (K=%d): mu=%.1f ps, sigma=%.1f ps, \
+               95%%-yield RAT=%.1f ps@."
+              samples mu sigma raty)
+          sampled;
         Format.printf
           "root RAT under full model: mu=%.1f ps, sigma=%.1f ps, 95%%-yield RAT=%.1f ps@."
           (Linform.mean form) (Linform.std form)
           (Sta.Yield.rat_at_yield form ~yield:0.95);
         Option.iter
           (fun path ->
-            (try Bufins.Assignment.save path (Bufins.Assignment.of_result r)
+            (try
+               Bufins.Assignment.save path { Bufins.Assignment.buffers; widths }
              with Sys_error msg ->
                prerr_endline ("cannot save buffering: " ^ msg);
                exit 1);
@@ -159,8 +199,8 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
           save_buffering;
         if mc > 0 then begin
           let inst =
-            Experiments.Common.instance_for setup ~spatial ~grid tree
-              ~widths:r.Bufins.Engine.widths r.Bufins.Engine.buffers
+            Experiments.Common.instance_for setup ~spatial ~grid tree ~widths
+              buffers
           in
           let rng = Numeric.Rng.create ~seed in
           let samples = Sta.Buffered.monte_carlo ?pool inst ~rng ~trials:mc in
@@ -193,7 +233,8 @@ let algo_arg =
 
 let rule_arg =
   Arg.(value & opt string "2p" & info [ "rule" ] ~docv:"RULE"
-         ~doc:"Pruning rule: det, 2p, 1p or 4p.")
+         ~doc:"Pruning rule: det, 2p, 1p or 4p — or sample, which runs \
+               the Monte-Carlo sample-matrix DP (see --samples).")
 
 let p_arg =
   Arg.(value & opt float 0.5 & info [ "p" ] ~docv:"P"
@@ -242,6 +283,20 @@ let par_grain_arg =
                below it run inline inside their parent task (default: \
                the engine's built-in grain).")
 
+let samples_arg =
+  Arg.(value & opt int 256 & info [ "samples" ] ~docv:"K"
+         ~doc:"Process corners per candidate with --rule sample: every \
+               candidate is a K-vector over one shared sample matrix \
+               drawn from --seed, and dominance is counted per sample. \
+               Ignored by the canonical rules.")
+
+let relax_arg =
+  Arg.(value & opt float 1.0 & info [ "relax" ] ~docv:"R"
+         ~doc:"Yield-target relaxation for sample dominance: a \
+               candidate is pruned only when dominated in at least \
+               ceil(R*K) samples.  1 (default) is exact full dominance; \
+               above 1 disables pruning (brute force).")
+
 let obs_arg =
   Arg.(value & flag & info [ "obs" ]
          ~doc:"Enable observability (spans + counters) and print a text \
@@ -263,6 +318,6 @@ let cmd =
       const run $ bench_arg $ sinks_arg $ htree_arg $ file_arg $ algo_arg
       $ rule_arg $ p_arg $ seed_arg $ mc_arg $ homogeneous_arg $ save_arg
       $ wire_sizing_arg $ save_buffering_arg $ load_limit_arg $ jobs_arg
-      $ par_grain_arg $ obs_arg $ trace_arg)
+      $ par_grain_arg $ samples_arg $ relax_arg $ obs_arg $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,9 +8,11 @@
    Steiner trees cycled round-robin, so K below the worker cache size
    exercises the cache-hit path and K above it the optimiser.
 
-   Reports achieved throughput, latency quantiles (p50/p95/p99, exact,
-   from the recorded per-request latencies), the latency histogram,
-   and SLO attainment when --slo-ms is given. *)
+   Reports achieved throughput, latency quantiles (p50/p95/p99,
+   estimated from the sample-spanning latency histogram via
+   Numeric.Histogram.percentile — the same helper the server's stats
+   report uses), the latency histogram, and SLO attainment when
+   --slo-ms is given. *)
 
 open Cmdliner
 
@@ -25,13 +27,6 @@ let bump outcome code =
     (match List.assoc_opt code outcome.failed with
     | Some n -> (code, n + 1) :: List.remove_assoc code outcome.failed
     | None -> (code, 1) :: outcome.failed)
-
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then nan
-  else
-    let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
-    sorted.(max 0 (min (n - 1) idx))
 
 let rule_of_string p = function
   | "det" -> Ok Bufins.Prune.deterministic
@@ -151,9 +146,15 @@ let run socket tcp wire connections requests rps sinks distinct seed algo_s
     if n_lat = 0 then nan
     else Array.fold_left ( +. ) 0.0 lats /. float_of_int n_lat
   in
-  let p50 = percentile lats 0.50
-  and p95 = percentile lats 0.95
-  and p99 = percentile lats 0.99 in
+  let hist = if n_lat > 0 then Some (Numeric.Histogram.of_samples lats) else None in
+  let percentile q =
+    match hist with
+    | None -> nan
+    | Some h -> Numeric.Histogram.percentile h q
+  in
+  let p50 = percentile 0.50
+  and p95 = percentile 0.95
+  and p99 = percentile 0.99 in
   let throughput = float_of_int ok /. elapsed in
   let slo_attainment =
     if slo_ms > 0.0 && n_lat > 0 then
@@ -171,15 +172,15 @@ let run socket tcp wire connections requests rps sinks distinct seed algo_s
     distinct sinks;
   Printf.printf "ok %d  errors %d  elapsed %.2f s  throughput %.1f req/s\n" ok
     (requests - ok) elapsed throughput;
-  if n_lat > 0 then begin
+  (match hist with
+  | None -> ()
+  | Some h ->
     Printf.printf
       "latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n" mean
       p50 p95 p99 lats.(n_lat - 1);
-    let hist = Numeric.Histogram.of_samples lats in
     Array.iter
       (fun (x, d) -> if d > 0.0 then Printf.printf "  bucket %8.2f %.4f\n" x d)
-      (Numeric.Histogram.density_series hist)
-  end;
+      (Numeric.Histogram.density_series h));
   (match slo_attainment with
   | Some a -> Printf.printf "slo: %.1f ms attained %.2f%%\n" slo_ms (100.0 *. a)
   | None -> ());

@@ -245,13 +245,16 @@ let probe_malformed client =
     exit 1
 
 let request socket tcp wire bench file sinks algo_s rule_s p seed deadline_ms
-    mc wire_sizing save_buffering probe =
+    mc wire_sizing samples relax save_buffering probe =
   let ( let* ) r f = match r with Ok v -> f v | Error msg ->
     prerr_endline msg; 1
   in
   let* tree = load_tree bench file seed sinks in
   let* mode = mode_of_string algo_s in
   let* rule = rule_of_string p rule_s in
+  let* () =
+    if samples < 0 then Error "--samples must be >= 0" else Ok ()
+  in
   let req =
     {
       (Serve.Protocol.default_request ~tree) with
@@ -261,6 +264,8 @@ let request socket tcp wire bench file sinks algo_s rule_s p seed deadline_ms
       deadline_ms;
       mc_trials = mc;
       wire_sizing;
+      samples;
+      relax;
     }
   in
   let addr = resolve_addr socket tcp in
@@ -284,6 +289,14 @@ let request socket tcp wire bench file sinks algo_s rule_s p seed deadline_ms
         (List.length r.Serve.Protocol.assignment.Bufins.Assignment.buffers)
         (List.length r.Serve.Protocol.assignment.Bufins.Assignment.widths)
         r.Serve.Protocol.nodes r.Serve.Protocol.peak_candidates;
+      (match r.Serve.Protocol.sampled with
+      | Some s ->
+        Printf.printf
+          "sampled driver RAT (K=%d): mu=%.1f ps, sigma=%.1f ps, \
+           95%%-yield RAT=%.1f ps\n"
+          s.Serve.Protocol.s_k s.Serve.Protocol.s_mean
+          s.Serve.Protocol.s_std s.Serve.Protocol.s_rat_at_yield
+      | None -> ());
       Printf.printf
         "root RAT under full model: mu=%.1f ps, sigma=%.1f ps, 95%%-yield RAT=%.1f ps\n"
         r.Serve.Protocol.root_mean r.Serve.Protocol.root_std
@@ -350,6 +363,17 @@ let request_cmd =
     Arg.(value & flag & info [ "wire-sizing" ]
            ~doc:"Size wires simultaneously with buffer insertion.")
   in
+  let samples_arg =
+    Arg.(value & opt int 0 & info [ "samples" ] ~docv:"K"
+           ~doc:"Route the request to the sampling-based yield engine \
+                 with K process corners (0, the default, uses the \
+                 canonical engine with --rule).")
+  in
+  let relax_arg =
+    Arg.(value & opt float 1.0 & info [ "relax" ] ~docv:"R"
+           ~doc:"Sample-dominance relaxation for --samples (1 = exact \
+                 full dominance).")
+  in
   let save_buffering_arg =
     Arg.(value & opt (some string) None & info [ "save-buffering" ]
            ~docv:"FILE" ~doc:"Write the returned buffering to FILE.")
@@ -365,8 +389,8 @@ let request_cmd =
     Term.(
       const request $ socket_arg $ tcp_client_arg $ wire_arg $ bench_arg
       $ file_arg $ sinks_arg $ algo_arg $ rule_arg $ p_arg $ seed_arg
-      $ deadline_arg $ mc_arg $ wire_sizing_arg $ save_buffering_arg
-      $ probe_arg)
+      $ deadline_arg $ mc_arg $ wire_sizing_arg $ samples_arg $ relax_arg
+      $ save_buffering_arg $ probe_arg)
 
 (* ---------- stats / shutdown ---------- *)
 

@@ -33,6 +33,54 @@ let reconnect_interval = 0.25
 let drain_budget = 30.0
 let worker_stop_budget = 5.0
 
+(* Parse the id out of a v1 request payload and return the payload
+   with the id line dropped — the transcode-cache key shared by
+   requests that differ only in id (a load generator's stream).  Only
+   the [id] header line is interpreted; every other byte participates
+   in the key verbatim, so a hit can reuse the cached v2 encoding with
+   nothing but the 8-byte id field rewritten.
+   @raise Failure when there is no tree marker or the id line is not an
+   integer — callers fall back to the strict decoder for its proper
+   line-numbered error. *)
+let v1_request_key payload =
+  let n = String.length payload in
+  let id = ref 0 in
+  let buf = Buffer.create n in
+  let pos = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    if !pos >= n then failwith "missing tree marker";
+    let nl =
+      match String.index_from_opt payload !pos '\n' with
+      | Some i -> i
+      | None -> n (* final line without a newline *)
+    in
+    let line = String.trim (String.sub payload !pos (nl - !pos)) in
+    let stop = min (nl + 1) n in
+    (match String.index_opt line ' ' with
+    | Some sp when String.sub line 0 sp = "id" -> (
+      match
+        int_of_string_opt
+          (String.trim (String.sub line (sp + 1) (String.length line - sp - 1)))
+      with
+      | Some v -> id := v (* the id line is dropped from the key *)
+      | None -> failwith "id line is not an integer")
+    | _ -> Buffer.add_substring buf payload !pos (stop - !pos));
+    if line = "tree" then begin
+      Buffer.add_substring buf payload stop (n - stop);
+      finished := true
+    end
+    else pos := stop
+  done;
+  (!id, Buffer.contents buf)
+
+(* Transcode-cache hit rate, visible in obs summaries. *)
+let obs_transcode_hit =
+  Obs.Counters.counter Obs.Counters.global "router.v1_transcode_hit"
+
+let obs_transcode_miss =
+  Obs.Counters.counter Obs.Counters.global "router.v1_transcode_miss"
+
 let shard_of_request ~shards payload =
   let off, len = Codec_bin.request_tree_span payload in
   let d = Digest.substring payload off len in
@@ -128,6 +176,19 @@ let run ?metrics ?(should_stop = fun () -> false)
   let drain_deadline = ref infinity in
   let stop_deadline = ref None in
   let read_buf = Bytes.create 65536 in
+
+  (* v1 fast path: one text decode, v2 encode and shard digest per
+     distinct request body, not per request.  Keyed by the v1 payload
+     with the id line dropped ({!v1_request_key}), valued by the v2
+     encoding with id 0 plus the shard index; a hit rewrites the 8-byte
+     id in place.  The router loop is single-threaded, so a plain
+     Hashtbl with a logical-clock LRU (O(n) eviction scan at cap 128,
+     eviction is rare) suffices. *)
+  let transcode_cap = 128 in
+  let transcode : (string, string * int * int ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let transcode_clock = ref 0 in
 
   let send_client c ~kind payload =
     if c.c_alive then
@@ -311,19 +372,61 @@ let run ?metrics ?(should_stop = fun () -> false)
     if !draining then
       refuse c Protocol.err_busy "cluster is draining"
     else
-      let v2_payload =
+      let transcode_v1 payload =
+        (* Failure anywhere here is caught by the wrapper below and
+           refused as err_parse, with the strict decoder's message. *)
+        match v1_request_key payload with
+        | exception Failure _ ->
+          (* Unparseable id line or missing tree marker: run the strict
+             decoder for its proper line-numbered error (it may also
+             succeed on headers [v1_request_key] is stricter about, in
+             which case the request is served, just uncached). *)
+          let p = Codec_bin.encode_request (Protocol.decode_request payload) in
+          (p, shard_of_request ~shards:n_shards p)
+        | id, key -> (
+          match Hashtbl.find_opt transcode key with
+          | Some (zero, idx, used) ->
+            incr transcode_clock;
+            used := !transcode_clock;
+            if Obs.Control.on () then Obs.Counters.incr obs_transcode_hit 1;
+            (Codec_bin.with_request_id zero id, idx)
+          | None ->
+            let p =
+              Codec_bin.encode_request (Protocol.decode_request payload)
+            in
+            let idx = shard_of_request ~shards:n_shards p in
+            (* Only successful transcodes are cached. *)
+            if Hashtbl.length transcode >= transcode_cap then begin
+              let victim = ref None in
+              Hashtbl.iter
+                (fun k (_, _, used) ->
+                  match !victim with
+                  | Some (_, u) when u <= !used -> ()
+                  | _ -> victim := Some (k, !used))
+                transcode;
+              match !victim with
+              | Some (k, _) -> Hashtbl.remove transcode k
+              | None -> ()
+            end;
+            incr transcode_clock;
+            Hashtbl.add transcode key
+              (Codec_bin.with_request_id p 0, idx, ref !transcode_clock);
+            if Obs.Control.on () then Obs.Counters.incr obs_transcode_miss 1;
+            (p, idx))
+      in
+      let dispatch () =
         match f.Wire.proto with
         | Wire.V2 ->
           (* Validate the head (and locate the tree) without decoding
              the tree itself; forwarded bytes are the client's own. *)
           ignore (Codec_bin.request_tree_span f.Wire.payload : int * int);
-          f.Wire.payload
-        | Wire.V1 ->
-          Codec_bin.encode_request (Protocol.decode_request f.Wire.payload)
+          ( f.Wire.payload,
+            shard_of_request ~shards:n_shards f.Wire.payload )
+        | Wire.V1 -> transcode_v1 f.Wire.payload
       in
-      match shard_of_request ~shards:n_shards v2_payload with
+      match dispatch () with
       | exception Failure msg -> refuse c Protocol.err_parse msg
-      | idx ->
+      | v2_payload, idx ->
         let s = shards.(idx) in
         if Queue.length s.s_queue >= config.queue_depth then
           refuse c Protocol.err_busy

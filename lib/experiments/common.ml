@@ -70,6 +70,24 @@ let run_algo setup ?rule ?budget ?(wire_sizing = false) ?load_limit ~spatial ~gr
   in
   Bufins.Engine.run ?pool:setup.pool ?grain:setup.par_grain config ~model tree
 
+let run_sampled setup ?budget ?(wire_sizing = false) ?load_limit ~samples
+    ?(relax = 1.0) ?(seed = 1) ?(yield = 0.95) ~spatial ~grid algo tree =
+  let model =
+    Varmodel.Model.create ~mode:(model_mode algo) ~budget:setup.budget ~spatial
+      ~grid ()
+  in
+  let config =
+    {
+      (Sample.Engine.default_config ~samples ~seed ~relax ~yield ~wire_sizing
+         ()) with
+      Sample.Engine.tech = setup.tech;
+      library = setup.library;
+      budget = Option.value budget ~default:Bufins.Engine.no_budget;
+      load_limit;
+    }
+  in
+  Sample.Engine.run ?pool:setup.pool ?grain:setup.par_grain config ~model tree
+
 let instance_for setup ~spatial ~grid tree ?(widths = []) buffers =
   let model =
     Varmodel.Model.create ~mode:Varmodel.Model.Wid ~budget:setup.budget ~spatial

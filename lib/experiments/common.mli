@@ -55,6 +55,26 @@ val run_algo :
     [wire_sizing] (default false) enables the 3-width wire library;
     [load_limit] forwards the engine's slew-style constraint. *)
 
+val run_sampled :
+  setup ->
+  ?budget:Bufins.Engine.budget ->
+  ?wire_sizing:bool ->
+  ?load_limit:float ->
+  samples:int ->
+  ?relax:float ->
+  ?seed:int ->
+  ?yield:float ->
+  spatial:Varmodel.Model.spatial_kind ->
+  grid:Varmodel.Grid.t ->
+  algo ->
+  Rctree.Tree.t ->
+  Sample.Engine.result
+(** Optimise with the sampling-based yield engine ({!Sample.Engine}) on
+    [samples] Monte-Carlo process corners drawn from [seed]
+    (default 1).  The variation mode comes from [algo] exactly as in
+    {!run_algo}; [relax] (default 1 = exact full dominance) scales the
+    per-sample dominance threshold. *)
+
 val evaluate :
   setup ->
   spatial:Varmodel.Model.spatial_kind ->

@@ -23,6 +23,7 @@ let all =
     { id = "skew"; summary = "clock skew of a buffered H-tree (future work)"; exec = Skewstudy.run };
     { id = "grid"; summary = "spatial grid pitch / correlation range ablation"; exec = Gridstudy.run };
     { id = "baselines"; summary = "related-work capacity: 2P vs 1P vs 4P vs [6]"; exec = Baselines.run };
+    { id = "sampleyield"; summary = "sampled vs canonical 95%-yield RAT (K=1024)"; exec = Sampleyield.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

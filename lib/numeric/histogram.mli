@@ -44,3 +44,13 @@ val bin_density : t -> int -> float
 
 val density_series : t -> (float * float) array
 (** All (bin center, density) pairs, in increasing x order. *)
+
+val percentile : t -> float -> float
+(** [percentile h p] estimates the [p]-quantile ([p] in [0, 1]) of the
+    recorded samples: a cumulative walk to the bin holding the
+    nearest-rank sample, linearly interpolated within the bin.  The
+    estimate is exact to within one bin width — the serving-latency
+    p50/p95/p99 lines in {!Serve.Metrics} and the load generator share
+    this helper.
+    @raise Invalid_argument if the histogram is empty or [p] is outside
+    [0, 1]. *)

@@ -1,0 +1,639 @@
+(* The sampling-based yield engine (Zhang/Li/Schlichtmann, PAPERS.md).
+
+   Same DP skeleton as [Bufins.Engine.run] — postorder walk, wire
+   lift + buffer insertion per edge, subtree merge, prune — but every
+   candidate carries its downstream load and RAT as K-vectors: the
+   exact value of the candidate under each of K Monte-Carlo process
+   corners drawn once per run into a shared [Matrix].  Nothing assumes
+   joint normality; the per-sample Elmore arithmetic is exact (the
+   r·load and r·c wire products are true per-sample products, where
+   the canonical engine keeps a first-order linearisation, and the
+   merge takes a true per-sample min where the canonical engine blends
+   with Clark's statistical min).
+
+   Pruning is per-sample dominance counting: candidate A dies when
+   some other candidate ties-or-beats it (load <=, RAT >=) in at least
+   [need = ceil(relax * K)] samples.  At relax = 1 that is full
+   dominance — the dropped candidate loses or ties in *every* sampled
+   corner, so dropping it can never change the per-sample optimum
+   (dominance is preserved by the wire lift [r >= 0], buffer
+   insertion, merge-min and driver subtraction, monotonically in
+   floating point too, since fl(x + y) etc. are monotone per
+   argument).  relax < 1 trades exactness for pruning power when only
+   a yield-level statement is wanted; relax > 1 disables pruning
+   entirely (the brute-force reference the tests compare against).
+
+   Determinism: the matrix rows depend only on (seed, source id, K);
+   source ids come from the same sequential pre-pass as the canonical
+   engine; merges keep the fixed child order and the pruning sweep is
+   a stable sort plus a deterministic scan.  Output is therefore
+   byte-identical at any --jobs and with obs on or off. *)
+
+type config = {
+  tech : Device.Tech.t;
+  library : Device.Buffer.t array;
+  wires : Device.Wire_lib.t array;
+  samples : int;
+  seed : int;
+  relax : float;
+  yield : float;
+  budget : Bufins.Engine.budget;
+  load_limit : float option;
+}
+
+let default_config ?(samples = 256) ?(seed = 1) ?(relax = 1.0)
+    ?(yield = 0.95) ?(wire_sizing = false) () =
+  if samples <= 0 then invalid_arg "Sample.Engine: samples must be positive";
+  if not (relax > 0.0) then invalid_arg "Sample.Engine: relax must be positive";
+  if not (yield > 0.0 && yield < 1.0) then
+    invalid_arg "Sample.Engine: yield must lie in (0, 1)";
+  let tech = Device.Tech.default_65nm in
+  {
+    tech;
+    library = Device.Buffer.default_library;
+    wires =
+      (if wire_sizing then Device.Wire_lib.default_library tech
+       else [| Device.Wire_lib.of_tech tech |]);
+    samples;
+    seed;
+    relax;
+    yield;
+    budget = Bufins.Engine.no_budget;
+    load_limit = None;
+  }
+
+type sol = {
+  load : float array; (* per-sample downstream capacitance, fF *)
+  rat : float array; (* per-sample required arrival time, ps *)
+  choice : Bufins.Sol.choice;
+}
+
+type result = {
+  best : sol;
+  root_rat : float array;
+  root_best_per_sample : float array;
+  buffers : (int * Device.Buffer.t) list;
+  widths : (int * Device.Wire_lib.t) list;
+  sampled_mean : float;
+  sampled_std : float;
+  rat_at_yield : float;
+  load_limit_met : bool;
+  stats : Bufins.Engine.stats;
+}
+
+let log_src = Logs.Src.create "varbuf.sample" ~doc:"sampling-based yield DP"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let default_grain = Bufins.Engine.default_grain
+
+(* Handles resolved once at module initialisation; bumped only when
+   observability is enabled. *)
+let obs_nodes = Obs.Counters.counter Obs.Counters.global "sample.nodes"
+let obs_merged = Obs.Counters.counter Obs.Counters.global "sample.merged"
+let obs_generated = Obs.Counters.counter Obs.Counters.global "sample.generated"
+let obs_kept = Obs.Counters.counter Obs.Counters.global "sample.kept"
+let obs_pruned = Obs.Counters.counter Obs.Counters.global "sample.pruned"
+
+let obs_checks =
+  Obs.Counters.counter Obs.Counters.global "sample.dominance_checks"
+
+let run ?pool ?(grain = default_grain) config ~model tree =
+  let t_start = Unix.gettimeofday () in
+  let tech = config.tech in
+  let k = config.samples in
+  if k <= 0 then invalid_arg "Sample.Engine.run: samples must be positive";
+  let check_time () =
+    match config.budget.Bufins.Engine.max_seconds with
+    | Some limit when Unix.gettimeofday () -. t_start > limit ->
+      raise
+        (Bufins.Engine.Budget_exceeded
+           (Printf.sprintf "time limit %.1fs exceeded" limit))
+    | _ -> ()
+  in
+  let check_count ~where n =
+    match config.budget.Bufins.Engine.max_candidates with
+    | Some limit when n > limit ->
+      raise
+        (Bufins.Engine.Budget_exceeded
+           (Printf.sprintf "candidate limit %d exceeded at %s (%d)" limit where
+              n))
+    | _ -> ()
+  in
+  let n = Rctree.Tree.node_count tree in
+  let results : sol array array = Array.make n [||] in
+  let peak = Atomic.make 0 in
+  let total = Atomic.make 0 in
+  let wire_variation = Varmodel.Model.wire_frac model > 0.0 in
+  let post = Rctree.Tree.postorder tree in
+  (* The same deterministic device-id pre-pass as the canonical engine
+     (see the comment there): ids are consumed in sequential postorder
+     so the matrix rows a device maps to — and hence the output bytes —
+     are independent of task scheduling.  The id-consumption order is
+     identical to [Bufins.Engine.run] on the same tree, so the model's
+     counter advances exactly as it would there. *)
+  let nlib = Array.length config.library in
+  let ids_per_edge = (if wire_variation then 1 else 0) + nlib in
+  let device_base = Array.make n (-1) in
+  let regions = Varmodel.Grid.regions (Varmodel.Model.grid model) in
+  let max_id = ref regions in
+  Array.iter
+    (fun id ->
+      if not (Rctree.Tree.is_sink tree id) then
+        List.iter
+          (fun (child, _length) ->
+            device_base.(child) <- Varmodel.Model.fresh_device_id model;
+            for _ = 2 to ids_per_edge do
+              ignore (Varmodel.Model.fresh_device_id model)
+            done;
+            max_id := device_base.(child) + ids_per_edge - 1)
+          (Rctree.Tree.children tree id))
+    post;
+  let matrix =
+    Matrix.create ~seed:config.seed ~k ~sources:(!max_id + 1)
+  in
+  (* Rows shared across subtree tasks (inter-die + spatial regions) are
+     drawn eagerly before any parallel phase; per-device rows are only
+     touched by the task owning the device's edge. *)
+  Matrix.prefill matrix ~lo:0 ~hi:regions;
+  let sites : Varmodel.Model.site option array = Array.make n None in
+  let site_at id =
+    match sites.(id) with
+    | Some s -> s
+    | None ->
+      let x, y = Rctree.Tree.position tree id in
+      let s = Varmodel.Model.site model ~x ~y in
+      sites.(id) <- Some s;
+      s
+  in
+  (* relax-scaled dominance threshold: a candidate is dropped when a
+     competitor ties-or-beats it in at least [need] of the K samples. *)
+  let need =
+    max 1 (int_of_float (ceil (config.relax *. float_of_int k)))
+  in
+  let exact_need = need >= k in
+  (* Prune the [ncand] staged rows in the arena's B stage (load / rat /
+     choice / mean keys already filled) down to a fresh frontier. *)
+  let prune_rows ar ncand =
+    if ncand <= 1 || need > k then
+      Array.init ncand (fun i ->
+          {
+            load = Array.sub (Sarena.b_load ar (ncand * k)) (i * k) k;
+            rat = Array.sub (Sarena.b_rat ar (ncand * k)) (i * k) k;
+            choice = (Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0)).(i);
+          })
+    else begin
+      let obs = Obs.Control.on () in
+      let t0 = if obs then Obs.Span.now_ns () else 0 in
+      let bl = Sarena.b_load ar (ncand * k) in
+      let br = Sarena.b_rat ar (ncand * k) in
+      let bc = Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0) in
+      let ml = Sarena.mean_load ar ncand in
+      let mr = Sarena.mean_rat ar ncand in
+      let idx = Sarena.perm ar ncand in
+      for i = 0 to ncand - 1 do
+        idx.(i) <- i
+      done;
+      (* Mean load ascending, mean RAT descending: the stable order the
+         canonical pruner uses, so exact duplicates keep the same
+         representative. *)
+      Sarena.sort_prefix ar idx ncand ~cmp:(fun a b ->
+          let c = Float.compare ml.(a) ml.(b) in
+          if c <> 0 then c else Float.compare mr.(b) mr.(a));
+      (* Row j dominates row i when it ties-or-beats it on both axes in
+         at least [need] samples, with early exit both ways. *)
+      let checks = ref 0 in
+      let dominates j i =
+        incr checks;
+        let jo = j * k and io = i * k in
+        let count = ref 0 in
+        let t = ref 0 in
+        while !t < k do
+          (if bl.(jo + !t) <= bl.(io + !t) && br.(jo + !t) >= br.(io + !t)
+           then incr count);
+          if !count >= need || !count + (k - !t - 1) < need then t := k
+          else incr t
+        done;
+        !count >= need
+      in
+      let kept = Sarena.kept ar ncand in
+      let nkept = ref 0 in
+      let rat_max = ref neg_infinity in
+      for s = 0 to ncand - 1 do
+        let i = idx.(s) in
+        let dominated =
+          (* Full dominance in every sample implies mean-RAT order, so
+             a candidate above the running max of kept mean RATs cannot
+             be dominated; the filter is unsound for need < k and is
+             skipped there. *)
+          if exact_need && mr.(i) > !rat_max then false
+          else begin
+            let rec scan kk =
+              kk >= 0 && (dominates kept.(kk) i || scan (kk - 1))
+            in
+            scan (!nkept - 1)
+          end
+        in
+        if not dominated then begin
+          kept.(!nkept) <- i;
+          incr nkept;
+          if mr.(i) > !rat_max then rat_max := mr.(i)
+        end
+      done;
+      let out =
+        Array.init !nkept (fun s ->
+            let i = kept.(s) in
+            {
+              load = Array.sub bl (i * k) k;
+              rat = Array.sub br (i * k) k;
+              choice = bc.(i);
+            })
+      in
+      if obs then begin
+        Obs.Counters.incr obs_generated ncand;
+        Obs.Counters.incr obs_kept !nkept;
+        Obs.Counters.incr obs_pruned (ncand - !nkept);
+        Obs.Counters.incr obs_checks !checks;
+        Obs.Counters.observe Obs.Counters.global "sample.frontier" ~lo:0.0
+          ~hi:1024.0 ~bins:64
+          (float_of_int !nkept);
+        Obs.Span.record ~name:"prune.sample" ~cat:"sample" ~t0_ns:t0
+      end;
+      out
+    end
+  in
+  (* Lift a child's candidate set through the edge above it: per-width
+     wired rows, then one buffered variant per library type for each
+     drivable wired row, staged in the domain's sample arena and pruned
+     in place.  Row generation order replicates the canonical engine —
+     wired rows reversed, then buffered — so duplicate survival
+     matches. *)
+  let lift ~child ~length (sols : sol array) =
+    let obs = Obs.Control.on () in
+    let t0 = if obs then Obs.Span.now_ns () else 0 in
+    let ar = Sarena.get () in
+    let site_node =
+      match Rctree.Tree.parent tree child with Some p -> p | None -> child
+    in
+    let ns = Array.length sols in
+    let nwid = Array.length config.wires in
+    let nw = nwid * ns in
+    let al = Sarena.a_load ar (nw * k) in
+    let arr = Sarena.a_rat ar (nw * k) in
+    let ac = Sarena.a_choice ar nw ~dummy:(Bufins.Sol.At_sink 0) in
+    (* Per-width r·L and c·L as K-vectors (constant rows when wire
+       variation is off). *)
+    let rl = Array.make (nwid * k) 0.0 in
+    let cl = Array.make (nwid * k) 0.0 in
+    if wire_variation then begin
+      let edge_id = device_base.(child) in
+      let bx, by = Rctree.Tree.position tree site_node in
+      let cx, cy = Rctree.Tree.position tree child in
+      let mx = 0.5 *. (bx +. cx) and my = 0.5 *. (by +. cy) in
+      for w = 0 to nwid - 1 do
+        let wire = config.wires.(w) in
+        let r_form, c_form =
+          Varmodel.Model.wire_forms model ~edge_id ~x:mx ~y:my
+            ~r0:wire.Device.Wire_lib.res_per_um
+            ~c0:wire.Device.Wire_lib.cap_per_um
+        in
+        Matrix.eval_into matrix r_form rl ~off:(w * k);
+        Matrix.eval_into matrix c_form cl ~off:(w * k);
+        for j = 0 to k - 1 do
+          rl.((w * k) + j) <- rl.((w * k) + j) *. length;
+          cl.((w * k) + j) <- cl.((w * k) + j) *. length
+        done
+      done
+    end
+    else
+      for w = 0 to nwid - 1 do
+        let wire = config.wires.(w) in
+        let r = wire.Device.Wire_lib.res_per_um *. length in
+        let c = Device.Wire_lib.wire_cap wire ~length in
+        for j = 0 to k - 1 do
+          rl.((w * k) + j) <- r;
+          cl.((w * k) + j) <- c
+        done
+      done;
+    (* Wired rows (Eq. 33-34, exact per sample): load' = load + cL,
+       rat' = rat − rL·load − ½·rL·cL. *)
+    let wml = Array.make nw 0.0 in
+    let wmr = Array.make nw 0.0 in
+    for row = 0 to nw - 1 do
+      let width = row / ns in
+      let s = sols.(row mod ns) in
+      let ro = row * k and wo = width * k in
+      let sl = ref 0.0 and sr = ref 0.0 in
+      for j = 0 to k - 1 do
+        let rlj = rl.(wo + j) and clj = cl.(wo + j) in
+        let ld = s.load.(j) +. clj in
+        let rt = s.rat.(j) -. (rl.(wo + j) *. s.load.(j)) -. (0.5 *. rlj *. clj) in
+        al.(ro + j) <- ld;
+        arr.(ro + j) <- rt;
+        sl := !sl +. ld;
+        sr := !sr +. rt
+      done;
+      wml.(row) <- !sl /. float_of_int k;
+      wmr.(row) <- !sr /. float_of_int k;
+      ac.(row) <-
+        Bufins.Sol.Wire { node = child; width; from = s.choice }
+    done;
+    (* Buffer templates per (site, type): cb and tb as K-vectors. *)
+    let psite = site_at site_node in
+    let buf_base = device_base.(child) + if wire_variation then 1 else 0 in
+    let cb = Array.make (nlib * k) 0.0 in
+    let tb = Array.make (nlib * k) 0.0 in
+    let res = Array.make nlib 0.0 in
+    for bi = 0 to nlib - 1 do
+      let b = config.library.(bi) in
+      let device_id = buf_base + bi in
+      let cb_form =
+        Varmodel.Model.site_device_form model psite ~device_id
+          ~nominal:b.Device.Buffer.cap_ff
+      in
+      let tb_form =
+        Varmodel.Model.site_device_form model psite ~device_id
+          ~nominal:b.Device.Buffer.delay_ps
+      in
+      Matrix.eval_into matrix cb_form cb ~off:(bi * k);
+      Matrix.eval_into matrix tb_form tb ~off:(bi * k);
+      res.(bi) <- b.Device.Buffer.res_kohm
+    done;
+    let drivable row =
+      match config.load_limit with
+      | None -> true
+      | Some limit -> wml.(row) <= limit
+    in
+    let ndrivable = ref 0 in
+    for row = 0 to nw - 1 do
+      if drivable row then incr ndrivable
+    done;
+    let ncand = nw + (!ndrivable * nlib) in
+    let bl = Sarena.b_load ar (ncand * k) in
+    let br = Sarena.b_rat ar (ncand * k) in
+    let bc = Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0) in
+    let ml = Sarena.mean_load ar ncand in
+    let mr = Sarena.mean_rat ar ncand in
+    for row = 0 to nw - 1 do
+      let dst = nw - 1 - row in
+      Array.blit al (row * k) bl (dst * k) k;
+      Array.blit arr (row * k) br (dst * k) k;
+      bc.(dst) <- ac.(row);
+      ml.(dst) <- wml.(row);
+      mr.(dst) <- wmr.(row)
+    done;
+    let next = ref nw in
+    for row = 0 to nw - 1 do
+      if drivable row then
+        for bi = 0 to nlib - 1 do
+          let dst = !next in
+          let dof = dst * k and ro = row * k and bo = bi * k in
+          let r = res.(bi) in
+          let sl = ref 0.0 and sr = ref 0.0 in
+          (* Eq. 35-36 per sample: rat' = rat − R_b·load − T_b,
+             load' = C_b. *)
+          for j = 0 to k - 1 do
+            let ld = cb.(bo + j) in
+            let rt = arr.(ro + j) -. (r *. al.(ro + j)) -. tb.(bo + j) in
+            bl.(dof + j) <- ld;
+            br.(dof + j) <- rt;
+            sl := !sl +. ld;
+            sr := !sr +. rt
+          done;
+          ml.(dst) <- !sl /. float_of_int k;
+          mr.(dst) <- !sr /. float_of_int k;
+          bc.(dst) <-
+            Bufins.Sol.Buffered { node = child; buffer = bi; from = ac.(row) };
+          incr next
+        done
+    done;
+    let pruned = prune_rows ar ncand in
+    if obs then Obs.Span.record ~name:"lift" ~cat:"sample" ~t0_ns:t0;
+    pruned
+  in
+  (* Subtree merge: the full cross product with an exact per-sample
+     min, staged into the arena's B stage and pruned. *)
+  let merge ~node ~check (a : sol array) (b : sol array) =
+    let na = Array.length a and nb = Array.length b in
+    let ncand = na * nb in
+    if ncand = 0 then [||]
+    else begin
+      let ar = Sarena.get () in
+      let bl = Sarena.b_load ar (ncand * k) in
+      let br = Sarena.b_rat ar (ncand * k) in
+      let bc = Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0) in
+      let ml = Sarena.mean_load ar ncand in
+      let mr = Sarena.mean_rat ar ncand in
+      let count = ref 0 in
+      for i = 0 to na - 1 do
+        let sa = a.(i) in
+        for j = 0 to nb - 1 do
+          incr count;
+          check !count;
+          (* Newest-first, matching the canonical cross merge's row
+             order, so duplicate survival is stable. *)
+          let dst = ncand - !count in
+          let dof = dst * k in
+          let sb = b.(j) in
+          let sl = ref 0.0 and sr = ref 0.0 in
+          for t = 0 to k - 1 do
+            let ld = sa.load.(t) +. sb.load.(t) in
+            let rt = Float.min sa.rat.(t) sb.rat.(t) in
+            bl.(dof + t) <- ld;
+            br.(dof + t) <- rt;
+            sl := !sl +. ld;
+            sr := !sr +. rt
+          done;
+          ml.(dst) <- !sl /. float_of_int k;
+          mr.(dst) <- !sr /. float_of_int k;
+          bc.(dst) <-
+            Bufins.Sol.Merged { node; left = sa.choice; right = sb.choice }
+        done
+      done;
+      if Obs.Control.on () then Obs.Counters.incr obs_merged ncand;
+      prune_rows ar ncand
+    end
+  in
+  let compute id =
+    check_time ();
+    let obs = Obs.Control.on () in
+    let t0 = if obs then Obs.Span.now_ns () else 0 in
+    let sols =
+      match Rctree.Tree.sink tree id with
+      | Some s ->
+        [|
+          {
+            load = Array.make k s.Rctree.Tree.sink_cap;
+            rat = Array.make k s.Rctree.Tree.sink_rat;
+            choice = Bufins.Sol.At_sink id;
+          };
+        |]
+      | None ->
+        let lifted =
+          Array.of_list
+            (List.map
+               (fun (child, length) ->
+                 let child_sols = results.(child) in
+                 results.(child) <- [||];
+                 let l = lift ~child ~length child_sols in
+                 check_count
+                   ~where:(Printf.sprintf "edge above node %d" child)
+                   (Array.length l);
+                 l)
+               (Rctree.Tree.children tree id))
+        in
+        if Array.length lifted = 1 then lifted.(0)
+        else begin
+          assert (Array.length lifted = 2);
+          let merged =
+            merge ~node:id
+              ~check:(fun c ->
+                check_count ~where:(Printf.sprintf "merge at node %d" id) c;
+                if c land 1023 = 0 then check_time ())
+              lifted.(0) lifted.(1)
+          in
+          lifted.(0) <- [||];
+          lifted.(1) <- [||];
+          merged
+        end
+    in
+    if obs then begin
+      Obs.Counters.incr obs_nodes 1;
+      Obs.Span.record ~name:"node" ~cat:"sample" ~t0_ns:t0
+    end;
+    let len = Array.length sols in
+    check_count ~where:(Printf.sprintf "node %d" id) len;
+    let rec bump_peak () =
+      let cur = Atomic.get peak in
+      if len > cur && not (Atomic.compare_and_set peak cur len) then
+        bump_peak ()
+    in
+    bump_peak ();
+    ignore (Atomic.fetch_and_add total len);
+    Log.debug (fun m -> m "node %d: %d sampled candidates kept" id len);
+    results.(id) <- sols
+  in
+  (match pool with
+  | Some pool when Exec.Pool.jobs pool > 1 && n > max 1 grain ->
+    (* Task-parallel subtree DP, identical to the canonical engine's
+       decomposition: subtree-size tasks, inline small subtrees, and a
+       dependency-counted release per merge node. *)
+    let grain = max 1 grain in
+    let size = Array.make n 1 in
+    Array.iter
+      (fun id ->
+        List.iter
+          (fun (c, _) -> size.(id) <- size.(id) + size.(c))
+          (Rctree.Tree.children tree id))
+      post;
+    let ntasks = ref 0 in
+    let task_index = Array.make n (-1) in
+    Array.iter
+      (fun id ->
+        if size.(id) > grain then begin
+          task_index.(id) <- !ntasks;
+          incr ntasks
+        end)
+      post;
+    let task_ids = Array.make !ntasks 0 in
+    Array.iter
+      (fun id -> if task_index.(id) >= 0 then task_ids.(task_index.(id)) <- id)
+      post;
+    let deps =
+      Array.map
+        (fun id ->
+          Rctree.Tree.children tree id
+          |> List.filter_map (fun (c, _) ->
+                 if task_index.(c) >= 0 then Some task_index.(c) else None)
+          |> Array.of_list)
+        task_ids
+    in
+    let rec inline_subtree id =
+      List.iter (fun (c, _) -> inline_subtree c) (Rctree.Tree.children tree id);
+      compute id
+    in
+    Exec.Pool.run_graph pool ~deps ~run:(fun ti ->
+        let id = task_ids.(ti) in
+        List.iter
+          (fun (c, _) -> if task_index.(c) < 0 then inline_subtree c)
+          (Rctree.Tree.children tree id);
+        compute id)
+  | _ -> Array.iter compute post);
+  if Obs.Control.on () then Obs.Span.flush ();
+  let root_sols = results.(Rctree.Tree.root tree) in
+  let sample_mean v =
+    let s = ref 0.0 in
+    Array.iter (fun x -> s := !s +. x) v;
+    !s /. float_of_int (Array.length v)
+  in
+  let compliant =
+    match config.load_limit with
+    | None -> root_sols
+    | Some limit ->
+      Array.of_list
+        (List.filter
+           (fun s -> sample_mean s.load <= limit)
+           (Array.to_list root_sols))
+  in
+  let load_limit_met, root_sols =
+    if Array.length compliant = 0 then (config.load_limit = None, root_sols)
+    else (true, compliant)
+  in
+  assert (Array.length root_sols > 0);
+  let driver_rat s =
+    Array.init k (fun j ->
+        s.rat.(j) -. (tech.Device.Tech.driver_r *. s.load.(j)))
+  in
+  let p = Float.max 0.0 (Float.min 1.0 (1.0 -. config.yield)) in
+  let score q = Numeric.Stats.percentile q p in
+  let best = ref root_sols.(0) in
+  let root_rat = ref (driver_rat root_sols.(0)) in
+  let best_score = ref (score !root_rat) in
+  let root_best_per_sample = Array.copy !root_rat in
+  for i = 1 to Array.length root_sols - 1 do
+    let q = driver_rat root_sols.(i) in
+    for j = 0 to k - 1 do
+      if q.(j) > root_best_per_sample.(j) then
+        root_best_per_sample.(j) <- q.(j)
+    done;
+    let sc = score q in
+    if sc > !best_score then begin
+      best := root_sols.(i);
+      root_rat := q;
+      best_score := sc
+    end
+  done;
+  let best = !best and root_rat = !root_rat in
+  let buffers =
+    List.map
+      (fun (node, bi) -> (node, config.library.(bi)))
+      (Bufins.Sol.buffers_of_choice best.choice)
+  in
+  let widths =
+    List.map
+      (fun (node, wi) -> (node, config.wires.(wi)))
+      (Bufins.Sol.widths_of_choice best.choice)
+  in
+  let summary = Numeric.Stats.summarize root_rat in
+  Log.info (fun m ->
+      m "done: %d nodes, K=%d, peak %d candidates, %d buffers, RAT@%g%% %.1f"
+        n k (Atomic.get peak) (List.length buffers) (100.0 *. config.yield)
+        !best_score);
+  {
+    best;
+    root_rat;
+    root_best_per_sample;
+    buffers;
+    widths;
+    sampled_mean = summary.Numeric.Stats.mean;
+    sampled_std = summary.Numeric.Stats.std;
+    rat_at_yield = !best_score;
+    load_limit_met;
+    stats =
+      {
+        Bufins.Engine.runtime_s = Unix.gettimeofday () -. t_start;
+        peak_candidates = Atomic.get peak;
+        total_candidates = Atomic.get total;
+        nodes = n;
+      };
+  }

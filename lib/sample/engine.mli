@@ -1,0 +1,101 @@
+(** The sampling-based yield engine (Zhang/Li/Schlichtmann, PAPERS.md).
+
+    Runs the same bottom-up buffer-insertion DP as {!Bufins.Engine},
+    but evaluates every candidate on a shared matrix of K Monte-Carlo
+    process samples ({!Matrix}) instead of propagating canonical
+    normal forms: a candidate's load and RAT are K-vectors — its exact
+    Elmore values under each sampled process corner — so the engine
+    {e measures} timing yield rather than assuming joint normality.
+
+    The frontier is pruned by per-sample dominance counting: candidate
+    A is dropped when some competitor ties-or-beats it (load ≤, RAT ≥)
+    in at least [ceil(relax · K)] samples.  At [relax = 1] (the
+    default) this is exact — a fully dominated candidate can never be
+    the per-sample optimum, so the kept frontier's per-sample best
+    root RAT is bit-identical to the unpruned brute force
+    ([relax > 1], which disables pruning).  [relax < 1] prunes more
+    aggressively at the cost of that guarantee.
+
+    Output (assignment, per-sample root RATs, sampled yield figures)
+    is byte-identical at any job count and with observability on or
+    off: the sample matrix depends only on (seed, source id, K), the
+    device-id pre-pass and merge order are the canonical engine's, and
+    the pruning sweep is a stable sort plus a deterministic scan. *)
+
+type config = {
+  tech : Device.Tech.t;
+  library : Device.Buffer.t array;
+  wires : Device.Wire_lib.t array;
+  samples : int;  (** K: Monte-Carlo samples per candidate *)
+  seed : int;  (** seed of the shared sample matrix *)
+  relax : float;
+      (** dominance threshold as a fraction of K: drop a candidate
+          dominated in ≥ ceil(relax · K) samples.  1 = exact full
+          dominance; > 1 disables pruning (brute force); < 1 prunes
+          approximately. *)
+  yield : float;
+      (** yield level scored at the root: the best candidate maximises
+          the (1 − yield)-quantile of its sampled driver-output RAT *)
+  budget : Bufins.Engine.budget;
+  load_limit : float option;
+      (** same mean-load drive constraint as the canonical engine,
+          applied to sample means *)
+}
+
+val default_config :
+  ?samples:int ->
+  ?seed:int ->
+  ?relax:float ->
+  ?yield:float ->
+  ?wire_sizing:bool ->
+  unit ->
+  config
+(** 65 nm tech, the default buffer library, [samples = 256],
+    [seed = 1], [relax = 1], [yield = 0.95], no budget.
+    @raise Invalid_argument on non-positive [samples] or [relax], or
+    [yield] outside (0, 1). *)
+
+type sol = {
+  load : float array;  (** per-sample downstream capacitance, fF *)
+  rat : float array;  (** per-sample required arrival time, ps *)
+  choice : Bufins.Sol.choice;
+}
+
+type result = {
+  best : sol;  (** chosen root candidate (pre-driver samples) *)
+  root_rat : float array;
+      (** per-sample RAT at the driver input of [best]:
+          rat − R_drv · load, sample by sample *)
+  root_best_per_sample : float array;
+      (** per-sample maximum of the driver-output RAT over the whole
+          (compliant) root frontier — the quantity full dominance
+          pruning provably preserves, exposed for the brute-force
+          comparison test *)
+  buffers : (int * Device.Buffer.t) list;
+  widths : (int * Device.Wire_lib.t) list;
+  sampled_mean : float;  (** mean of [root_rat] *)
+  sampled_std : float;  (** sample std of [root_rat] *)
+  rat_at_yield : float;
+      (** the (1 − yield)-quantile of [root_rat] — the sampled
+          counterpart of {!Sta.Yield.rat_at_yield} *)
+  load_limit_met : bool;
+  stats : Bufins.Engine.stats;
+}
+
+val default_grain : int
+
+val run :
+  ?pool:Exec.Pool.t ->
+  ?grain:int ->
+  config ->
+  model:Varmodel.Model.t ->
+  Rctree.Tree.t ->
+  result
+(** Optimise the tree on K sampled process corners.  Parallel subtree
+    decomposition, budgets and the deterministic device-id pre-pass
+    behave exactly as in {!Bufins.Engine.run}; the model's variation
+    mode filters which sources the samples see, so a [Nom] model makes
+    every sample identical.
+    @raise Bufins.Engine.Budget_exceeded when the configured budget
+    trips (the same exception, so serve's deadline mapping applies
+    unchanged). *)

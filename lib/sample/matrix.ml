@@ -1,0 +1,70 @@
+(* The shared K-sample process matrix of the sampling-based engine.
+
+   One matrix is drawn per optimisation run: row [id] holds K standard
+   normal draws of variation source [id] (the same source-id space the
+   canonical engine uses — id 0 inter-die, ids 1..R the spatial
+   regions, ids > R per-device randoms).  Every candidate's per-sample
+   load and RAT are linear combinations of these rows, so two
+   candidates evaluated anywhere in the tree see the *same* process
+   corner in sample j — which is what makes per-sample dominance
+   meaningful.
+
+   Determinism: row [id] comes from [Rng.split_at master id], which by
+   the split_at contract yields the same stream for the same (seed, id)
+   no matter when — or from which domain — the row is first needed.
+   The master generator is never advanced, so concurrent lazy draws of
+   distinct rows are safe.  Rows for the shared sources (inter-die +
+   spatial) are prefilled before any parallel phase starts; per-device
+   rows are only ever touched by the one DP task that owns the device's
+   edge, so the plain array needs no lock. *)
+
+type t = {
+  k : int;
+  master : Numeric.Rng.t;
+  vecs : float array array; (* source id -> K draws; [||] = undrawn *)
+}
+
+let create ~seed ~k ~sources =
+  if k <= 0 then invalid_arg "Sample.Matrix.create: k must be positive";
+  if sources < 0 then invalid_arg "Sample.Matrix.create: negative source count";
+  { k; master = Numeric.Rng.create ~seed; vecs = Array.make sources [||] }
+
+let samples t = t.k
+let sources t = Array.length t.vecs
+
+let draw t id =
+  let rng = Numeric.Rng.split_at t.master id in
+  let v = Array.make t.k 0.0 in
+  for j = 0 to t.k - 1 do
+    v.(j) <- Numeric.Rng.gaussian rng
+  done;
+  v
+
+let source t id =
+  if id < 0 || id >= Array.length t.vecs then
+    invalid_arg (Printf.sprintf "Sample.Matrix.source: id %d out of range" id);
+  let v = t.vecs.(id) in
+  if Array.length v > 0 then v
+  else begin
+    let v = draw t id in
+    t.vecs.(id) <- v;
+    v
+  end
+
+let prefill t ~lo ~hi =
+  for id = lo to min hi (Array.length t.vecs - 1) do
+    ignore (source t id)
+  done
+
+let eval_into t form out ~off =
+  let mu = Linform.mean form in
+  for j = 0 to t.k - 1 do
+    out.(off + j) <- mu
+  done;
+  Array.iter
+    (fun (id, c) ->
+      let src = source t id in
+      for j = 0 to t.k - 1 do
+        out.(off + j) <- out.(off + j) +. (c *. src.(j))
+      done)
+    (Linform.sensitivities form)

@@ -1,0 +1,30 @@
+(** Per-domain scratch buffers for the sample engine, mirroring
+    {!Bufins.Arena}: stride-K row matrices for wired and candidate
+    staging, per-row mean keys, choice trails, and the pruning sweep's
+    permutation / kept / mergesort scratch.  Buffers are valid for the
+    duration of one lift / merge / prune call on the borrowing
+    domain. *)
+
+type t
+
+val enabled : bool ref
+(** Bench-only toggle; a disabled arena hands out fresh buffers. *)
+
+val get : unit -> t
+(** The calling domain's arena ({!Domain.DLS}). *)
+
+val a_load : t -> int -> float array
+val a_rat : t -> int -> float array
+val a_choice : t -> int -> dummy:Bufins.Sol.choice -> Bufins.Sol.choice array
+val b_load : t -> int -> float array
+val b_rat : t -> int -> float array
+val b_choice : t -> int -> dummy:Bufins.Sol.choice -> Bufins.Sol.choice array
+val mean_load : t -> int -> float array
+val mean_rat : t -> int -> float array
+val perm : t -> int -> int array
+val kept : t -> int -> int array
+
+val sort_prefix : t -> int array -> int -> cmp:(int -> int -> int) -> unit
+(** Stable sort of the first [n] entries of the index array under
+    [cmp], using the arena's mergesort scratch.  Same permutation as
+    [Array.stable_sort] under the same comparator. *)

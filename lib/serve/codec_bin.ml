@@ -359,6 +359,8 @@ let encode_request (r : Protocol.request) =
   add_zigzag buf r.Protocol.deadline_ms;
   add_zigzag buf r.Protocol.mc_trials;
   add_u8 buf (if r.Protocol.wire_sizing then 1 else 0);
+  add_zigzag buf r.Protocol.samples;
+  add_f64 buf r.Protocol.relax;
   let tree = encode_tree r.Protocol.tree in
   add_varint buf (String.length tree);
   Buffer.add_string buf tree;
@@ -381,25 +383,56 @@ let read_request_head r =
   let deadline_ms = get_zigzag r "deadline_ms" in
   let mc_trials = get_zigzag r "mc" in
   let wire_sizing = get_bool r "wire_sizing" in
+  let samples = get_zigzag r "samples" in
+  let relax = get_f64 r "relax" in
   let tree_len = get_varint r "tree length" in
   need r tree_len "tree blob";
   if r.pos + tree_len <> r.limit then
     failwith "binary payload: trailing bytes after the tree blob";
-  (id, seed, mode, rule, deadline_ms, mc_trials, wire_sizing, tree_len)
+  ( id,
+    seed,
+    mode,
+    rule,
+    deadline_ms,
+    mc_trials,
+    wire_sizing,
+    samples,
+    relax,
+    tree_len )
 
 let decode_request s =
   let r = reader s in
-  let id, seed, mode, rule, deadline_ms, mc_trials, wire_sizing, tree_len =
+  let ( id,
+        seed,
+        mode,
+        rule,
+        deadline_ms,
+        mc_trials,
+        wire_sizing,
+        samples,
+        relax,
+        tree_len ) =
     read_request_head r
   in
   let tr = reader ~pos:r.pos ~limit:(r.pos + tree_len) s in
   let tree = read_tree tr in
   expect_end tr "tree";
-  { Protocol.id; seed; mode; rule; deadline_ms; mc_trials; wire_sizing; tree }
+  {
+    Protocol.id;
+    seed;
+    mode;
+    rule;
+    deadline_ms;
+    mc_trials;
+    wire_sizing;
+    samples;
+    relax;
+    tree;
+  }
 
 let request_tree_span s =
   let r = reader s in
-  let _, _, _, _, _, _, _, tree_len = read_request_head r in
+  let _, _, _, _, _, _, _, _, _, tree_len = read_request_head r in
   (r.pos, tree_len)
 
 let request_id s =
@@ -423,6 +456,14 @@ let encode_response (r : Protocol.response) =
   add_f64 buf r.Protocol.root_mean;
   add_f64 buf r.Protocol.root_std;
   add_f64 buf r.Protocol.root_yield95;
+  (match r.Protocol.sampled with
+  | None -> add_u8 buf 0
+  | Some s ->
+    add_u8 buf 1;
+    add_varint buf s.Protocol.s_k;
+    add_f64 buf s.Protocol.s_mean;
+    add_f64 buf s.Protocol.s_std;
+    add_f64 buf s.Protocol.s_rat_at_yield);
   (match r.Protocol.mc with
   | None -> add_u8 buf 0
   | Some (mean, std) ->
@@ -441,6 +482,16 @@ let decode_response s =
   let root_mean = get_f64 r "root_mean" in
   let root_std = get_f64 r "root_std" in
   let root_yield95 = get_f64 r "root_yield95" in
+  let sampled =
+    if get_bool r "sampled flag" then begin
+      let s_k = get_varint r "sample_k" in
+      let s_mean = get_f64 r "sample_mean" in
+      let s_std = get_f64 r "sample_std" in
+      let s_rat_at_yield = get_f64 r "sample_yield_rat" in
+      Some { Protocol.s_k; s_mean; s_std; s_rat_at_yield }
+    end
+    else None
+  in
   let mc =
     if get_bool r "mc flag" then begin
       let mean = get_f64 r "mc_mean" in
@@ -459,6 +510,7 @@ let decode_response s =
     root_mean;
     root_std;
     root_yield95;
+    sampled;
     mc;
     assignment;
   }

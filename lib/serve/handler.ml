@@ -21,20 +21,48 @@ let compute ?pool ?deadline_s (req : Protocol.request) =
   let budget =
     { Bufins.Engine.max_candidates = None; max_seconds = deadline_s }
   in
-  let r =
-    Experiments.Common.run_algo setup ~rule:req.Protocol.rule ~budget
-      ~wire_sizing:req.Protocol.wire_sizing ~spatial ~grid req.Protocol.mode
-      tree
+  (* samples > 0 routes to the sampling-based yield engine; the
+     request's [rule] only applies to the canonical path.  Either way
+     the response's root_* fields report the canonical evaluation of
+     the chosen assignment under the full WID model, so a sampled
+     response carries its own canonical-vs-sampled cross-validation. *)
+  let assignment, stats, sampled =
+    if req.Protocol.samples > 0 then begin
+      let r =
+        Experiments.Common.run_sampled setup ~budget
+          ~wire_sizing:req.Protocol.wire_sizing ~samples:req.Protocol.samples
+          ~relax:req.Protocol.relax ~seed:req.Protocol.seed ~spatial ~grid
+          req.Protocol.mode tree
+      in
+      ( {
+          Bufins.Assignment.buffers = r.Sample.Engine.buffers;
+          widths = r.Sample.Engine.widths;
+        },
+        r.Sample.Engine.stats,
+        Some
+          {
+            Protocol.s_k = req.Protocol.samples;
+            s_mean = r.Sample.Engine.sampled_mean;
+            s_std = r.Sample.Engine.sampled_std;
+            s_rat_at_yield = r.Sample.Engine.rat_at_yield;
+          } )
+    end
+    else begin
+      let r =
+        Experiments.Common.run_algo setup ~rule:req.Protocol.rule ~budget
+          ~wire_sizing:req.Protocol.wire_sizing ~spatial ~grid
+          req.Protocol.mode tree
+      in
+      (Bufins.Assignment.of_result r, r.Bufins.Engine.stats, None)
+    end
   in
-  let form =
-    Experiments.Common.evaluate setup ~spatial ~grid tree
-      ~widths:r.Bufins.Engine.widths r.Bufins.Engine.buffers
-  in
+  let widths = assignment.Bufins.Assignment.widths in
+  let buffers = assignment.Bufins.Assignment.buffers in
+  let form = Experiments.Common.evaluate setup ~spatial ~grid tree ~widths buffers in
   let mc =
     if req.Protocol.mc_trials > 0 then begin
       let inst =
-        Experiments.Common.instance_for setup ~spatial ~grid tree
-          ~widths:r.Bufins.Engine.widths r.Bufins.Engine.buffers
+        Experiments.Common.instance_for setup ~spatial ~grid tree ~widths buffers
       in
       let samples =
         Experiments.Common.mc_samples setup inst ~seed:req.Protocol.seed
@@ -47,14 +75,15 @@ let compute ?pool ?deadline_s (req : Protocol.request) =
   in
   {
     Protocol.r_id = req.Protocol.id;
-    nodes = r.Bufins.Engine.stats.Bufins.Engine.nodes;
-    peak_candidates = r.Bufins.Engine.stats.Bufins.Engine.peak_candidates;
-    total_candidates = r.Bufins.Engine.stats.Bufins.Engine.total_candidates;
+    nodes = stats.Bufins.Engine.nodes;
+    peak_candidates = stats.Bufins.Engine.peak_candidates;
+    total_candidates = stats.Bufins.Engine.total_candidates;
     root_mean = Linform.mean form;
     root_std = Linform.std form;
     root_yield95 = Sta.Yield.rat_at_yield form ~yield:0.95;
+    sampled;
     mc;
-    assignment = Bufins.Assignment.of_result r;
+    assignment;
   }
 
 let run ?pool ?cache ?metrics ?deadline_s (req : Protocol.request) =

@@ -113,6 +113,13 @@ let render t =
   if total > 0 then begin
     Printf.bprintf buf "latency_ms_mean %.1f\n" (t.lat_sum /. float_of_int total);
     Printf.bprintf buf "latency_ms_max %.1f\n" t.lat_max;
+    (* Histogram-estimated tails, exact to within one 500 ms bin. *)
+    Printf.bprintf buf "latency_ms_p50 %.1f\n"
+      (Numeric.Histogram.percentile t.hist 0.50);
+    Printf.bprintf buf "latency_ms_p95 %.1f\n"
+      (Numeric.Histogram.percentile t.hist 0.95);
+    Printf.bprintf buf "latency_ms_p99 %.1f\n"
+      (Numeric.Histogram.percentile t.hist 0.99);
     for i = 0 to Numeric.Histogram.bins t.hist - 1 do
       let count = Numeric.Histogram.bin_count t.hist i in
       if count > 0 then

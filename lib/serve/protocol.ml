@@ -35,6 +35,8 @@ type request = {
   deadline_ms : int;
   mc_trials : int;
   wire_sizing : bool;
+  samples : int;
+  relax : float;
   tree : Rctree.Tree.t;
 }
 
@@ -47,6 +49,8 @@ let default_request ~tree =
     deadline_ms = 0;
     mc_trials = 0;
     wire_sizing = false;
+    samples = 0;
+    relax = 1.0;
     tree;
   }
 
@@ -76,8 +80,14 @@ let encode_request r =
   let buf = Buffer.create 1024 in
   Printf.bprintf buf "id %d\nseed %d\nmode %s\n" r.id r.seed (mode_name r.mode);
   encode_rule buf r.rule;
-  Printf.bprintf buf "deadline_ms %d\nmc %d\nwire_sizing %b\ntree\n"
-    r.deadline_ms r.mc_trials r.wire_sizing;
+  Printf.bprintf buf "deadline_ms %d\nmc %d\nwire_sizing %b\n" r.deadline_ms
+    r.mc_trials r.wire_sizing;
+  (* Sample-mode fields are omitted at their defaults so requests that
+     do not use the sample engine encode to the exact bytes v1 clients
+     sent before the fields existed (cache keys included). *)
+  if r.samples <> 0 then Printf.bprintf buf "samples %d\n" r.samples;
+  if r.relax <> 1.0 then Printf.bprintf buf "relax %.17g\n" r.relax;
+  Buffer.add_string buf "tree\n";
   Buffer.add_string buf (Rctree.Io.to_string r.tree);
   Buffer.contents buf
 
@@ -143,6 +153,7 @@ let decode_request text =
   let fields, tree_text = split_at_marker ~marker:"tree" text in
   let id = ref 0 and seed = ref 1 and deadline = ref 0 and mc = ref 0 in
   let wire_sizing = ref false in
+  let samples = ref 0 and relax = ref 1.0 in
   let mode = ref Experiments.Common.Wid in
   let rule_name = ref "2p" in
   let rule_params : (string * float) list ref = ref [] in
@@ -154,6 +165,8 @@ let decode_request text =
       | "deadline_ms" -> deadline := int_value lineno key v
       | "mc" -> mc := int_value lineno key v
       | "wire_sizing" -> wire_sizing := bool_value lineno key v
+      | "samples" -> samples := int_value lineno key v
+      | "relax" -> relax := float_value lineno key v
       | "mode" -> (
         try mode := mode_of_name v
         with Failure m -> failwith (Printf.sprintf "line %d: %s" lineno m))
@@ -198,8 +211,17 @@ let decode_request text =
     deadline_ms = !deadline;
     mc_trials = !mc;
     wire_sizing = !wire_sizing;
+    samples = !samples;
+    relax = !relax;
     tree;
   }
+
+type sampled = {
+  s_k : int;
+  s_mean : float;
+  s_std : float;
+  s_rat_at_yield : float;
+}
 
 type response = {
   r_id : int;
@@ -209,6 +231,7 @@ type response = {
   root_mean : float;
   root_std : float;
   root_yield95 : float;
+  sampled : sampled option;
   mc : (float * float) option;
   assignment : Bufins.Assignment.t;
 }
@@ -219,6 +242,12 @@ let encode_response r =
     r.r_id r.nodes r.peak_candidates r.total_candidates;
   Printf.bprintf buf "root_mean %.17g\nroot_std %.17g\nroot_yield95 %.17g\n"
     r.root_mean r.root_std r.root_yield95;
+  (match r.sampled with
+  | Some s ->
+    Printf.bprintf buf
+      "sample_k %d\nsample_mean %.17g\nsample_std %.17g\nsample_yield_rat %.17g\n"
+      s.s_k s.s_mean s.s_std s.s_rat_at_yield
+  | None -> ());
   (match r.mc with
   | Some (mean, std) -> Printf.bprintf buf "mc_mean %.17g\nmc_std %.17g\n" mean std
   | None -> ());
@@ -231,6 +260,8 @@ let decode_response text =
   let r_id = ref 0 and nodes = ref 0 and peak = ref 0 and total = ref 0 in
   let root_mean = ref nan and root_std = ref nan and root_yield95 = ref nan in
   let mc_mean = ref None and mc_std = ref None in
+  let s_k = ref None and s_mean = ref nan and s_std = ref nan in
+  let s_rat_at_yield = ref nan in
   List.iter
     (fun (lineno, key, v) ->
       match key with
@@ -243,6 +274,10 @@ let decode_response text =
       | "root_yield95" -> root_yield95 := float_value lineno key v
       | "mc_mean" -> mc_mean := Some (float_value lineno key v)
       | "mc_std" -> mc_std := Some (float_value lineno key v)
+      | "sample_k" -> s_k := Some (int_value lineno key v)
+      | "sample_mean" -> s_mean := float_value lineno key v
+      | "sample_std" -> s_std := float_value lineno key v
+      | "sample_yield_rat" -> s_rat_at_yield := float_value lineno key v
       | _ ->
         failwith (Printf.sprintf "line %d: unknown response field %S" lineno key))
     fields;
@@ -258,6 +293,17 @@ let decode_response text =
     root_mean = !root_mean;
     root_std = !root_std;
     root_yield95 = !root_yield95;
+    sampled =
+      (match !s_k with
+      | Some k ->
+        Some
+          {
+            s_k = k;
+            s_mean = !s_mean;
+            s_std = !s_std;
+            s_rat_at_yield = !s_rat_at_yield;
+          }
+      | None -> None);
     mc =
       (match (!mc_mean, !mc_std) with
       | Some m, Some s -> Some (m, s)

@@ -70,12 +70,23 @@ type request = {
   deadline_ms : int;  (** wall-clock deadline; 0 = none *)
   mc_trials : int;  (** extra Monte-Carlo evaluation; 0 = skip *)
   wire_sizing : bool;
+  samples : int;
+      (** > 0 routes the request to the sampling-based yield engine
+          ({!Sample.Engine}) with K = [samples] process corners drawn
+          from [seed]; 0 (the default) uses the canonical engine with
+          [rule].  Omitted from the v1 encoding when 0, so pre-sample
+          requests keep their exact historical bytes (and cache
+          keys). *)
+  relax : float;
+      (** sample-dominance relaxation forwarded to the sample engine
+          (1 = exact full dominance); ignored when [samples = 0] and
+          omitted from the v1 encoding when 1. *)
   tree : Rctree.Tree.t;
 }
 
 val default_request : tree:Rctree.Tree.t -> request
 (** id 0, seed 1, WID, 2P(0.5, 0.5), no deadline, no MC, no wire
-    sizing. *)
+    sizing, no sampling ([samples = 0], [relax = 1]). *)
 
 val encode_request : request -> string
 
@@ -86,6 +97,17 @@ val decode_request : string -> request
 
 (** {1 Responses} *)
 
+type sampled = {
+  s_k : int;  (** K: sample count the engine ran with *)
+  s_mean : float;  (** mean of the sampled driver-output RATs, ps *)
+  s_std : float;
+  s_rat_at_yield : float;
+      (** the sampled (1 − yield)-quantile RAT — the measured
+          counterpart of [root_yield95] *)
+}
+(** Sample-engine figures, present iff the request had
+    [samples > 0]. *)
+
 type response = {
   r_id : int;
   nodes : int;
@@ -94,6 +116,7 @@ type response = {
   root_mean : float;  (** mean root RAT under the full model, ps *)
   root_std : float;
   root_yield95 : float;  (** the paper's 95%-yield RAT *)
+  sampled : sampled option;
   mc : (float * float) option;  (** Monte-Carlo (mean, std) if requested *)
   assignment : Bufins.Assignment.t;
 }

@@ -65,6 +65,20 @@ for _ in $(seq 1 100); do [ -S "$CSOCK" ] && break; sleep 0.1; done
   --deadline-ms 120000 --save-buffering "$BUF2" >/dev/null
 cmp "$BUF1" "$BUF2" || { echo "FAIL: v1 and v2 bufferings differ"; exit 1; }
 
+# The same pair again in sample mode: the sampling-based yield engine
+# served through the router, v1 text vs v2 binary, must agree byte for
+# byte and report its sampled yield figures.
+sout=$("$BIN" request --socket "$CSOCK" --wire v1 --sinks 12 --seed 5 \
+  --algo wid --samples 128 --deadline-ms 120000 --save-buffering "$BUF1")
+echo "$sout" | grep -q "sampled driver RAT (K=128)" \
+  || { echo "FAIL: v1 sample response missing sampled line"; exit 1; }
+"$BIN" request --tcp "$PORT" --wire v2 --sinks 12 --seed 5 \
+  --algo wid --samples 128 --deadline-ms 120000 --save-buffering "$BUF2" \
+  | grep -q "sampled driver RAT (K=128)" \
+  || { echo "FAIL: v2 sample response missing sampled line"; exit 1; }
+cmp "$BUF1" "$BUF2" \
+  || { echo "FAIL: sample-mode v1 and v2 bufferings differ"; exit 1; }
+
 # A short closed-loop load through the router in v2 binary.
 lg=$("$LOADGEN" --socket "$CSOCK" --wire v2 --connections 2 --requests 20 \
   --distinct 4 --sinks 12)
@@ -73,8 +87,8 @@ grep -q "^ok 20 " <<<"$lg"
 
 cstats=$("$BIN" stats --tcp "$PORT" --wire v2 --socket "$CSOCK")
 grep -qx "cluster_shards 2" <<<"$cstats"
-grep -qx "ok 22" <<<"$cstats"
-grep -q "^kind_request 22" <<<"$cstats"
+grep -qx "ok 24" <<<"$cstats"
+grep -q "^kind_request 24" <<<"$cstats"
 grep -q "^cluster_shard_0_links " <<<"$cstats"
 
 "$BIN" shutdown --socket "$CSOCK"

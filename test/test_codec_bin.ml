@@ -42,7 +42,11 @@ let request_gen =
     and* rule = rule_gen
     and* deadline_ms = int_range 0 100_000
     and* mc_trials = int_range 0 1000
-    and* wire_sizing = bool in
+    and* wire_sizing = bool
+    (* 0 (the pre-sample default, omitted from the v1 encoding) must
+       stay common so the historical-bytes path is exercised. *)
+    and* samples = oneof [ return 0; int_range 1 4096 ]
+    and* relax = oneof [ return 1.0; float_range 0.25 4.0 ] in
     return
       {
         Serve.Protocol.id;
@@ -52,6 +56,8 @@ let request_gen =
         deadline_ms;
         mc_trials;
         wire_sizing;
+        samples;
+        relax;
         tree;
       })
 
@@ -69,6 +75,13 @@ let response_gen =
     and* root_mean = finite_float
     and* root_std = float_range 0.0 1e6
     and* root_yield95 = finite_float
+    and* sampled =
+      option
+        (let* s_k = int_range 1 4096
+         and* s_mean = finite_float
+         and* s_std = float_range 0.0 1e6
+         and* s_rat_at_yield = finite_float in
+         return { Serve.Protocol.s_k; s_mean; s_std; s_rat_at_yield })
     and* mc =
       option (let* m = finite_float and* s = float_range 0.0 1e6 in
               return (m, s))
@@ -82,6 +95,7 @@ let response_gen =
         root_mean;
         root_std;
         root_yield95;
+        sampled;
         mc;
         assignment;
       })

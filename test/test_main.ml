@@ -11,6 +11,7 @@ let () =
       ("bufins", Test_bufins.suite);
       ("sta", Test_sta.suite);
       ("experiments", Test_experiments.suite);
+      ("sample", Test_sample.suite);
       ("wire_formats", Test_wire_formats.suite);
       ("codec_bin", Test_codec_bin.suite);
       ("serve", Test_serve.suite);

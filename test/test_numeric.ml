@@ -259,6 +259,38 @@ let test_histogram_outliers_clamped () =
   Alcotest.(check int) "high outlier" 1 (Numeric.Histogram.bin_count h 9);
   Alcotest.(check int) "total" 2 (Numeric.Histogram.total h)
 
+let test_histogram_percentile () =
+  (* 1000 uniform samples over [0, 1000) in 100 bins: every estimate
+     must land within one bin width of the exact quantile. *)
+  let h = Numeric.Histogram.create ~lo:0.0 ~hi:1000.0 ~bins:100 in
+  for i = 0 to 999 do
+    Numeric.Histogram.add h (float_of_int i +. 0.5)
+  done;
+  List.iter
+    (fun p ->
+      let exact = p *. 1000.0 in
+      let est = Numeric.Histogram.percentile h p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f within a bin (got %.1f)" (100.0 *. p) est)
+        true
+        (Float.abs (est -. exact) <= 10.0))
+    [ 0.0; 0.01; 0.5; 0.95; 0.99; 1.0 ];
+  (* A single-sample histogram: every quantile falls in its bin. *)
+  let one = Numeric.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  Numeric.Histogram.add one 4.2;
+  let est = Numeric.Histogram.percentile one 0.5 in
+  Alcotest.(check bool) "single sample stays in its bin" true
+    (est >= 4.0 && est <= 5.0);
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Histogram.percentile: empty histogram") (fun () ->
+      ignore
+        (Numeric.Histogram.percentile
+           (Numeric.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:2)
+           0.5));
+  Alcotest.check_raises "domain"
+    (Invalid_argument "Histogram.percentile: p must be in [0, 1]") (fun () ->
+      ignore (Numeric.Histogram.percentile one 1.5))
+
 let test_histogram_validation () =
   Alcotest.check_raises "bins > 0"
     (Invalid_argument "Histogram.create: bins must be > 0") (fun () ->
@@ -441,6 +473,7 @@ let suite =
     Alcotest.test_case "histogram clamps outliers" `Quick
       test_histogram_outliers_clamped;
     Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+    Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
     Alcotest.test_case "pmf construction" `Quick test_pmf_construction;
     Alcotest.test_case "pmf of_normal moments" `Quick test_pmf_of_normal_moments;
     Alcotest.test_case "pmf add independent" `Quick test_pmf_add_independent;
