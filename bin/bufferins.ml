@@ -70,8 +70,8 @@ let dump_obs ~obs ~trace =
   end
 
 let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
-    wire_sizing save_buffering load_limit jobs par_grain samples relax obs
-    trace =
+    wire_sizing save_buffering load_limit jobs par_grain samples relax use_tape
+    obs trace =
   if obs || trace <> None then Obs.Control.enable ();
   let source =
     match (bench, sinks, htree, file) with
@@ -138,11 +138,15 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
           Format.printf "tree written to %s@." path)
         save_tree;
       try
+        (* --tape lowers the tree to a flat instruction tape first and
+           runs the DP through the interpreter; results are
+           byte-identical to the tree walk. *)
+        let tape = if use_tape then Some (Compile.Tape.compile tree) else None in
         let buffers, widths, stats, load_limit_met, label, sampled =
           if rule_s = "sample" then begin
             let r =
               Experiments.Common.run_sampled setup ~wire_sizing ?load_limit
-                ~samples ~relax ~seed ~spatial ~grid algo tree
+                ~samples ~relax ~seed ?tape ~spatial ~grid algo tree
             in
             ( r.Sample.Engine.buffers,
               r.Sample.Engine.widths,
@@ -157,7 +161,7 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
           else begin
             let r =
               Experiments.Common.run_algo setup ~rule ~wire_sizing ?load_limit
-                ~spatial ~grid algo tree
+                ?tape ~spatial ~grid algo tree
             in
             ( r.Bufins.Engine.buffers,
               r.Bufins.Engine.widths,
@@ -297,6 +301,20 @@ let relax_arg =
                ceil(R*K) samples.  1 (default) is exact full dominance; \
                above 1 disables pruning (brute force).")
 
+let tape_arg =
+  Arg.(value & vflag false
+         [
+           ( true,
+             info [ "tape" ]
+               ~doc:"Precompile the tree to a flat instruction tape and run \
+                     the DP through the tape interpreter.  Byte-identical \
+                     results; the lowering cost is paid once, which wins \
+                     when the same topology is optimised repeatedly." );
+           ( false,
+             info [ "no-tape" ]
+               ~doc:"Walk the tree directly (the default)." );
+         ])
+
 let obs_arg =
   Arg.(value & flag & info [ "obs" ]
          ~doc:"Enable observability (spans + counters) and print a text \
@@ -318,6 +336,7 @@ let cmd =
       const run $ bench_arg $ sinks_arg $ htree_arg $ file_arg $ algo_arg
       $ rule_arg $ p_arg $ seed_arg $ mc_arg $ homogeneous_arg $ save_arg
       $ wire_sizing_arg $ save_buffering_arg $ load_limit_arg $ jobs_arg
-      $ par_grain_arg $ samples_arg $ relax_arg $ obs_arg $ trace_arg)
+      $ par_grain_arg $ samples_arg $ relax_arg $ tape_arg $ obs_arg
+      $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -36,8 +36,8 @@ let resolve_addr socket tcp =
 
 (* ---------- start ---------- *)
 
-let start socket tcp_port jobs queue_depth max_request_bytes cache_entries obs
-    trace =
+let start socket tcp_port jobs queue_depth max_request_bytes cache_entries
+    tape_entries obs trace =
   if obs || trace <> None then Obs.Control.enable ();
   let stop = Atomic.make false in
   let handle = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
@@ -51,14 +51,16 @@ let start socket tcp_port jobs queue_depth max_request_bytes cache_entries obs
       queue_depth;
       max_payload = max_request_bytes;
       cache_entries;
+      tape_entries;
     }
   in
-  Printf.printf "varbuf-serve: listening on %s%s (jobs=%d, queue=%d, cache=%d)\n%!"
+  Printf.printf
+    "varbuf-serve: listening on %s%s (jobs=%d, queue=%d, cache=%d, tapes=%d)\n%!"
     socket
     (match tcp_port with
     | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
     | None -> "")
-    jobs queue_depth cache_entries;
+    jobs queue_depth cache_entries tape_entries;
   (try Serve.Server.run ~should_stop:(fun () -> Atomic.get stop) config
    with Unix.Unix_error (e, fn, arg) ->
      prerr_endline
@@ -103,6 +105,13 @@ let start_cmd =
                  are answered from memory byte-identically.  0 disables \
                  caching.")
   in
+  let tape_arg =
+    Arg.(value & opt int 128 & info [ "tape-entries" ] ~docv:"N"
+           ~doc:"Compiled-tape cache capacity (LRU, keyed by topology \
+                 digest); warm topologies skip per-net tape compilation \
+                 and, on the v2 wire, the tree decode.  0 disables the \
+                 tape cache.")
+  in
   let obs_arg =
     Arg.(value & flag & info [ "obs" ]
            ~doc:"Enable observability: stats replies gain obs_* lines \
@@ -118,12 +127,12 @@ let start_cmd =
     (Cmd.info "start" ~doc:"run the buffering daemon (foreground)")
     Term.(
       const start $ socket_arg $ tcp_listen_arg $ jobs_arg $ queue_arg
-      $ max_bytes_arg $ cache_arg $ obs_arg $ trace_arg)
+      $ max_bytes_arg $ cache_arg $ tape_arg $ obs_arg $ trace_arg)
 
 (* ---------- cluster ---------- *)
 
 let cluster socket tcp_port shards jobs_per_shard queue_depth
-    max_request_bytes cache_entries conns_per_shard =
+    max_request_bytes cache_entries tape_entries conns_per_shard v1_cache =
   let stop = Atomic.make false in
   let handle = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
   Sys.set_signal Sys.sigint handle;
@@ -135,9 +144,11 @@ let cluster socket tcp_port shards jobs_per_shard queue_depth
       tcp_port;
       jobs_per_shard;
       cache_entries;
+      tape_entries;
       queue_depth;
       conns_per_shard;
       max_payload = max_request_bytes;
+      v1_cache;
     }
   in
   Printf.printf
@@ -180,16 +191,29 @@ let cluster_cmd =
     Arg.(value & opt int 128 & info [ "cache-entries" ] ~docv:"N"
            ~doc:"Result-cache capacity per worker; 0 disables caching.")
   in
+  let tape_arg =
+    Arg.(value & opt int 128 & info [ "tape-entries" ] ~docv:"N"
+           ~doc:"Compiled-tape cache capacity per worker (LRU, keyed by \
+                 topology digest); 0 disables the tape cache.")
+  in
   let conns_arg =
     Arg.(value & opt int 4 & info [ "conns-per-shard" ] ~docv:"N"
            ~doc:"Router links (= max concurrent requests) per worker.")
+  in
+  let v1_cache_arg =
+    Arg.(value & opt int 128 & info [ "v1-cache" ] ~docv:"N"
+           ~doc:"Router v1-to-v2 transcode cache capacity (LRU); repeated \
+                 v1 request bodies skip the text decode, binary encode and \
+                 shard digest.  0 disables the fast path.  Capacity and \
+                 hit/miss totals appear as cluster_v1_cache_* stats lines.")
   in
   Cmd.v
     (Cmd.info "cluster"
        ~doc:"run a sharded multi-process cluster (router + N workers)")
     Term.(
       const cluster $ socket_arg $ tcp_listen_arg $ shards_arg $ jobs_arg
-      $ queue_arg $ max_bytes_arg $ cache_arg $ conns_arg)
+      $ queue_arg $ max_bytes_arg $ cache_arg $ tape_arg $ conns_arg
+      $ v1_cache_arg)
 
 (* ---------- request ---------- *)
 

@@ -146,12 +146,10 @@ let default_grain = 64
 let obs_nodes = Obs.Counters.counter Obs.Counters.global "dp.nodes"
 let obs_merged = Obs.Counters.counter Obs.Counters.global "dp.merged"
 
-let run ?pool ?(grain = default_grain) config ~model tree =
-  (* Wall-clock, not [Sys.time]: CPU time sums over domains, so it
-     over-counts budgets and runtimes as soon as anything else runs in
-     parallel with the DP. *)
-  let t_start = Unix.gettimeofday () in
-  let tech = config.tech in
+(* Budget checks, shared verbatim by the tree walk and the tape
+   interpreter so both raise with identical messages at identical
+   points. *)
+let make_checks config ~t_start =
   let check_time () =
     match config.budget.max_seconds with
     | Some limit when Unix.gettimeofday () -. t_start > limit ->
@@ -166,269 +164,139 @@ let run ?pool ?(grain = default_grain) config ~model tree =
            (Printf.sprintf "candidate limit %d exceeded at %s (%d)" limit where n))
     | _ -> ()
   in
-  let n = Rctree.Tree.node_count tree in
-  let results : Sol.t array array = Array.make n [||] in
-  (* Atomics, not refs: subtree tasks on different domains bump them
-     concurrently.  Max and sum commute, so the reported stats are
-     identical at any job count. *)
-  let peak = Atomic.make 0 in
-  let total = Atomic.make 0 in
-  let wire_variation = Varmodel.Model.wire_frac model > 0.0 in
-  let post = Rctree.Tree.postorder tree in
-  (* Deterministic device-id pre-pass.  The model hands out variation
-     source ids from a mutable counter, and the output bytes depend on
-     them; consuming them inside the DP would make ids — and therefore
-     results — depend on task scheduling.  Instead, walk the tree in
-     the exact order the sequential DP consumes ids (postorder; per
-     non-sink node its child edges in order; per edge one wire CMP id
-     when wire variation is on, then one id per library buffer) and
-     record each edge's first id.  The DP below computes ids from this
-     base, so any schedule produces the bytes the sequential walk
-     does — and the model's counter advances exactly as before. *)
+  (check_time, check_count)
+
+(* Stage the wired lifts of a child frontier into the domain arena.
+   [wire_rc] holds one (r, c) canonical-form pair per wire width when
+   the wire parasitics themselves vary, and is empty otherwise.
+   Returns the staging buffer and the staged count. *)
+let stage_wired config ~wire_rc ~child ~length (sols : Sol.t array) =
+  let arena = Arena.get () in
+  let ns = Array.length sols in
+  let nw = Array.length config.wires * ns in
+  let wired = Arena.stage_a arena nw ~dummy:sols.(0) in
+  (if Array.length wire_rc > 0 then
+     for k = 0 to nw - 1 do
+       let width = k / ns in
+       let r_form, c_form = wire_rc.(width) in
+       wired.(k) <-
+         lift_wire_var ~node:child ~width ~length ~r_form ~c_form
+           sols.(k mod ns)
+     done
+   else
+     for k = 0 to nw - 1 do
+       let width = k / ns in
+       wired.(k) <-
+         lift_wire config.wires.(width) ~node:child ~width ~length
+           sols.(k mod ns)
+     done);
+  (wired, nw)
+
+(* Stage the buffered variants on top of the wired candidates and
+   prune.  [buf_forms] is the edge's device template: one
+   (cap form, delay form, resistance) triple per library buffer.  The
+   pruner's input replicates the historical generation order — wired
+   candidates reversed, then one buffered variant per library type for
+   each drivable wired candidate — so that the stable sort keeps the
+   same representative among exact duplicates. *)
+let insert_and_prune config ~buf_forms ~child ~wired ~nw =
+  let arena = Arena.get () in
   let nlib = Array.length config.library in
-  let ids_per_edge = (if wire_variation then 1 else 0) + nlib in
-  let device_base = Array.make n (-1) in
-  Array.iter
-    (fun id ->
-      if not (Rctree.Tree.is_sink tree id) then
-        List.iter
-          (fun (child, _length) ->
-            device_base.(child) <- Varmodel.Model.fresh_device_id model;
-            for _ = 2 to ids_per_edge do
-              ignore (Varmodel.Model.fresh_device_id model)
-            done)
-          (Rctree.Tree.children tree id))
-    post;
-  (* Per-site data below is written and read only by the one task that
-     owns the node (the site of an edge is the parent's node id), so
-     the plain array is race-free under the scheduler. *)
-  let sites : Varmodel.Model.site option array = Array.make n None in
-  let site_at id =
-    match sites.(id) with
-    | Some s -> s
-    | None ->
-      let x, y = Rctree.Tree.position tree id in
-      let s = Varmodel.Model.site model ~x ~y in
-      sites.(id) <- Some s;
-      s
+  let drivable (s : Sol.t) =
+    match config.load_limit with
+    | None -> true
+    | Some limit -> Sol.mean_load s <= limit
   in
-  (* Lift a child's candidate set through the edge above it: wire-only
-     candidates plus one buffered variant per library type.  The
-     buffer's canonical forms are built once per (site, type): the same
-     physical device serves every candidate that buffers here, so all
-     of them share its variation sources.  The location-dependent part
-     of those forms (spatial weights, heterogeneity ramp) depends only
-     on the site's coordinates, so it is computed once per node and
-     shared by every edge hanging under it.  Candidates are staged in
-     the domain's arena buffers — only the pruned frontier is a fresh
-     allocation. *)
-  let lift ~child ~length (sols : Sol.t array) =
-    let obs = Obs.Control.on () in
-    let t0 = if obs then Obs.Span.now_ns () else 0 in
-    let arena = Arena.get () in
-    let site_node =
-      match Rctree.Tree.parent tree child with Some p -> p | None -> child
+  let ndrivable = ref 0 in
+  for i = 0 to nw - 1 do
+    if drivable wired.(i) then incr ndrivable
+  done;
+  let ncand = nw + (!ndrivable * nlib) in
+  let cand = Arena.stage_b arena ncand ~dummy:wired.(0) in
+  for i = 0 to nw - 1 do
+    cand.(nw - 1 - i) <- wired.(i)
+  done;
+  let k = ref nw in
+  for i = 0 to nw - 1 do
+    if drivable wired.(i) then
+      for buffer_index = 0 to nlib - 1 do
+        let cb_form, tb_form, res = buf_forms.(buffer_index) in
+        cand.(!k) <-
+          insert_buffer ~node:child ~buffer_index ~cb_form ~tb_form ~res
+            wired.(i);
+        incr k
+      done
+  done;
+  Prune.prune_sub config.rule cand ncand
+
+(* Combine the lifted child frontiers at a node: pass-through below a
+   degree-1 node, linear or cross-product merge plus a prune at a
+   Steiner point.  Identical on the tree-walking and tape paths;
+   [where] lets the tape supply its precompiled budget-check label. *)
+let combine_lifted ?where config ~node ~check_count ~check_time
+    (lifted : Sol.t array array) =
+  if Array.length lifted = 1 then lifted.(0)
+  else begin
+    assert (Array.length lifted = 2);
+    let merged =
+      if Prune.is_linear config.rule then
+        merge_linear ~node lifted.(0) lifted.(1)
+      else
+        merge_cross ~node
+          ~check:(fun c ->
+            check_count
+              ~where:
+                (match where with
+                | Some w -> w
+                | None -> Printf.sprintf "merge at node %d" node)
+              c;
+            (* A 4P cross product is quadratic: without a deadline
+               check inside the candidate loop, one pathological merge
+               can overshoot a serve deadline by its whole runtime. *)
+            if c land 1023 = 0 then check_time ())
+          lifted.(0) lifted.(1)
     in
-    let ns = Array.length sols in
-    let nw = Array.length config.wires * ns in
-    let wired = Arena.stage_a arena nw ~dummy:sols.(0) in
-    (if wire_variation then begin
-       (* One CMP source per physical edge, shared by all widths. *)
-       let edge_id = device_base.(child) in
-       let bx, by = Rctree.Tree.position tree site_node in
-       let cx, cy = Rctree.Tree.position tree child in
-       let mx = 0.5 *. (bx +. cx) and my = 0.5 *. (by +. cy) in
-       let forms =
-         Array.map
-           (fun wire ->
-             Varmodel.Model.wire_forms model ~edge_id ~x:mx ~y:my
-               ~r0:wire.Device.Wire_lib.res_per_um
-               ~c0:wire.Device.Wire_lib.cap_per_um)
-           config.wires
-       in
-       for k = 0 to nw - 1 do
-         let width = k / ns in
-         let r_form, c_form = forms.(width) in
-         wired.(k) <-
-           lift_wire_var ~node:child ~width ~length ~r_form ~c_form
-             sols.(k mod ns)
-       done
-     end
-     else
-       for k = 0 to nw - 1 do
-         let width = k / ns in
-         wired.(k) <-
-           lift_wire config.wires.(width) ~node:child ~width ~length
-             sols.(k mod ns)
-       done);
-    let psite = site_at site_node in
-    let buf_base = device_base.(child) + if wire_variation then 1 else 0 in
-    let site_forms =
-      Array.init nlib (fun bi ->
-          let b = config.library.(bi) in
-          let device_id = buf_base + bi in
-          let cb =
-            Varmodel.Model.site_device_form model psite ~device_id
-              ~nominal:b.Device.Buffer.cap_ff
-          in
-          let tb =
-            Varmodel.Model.site_device_form model psite ~device_id
-              ~nominal:b.Device.Buffer.delay_ps
-          in
-          (cb, tb, b.Device.Buffer.res_kohm))
-    in
-    let drivable (s : Sol.t) =
-      match config.load_limit with
-      | None -> true
-      | Some limit -> Sol.mean_load s <= limit
-    in
-    (* The pruner's input replicates the historical generation order —
-       wired candidates reversed, then one buffered variant per library
-       type for each drivable wired candidate — so that the stable sort
-       keeps the same representative among exact duplicates. *)
-    let ndrivable = ref 0 in
-    for i = 0 to nw - 1 do
-      if drivable wired.(i) then incr ndrivable
-    done;
-    let ncand = nw + (!ndrivable * nlib) in
-    let cand = Arena.stage_b arena ncand ~dummy:wired.(0) in
-    for i = 0 to nw - 1 do
-      cand.(nw - 1 - i) <- wired.(i)
-    done;
-    let k = ref nw in
-    for i = 0 to nw - 1 do
-      if drivable wired.(i) then
-        for buffer_index = 0 to nlib - 1 do
-          let cb_form, tb_form, res = site_forms.(buffer_index) in
-          cand.(!k) <-
-            insert_buffer ~node:child ~buffer_index ~cb_form ~tb_form ~res
-              wired.(i);
-          incr k
-        done
-    done;
-    let pruned = Prune.prune_sub config.rule cand ncand in
-    if obs then Obs.Span.record ~name:"lift" ~cat:"dp" ~t0_ns:t0;
-    pruned
+    (* The lifted child frontiers are dead the moment the merge has
+       combined them: clear the slots so both arrays can be collected
+       while the (larger) merged set is pruned, instead of pinning
+       memory across every concurrently live task. *)
+    lifted.(0) <- [||];
+    lifted.(1) <- [||];
+    if Obs.Control.on () then Obs.Counters.incr obs_merged (Array.length merged);
+    Prune.prune config.rule merged
+  end
+
+(* Per-node bookkeeping around the frontier computation [f]: budget
+   checks, observability, and the peak/total statistics.  [where]
+   overrides the label built for the budget check — the tape passes
+   its precompiled one. *)
+let node_wrap ?where ~check_time ~check_count ~peak ~total id f =
+  check_time ();
+  let obs = Obs.Control.on () in
+  let t0 = if obs then Obs.Span.now_ns () else 0 in
+  let sols = f () in
+  if obs then begin
+    Obs.Counters.incr obs_nodes 1;
+    Obs.Span.record ~name:"node" ~cat:"dp" ~t0_ns:t0
+  end;
+  let len = Array.length sols in
+  check_count
+    ~where:
+      (match where with Some w -> w | None -> Printf.sprintf "node %d" id)
+    len;
+  let rec bump_peak () =
+    let cur = Atomic.get peak in
+    if len > cur && not (Atomic.compare_and_set peak cur len) then bump_peak ()
   in
-  let compute id =
-    check_time ();
-    let obs = Obs.Control.on () in
-    let t0 = if obs then Obs.Span.now_ns () else 0 in
-    let sols =
-      match Rctree.Tree.sink tree id with
-      | Some s ->
-        [| Sol.of_sink ~node:id ~cap:s.Rctree.Tree.sink_cap ~rat:s.Rctree.Tree.sink_rat |]
-      | None ->
-        let lifted =
-          Array.of_list
-            (List.map
-               (fun (child, length) ->
-                 let child_sols = results.(child) in
-                 results.(child) <- [||];
-                 let l = lift ~child ~length child_sols in
-                 check_count ~where:(Printf.sprintf "edge above node %d" child)
-                   (Array.length l);
-                 l)
-               (Rctree.Tree.children tree id))
-        in
-        if Array.length lifted = 1 then lifted.(0)
-        else begin
-          assert (Array.length lifted = 2);
-          let merged =
-            if Prune.is_linear config.rule then
-              merge_linear ~node:id lifted.(0) lifted.(1)
-            else
-              merge_cross ~node:id
-                ~check:(fun c ->
-                  check_count ~where:(Printf.sprintf "merge at node %d" id) c;
-                  (* A 4P cross product is quadratic: without a
-                     deadline check inside the candidate loop, one
-                     pathological merge can overshoot a serve deadline
-                     by its whole runtime. *)
-                  if c land 1023 = 0 then check_time ())
-                lifted.(0) lifted.(1)
-          in
-          (* The lifted child frontiers are dead the moment the merge
-             has combined them: clear the slots so both arrays can be
-             collected while the (larger) merged set is pruned, instead
-             of pinning memory across every concurrently live task. *)
-          lifted.(0) <- [||];
-          lifted.(1) <- [||];
-          if obs then Obs.Counters.incr obs_merged (Array.length merged);
-          Prune.prune config.rule merged
-        end
-    in
-    if obs then begin
-      Obs.Counters.incr obs_nodes 1;
-      Obs.Span.record ~name:"node" ~cat:"dp" ~t0_ns:t0
-    end;
-    let len = Array.length sols in
-    check_count ~where:(Printf.sprintf "node %d" id) len;
-    let rec bump_peak () =
-      let cur = Atomic.get peak in
-      if len > cur && not (Atomic.compare_and_set peak cur len) then bump_peak ()
-    in
-    bump_peak ();
-    ignore (Atomic.fetch_and_add total len);
-    Log.debug (fun m -> m "node %d: %d candidates kept" id len);
-    results.(id) <- sols
-  in
-  (match pool with
-  | Some pool when Exec.Pool.jobs pool > 1 && n > max 1 grain ->
-    (* Task-parallel subtree DP.  Nodes whose subtree exceeds the grain
-       become tasks; each task first processes its small child subtrees
-       inline (sequential postorder), then computes its own node, and
-       the dependency-counted release in [Exec.Pool.run_graph] starts a
-       merge node's task only once all its subtree tasks finished.
-       Merge order stays the fixed child order, so the frontier bytes
-       are independent of which domain ran what when. *)
-    let grain = max 1 grain in
-    let size = Array.make n 1 in
-    Array.iter
-      (fun id ->
-        List.iter
-          (fun (c, _) -> size.(id) <- size.(id) + size.(c))
-          (Rctree.Tree.children tree id))
-      post;
-    let ntasks = ref 0 in
-    let task_index = Array.make n (-1) in
-    Array.iter
-      (fun id ->
-        if size.(id) > grain then begin
-          task_index.(id) <- !ntasks;
-          incr ntasks
-        end)
-      post;
-    (* size(root) = n > grain, so the root is always a task. *)
-    let task_ids = Array.make !ntasks 0 in
-    Array.iter
-      (fun id -> if task_index.(id) >= 0 then task_ids.(task_index.(id)) <- id)
-      post;
-    let deps =
-      Array.map
-        (fun id ->
-          Rctree.Tree.children tree id
-          |> List.filter_map (fun (c, _) ->
-                 if task_index.(c) >= 0 then Some task_index.(c) else None)
-          |> Array.of_list)
-        task_ids
-    in
-    let rec inline_subtree id =
-      List.iter (fun (c, _) -> inline_subtree c) (Rctree.Tree.children tree id);
-      compute id
-    in
-    Exec.Pool.run_graph pool ~deps ~run:(fun ti ->
-        let id = task_ids.(ti) in
-        List.iter
-          (fun (c, _) -> if task_index.(c) < 0 then inline_subtree c)
-          (Rctree.Tree.children tree id);
-        compute id)
-  | _ ->
-    (* No pool (or one job, or a net below the grain): exactly the
-       classical sequential postorder loop. *)
-    Array.iter compute post);
-  if Obs.Control.on () then Obs.Span.flush ();
-  let root_sols = results.(Rctree.Tree.root tree) in
+  bump_peak ();
+  ignore (Atomic.fetch_and_add total len);
+  Log.debug (fun m -> m "node %d: %d candidates kept" id len);
+  sols
+
+(* Root-frontier epilogue shared by both execution paths: load-limit
+   gate, driver lift, objective scan, and result assembly. *)
+let finish config ~t_start ~peak ~total ~n root_sols =
+  let tech = config.tech in
   (* The driver is a gate too: apply the load limit at the root if
      configured, falling back to the unconstrained set when nothing
      complies. *)
@@ -493,3 +361,384 @@ let run ?pool ?(grain = default_grain) config ~model tree =
         nodes = n;
       };
   }
+
+let run ?pool ?(grain = default_grain) config ~model tree =
+  (* Wall-clock, not [Sys.time]: CPU time sums over domains, so it
+     over-counts budgets and runtimes as soon as anything else runs in
+     parallel with the DP. *)
+  let t_start = Unix.gettimeofday () in
+  let check_time, check_count = make_checks config ~t_start in
+  let n = Rctree.Tree.node_count tree in
+  let results : Sol.t array array = Array.make n [||] in
+  (* Atomics, not refs: subtree tasks on different domains bump them
+     concurrently.  Max and sum commute, so the reported stats are
+     identical at any job count. *)
+  let peak = Atomic.make 0 in
+  let total = Atomic.make 0 in
+  let wire_variation = Varmodel.Model.wire_frac model > 0.0 in
+  let post = Rctree.Tree.postorder tree in
+  (* Deterministic device-id pre-pass.  The model hands out variation
+     source ids from a mutable counter, and the output bytes depend on
+     them; consuming them inside the DP would make ids — and therefore
+     results — depend on task scheduling.  Instead, walk the tree in
+     the exact order the sequential DP consumes ids (postorder; per
+     non-sink node its child edges in order; per edge one wire CMP id
+     when wire variation is on, then one id per library buffer) and
+     record each edge's first id.  The DP below computes ids from this
+     base, so any schedule produces the bytes the sequential walk
+     does — and the model's counter advances exactly as before. *)
+  let nlib = Array.length config.library in
+  let ids_per_edge = (if wire_variation then 1 else 0) + nlib in
+  let device_base = Array.make n (-1) in
+  Array.iter
+    (fun id ->
+      if not (Rctree.Tree.is_sink tree id) then
+        List.iter
+          (fun (child, _length) ->
+            device_base.(child) <- Varmodel.Model.fresh_device_id model;
+            for _ = 2 to ids_per_edge do
+              ignore (Varmodel.Model.fresh_device_id model)
+            done)
+          (Rctree.Tree.children tree id))
+    post;
+  (* Per-site data below is written and read only by the one task that
+     owns the node (the site of an edge is the parent's node id), so
+     the plain array is race-free under the scheduler. *)
+  let sites : Varmodel.Model.site option array = Array.make n None in
+  let site_at id =
+    match sites.(id) with
+    | Some s -> s
+    | None ->
+      let x, y = Rctree.Tree.position tree id in
+      let s = Varmodel.Model.site model ~x ~y in
+      sites.(id) <- Some s;
+      s
+  in
+  (* Lift a child's candidate set through the edge above it: wire-only
+     candidates plus one buffered variant per library type.  The
+     buffer's canonical forms are built once per (site, type): the same
+     physical device serves every candidate that buffers here, so all
+     of them share its variation sources.  The location-dependent part
+     of those forms (spatial weights, heterogeneity ramp) depends only
+     on the site's coordinates, so it is computed once per node and
+     shared by every edge hanging under it.  Candidates are staged in
+     the domain's arena buffers — only the pruned frontier is a fresh
+     allocation. *)
+  let lift ~child ~length (sols : Sol.t array) =
+    let obs = Obs.Control.on () in
+    let t0 = if obs then Obs.Span.now_ns () else 0 in
+    let site_node =
+      match Rctree.Tree.parent tree child with Some p -> p | None -> child
+    in
+    let wire_rc =
+      if wire_variation then begin
+        (* One CMP source per physical edge, shared by all widths. *)
+        let edge_id = device_base.(child) in
+        let bx, by = Rctree.Tree.position tree site_node in
+        let cx, cy = Rctree.Tree.position tree child in
+        let mx = 0.5 *. (bx +. cx) and my = 0.5 *. (by +. cy) in
+        Array.map
+          (fun wire ->
+            Varmodel.Model.wire_forms model ~edge_id ~x:mx ~y:my
+              ~r0:wire.Device.Wire_lib.res_per_um
+              ~c0:wire.Device.Wire_lib.cap_per_um)
+          config.wires
+      end
+      else [||]
+    in
+    let wired, nw = stage_wired config ~wire_rc ~child ~length sols in
+    let psite = site_at site_node in
+    let buf_base = device_base.(child) + if wire_variation then 1 else 0 in
+    let buf_forms =
+      Array.init nlib (fun bi ->
+          let b = config.library.(bi) in
+          let device_id = buf_base + bi in
+          let cb =
+            Varmodel.Model.site_device_form model psite ~device_id
+              ~nominal:b.Device.Buffer.cap_ff
+          in
+          let tb =
+            Varmodel.Model.site_device_form model psite ~device_id
+              ~nominal:b.Device.Buffer.delay_ps
+          in
+          (cb, tb, b.Device.Buffer.res_kohm))
+    in
+    let pruned = insert_and_prune config ~buf_forms ~child ~wired ~nw in
+    if obs then Obs.Span.record ~name:"lift" ~cat:"dp" ~t0_ns:t0;
+    pruned
+  in
+  let compute id =
+    results.(id) <-
+      node_wrap ~check_time ~check_count ~peak ~total id (fun () ->
+          match Rctree.Tree.sink tree id with
+          | Some s ->
+            [| Sol.of_sink ~node:id ~cap:s.Rctree.Tree.sink_cap
+                 ~rat:s.Rctree.Tree.sink_rat |]
+          | None ->
+            let lifted =
+              Array.of_list
+                (List.map
+                   (fun (child, length) ->
+                     let child_sols = results.(child) in
+                     results.(child) <- [||];
+                     let l = lift ~child ~length child_sols in
+                     check_count
+                       ~where:(Printf.sprintf "edge above node %d" child)
+                       (Array.length l);
+                     l)
+                   (Rctree.Tree.children tree id))
+            in
+            combine_lifted config ~node:id ~check_count ~check_time lifted)
+  in
+  (match pool with
+  | Some pool when Exec.Pool.jobs pool > 1 && n > max 1 grain ->
+    (* Task-parallel subtree DP.  Nodes whose subtree exceeds the grain
+       become tasks; each task first processes its small child subtrees
+       inline (sequential postorder), then computes its own node, and
+       the dependency-counted release in [Exec.Pool.run_graph] starts a
+       merge node's task only once all its subtree tasks finished.
+       Merge order stays the fixed child order, so the frontier bytes
+       are independent of which domain ran what when. *)
+    let grain = max 1 grain in
+    let size = Array.make n 1 in
+    Array.iter
+      (fun id ->
+        List.iter
+          (fun (c, _) -> size.(id) <- size.(id) + size.(c))
+          (Rctree.Tree.children tree id))
+      post;
+    let ntasks = ref 0 in
+    let task_index = Array.make n (-1) in
+    Array.iter
+      (fun id ->
+        if size.(id) > grain then begin
+          task_index.(id) <- !ntasks;
+          incr ntasks
+        end)
+      post;
+    (* size(root) = n > grain, so the root is always a task. *)
+    let task_ids = Array.make !ntasks 0 in
+    Array.iter
+      (fun id -> if task_index.(id) >= 0 then task_ids.(task_index.(id)) <- id)
+      post;
+    let deps =
+      Array.map
+        (fun id ->
+          Rctree.Tree.children tree id
+          |> List.filter_map (fun (c, _) ->
+                 if task_index.(c) >= 0 then Some task_index.(c) else None)
+          |> Array.of_list)
+        task_ids
+    in
+    let rec inline_subtree id =
+      List.iter (fun (c, _) -> inline_subtree c) (Rctree.Tree.children tree id);
+      compute id
+    in
+    Exec.Pool.run_graph pool ~deps ~run:(fun ti ->
+        let id = task_ids.(ti) in
+        List.iter
+          (fun (c, _) -> if task_index.(c) < 0 then inline_subtree c)
+          (Rctree.Tree.children tree id);
+        compute id)
+  | _ ->
+    (* No pool (or one job, or a net below the grain): exactly the
+       classical sequential postorder loop. *)
+    Array.iter compute post);
+  if Obs.Control.on () then Obs.Span.flush ();
+  finish config ~t_start ~peak ~total ~n results.(Rctree.Tree.root tree)
+
+(* ------------------------------------------------------------------ *)
+(* Tape execution.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Device-id binding for a compiled tape.  The tape itself is
+   model-independent; binding attaches it to a concrete model by
+   consuming fresh device ids in tape edge order — which is exactly
+   the sequential pre-pass order of [run] (postorder over parent
+   nodes, child edges in order) — so any schedule produces the bytes
+   the sequential walk does.  Only the ids are consumed up front: the
+   wire and buffer canonical forms they feed are pure functions of
+   (model, ids, coordinates) and are built at the op that uses them,
+   keeping the walk's cache locality (a form is consumed right after
+   it is built) instead of materialising every edge's forms ahead of
+   the whole DP. *)
+let bind_device_ids ~model ~ids_per_edge (tape : Compile.Tape.t) =
+  let nedges = tape.Compile.Tape.edges in
+  let device_base = Array.make (max nedges 1) (-1) in
+  for e = 0 to nedges - 1 do
+    device_base.(e) <- Varmodel.Model.fresh_device_id model;
+    for _ = 2 to ids_per_edge do
+      ignore (Varmodel.Model.fresh_device_id model)
+    done
+  done;
+  device_base
+
+let run_tape ?pool ?(grain = default_grain) config ~model
+    (tape : Compile.Tape.t) =
+  let t_start = Unix.gettimeofday () in
+  let check_time, check_count = make_checks config ~t_start in
+  let n = tape.Compile.Tape.n in
+  let wire_variation = Varmodel.Model.wire_frac model > 0.0 in
+  let nlib = Array.length config.library in
+  let ids_per_edge = (if wire_variation then 1 else 0) + nlib in
+  let device_base = bind_device_ids ~model ~ids_per_edge tape in
+  (* Per-site cache, same ownership argument as [run]: an edge's site
+     is its parent node, and only the task computing that node touches
+     it. *)
+  let sites : Varmodel.Model.site option array = Array.make n None in
+  let site_at id =
+    match sites.(id) with
+    | Some s -> s
+    | None ->
+      let s =
+        Varmodel.Model.site model ~x:tape.Compile.Tape.x.(id)
+          ~y:tape.Compile.Tape.y.(id)
+      in
+      sites.(id) <- Some s;
+      s
+  in
+  let wire_rc_at edge =
+    if not wire_variation then [||]
+    else begin
+      let edge_id = device_base.(edge) in
+      let mx = tape.Compile.Tape.edge_mid_x.(edge) in
+      let my = tape.Compile.Tape.edge_mid_y.(edge) in
+      Array.map
+        (fun wire ->
+          Varmodel.Model.wire_forms model ~edge_id ~x:mx ~y:my
+            ~r0:wire.Device.Wire_lib.res_per_um
+            ~c0:wire.Device.Wire_lib.cap_per_um)
+        config.wires
+    end
+  in
+  let buf_forms_at edge =
+    let psite = site_at tape.Compile.Tape.edge_site.(edge) in
+    let buf_base = device_base.(edge) + if wire_variation then 1 else 0 in
+    Array.init nlib (fun bi ->
+        let b = config.library.(bi) in
+        let device_id = buf_base + bi in
+        let cb =
+          Varmodel.Model.site_device_form model psite ~device_id
+            ~nominal:b.Device.Buffer.cap_ff
+        in
+        let tb =
+          Varmodel.Model.site_device_form model psite ~device_id
+            ~nominal:b.Device.Buffer.delay_ps
+        in
+        (cb, tb, b.Device.Buffer.res_kohm))
+  in
+  let peak = Atomic.make 0 in
+  let total = Atomic.make 0 in
+  let parallel =
+    match pool with
+    | Some p -> Exec.Pool.jobs p > 1 && n > max 1 grain
+    | None -> false
+  in
+  (* Sequential execution reuses the tape's compact frontier slots;
+     under task parallelism concurrent sibling subtrees would race on
+     reused slots, so fall back to the identity mapping.  Slots carry
+     no values into the math — both mappings yield the same bytes. *)
+  let slot_of =
+    if parallel then Array.init n Fun.id else tape.Compile.Tape.slot
+  in
+  let frontiers : Sol.t array array =
+    Array.make (if parallel then n else tape.Compile.Tape.slots) [||]
+  in
+  let ops = tape.Compile.Tape.ops in
+  let exec_node id =
+    frontiers.(slot_of.(id)) <-
+      node_wrap ~where:tape.Compile.Tape.where_node.(id) ~check_time
+        ~check_count ~peak ~total id (fun () ->
+          let o0 = tape.Compile.Tape.op_off.(id) in
+          let o1 = tape.Compile.Tape.op_end.(id) in
+          match ops.(o0) with
+          | Compile.Tape.Tag_sink { node; cap; rat } ->
+            [| Sol.of_sink ~node ~cap ~rat |]
+          | _ ->
+            let lifted0 = ref [||] and lifted1 = ref [||] in
+            let nlift = ref 0 in
+            let wired = ref [||] and nw = ref 0 and lift_t0 = ref 0 in
+            let out = ref [||] in
+            for o = o0 to o1 - 1 do
+              match ops.(o) with
+              | Compile.Tape.Tag_sink _ -> assert false
+              | Compile.Tape.Lift_edge { child; edge; length } ->
+                if Obs.Control.on () then lift_t0 := Obs.Span.now_ns ();
+                let sols = frontiers.(slot_of.(child)) in
+                frontiers.(slot_of.(child)) <- [||];
+                let w, cnt =
+                  stage_wired config ~wire_rc:(wire_rc_at edge) ~child ~length
+                    sols
+                in
+                wired := w;
+                nw := cnt
+              | Compile.Tape.Insert_site { child; edge } ->
+                let l =
+                  insert_and_prune config ~buf_forms:(buf_forms_at edge) ~child
+                    ~wired:!wired ~nw:!nw
+                in
+                if Obs.Control.on () then
+                  Obs.Span.record ~name:"lift" ~cat:"dp" ~t0_ns:!lift_t0;
+                check_count ~where:tape.Compile.Tape.where_edge.(edge)
+                  (Array.length l);
+                if !nlift = 0 then lifted0 := l else lifted1 := l;
+                incr nlift;
+                out := l
+              | Compile.Tape.Merge { node } ->
+                let pair = [| !lifted0; !lifted1 |] in
+                out :=
+                  combine_lifted ~where:tape.Compile.Tape.where_merge.(node)
+                    config ~node ~check_count ~check_time pair
+            done;
+            !out)
+  in
+  (match pool with
+  | Some pool when parallel ->
+    (* Mirror of [run]'s task decomposition, driven by the tape's
+       precomputed subtree sizes and child links instead of the tree. *)
+    let grain = max 1 grain in
+    let size = tape.Compile.Tape.size in
+    let left = tape.Compile.Tape.left and right = tape.Compile.Tape.right in
+    let post = tape.Compile.Tape.post in
+    let ntasks = ref 0 in
+    let task_index = Array.make n (-1) in
+    Array.iter
+      (fun id ->
+        if size.(id) > grain then begin
+          task_index.(id) <- !ntasks;
+          incr ntasks
+        end)
+      post;
+    let task_ids = Array.make !ntasks 0 in
+    Array.iter
+      (fun id -> if task_index.(id) >= 0 then task_ids.(task_index.(id)) <- id)
+      post;
+    let deps =
+      Array.map
+        (fun id ->
+          let acc = ref [] in
+          (let r = right.(id) in
+           if r >= 0 && task_index.(r) >= 0 then acc := task_index.(r) :: !acc);
+          (let l = left.(id) in
+           if l >= 0 && task_index.(l) >= 0 then acc := task_index.(l) :: !acc);
+          Array.of_list !acc)
+        task_ids
+    in
+    let rec inline_subtree id =
+      (let l = left.(id) in
+       if l >= 0 then inline_subtree l);
+      (let r = right.(id) in
+       if r >= 0 then inline_subtree r);
+      exec_node id
+    in
+    Exec.Pool.run_graph pool ~deps ~run:(fun ti ->
+        let id = task_ids.(ti) in
+        (let l = left.(id) in
+         if l >= 0 && task_index.(l) < 0 then inline_subtree l);
+        (let r = right.(id) in
+         if r >= 0 && task_index.(r) < 0 then inline_subtree r);
+        exec_node id)
+  | _ -> Array.iter exec_node tape.Compile.Tape.post);
+  if Obs.Control.on () then Obs.Span.flush ();
+  finish config ~t_start ~peak ~total ~n
+    frontiers.(slot_of.(Compile.Tape.root tape))

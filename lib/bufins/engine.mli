@@ -114,6 +114,23 @@ val run :
     runs unchanged.
     @raise Budget_exceeded when the configured budget trips. *)
 
+val run_tape :
+  ?pool:Exec.Pool.t ->
+  ?grain:int ->
+  config ->
+  model:Varmodel.Model.t ->
+  Compile.Tape.t ->
+  result
+(** Optimise a precompiled tape ({!Compile.Tape.compile}) instead of
+    walking the tree.  Device ids are consumed in tape edge order —
+    identical to [run]'s sequential pre-pass — and the interpreter
+    replays the same staging, pruning and merge kernels, so the result
+    is byte-identical to [run] on the tape's source tree, for every
+    rule, budget, pool and grain (modulo [stats.runtime_s], which is
+    wall-clock).  The model must be fresh (same state [run] expects):
+    binding consumes the same id sequence.
+    @raise Budget_exceeded when the configured budget trips. *)
+
 val merge_frontiers : node:int -> Sol.t array -> Sol.t array -> Sol.t array
 (** The linear O(n + m) merge of Fig. 1, exposed for demonstration and
     testing: both inputs must be pruned frontiers sorted by ascending

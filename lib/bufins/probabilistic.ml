@@ -133,168 +133,227 @@ let prune heuristic sols =
     out
   end
 
-let run ?pool ?(grain = Engine.default_grain) config tree =
-  (* Wall-clock, not [Sys.time]: CPU time sums over domains, so both
-     the budget and the reported runtime would over-count as soon as
-     anything else runs in parallel with this DP (exactly the bug the
-     engine fixed; [Exec.run_trials] routinely wraps this module). *)
-  let t_start = Unix.gettimeofday () in
-  let tech = config.tech in
+(* Budget checks with the canonical engine's exact messages. *)
+let make_checks budget ~t_start =
   let check_time () =
-    match config.budget.Engine.max_seconds with
+    match budget.Engine.max_seconds with
     | Some limit when Unix.gettimeofday () -. t_start > limit ->
       raise (Engine.Budget_exceeded (Printf.sprintf "time limit %.1fs exceeded" limit))
     | _ -> ()
   in
   let check_count ~where n =
-    match config.budget.Engine.max_candidates with
+    match budget.Engine.max_candidates with
     | Some limit when n > limit ->
       raise
         (Engine.Budget_exceeded
            (Printf.sprintf "candidate limit %d exceeded at %s (%d)" limit where n))
     | _ -> ()
   in
+  (check_time, check_count)
+
+(* Lift a child frontier through the edge above it.  Model-free: the
+   PMFs derive from the edge length and the technology constants
+   alone, so the tree walk and the tape interpreter share this
+   verbatim. *)
+let lift_edge config ~child ~length sols =
+  let tech = config.tech in
+  (* The manufactured length of each segment: drawn length times
+     (1 + delta), delta discretised from N(0, length_frac^2). *)
+  let l_pmf =
+    Numeric.Pmf.of_normal ~points:config.pmf_points ~mu:length
+      ~sigma:(config.length_frac *. length)
+      ()
+  in
+  let wire s =
+    (* Independence everywhere, as in [6]: wire cap and wire delay are
+       derived from the length PMF against the load's mean. *)
+    let load_mean = Numeric.Pmf.mean s.load in
+    let added_cap = Numeric.Pmf.scale tech.Device.Tech.wire_c l_pmf in
+    let delay_pmf =
+      Numeric.Pmf.map
+        (fun l ->
+          let r = tech.Device.Tech.wire_r *. l in
+          (r *. load_mean) +. (0.5 *. r *. tech.Device.Tech.wire_c *. l))
+        l_pmf
+    in
+    {
+      load = Numeric.Pmf.add s.load added_cap;
+      rat = Numeric.Pmf.sub s.rat delay_pmf;
+      choice = Sol.Wire { node = child; width = 0; from = s.choice };
+    }
+  in
+  let wired = Array.map wire sols in
+  (* Reversed wired candidates first, then the buffered variants in
+     generation order — the same sequence [List.rev_append] fed the
+     pruner, kept so the stable sort sees identical input. *)
+  let nw = Array.length wired in
+  let nlib = Array.length config.library in
+  let cand = Array.make (nw * (nlib + 1)) wired.(0) in
+  for i = 0 to nw - 1 do
+    cand.(nw - 1 - i) <- wired.(i)
+  done;
+  let k = ref nw in
+  for i = 0 to nw - 1 do
+    let ws = wired.(i) in
+    for buffer_index = 0 to nlib - 1 do
+      let b = config.library.(buffer_index) in
+      let gate_delay =
+        Numeric.Pmf.map
+          (fun load ->
+            b.Device.Buffer.delay_ps +. (b.Device.Buffer.res_kohm *. load))
+          ws.load
+      in
+      cand.(!k) <-
+        {
+          load = Numeric.Pmf.constant b.Device.Buffer.cap_ff;
+          rat = Numeric.Pmf.sub ws.rat gate_delay;
+          choice =
+            Sol.Buffered { node = child; buffer = buffer_index; from = ws.choice };
+        };
+      incr k
+    done
+  done;
+  prune config.heuristic cand
+
+(* The full cross-product merge of [6] (independence between
+   solutions), with the in-loop deadline check, followed by a prune. *)
+let merge_node ?where config ~node ~check_time ~check_count a b =
+  let na = Array.length a and nb = Array.length b in
+  let combine sa sb =
+    {
+      load = Numeric.Pmf.add sa.load sb.load;
+      rat = Numeric.Pmf.min2 sa.rat sb.rat;
+      choice = Sol.Merged { node; left = sa.choice; right = sb.choice };
+    }
+  in
+  let merged = Array.make (na * nb) (combine a.(0) b.(0)) in
+  for i = 0 to na - 1 do
+    for j = 0 to nb - 1 do
+      let k = (i * nb) + j in
+      (* The cross product is quadratic: check the deadline inside the
+         loop, not only per node, so one pathological merge cannot
+         overshoot the budget by its whole runtime. *)
+      if k land 1023 = 0 then check_time ();
+      merged.(k) <- combine a.(i) b.(j)
+    done
+  done;
+  check_count
+    ~where:
+      (match where with
+      | Some w -> w
+      | None -> Printf.sprintf "merge at node %d" node)
+    (Array.length merged);
+  if Obs.Control.on () then Obs.Counters.incr obs_merged (Array.length merged);
+  prune config.heuristic merged
+
+(* Per-node bookkeeping around the frontier computation [f].  [where]
+   overrides the budget-check label — the tape passes its precompiled
+   one. *)
+let node_wrap ?where ~check_time ~check_count ~peak id f =
+  check_time ();
+  let obs = Obs.Control.on () in
+  let t0 = if obs then Obs.Span.now_ns () else 0 in
+  let sols = f () in
+  if obs then begin
+    Obs.Counters.incr obs_nodes 1;
+    Obs.Span.record ~name:"node" ~cat:"dp" ~t0_ns:t0
+  end;
+  let len = Array.length sols in
+  check_count
+    ~where:
+      (match where with Some w -> w | None -> Printf.sprintf "node %d" id)
+    len;
+  let rec bump_peak () =
+    let cur = Atomic.get peak in
+    if len > cur && not (Atomic.compare_and_set peak cur len) then bump_peak ()
+  in
+  bump_peak ();
+  sols
+
+(* Pick the root candidate with the best mean driver-input RAT and
+   assemble the result record. *)
+let finish config ~t_start ~peak root_sols =
+  let tech = config.tech in
+  let best =
+    assert (Array.length root_sols > 0);
+    let q s =
+      Numeric.Pmf.mean s.rat
+      -. (tech.Device.Tech.driver_r *. Numeric.Pmf.mean s.load)
+    in
+    let bs = ref root_sols.(0) in
+    for i = 1 to Array.length root_sols - 1 do
+      if q root_sols.(i) > q !bs then bs := root_sols.(i)
+    done;
+    !bs
+  in
+  let rat =
+    Numeric.Pmf.sub best.rat
+      (Numeric.Pmf.scale tech.Device.Tech.driver_r best.load)
+  in
+  {
+    rat_mean = Numeric.Pmf.mean rat;
+    rat_std = Numeric.Pmf.std rat;
+    rat_p05 = Numeric.Pmf.percentile rat 0.05;
+    buffers =
+      List.map
+        (fun (node, bi) -> (node, config.library.(bi)))
+        (Sol.buffers_of_choice best.choice);
+    peak_candidates = Atomic.get peak;
+    runtime_s = Unix.gettimeofday () -. t_start;
+  }
+
+let run ?pool ?(grain = Engine.default_grain) config tree =
+  (* Wall-clock, not [Sys.time]: CPU time sums over domains, so both
+     the budget and the reported runtime would over-count as soon as
+     anything else runs in parallel with this DP (exactly the bug the
+     engine fixed; [Exec.run_trials] routinely wraps this module). *)
+  let t_start = Unix.gettimeofday () in
+  let check_time, check_count = make_checks config.budget ~t_start in
   let n = Rctree.Tree.node_count tree in
   let results : sol array array = Array.make n [||] in
   (* Atomic: subtree tasks on different domains bump it concurrently;
      max commutes, so the stat is identical at any job count. *)
   let peak = Atomic.make 0 in
-  (* The manufactured length of each segment: drawn length times
-     (1 + delta), delta discretised from N(0, length_frac^2). *)
-  let length_pmf length =
-    Numeric.Pmf.of_normal ~points:config.pmf_points ~mu:length
-      ~sigma:(config.length_frac *. length)
-      ()
-  in
-  let lift ~child ~length sols =
-    let l_pmf = length_pmf length in
-    let wire s =
-      (* Independence everywhere, as in [6]: wire cap and wire delay are
-         derived from the length PMF against the load's mean. *)
-      let load_mean = Numeric.Pmf.mean s.load in
-      let added_cap = Numeric.Pmf.scale tech.Device.Tech.wire_c l_pmf in
-      let delay_pmf =
-        Numeric.Pmf.map
-          (fun l ->
-            let r = tech.Device.Tech.wire_r *. l in
-            (r *. load_mean) +. (0.5 *. r *. tech.Device.Tech.wire_c *. l))
-          l_pmf
-      in
-      {
-        load = Numeric.Pmf.add s.load added_cap;
-        rat = Numeric.Pmf.sub s.rat delay_pmf;
-        choice = Sol.Wire { node = child; width = 0; from = s.choice };
-      }
-    in
-    let wired = Array.map wire sols in
-    (* Reversed wired candidates first, then the buffered variants in
-       generation order — the same sequence [List.rev_append] fed the
-       pruner, kept so the stable sort sees identical input. *)
-    let nw = Array.length wired in
-    let nlib = Array.length config.library in
-    let cand = Array.make (nw * (nlib + 1)) wired.(0) in
-    for i = 0 to nw - 1 do
-      cand.(nw - 1 - i) <- wired.(i)
-    done;
-    let k = ref nw in
-    for i = 0 to nw - 1 do
-      let ws = wired.(i) in
-      for buffer_index = 0 to nlib - 1 do
-        let b = config.library.(buffer_index) in
-        let gate_delay =
-          Numeric.Pmf.map
-            (fun load ->
-              b.Device.Buffer.delay_ps +. (b.Device.Buffer.res_kohm *. load))
-            ws.load
-        in
-        cand.(!k) <-
-          {
-            load = Numeric.Pmf.constant b.Device.Buffer.cap_ff;
-            rat = Numeric.Pmf.sub ws.rat gate_delay;
-            choice =
-              Sol.Buffered { node = child; buffer = buffer_index; from = ws.choice };
-          };
-        incr k
-      done
-    done;
-    prune config.heuristic cand
-  in
   let compute id =
-    check_time ();
-    let obs = Obs.Control.on () in
-    let t0 = if obs then Obs.Span.now_ns () else 0 in
-    let sols =
-      match Rctree.Tree.sink tree id with
-      | Some s ->
-        [|
-          {
-            load = Numeric.Pmf.constant s.Rctree.Tree.sink_cap;
-            rat = Numeric.Pmf.constant s.Rctree.Tree.sink_rat;
-            choice = Sol.At_sink id;
-          };
-        |]
-      | None ->
-        let lifted =
-          Array.of_list
-            (List.map
-               (fun (child, length) ->
-                 let cs = results.(child) in
-                 results.(child) <- [||];
-                 let l = lift ~child ~length cs in
-                 check_count ~where:(Printf.sprintf "edge above node %d" child)
-                   (Array.length l);
-                 l)
-               (Rctree.Tree.children tree id))
-        in
-        if Array.length lifted = 1 then lifted.(0)
-        else begin
-          assert (Array.length lifted = 2);
-          (* [6] assumes independence between solutions, so the merge
-             is the full cross product. *)
-          let a = lifted.(0) and b = lifted.(1) in
-          let na = Array.length a and nb = Array.length b in
-          let combine sa sb =
-            {
-              load = Numeric.Pmf.add sa.load sb.load;
-              rat = Numeric.Pmf.min2 sa.rat sb.rat;
-              choice = Sol.Merged { node = id; left = sa.choice; right = sb.choice };
-            }
-          in
-          let merged = Array.make (na * nb) (combine a.(0) b.(0)) in
-          for i = 0 to na - 1 do
-            for j = 0 to nb - 1 do
-              let k = (i * nb) + j in
-              (* The cross product is quadratic: check the deadline
-                 inside the loop, not only per node, so one pathological
-                 merge cannot overshoot the budget by its whole
-                 runtime. *)
-              if k land 1023 = 0 then check_time ();
-              merged.(k) <- combine a.(i) b.(j)
-            done
-          done;
-          (* The lifted child frontiers are dead once the cross product
-             has combined them: clear the slots so they can be collected
-             while the (much larger) merged set is pruned. *)
-          lifted.(0) <- [||];
-          lifted.(1) <- [||];
-          check_count ~where:(Printf.sprintf "merge at node %d" id)
-            (Array.length merged);
-          if obs then Obs.Counters.incr obs_merged (Array.length merged);
-          prune config.heuristic merged
-        end
-    in
-    if obs then begin
-      Obs.Counters.incr obs_nodes 1;
-      Obs.Span.record ~name:"node" ~cat:"dp" ~t0_ns:t0
-    end;
-    let len = Array.length sols in
-    check_count ~where:(Printf.sprintf "node %d" id) len;
-    let rec bump_peak () =
-      let cur = Atomic.get peak in
-      if len > cur && not (Atomic.compare_and_set peak cur len) then bump_peak ()
-    in
-    bump_peak ();
-    results.(id) <- sols
+    results.(id) <-
+      node_wrap ~check_time ~check_count ~peak id (fun () ->
+          match Rctree.Tree.sink tree id with
+          | Some s ->
+            [|
+              {
+                load = Numeric.Pmf.constant s.Rctree.Tree.sink_cap;
+                rat = Numeric.Pmf.constant s.Rctree.Tree.sink_rat;
+                choice = Sol.At_sink id;
+              };
+            |]
+          | None ->
+            let lifted =
+              Array.of_list
+                (List.map
+                   (fun (child, length) ->
+                     let cs = results.(child) in
+                     results.(child) <- [||];
+                     let l = lift_edge config ~child ~length cs in
+                     check_count
+                       ~where:(Printf.sprintf "edge above node %d" child)
+                       (Array.length l);
+                     l)
+                   (Rctree.Tree.children tree id))
+            in
+            if Array.length lifted = 1 then lifted.(0)
+            else begin
+              assert (Array.length lifted = 2);
+              let a = lifted.(0) and b = lifted.(1) in
+              let merged =
+                merge_node config ~node:id ~check_time ~check_count a b
+              in
+              (* The lifted child frontiers are dead once the cross
+                 product has combined them: clear the slots so they can
+                 be collected while the merged set is pruned. *)
+              lifted.(0) <- [||];
+              lifted.(1) <- [||];
+              merged
+            end)
   in
   let post = Rctree.Tree.postorder tree in
   (match pool with
@@ -345,31 +404,114 @@ let run ?pool ?(grain = Engine.default_grain) config tree =
         compute id)
   | _ -> Array.iter compute post);
   if Obs.Control.on () then Obs.Span.flush ();
-  let best =
-    let root_sols = results.(Rctree.Tree.root tree) in
-    assert (Array.length root_sols > 0);
-    let q s =
-      Numeric.Pmf.mean s.rat
-      -. (tech.Device.Tech.driver_r *. Numeric.Pmf.mean s.load)
-    in
-    let bs = ref root_sols.(0) in
-    for i = 1 to Array.length root_sols - 1 do
-      if q root_sols.(i) > q !bs then bs := root_sols.(i)
-    done;
-    !bs
+  finish config ~t_start ~peak results.(Rctree.Tree.root tree)
+
+let run_tape ?pool ?(grain = Engine.default_grain) config tape =
+  let t_start = Unix.gettimeofday () in
+  let check_time, check_count = make_checks config.budget ~t_start in
+  let n = tape.Compile.Tape.n in
+  let peak = Atomic.make 0 in
+  let parallel =
+    match pool with
+    | Some pool -> Exec.Pool.jobs pool > 1 && n > max 1 grain
+    | None -> false
   in
-  let rat =
-    Numeric.Pmf.sub best.rat
-      (Numeric.Pmf.scale tech.Device.Tech.driver_r best.load)
+  (* Compact slot reuse assumes sequential postorder; under the task
+     decomposition sibling subtrees run concurrently, so fall back to
+     the identity mapping (one frontier per node). *)
+  let slot_of =
+    if parallel then Array.init n Fun.id else tape.Compile.Tape.slot
   in
-  {
-    rat_mean = Numeric.Pmf.mean rat;
-    rat_std = Numeric.Pmf.std rat;
-    rat_p05 = Numeric.Pmf.percentile rat 0.05;
-    buffers =
-      List.map
-        (fun (node, bi) -> (node, config.library.(bi)))
-        (Sol.buffers_of_choice best.choice);
-    peak_candidates = Atomic.get peak;
-    runtime_s = Unix.gettimeofday () -. t_start;
-  }
+  let nslots = if parallel then n else tape.Compile.Tape.slots in
+  let frontiers : sol array array = Array.make nslots [||] in
+  let exec_node id =
+    let o0 = tape.Compile.Tape.op_off.(id)
+    and o1 = tape.Compile.Tape.op_end.(id) in
+    frontiers.(slot_of.(id)) <-
+      node_wrap ~where:tape.Compile.Tape.where_node.(id) ~check_time
+        ~check_count ~peak id (fun () ->
+          let lifted0 = ref [||] and lifted1 = ref [||] in
+          let nlift = ref 0 in
+          let out = ref [||] in
+          for o = o0 to o1 - 1 do
+            match tape.Compile.Tape.ops.(o) with
+            | Compile.Tape.Tag_sink { node; cap; rat } ->
+              out :=
+                [|
+                  {
+                    load = Numeric.Pmf.constant cap;
+                    rat = Numeric.Pmf.constant rat;
+                    choice = Sol.At_sink node;
+                  };
+                |]
+            | Compile.Tape.Lift_edge _ -> ()
+            | Compile.Tape.Insert_site { child; edge } ->
+              let cs = frontiers.(slot_of.(child)) in
+              frontiers.(slot_of.(child)) <- [||];
+              let l =
+                lift_edge config ~child
+                  ~length:tape.Compile.Tape.edge_length.(edge) cs
+              in
+              check_count ~where:tape.Compile.Tape.where_edge.(edge)
+                (Array.length l);
+              if !nlift = 0 then lifted0 := l else lifted1 := l;
+              incr nlift;
+              out := l
+            | Compile.Tape.Merge { node } ->
+              let merged =
+                merge_node ~where:tape.Compile.Tape.where_merge.(node) config
+                  ~node ~check_time ~check_count !lifted0 !lifted1
+              in
+              lifted0 := [||];
+              lifted1 := [||];
+              out := merged
+          done;
+          !out)
+  in
+  (if parallel then begin
+     let pool = Option.get pool in
+     let grain = max 1 grain in
+     let size = tape.Compile.Tape.size in
+     let post = tape.Compile.Tape.post in
+     let ntasks = ref 0 in
+     let task_index = Array.make n (-1) in
+     Array.iter
+       (fun id ->
+         if size.(id) > grain then begin
+           task_index.(id) <- !ntasks;
+           incr ntasks
+         end)
+       post;
+     let task_ids = Array.make !ntasks 0 in
+     Array.iter
+       (fun id -> if task_index.(id) >= 0 then task_ids.(task_index.(id)) <- id)
+       post;
+     let children id =
+       let l = tape.Compile.Tape.left.(id)
+       and r = tape.Compile.Tape.right.(id) in
+       let acc = if r >= 0 then [ r ] else [] in
+       if l >= 0 then l :: acc else acc
+     in
+     let deps =
+       Array.map
+         (fun id ->
+           children id
+           |> List.filter_map (fun c ->
+                  if task_index.(c) >= 0 then Some task_index.(c) else None)
+           |> Array.of_list)
+         task_ids
+     in
+     let rec inline_subtree id =
+       List.iter inline_subtree (children id);
+       exec_node id
+     in
+     Exec.Pool.run_graph pool ~deps ~run:(fun ti ->
+         let id = task_ids.(ti) in
+         List.iter
+           (fun c -> if task_index.(c) < 0 then inline_subtree c)
+           (children id);
+         exec_node id)
+   end
+   else Array.iter exec_node tape.Compile.Tape.post);
+  if Obs.Control.on () then Obs.Span.flush ();
+  finish config ~t_start ~peak frontiers.(slot_of.(Compile.Tape.root tape))

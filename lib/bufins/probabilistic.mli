@@ -61,3 +61,12 @@ val run :
     {!Engine.run}; merges keep the fixed child order, so the result is
     identical at any job count.
     @raise Engine.Budget_exceeded when the configured budget trips. *)
+
+val run_tape :
+  ?pool:Exec.Pool.t -> ?grain:int -> config -> Compile.Tape.t -> result
+(** Run the probabilistic DP over a precompiled tape
+    ({!Compile.Tape.compile}) instead of walking the tree.  The DP is
+    model-free, so the tape needs no binding step; the interpreter
+    replays the exact lift/merge order of [run] on the tape's source
+    tree and the result is identical at any job count.
+    @raise Engine.Budget_exceeded when the configured budget trips. *)

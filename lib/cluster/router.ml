@@ -2,6 +2,7 @@ module Wire = Serve.Wire
 module Protocol = Serve.Protocol
 module Codec_bin = Serve.Codec_bin
 module Metrics = Serve.Metrics
+module Lru = Serve.Lru
 
 type config = {
   socket_path : string;
@@ -12,6 +13,7 @@ type config = {
   max_payload : int;
   max_connections : int;
   backlog : int;
+  v1_cache : int;
 }
 
 let default_config ~socket_path ~shard_sockets =
@@ -24,6 +26,7 @@ let default_config ~socket_path ~shard_sockets =
     max_payload = 8 * 1024 * 1024;
     max_connections = 128;
     backlog = 64;
+    v1_cache = 128;
   }
 
 let reconnect_interval = 0.25
@@ -181,14 +184,13 @@ let run ?metrics ?(should_stop = fun () -> false)
      distinct request body, not per request.  Keyed by the v1 payload
      with the id line dropped ({!v1_request_key}), valued by the v2
      encoding with id 0 plus the shard index; a hit rewrites the 8-byte
-     id in place.  The router loop is single-threaded, so a plain
-     Hashtbl with a logical-clock LRU (O(n) eviction scan at cap 128,
-     eviction is rare) suffices. *)
-  let transcode_cap = 128 in
-  let transcode : (string, string * int * int ref) Hashtbl.t =
-    Hashtbl.create 64
+     id in place.  The router loop is single-threaded, so the shared
+     {!Serve.Lru} is used without a mutex.  Capacity comes from the
+     [--v1-cache] flag; 0 disables the fast path entirely. *)
+  let transcode : (string * int) Lru.t option =
+    if config.v1_cache > 0 then Some (Lru.create ~capacity:config.v1_cache)
+    else None
   in
-  let transcode_clock = ref 0 in
 
   let send_client c ~kind payload =
     if c.c_alive then
@@ -384,35 +386,27 @@ let run ?metrics ?(should_stop = fun () -> false)
           let p = Codec_bin.encode_request (Protocol.decode_request payload) in
           (p, shard_of_request ~shards:n_shards p)
         | id, key -> (
-          match Hashtbl.find_opt transcode key with
-          | Some (zero, idx, used) ->
-            incr transcode_clock;
-            used := !transcode_clock;
-            if Obs.Control.on () then Obs.Counters.incr obs_transcode_hit 1;
-            (Codec_bin.with_request_id zero id, idx)
+          match transcode with
           | None ->
             let p =
               Codec_bin.encode_request (Protocol.decode_request payload)
             in
-            let idx = shard_of_request ~shards:n_shards p in
-            (* Only successful transcodes are cached. *)
-            if Hashtbl.length transcode >= transcode_cap then begin
-              let victim = ref None in
-              Hashtbl.iter
-                (fun k (_, _, used) ->
-                  match !victim with
-                  | Some (_, u) when u <= !used -> ()
-                  | _ -> victim := Some (k, !used))
-                transcode;
-              match !victim with
-              | Some (k, _) -> Hashtbl.remove transcode k
-              | None -> ()
-            end;
-            incr transcode_clock;
-            Hashtbl.add transcode key
-              (Codec_bin.with_request_id p 0, idx, ref !transcode_clock);
-            if Obs.Control.on () then Obs.Counters.incr obs_transcode_miss 1;
-            (p, idx))
+            (p, shard_of_request ~shards:n_shards p)
+          | Some lru -> (
+            match Lru.find lru key with
+            | Some (zero, idx) ->
+              if Obs.Control.on () then Obs.Counters.incr obs_transcode_hit 1;
+              (Codec_bin.with_request_id zero id, idx)
+            | None ->
+              let p =
+                Codec_bin.encode_request (Protocol.decode_request payload)
+              in
+              let idx = shard_of_request ~shards:n_shards p in
+              (* Only successful transcodes are cached. *)
+              Lru.put lru key (Codec_bin.with_request_id p 0, idx);
+              if Obs.Control.on () then
+                Obs.Counters.incr obs_transcode_miss 1;
+              (p, idx)))
       in
       let dispatch () =
         match f.Wire.proto with
@@ -453,6 +447,13 @@ let run ?metrics ?(should_stop = fun () -> false)
     let buf = Buffer.create 512 in
     Buffer.add_string buf (Metrics.render metrics);
     Printf.bprintf buf "cluster_shards %d\n" n_shards;
+    (match transcode with
+    | Some lru ->
+      Printf.bprintf buf "cluster_v1_cache_capacity %d\n" (Lru.capacity lru);
+      Printf.bprintf buf "cluster_v1_cache_entries %d\n" (Lru.length lru);
+      Printf.bprintf buf "cluster_v1_cache_hits %d\n" (Lru.hits lru);
+      Printf.bprintf buf "cluster_v1_cache_misses %d\n" (Lru.misses lru)
+    | None -> Printf.bprintf buf "cluster_v1_cache_capacity 0\n");
     Array.iteri
       (fun i s ->
         let live = List.filter (fun l -> l.l_alive && l.l_ready) s.s_links in

@@ -44,12 +44,18 @@ type config = {
   max_payload : int;
   max_connections : int;
   backlog : int;
+  v1_cache : int;
+      (** capacity of the v1→v2 transcode LRU (one decode/encode/shard
+          digest per distinct request body instead of per request);
+          [0] disables the fast path.  Capacity, occupancy and
+          hit/miss totals appear as [cluster_v1_cache_*] stats
+          lines. *)
 }
 
 val default_config :
   socket_path:string -> shard_sockets:string array -> config
 (** 4 links per shard, queue depth 64, 8 MiB payloads, 128 client
-    connections, backlog 64, no TCP. *)
+    connections, backlog 64, no TCP, 128 transcode-cache entries. *)
 
 val reconnect_interval : float
 (** Seconds between redial attempts to a worker with missing links. *)

@@ -1,0 +1,70 @@
+(** Compile an RC tree into a flat postorder instruction tape.
+
+    The tape is a model-independent program: every topology-derived
+    fact the DP engines need — postorder, per-edge buffer sites and
+    wire midpoints, subtree sizes for task decomposition, frontier
+    slot lifetimes — is precomputed once, so an engine interpreting
+    the tape touches no tree structure at all.  Engines bind a tape to
+    a concrete variation model by consuming fresh device ids in edge
+    order (edges are numbered in the exact order of the sequential
+    device-id pre-pass), which makes the interpreted results
+    byte-identical to the tree-walking DP.
+
+    One compiled tape serves every pruning rule, the probabilistic
+    baseline and the sampling engine, and can be cached across serve
+    requests keyed by a digest of the encoded topology. *)
+
+type op =
+  | Tag_sink of { node : int; cap : float; rat : float }
+      (** leaf: seed the node's frontier with the sink candidate *)
+  | Lift_edge of { child : int; edge : int; length : float }
+      (** stage the wired lifts of [child]'s frontier through its
+          upward edge (the child's frontier slot is consumed) *)
+  | Insert_site of { child : int; edge : int }
+      (** stage the buffered variants at the edge's site, then prune
+          the staged candidates into a lifted frontier *)
+  | Merge of { node : int }
+      (** combine the two pending lifted frontiers at a Steiner node *)
+
+type t = {
+  n : int;  (** node count *)
+  edges : int;  (** edge count = n - 1 *)
+  post : int array;  (** sequential execution order (postorder) *)
+  ops : op array;
+  op_off : int array;  (** node id -> first op of its group *)
+  op_end : int array;  (** node id -> one past its last op *)
+  edge_child : int array;  (** edge -> lower endpoint (the child) *)
+  edge_site : int array;  (** edge -> buffer site = parent node id *)
+  edge_length : float array;  (** edge -> wire length, µm *)
+  edge_mid_x : float array;  (** edge -> midpoint, µm *)
+  edge_mid_y : float array;
+  x : float array;  (** node id -> position, µm *)
+  y : float array;
+  left : int array;  (** node id -> first child, -1 for sinks *)
+  right : int array;  (** node id -> second child, -1 below merges *)
+  size : int array;  (** node id -> subtree node count *)
+  slot : int array;  (** node id -> frontier slot (sequential only) *)
+  slots : int;  (** slots a sequential interpreter needs *)
+  where_node : string array;
+      (** node id -> budget-check label, ["node <id>"] *)
+  where_edge : string array;
+      (** edge -> budget-check label, ["edge above node <child>"] *)
+  where_merge : string array;
+      (** node id -> ["merge at node <id>"], [""] for non-merge nodes *)
+}
+
+val compile : Rctree.Tree.t -> t
+(** Flatten [tree].  Bumps the [tape.compiled] and [tape.compile_ns]
+    counters and records a [tape.compile] span when observability is
+    on.
+    @raise Invalid_argument on nodes with more than two children. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+val op_count : t -> int
+
+val slot_count : t -> int
+(** Peak simultaneous frontiers of a sequential interpretation. *)
+
+val root : t -> int
+(** The driver node (last entry of [post]). *)

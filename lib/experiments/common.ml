@@ -45,8 +45,8 @@ let model_mode = function
   | D2d -> Varmodel.Model.D2d
   | Wid -> Varmodel.Model.Wid
 
-let run_algo setup ?rule ?budget ?(wire_sizing = false) ?load_limit ~spatial ~grid
-    algo tree =
+let run_algo setup ?rule ?budget ?(wire_sizing = false) ?load_limit ?tape
+    ~spatial ~grid algo tree =
   let rule =
     match rule with
     | Some r -> r
@@ -68,10 +68,17 @@ let run_algo setup ?rule ?budget ?(wire_sizing = false) ?load_limit ~spatial ~gr
       load_limit;
     }
   in
-  Bufins.Engine.run ?pool:setup.pool ?grain:setup.par_grain config ~model tree
+  (* A precompiled tape replays the exact walk (same device-id order),
+     so either path returns byte-identical results. *)
+  (match tape with
+  | Some tape ->
+    Bufins.Engine.run_tape ?pool:setup.pool ?grain:setup.par_grain config ~model
+      tape
+  | None ->
+    Bufins.Engine.run ?pool:setup.pool ?grain:setup.par_grain config ~model tree)
 
 let run_sampled setup ?budget ?(wire_sizing = false) ?load_limit ~samples
-    ?(relax = 1.0) ?(seed = 1) ?(yield = 0.95) ~spatial ~grid algo tree =
+    ?(relax = 1.0) ?(seed = 1) ?(yield = 0.95) ?tape ~spatial ~grid algo tree =
   let model =
     Varmodel.Model.create ~mode:(model_mode algo) ~budget:setup.budget ~spatial
       ~grid ()
@@ -86,7 +93,12 @@ let run_sampled setup ?budget ?(wire_sizing = false) ?load_limit ~samples
       load_limit;
     }
   in
-  Sample.Engine.run ?pool:setup.pool ?grain:setup.par_grain config ~model tree
+  match tape with
+  | Some tape ->
+    Sample.Engine.run_tape ?pool:setup.pool ?grain:setup.par_grain config ~model
+      tape
+  | None ->
+    Sample.Engine.run ?pool:setup.pool ?grain:setup.par_grain config ~model tree
 
 let instance_for setup ~spatial ~grid tree ?(widths = []) buffers =
   let model =

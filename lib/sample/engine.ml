@@ -98,13 +98,11 @@ let obs_pruned = Obs.Counters.counter Obs.Counters.global "sample.pruned"
 let obs_checks =
   Obs.Counters.counter Obs.Counters.global "sample.dominance_checks"
 
-let run ?pool ?(grain = default_grain) config ~model tree =
-  let t_start = Unix.gettimeofday () in
-  let tech = config.tech in
-  let k = config.samples in
-  if k <= 0 then invalid_arg "Sample.Engine.run: samples must be positive";
+(* Budget checks shared by the tree walk and the tape interpreter,
+   with the canonical engine's exact messages. *)
+let make_checks budget ~t_start =
   let check_time () =
-    match config.budget.Bufins.Engine.max_seconds with
+    match budget.Bufins.Engine.max_seconds with
     | Some limit when Unix.gettimeofday () -. t_start > limit ->
       raise
         (Bufins.Engine.Budget_exceeded
@@ -112,7 +110,7 @@ let run ?pool ?(grain = default_grain) config ~model tree =
     | _ -> ()
   in
   let check_count ~where n =
-    match config.budget.Bufins.Engine.max_candidates with
+    match budget.Bufins.Engine.max_candidates with
     | Some limit when n > limit ->
       raise
         (Bufins.Engine.Budget_exceeded
@@ -120,447 +118,313 @@ let run ?pool ?(grain = default_grain) config ~model tree =
               n))
     | _ -> ()
   in
-  let n = Rctree.Tree.node_count tree in
-  let results : sol array array = Array.make n [||] in
-  let peak = Atomic.make 0 in
-  let total = Atomic.make 0 in
-  let wire_variation = Varmodel.Model.wire_frac model > 0.0 in
-  let post = Rctree.Tree.postorder tree in
-  (* The same deterministic device-id pre-pass as the canonical engine
-     (see the comment there): ids are consumed in sequential postorder
-     so the matrix rows a device maps to — and hence the output bytes —
-     are independent of task scheduling.  The id-consumption order is
-     identical to [Bufins.Engine.run] on the same tree, so the model's
-     counter advances exactly as it would there. *)
-  let nlib = Array.length config.library in
-  let ids_per_edge = (if wire_variation then 1 else 0) + nlib in
-  let device_base = Array.make n (-1) in
-  let regions = Varmodel.Grid.regions (Varmodel.Model.grid model) in
-  let max_id = ref regions in
-  Array.iter
-    (fun id ->
-      if not (Rctree.Tree.is_sink tree id) then
-        List.iter
-          (fun (child, _length) ->
-            device_base.(child) <- Varmodel.Model.fresh_device_id model;
-            for _ = 2 to ids_per_edge do
-              ignore (Varmodel.Model.fresh_device_id model)
-            done;
-            max_id := device_base.(child) + ids_per_edge - 1)
-          (Rctree.Tree.children tree id))
-    post;
-  let matrix =
-    Matrix.create ~seed:config.seed ~k ~sources:(!max_id + 1)
-  in
-  (* Rows shared across subtree tasks (inter-die + spatial regions) are
-     drawn eagerly before any parallel phase; per-device rows are only
-     touched by the task owning the device's edge. *)
-  Matrix.prefill matrix ~lo:0 ~hi:regions;
-  let sites : Varmodel.Model.site option array = Array.make n None in
-  let site_at id =
-    match sites.(id) with
-    | Some s -> s
-    | None ->
-      let x, y = Rctree.Tree.position tree id in
-      let s = Varmodel.Model.site model ~x ~y in
-      sites.(id) <- Some s;
-      s
-  in
-  (* relax-scaled dominance threshold: a candidate is dropped when a
-     competitor ties-or-beats it in at least [need] of the K samples. *)
-  let need =
-    max 1 (int_of_float (ceil (config.relax *. float_of_int k)))
-  in
+  (check_time, check_count)
+
+(* Per-edge model bindings: the (r, c) canonical form per wire width
+   when wire parasitics vary ([||] otherwise) and the (cap, delay)
+   canonical-form template per library buffer.  Pure functions of the
+   model and the edge's device ids, so the tree walk computes them at
+   lift time and the tape path precomputes them at bind time with
+   identical values. *)
+type edge_forms = {
+  ef_wire : (Linform.t * Linform.t) array;
+  ef_buf : (Linform.t * Linform.t) array;
+}
+
+(* Prune the [ncand] staged rows in the arena's B stage (load / rat /
+   choice / mean keys already filled) down to a fresh frontier, by
+   per-sample dominance counting against the [need] threshold. *)
+let prune_rows ~k ~need ar ncand =
   let exact_need = need >= k in
-  (* Prune the [ncand] staged rows in the arena's B stage (load / rat /
-     choice / mean keys already filled) down to a fresh frontier. *)
-  let prune_rows ar ncand =
-    if ncand <= 1 || need > k then
-      Array.init ncand (fun i ->
-          {
-            load = Array.sub (Sarena.b_load ar (ncand * k)) (i * k) k;
-            rat = Array.sub (Sarena.b_rat ar (ncand * k)) (i * k) k;
-            choice = (Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0)).(i);
-          })
-    else begin
-      let obs = Obs.Control.on () in
-      let t0 = if obs then Obs.Span.now_ns () else 0 in
-      let bl = Sarena.b_load ar (ncand * k) in
-      let br = Sarena.b_rat ar (ncand * k) in
-      let bc = Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0) in
-      let ml = Sarena.mean_load ar ncand in
-      let mr = Sarena.mean_rat ar ncand in
-      let idx = Sarena.perm ar ncand in
-      for i = 0 to ncand - 1 do
-        idx.(i) <- i
-      done;
-      (* Mean load ascending, mean RAT descending: the stable order the
-         canonical pruner uses, so exact duplicates keep the same
-         representative. *)
-      Sarena.sort_prefix ar idx ncand ~cmp:(fun a b ->
-          let c = Float.compare ml.(a) ml.(b) in
-          if c <> 0 then c else Float.compare mr.(b) mr.(a));
-      (* Row j dominates row i when it ties-or-beats it on both axes in
-         at least [need] samples, with early exit both ways. *)
-      let checks = ref 0 in
-      let dominates j i =
-        incr checks;
-        let jo = j * k and io = i * k in
-        let count = ref 0 in
-        let t = ref 0 in
-        while !t < k do
-          (if bl.(jo + !t) <= bl.(io + !t) && br.(jo + !t) >= br.(io + !t)
-           then incr count);
-          if !count >= need || !count + (k - !t - 1) < need then t := k
-          else incr t
-        done;
-        !count >= need
-      in
-      let kept = Sarena.kept ar ncand in
-      let nkept = ref 0 in
-      let rat_max = ref neg_infinity in
-      for s = 0 to ncand - 1 do
-        let i = idx.(s) in
-        let dominated =
-          (* Full dominance in every sample implies mean-RAT order, so
-             a candidate above the running max of kept mean RATs cannot
-             be dominated; the filter is unsound for need < k and is
-             skipped there. *)
-          if exact_need && mr.(i) > !rat_max then false
-          else begin
-            let rec scan kk =
-              kk >= 0 && (dominates kept.(kk) i || scan (kk - 1))
-            in
-            scan (!nkept - 1)
-          end
-        in
-        if not dominated then begin
-          kept.(!nkept) <- i;
-          incr nkept;
-          if mr.(i) > !rat_max then rat_max := mr.(i)
-        end
-      done;
-      let out =
-        Array.init !nkept (fun s ->
-            let i = kept.(s) in
-            {
-              load = Array.sub bl (i * k) k;
-              rat = Array.sub br (i * k) k;
-              choice = bc.(i);
-            })
-      in
-      if obs then begin
-        Obs.Counters.incr obs_generated ncand;
-        Obs.Counters.incr obs_kept !nkept;
-        Obs.Counters.incr obs_pruned (ncand - !nkept);
-        Obs.Counters.incr obs_checks !checks;
-        Obs.Counters.observe Obs.Counters.global "sample.frontier" ~lo:0.0
-          ~hi:1024.0 ~bins:64
-          (float_of_int !nkept);
-        Obs.Span.record ~name:"prune.sample" ~cat:"sample" ~t0_ns:t0
-      end;
-      out
-    end
-  in
-  (* Lift a child's candidate set through the edge above it: per-width
-     wired rows, then one buffered variant per library type for each
-     drivable wired row, staged in the domain's sample arena and pruned
-     in place.  Row generation order replicates the canonical engine —
-     wired rows reversed, then buffered — so duplicate survival
-     matches. *)
-  let lift ~child ~length (sols : sol array) =
+  if ncand <= 1 || need > k then
+    Array.init ncand (fun i ->
+        {
+          load = Array.sub (Sarena.b_load ar (ncand * k)) (i * k) k;
+          rat = Array.sub (Sarena.b_rat ar (ncand * k)) (i * k) k;
+          choice = (Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0)).(i);
+        })
+  else begin
     let obs = Obs.Control.on () in
     let t0 = if obs then Obs.Span.now_ns () else 0 in
-    let ar = Sarena.get () in
-    let site_node =
-      match Rctree.Tree.parent tree child with Some p -> p | None -> child
-    in
-    let ns = Array.length sols in
-    let nwid = Array.length config.wires in
-    let nw = nwid * ns in
-    let al = Sarena.a_load ar (nw * k) in
-    let arr = Sarena.a_rat ar (nw * k) in
-    let ac = Sarena.a_choice ar nw ~dummy:(Bufins.Sol.At_sink 0) in
-    (* Per-width r·L and c·L as K-vectors (constant rows when wire
-       variation is off). *)
-    let rl = Array.make (nwid * k) 0.0 in
-    let cl = Array.make (nwid * k) 0.0 in
-    if wire_variation then begin
-      let edge_id = device_base.(child) in
-      let bx, by = Rctree.Tree.position tree site_node in
-      let cx, cy = Rctree.Tree.position tree child in
-      let mx = 0.5 *. (bx +. cx) and my = 0.5 *. (by +. cy) in
-      for w = 0 to nwid - 1 do
-        let wire = config.wires.(w) in
-        let r_form, c_form =
-          Varmodel.Model.wire_forms model ~edge_id ~x:mx ~y:my
-            ~r0:wire.Device.Wire_lib.res_per_um
-            ~c0:wire.Device.Wire_lib.cap_per_um
-        in
-        Matrix.eval_into matrix r_form rl ~off:(w * k);
-        Matrix.eval_into matrix c_form cl ~off:(w * k);
-        for j = 0 to k - 1 do
-          rl.((w * k) + j) <- rl.((w * k) + j) *. length;
-          cl.((w * k) + j) <- cl.((w * k) + j) *. length
-        done
-      done
-    end
-    else
-      for w = 0 to nwid - 1 do
-        let wire = config.wires.(w) in
-        let r = wire.Device.Wire_lib.res_per_um *. length in
-        let c = Device.Wire_lib.wire_cap wire ~length in
-        for j = 0 to k - 1 do
-          rl.((w * k) + j) <- r;
-          cl.((w * k) + j) <- c
-        done
-      done;
-    (* Wired rows (Eq. 33-34, exact per sample): load' = load + cL,
-       rat' = rat − rL·load − ½·rL·cL. *)
-    let wml = Array.make nw 0.0 in
-    let wmr = Array.make nw 0.0 in
-    for row = 0 to nw - 1 do
-      let width = row / ns in
-      let s = sols.(row mod ns) in
-      let ro = row * k and wo = width * k in
-      let sl = ref 0.0 and sr = ref 0.0 in
-      for j = 0 to k - 1 do
-        let rlj = rl.(wo + j) and clj = cl.(wo + j) in
-        let ld = s.load.(j) +. clj in
-        let rt = s.rat.(j) -. (rl.(wo + j) *. s.load.(j)) -. (0.5 *. rlj *. clj) in
-        al.(ro + j) <- ld;
-        arr.(ro + j) <- rt;
-        sl := !sl +. ld;
-        sr := !sr +. rt
-      done;
-      wml.(row) <- !sl /. float_of_int k;
-      wmr.(row) <- !sr /. float_of_int k;
-      ac.(row) <-
-        Bufins.Sol.Wire { node = child; width; from = s.choice }
-    done;
-    (* Buffer templates per (site, type): cb and tb as K-vectors. *)
-    let psite = site_at site_node in
-    let buf_base = device_base.(child) + if wire_variation then 1 else 0 in
-    let cb = Array.make (nlib * k) 0.0 in
-    let tb = Array.make (nlib * k) 0.0 in
-    let res = Array.make nlib 0.0 in
-    for bi = 0 to nlib - 1 do
-      let b = config.library.(bi) in
-      let device_id = buf_base + bi in
-      let cb_form =
-        Varmodel.Model.site_device_form model psite ~device_id
-          ~nominal:b.Device.Buffer.cap_ff
-      in
-      let tb_form =
-        Varmodel.Model.site_device_form model psite ~device_id
-          ~nominal:b.Device.Buffer.delay_ps
-      in
-      Matrix.eval_into matrix cb_form cb ~off:(bi * k);
-      Matrix.eval_into matrix tb_form tb ~off:(bi * k);
-      res.(bi) <- b.Device.Buffer.res_kohm
-    done;
-    let drivable row =
-      match config.load_limit with
-      | None -> true
-      | Some limit -> wml.(row) <= limit
-    in
-    let ndrivable = ref 0 in
-    for row = 0 to nw - 1 do
-      if drivable row then incr ndrivable
-    done;
-    let ncand = nw + (!ndrivable * nlib) in
     let bl = Sarena.b_load ar (ncand * k) in
     let br = Sarena.b_rat ar (ncand * k) in
     let bc = Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0) in
     let ml = Sarena.mean_load ar ncand in
     let mr = Sarena.mean_rat ar ncand in
-    for row = 0 to nw - 1 do
-      let dst = nw - 1 - row in
-      Array.blit al (row * k) bl (dst * k) k;
-      Array.blit arr (row * k) br (dst * k) k;
-      bc.(dst) <- ac.(row);
-      ml.(dst) <- wml.(row);
-      mr.(dst) <- wmr.(row)
+    let idx = Sarena.perm ar ncand in
+    for i = 0 to ncand - 1 do
+      idx.(i) <- i
     done;
-    let next = ref nw in
-    for row = 0 to nw - 1 do
-      if drivable row then
-        for bi = 0 to nlib - 1 do
-          let dst = !next in
-          let dof = dst * k and ro = row * k and bo = bi * k in
-          let r = res.(bi) in
-          let sl = ref 0.0 and sr = ref 0.0 in
-          (* Eq. 35-36 per sample: rat' = rat − R_b·load − T_b,
-             load' = C_b. *)
-          for j = 0 to k - 1 do
-            let ld = cb.(bo + j) in
-            let rt = arr.(ro + j) -. (r *. al.(ro + j)) -. tb.(bo + j) in
-            bl.(dof + j) <- ld;
-            br.(dof + j) <- rt;
-            sl := !sl +. ld;
-            sr := !sr +. rt
-          done;
-          ml.(dst) <- !sl /. float_of_int k;
-          mr.(dst) <- !sr /. float_of_int k;
-          bc.(dst) <-
-            Bufins.Sol.Buffered { node = child; buffer = bi; from = ac.(row) };
-          incr next
-        done
-    done;
-    let pruned = prune_rows ar ncand in
-    if obs then Obs.Span.record ~name:"lift" ~cat:"sample" ~t0_ns:t0;
-    pruned
-  in
-  (* Subtree merge: the full cross product with an exact per-sample
-     min, staged into the arena's B stage and pruned. *)
-  let merge ~node ~check (a : sol array) (b : sol array) =
-    let na = Array.length a and nb = Array.length b in
-    let ncand = na * nb in
-    if ncand = 0 then [||]
-    else begin
-      let ar = Sarena.get () in
-      let bl = Sarena.b_load ar (ncand * k) in
-      let br = Sarena.b_rat ar (ncand * k) in
-      let bc = Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0) in
-      let ml = Sarena.mean_load ar ncand in
-      let mr = Sarena.mean_rat ar ncand in
+    (* Mean load ascending, mean RAT descending: the stable order the
+       canonical pruner uses, so exact duplicates keep the same
+       representative. *)
+    Sarena.sort_prefix ar idx ncand ~cmp:(fun a b ->
+        let c = Float.compare ml.(a) ml.(b) in
+        if c <> 0 then c else Float.compare mr.(b) mr.(a));
+    (* Row j dominates row i when it ties-or-beats it on both axes in
+       at least [need] samples, with early exit both ways. *)
+    let checks = ref 0 in
+    let dominates j i =
+      incr checks;
+      let jo = j * k and io = i * k in
       let count = ref 0 in
-      for i = 0 to na - 1 do
-        let sa = a.(i) in
-        for j = 0 to nb - 1 do
-          incr count;
-          check !count;
-          (* Newest-first, matching the canonical cross merge's row
-             order, so duplicate survival is stable. *)
-          let dst = ncand - !count in
-          let dof = dst * k in
-          let sb = b.(j) in
-          let sl = ref 0.0 and sr = ref 0.0 in
-          for t = 0 to k - 1 do
-            let ld = sa.load.(t) +. sb.load.(t) in
-            let rt = Float.min sa.rat.(t) sb.rat.(t) in
-            bl.(dof + t) <- ld;
-            br.(dof + t) <- rt;
-            sl := !sl +. ld;
-            sr := !sr +. rt
-          done;
-          ml.(dst) <- !sl /. float_of_int k;
-          mr.(dst) <- !sr /. float_of_int k;
-          bc.(dst) <-
-            Bufins.Sol.Merged { node; left = sa.choice; right = sb.choice }
-        done
+      let t = ref 0 in
+      while !t < k do
+        (if bl.(jo + !t) <= bl.(io + !t) && br.(jo + !t) >= br.(io + !t)
+         then incr count);
+        if !count >= need || !count + (k - !t - 1) < need then t := k
+        else incr t
       done;
-      if Obs.Control.on () then Obs.Counters.incr obs_merged ncand;
-      prune_rows ar ncand
-    end
-  in
-  let compute id =
-    check_time ();
-    let obs = Obs.Control.on () in
-    let t0 = if obs then Obs.Span.now_ns () else 0 in
-    let sols =
-      match Rctree.Tree.sink tree id with
-      | Some s ->
-        [|
-          {
-            load = Array.make k s.Rctree.Tree.sink_cap;
-            rat = Array.make k s.Rctree.Tree.sink_rat;
-            choice = Bufins.Sol.At_sink id;
-          };
-        |]
-      | None ->
-        let lifted =
-          Array.of_list
-            (List.map
-               (fun (child, length) ->
-                 let child_sols = results.(child) in
-                 results.(child) <- [||];
-                 let l = lift ~child ~length child_sols in
-                 check_count
-                   ~where:(Printf.sprintf "edge above node %d" child)
-                   (Array.length l);
-                 l)
-               (Rctree.Tree.children tree id))
-        in
-        if Array.length lifted = 1 then lifted.(0)
+      !count >= need
+    in
+    let kept = Sarena.kept ar ncand in
+    let nkept = ref 0 in
+    let rat_max = ref neg_infinity in
+    for s = 0 to ncand - 1 do
+      let i = idx.(s) in
+      let dominated =
+        (* Full dominance in every sample implies mean-RAT order, so
+           a candidate above the running max of kept mean RATs cannot
+           be dominated; the filter is unsound for need < k and is
+           skipped there. *)
+        if exact_need && mr.(i) > !rat_max then false
         else begin
-          assert (Array.length lifted = 2);
-          let merged =
-            merge ~node:id
-              ~check:(fun c ->
-                check_count ~where:(Printf.sprintf "merge at node %d" id) c;
-                if c land 1023 = 0 then check_time ())
-              lifted.(0) lifted.(1)
+          let rec scan kk =
+            kk >= 0 && (dominates kept.(kk) i || scan (kk - 1))
           in
-          lifted.(0) <- [||];
-          lifted.(1) <- [||];
-          merged
+          scan (!nkept - 1)
         end
+      in
+      if not dominated then begin
+        kept.(!nkept) <- i;
+        incr nkept;
+        if mr.(i) > !rat_max then rat_max := mr.(i)
+      end
+    done;
+    let out =
+      Array.init !nkept (fun s ->
+          let i = kept.(s) in
+          {
+            load = Array.sub bl (i * k) k;
+            rat = Array.sub br (i * k) k;
+            choice = bc.(i);
+          })
     in
     if obs then begin
-      Obs.Counters.incr obs_nodes 1;
-      Obs.Span.record ~name:"node" ~cat:"sample" ~t0_ns:t0
+      Obs.Counters.incr obs_generated ncand;
+      Obs.Counters.incr obs_kept !nkept;
+      Obs.Counters.incr obs_pruned (ncand - !nkept);
+      Obs.Counters.incr obs_checks !checks;
+      Obs.Counters.observe Obs.Counters.global "sample.frontier" ~lo:0.0
+        ~hi:1024.0 ~bins:64
+        (float_of_int !nkept);
+      Obs.Span.record ~name:"prune.sample" ~cat:"sample" ~t0_ns:t0
     end;
-    let len = Array.length sols in
-    check_count ~where:(Printf.sprintf "node %d" id) len;
-    let rec bump_peak () =
-      let cur = Atomic.get peak in
-      if len > cur && not (Atomic.compare_and_set peak cur len) then
-        bump_peak ()
-    in
-    bump_peak ();
-    ignore (Atomic.fetch_and_add total len);
-    Log.debug (fun m -> m "node %d: %d sampled candidates kept" id len);
-    results.(id) <- sols
+    out
+  end
+
+(* Stage and prune one edge lift: per-width wired rows (exact
+   per-sample Elmore), then one buffered variant per library type for
+   each drivable wired row.  [forms] carries the edge's model
+   bindings; row generation order replicates the canonical engine —
+   wired rows reversed, then buffered — so duplicate survival
+   matches. *)
+let lift_rows config ~matrix ~k ~need ~forms ~child ~length
+    (sols : sol array) =
+  let obs = Obs.Control.on () in
+  let t0 = if obs then Obs.Span.now_ns () else 0 in
+  let ar = Sarena.get () in
+  let nlib = Array.length config.library in
+  let ns = Array.length sols in
+  let nwid = Array.length config.wires in
+  let nw = nwid * ns in
+  let al = Sarena.a_load ar (nw * k) in
+  let arr = Sarena.a_rat ar (nw * k) in
+  let ac = Sarena.a_choice ar nw ~dummy:(Bufins.Sol.At_sink 0) in
+  (* Per-width r·L and c·L as K-vectors (constant rows when wire
+     variation is off). *)
+  let rl = Array.make (nwid * k) 0.0 in
+  let cl = Array.make (nwid * k) 0.0 in
+  if Array.length forms.ef_wire > 0 then
+    for w = 0 to nwid - 1 do
+      let r_form, c_form = forms.ef_wire.(w) in
+      Matrix.eval_into matrix r_form rl ~off:(w * k);
+      Matrix.eval_into matrix c_form cl ~off:(w * k);
+      for j = 0 to k - 1 do
+        rl.((w * k) + j) <- rl.((w * k) + j) *. length;
+        cl.((w * k) + j) <- cl.((w * k) + j) *. length
+      done
+    done
+  else
+    for w = 0 to nwid - 1 do
+      let wire = config.wires.(w) in
+      let r = wire.Device.Wire_lib.res_per_um *. length in
+      let c = Device.Wire_lib.wire_cap wire ~length in
+      for j = 0 to k - 1 do
+        rl.((w * k) + j) <- r;
+        cl.((w * k) + j) <- c
+      done
+    done;
+  (* Wired rows (Eq. 33-34, exact per sample): load' = load + cL,
+     rat' = rat − rL·load − ½·rL·cL. *)
+  let wml = Array.make nw 0.0 in
+  let wmr = Array.make nw 0.0 in
+  for row = 0 to nw - 1 do
+    let width = row / ns in
+    let s = sols.(row mod ns) in
+    let ro = row * k and wo = width * k in
+    let sl = ref 0.0 and sr = ref 0.0 in
+    for j = 0 to k - 1 do
+      let rlj = rl.(wo + j) and clj = cl.(wo + j) in
+      let ld = s.load.(j) +. clj in
+      let rt = s.rat.(j) -. (rl.(wo + j) *. s.load.(j)) -. (0.5 *. rlj *. clj) in
+      al.(ro + j) <- ld;
+      arr.(ro + j) <- rt;
+      sl := !sl +. ld;
+      sr := !sr +. rt
+    done;
+    wml.(row) <- !sl /. float_of_int k;
+    wmr.(row) <- !sr /. float_of_int k;
+    ac.(row) <-
+      Bufins.Sol.Wire { node = child; width; from = s.choice }
+  done;
+  (* Buffer templates per (site, type): cb and tb as K-vectors. *)
+  let cb = Array.make (nlib * k) 0.0 in
+  let tb = Array.make (nlib * k) 0.0 in
+  let res = Array.make nlib 0.0 in
+  for bi = 0 to nlib - 1 do
+    let cb_form, tb_form = forms.ef_buf.(bi) in
+    Matrix.eval_into matrix cb_form cb ~off:(bi * k);
+    Matrix.eval_into matrix tb_form tb ~off:(bi * k);
+    res.(bi) <- config.library.(bi).Device.Buffer.res_kohm
+  done;
+  let drivable row =
+    match config.load_limit with
+    | None -> true
+    | Some limit -> wml.(row) <= limit
   in
-  (match pool with
-  | Some pool when Exec.Pool.jobs pool > 1 && n > max 1 grain ->
-    (* Task-parallel subtree DP, identical to the canonical engine's
-       decomposition: subtree-size tasks, inline small subtrees, and a
-       dependency-counted release per merge node. *)
-    let grain = max 1 grain in
-    let size = Array.make n 1 in
-    Array.iter
-      (fun id ->
-        List.iter
-          (fun (c, _) -> size.(id) <- size.(id) + size.(c))
-          (Rctree.Tree.children tree id))
-      post;
-    let ntasks = ref 0 in
-    let task_index = Array.make n (-1) in
-    Array.iter
-      (fun id ->
-        if size.(id) > grain then begin
-          task_index.(id) <- !ntasks;
-          incr ntasks
-        end)
-      post;
-    let task_ids = Array.make !ntasks 0 in
-    Array.iter
-      (fun id -> if task_index.(id) >= 0 then task_ids.(task_index.(id)) <- id)
-      post;
-    let deps =
-      Array.map
-        (fun id ->
-          Rctree.Tree.children tree id
-          |> List.filter_map (fun (c, _) ->
-                 if task_index.(c) >= 0 then Some task_index.(c) else None)
-          |> Array.of_list)
-        task_ids
-    in
-    let rec inline_subtree id =
-      List.iter (fun (c, _) -> inline_subtree c) (Rctree.Tree.children tree id);
-      compute id
-    in
-    Exec.Pool.run_graph pool ~deps ~run:(fun ti ->
-        let id = task_ids.(ti) in
-        List.iter
-          (fun (c, _) -> if task_index.(c) < 0 then inline_subtree c)
-          (Rctree.Tree.children tree id);
-        compute id)
-  | _ -> Array.iter compute post);
-  if Obs.Control.on () then Obs.Span.flush ();
-  let root_sols = results.(Rctree.Tree.root tree) in
+  let ndrivable = ref 0 in
+  for row = 0 to nw - 1 do
+    if drivable row then incr ndrivable
+  done;
+  let ncand = nw + (!ndrivable * nlib) in
+  let bl = Sarena.b_load ar (ncand * k) in
+  let br = Sarena.b_rat ar (ncand * k) in
+  let bc = Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0) in
+  let ml = Sarena.mean_load ar ncand in
+  let mr = Sarena.mean_rat ar ncand in
+  for row = 0 to nw - 1 do
+    let dst = nw - 1 - row in
+    Array.blit al (row * k) bl (dst * k) k;
+    Array.blit arr (row * k) br (dst * k) k;
+    bc.(dst) <- ac.(row);
+    ml.(dst) <- wml.(row);
+    mr.(dst) <- wmr.(row)
+  done;
+  let next = ref nw in
+  for row = 0 to nw - 1 do
+    if drivable row then
+      for bi = 0 to nlib - 1 do
+        let dst = !next in
+        let dof = dst * k and ro = row * k and bo = bi * k in
+        let r = res.(bi) in
+        let sl = ref 0.0 and sr = ref 0.0 in
+        (* Eq. 35-36 per sample: rat' = rat − R_b·load − T_b,
+           load' = C_b. *)
+        for j = 0 to k - 1 do
+          let ld = cb.(bo + j) in
+          let rt = arr.(ro + j) -. (r *. al.(ro + j)) -. tb.(bo + j) in
+          bl.(dof + j) <- ld;
+          br.(dof + j) <- rt;
+          sl := !sl +. ld;
+          sr := !sr +. rt
+        done;
+        ml.(dst) <- !sl /. float_of_int k;
+        mr.(dst) <- !sr /. float_of_int k;
+        bc.(dst) <-
+          Bufins.Sol.Buffered { node = child; buffer = bi; from = ac.(row) };
+        incr next
+      done
+  done;
+  let pruned = prune_rows ~k ~need ar ncand in
+  if obs then Obs.Span.record ~name:"lift" ~cat:"sample" ~t0_ns:t0;
+  pruned
+
+(* Subtree merge: the full cross product with an exact per-sample min,
+   staged into the arena's B stage and pruned. *)
+let merge_rows ~k ~need ~node ~check (a : sol array) (b : sol array) =
+  let na = Array.length a and nb = Array.length b in
+  let ncand = na * nb in
+  if ncand = 0 then [||]
+  else begin
+    let ar = Sarena.get () in
+    let bl = Sarena.b_load ar (ncand * k) in
+    let br = Sarena.b_rat ar (ncand * k) in
+    let bc = Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0) in
+    let ml = Sarena.mean_load ar ncand in
+    let mr = Sarena.mean_rat ar ncand in
+    let count = ref 0 in
+    for i = 0 to na - 1 do
+      let sa = a.(i) in
+      for j = 0 to nb - 1 do
+        incr count;
+        check !count;
+        (* Newest-first, matching the canonical cross merge's row
+           order, so duplicate survival is stable. *)
+        let dst = ncand - !count in
+        let dof = dst * k in
+        let sb = b.(j) in
+        let sl = ref 0.0 and sr = ref 0.0 in
+        for t = 0 to k - 1 do
+          let ld = sa.load.(t) +. sb.load.(t) in
+          let rt = Float.min sa.rat.(t) sb.rat.(t) in
+          bl.(dof + t) <- ld;
+          br.(dof + t) <- rt;
+          sl := !sl +. ld;
+          sr := !sr +. rt
+        done;
+        ml.(dst) <- !sl /. float_of_int k;
+        mr.(dst) <- !sr /. float_of_int k;
+        bc.(dst) <-
+          Bufins.Sol.Merged { node; left = sa.choice; right = sb.choice }
+      done
+    done;
+    if Obs.Control.on () then Obs.Counters.incr obs_merged ncand;
+    prune_rows ~k ~need ar ncand
+  end
+
+(* Per-node bookkeeping around the frontier computation [f]: budget
+   checks, observability, peak/total statistics.  [where] overrides
+   the budget-check label — the tape passes its precompiled one. *)
+let node_wrap ?where ~check_time ~check_count ~peak ~total id f =
+  check_time ();
+  let obs = Obs.Control.on () in
+  let t0 = if obs then Obs.Span.now_ns () else 0 in
+  let sols = f () in
+  if obs then begin
+    Obs.Counters.incr obs_nodes 1;
+    Obs.Span.record ~name:"node" ~cat:"sample" ~t0_ns:t0
+  end;
+  let len = Array.length sols in
+  check_count
+    ~where:
+      (match where with Some w -> w | None -> Printf.sprintf "node %d" id)
+    len;
+  let rec bump_peak () =
+    let cur = Atomic.get peak in
+    if len > cur && not (Atomic.compare_and_set peak cur len) then
+      bump_peak ()
+  in
+  bump_peak ();
+  ignore (Atomic.fetch_and_add total len);
+  Log.debug (fun m -> m "node %d: %d sampled candidates kept" id len);
+  sols
+
+(* Root-frontier epilogue shared by the tree walk and the tape
+   interpreter: load-limit gate, per-sample driver lift, yield
+   scoring, result assembly. *)
+let finish config ~t_start ~k ~peak ~total ~n root_sols =
+  let tech = config.tech in
   let sample_mean v =
     let s = ref 0.0 in
     Array.iter (fun x -> s := !s +. x) v;
@@ -637,3 +501,382 @@ let run ?pool ?(grain = default_grain) config ~model tree =
         nodes = n;
       };
   }
+
+let run ?pool ?(grain = default_grain) config ~model tree =
+  let t_start = Unix.gettimeofday () in
+  let k = config.samples in
+  if k <= 0 then invalid_arg "Sample.Engine.run: samples must be positive";
+  let check_time, check_count = make_checks config.budget ~t_start in
+  let n = Rctree.Tree.node_count tree in
+  let results : sol array array = Array.make n [||] in
+  let peak = Atomic.make 0 in
+  let total = Atomic.make 0 in
+  let wire_variation = Varmodel.Model.wire_frac model > 0.0 in
+  let post = Rctree.Tree.postorder tree in
+  (* The same deterministic device-id pre-pass as the canonical engine
+     (see the comment there): ids are consumed in sequential postorder
+     so the matrix rows a device maps to — and hence the output bytes —
+     are independent of task scheduling.  The id-consumption order is
+     identical to [Bufins.Engine.run] on the same tree, so the model's
+     counter advances exactly as it would there. *)
+  let nlib = Array.length config.library in
+  let ids_per_edge = (if wire_variation then 1 else 0) + nlib in
+  let device_base = Array.make n (-1) in
+  let regions = Varmodel.Grid.regions (Varmodel.Model.grid model) in
+  let max_id = ref regions in
+  Array.iter
+    (fun id ->
+      if not (Rctree.Tree.is_sink tree id) then
+        List.iter
+          (fun (child, _length) ->
+            device_base.(child) <- Varmodel.Model.fresh_device_id model;
+            for _ = 2 to ids_per_edge do
+              ignore (Varmodel.Model.fresh_device_id model)
+            done;
+            max_id := device_base.(child) + ids_per_edge - 1)
+          (Rctree.Tree.children tree id))
+    post;
+  let matrix =
+    Matrix.create ~seed:config.seed ~k ~sources:(!max_id + 1)
+  in
+  (* Rows shared across subtree tasks (inter-die + spatial regions) are
+     drawn eagerly before any parallel phase; per-device rows are only
+     touched by the task owning the device's edge. *)
+  Matrix.prefill matrix ~lo:0 ~hi:regions;
+  let sites : Varmodel.Model.site option array = Array.make n None in
+  let site_at id =
+    match sites.(id) with
+    | Some s -> s
+    | None ->
+      let x, y = Rctree.Tree.position tree id in
+      let s = Varmodel.Model.site model ~x ~y in
+      sites.(id) <- Some s;
+      s
+  in
+  (* relax-scaled dominance threshold: a candidate is dropped when a
+     competitor ties-or-beats it in at least [need] of the K samples. *)
+  let need =
+    max 1 (int_of_float (ceil (config.relax *. float_of_int k)))
+  in
+  (* Per-edge model bindings, resolved lazily at lift time — the tape
+     path precomputes the same forms at bind time. *)
+  let forms_for child =
+    let site_node =
+      match Rctree.Tree.parent tree child with Some p -> p | None -> child
+    in
+    let ef_wire =
+      if wire_variation then begin
+        let edge_id = device_base.(child) in
+        let bx, by = Rctree.Tree.position tree site_node in
+        let cx, cy = Rctree.Tree.position tree child in
+        let mx = 0.5 *. (bx +. cx) and my = 0.5 *. (by +. cy) in
+        Array.map
+          (fun wire ->
+            Varmodel.Model.wire_forms model ~edge_id ~x:mx ~y:my
+              ~r0:wire.Device.Wire_lib.res_per_um
+              ~c0:wire.Device.Wire_lib.cap_per_um)
+          config.wires
+      end
+      else [||]
+    in
+    let psite = site_at site_node in
+    let buf_base = device_base.(child) + if wire_variation then 1 else 0 in
+    let ef_buf =
+      Array.init nlib (fun bi ->
+          let b = config.library.(bi) in
+          let device_id = buf_base + bi in
+          let cb_form =
+            Varmodel.Model.site_device_form model psite ~device_id
+              ~nominal:b.Device.Buffer.cap_ff
+          in
+          let tb_form =
+            Varmodel.Model.site_device_form model psite ~device_id
+              ~nominal:b.Device.Buffer.delay_ps
+          in
+          (cb_form, tb_form))
+    in
+    { ef_wire; ef_buf }
+  in
+  let compute id =
+    results.(id) <-
+      node_wrap ~check_time ~check_count ~peak ~total id (fun () ->
+          match Rctree.Tree.sink tree id with
+          | Some s ->
+            [|
+              {
+                load = Array.make k s.Rctree.Tree.sink_cap;
+                rat = Array.make k s.Rctree.Tree.sink_rat;
+                choice = Bufins.Sol.At_sink id;
+              };
+            |]
+          | None ->
+            let lifted =
+              Array.of_list
+                (List.map
+                   (fun (child, length) ->
+                     let child_sols = results.(child) in
+                     results.(child) <- [||];
+                     let l =
+                       lift_rows config ~matrix ~k ~need
+                         ~forms:(forms_for child) ~child ~length child_sols
+                     in
+                     check_count
+                       ~where:(Printf.sprintf "edge above node %d" child)
+                       (Array.length l);
+                     l)
+                   (Rctree.Tree.children tree id))
+            in
+            if Array.length lifted = 1 then lifted.(0)
+            else begin
+              assert (Array.length lifted = 2);
+              let merged =
+                merge_rows ~k ~need ~node:id
+                  ~check:(fun c ->
+                    check_count ~where:(Printf.sprintf "merge at node %d" id) c;
+                    if c land 1023 = 0 then check_time ())
+                  lifted.(0) lifted.(1)
+              in
+              lifted.(0) <- [||];
+              lifted.(1) <- [||];
+              merged
+            end)
+  in
+  (match pool with
+  | Some pool when Exec.Pool.jobs pool > 1 && n > max 1 grain ->
+    (* Task-parallel subtree DP, identical to the canonical engine's
+       decomposition: subtree-size tasks, inline small subtrees, and a
+       dependency-counted release per merge node. *)
+    let grain = max 1 grain in
+    let size = Array.make n 1 in
+    Array.iter
+      (fun id ->
+        List.iter
+          (fun (c, _) -> size.(id) <- size.(id) + size.(c))
+          (Rctree.Tree.children tree id))
+      post;
+    let ntasks = ref 0 in
+    let task_index = Array.make n (-1) in
+    Array.iter
+      (fun id ->
+        if size.(id) > grain then begin
+          task_index.(id) <- !ntasks;
+          incr ntasks
+        end)
+      post;
+    let task_ids = Array.make !ntasks 0 in
+    Array.iter
+      (fun id -> if task_index.(id) >= 0 then task_ids.(task_index.(id)) <- id)
+      post;
+    let deps =
+      Array.map
+        (fun id ->
+          Rctree.Tree.children tree id
+          |> List.filter_map (fun (c, _) ->
+                 if task_index.(c) >= 0 then Some task_index.(c) else None)
+          |> Array.of_list)
+        task_ids
+    in
+    let rec inline_subtree id =
+      List.iter (fun (c, _) -> inline_subtree c) (Rctree.Tree.children tree id);
+      compute id
+    in
+    Exec.Pool.run_graph pool ~deps ~run:(fun ti ->
+        let id = task_ids.(ti) in
+        List.iter
+          (fun (c, _) -> if task_index.(c) < 0 then inline_subtree c)
+          (Rctree.Tree.children tree id);
+        compute id)
+  | _ -> Array.iter compute post);
+  if Obs.Control.on () then Obs.Span.flush ();
+  finish config ~t_start ~k ~peak ~total ~n results.(Rctree.Tree.root tree)
+
+let run_tape ?pool ?(grain = default_grain) config ~model
+    (tape : Compile.Tape.t) =
+  let t_start = Unix.gettimeofday () in
+  let k = config.samples in
+  if k <= 0 then invalid_arg "Sample.Engine.run_tape: samples must be positive";
+  let check_time, check_count = make_checks config.budget ~t_start in
+  let n = tape.Compile.Tape.n in
+  let peak = Atomic.make 0 in
+  let total = Atomic.make 0 in
+  let wire_variation = Varmodel.Model.wire_frac model > 0.0 in
+  (* Bind the tape to the model: consume device ids in tape edge order
+     (identical to [run]'s sequential pre-pass) and size the shared
+     sample matrix.  Only the ids are taken up front — each edge's
+     canonical forms are pure in (model, ids, coordinates) and are
+     built at the op that consumes them, keeping the walk's cache
+     locality instead of materialising every edge's forms ahead of
+     the whole DP. *)
+  let nlib = Array.length config.library in
+  let nedges = tape.Compile.Tape.edges in
+  let ids_per_edge = (if wire_variation then 1 else 0) + nlib in
+  let device_base = Array.make (max nedges 1) (-1) in
+  let regions = Varmodel.Grid.regions (Varmodel.Model.grid model) in
+  let max_id = ref regions in
+  for e = 0 to nedges - 1 do
+    device_base.(e) <- Varmodel.Model.fresh_device_id model;
+    for _ = 2 to ids_per_edge do
+      ignore (Varmodel.Model.fresh_device_id model)
+    done;
+    max_id := device_base.(e) + ids_per_edge - 1
+  done;
+  let matrix = Matrix.create ~seed:config.seed ~k ~sources:(!max_id + 1) in
+  Matrix.prefill matrix ~lo:0 ~hi:regions;
+  let sites : Varmodel.Model.site option array = Array.make n None in
+  let site_at id =
+    match sites.(id) with
+    | Some s -> s
+    | None ->
+      let s =
+        Varmodel.Model.site model ~x:tape.Compile.Tape.x.(id)
+          ~y:tape.Compile.Tape.y.(id)
+      in
+      sites.(id) <- Some s;
+      s
+  in
+  let forms_at e =
+    let ef_wire =
+      if wire_variation then begin
+        let edge_id = device_base.(e) in
+        let mx = tape.Compile.Tape.edge_mid_x.(e) in
+        let my = tape.Compile.Tape.edge_mid_y.(e) in
+        Array.map
+          (fun wire ->
+            Varmodel.Model.wire_forms model ~edge_id ~x:mx ~y:my
+              ~r0:wire.Device.Wire_lib.res_per_um
+              ~c0:wire.Device.Wire_lib.cap_per_um)
+          config.wires
+      end
+      else [||]
+    in
+    let psite = site_at tape.Compile.Tape.edge_site.(e) in
+    let buf_base = device_base.(e) + if wire_variation then 1 else 0 in
+    let ef_buf =
+      Array.init nlib (fun bi ->
+          let b = config.library.(bi) in
+          let device_id = buf_base + bi in
+          let cb_form =
+            Varmodel.Model.site_device_form model psite ~device_id
+              ~nominal:b.Device.Buffer.cap_ff
+          in
+          let tb_form =
+            Varmodel.Model.site_device_form model psite ~device_id
+              ~nominal:b.Device.Buffer.delay_ps
+          in
+          (cb_form, tb_form))
+    in
+    { ef_wire; ef_buf }
+  in
+  let need =
+    max 1 (int_of_float (ceil (config.relax *. float_of_int k)))
+  in
+  let parallel =
+    match pool with
+    | Some p -> Exec.Pool.jobs p > 1 && n > max 1 grain
+    | None -> false
+  in
+  let slot_of =
+    if parallel then Array.init n Fun.id else tape.Compile.Tape.slot
+  in
+  let frontiers : sol array array =
+    Array.make (if parallel then n else tape.Compile.Tape.slots) [||]
+  in
+  let ops = tape.Compile.Tape.ops in
+  let exec_node id =
+    frontiers.(slot_of.(id)) <-
+      node_wrap ~where:tape.Compile.Tape.where_node.(id) ~check_time
+        ~check_count ~peak ~total id (fun () ->
+          let o0 = tape.Compile.Tape.op_off.(id) in
+          let o1 = tape.Compile.Tape.op_end.(id) in
+          match ops.(o0) with
+          | Compile.Tape.Tag_sink { node; cap; rat } ->
+            [|
+              {
+                load = Array.make k cap;
+                rat = Array.make k rat;
+                choice = Bufins.Sol.At_sink node;
+              };
+            |]
+          | _ ->
+            let lifted0 = ref [||] and lifted1 = ref [||] in
+            let nlift = ref 0 in
+            let out = ref [||] in
+            for o = o0 to o1 - 1 do
+              match ops.(o) with
+              | Compile.Tape.Tag_sink _ -> assert false
+              | Compile.Tape.Lift_edge _ -> ()
+              | Compile.Tape.Insert_site { child; edge } ->
+                let sols = frontiers.(slot_of.(child)) in
+                frontiers.(slot_of.(child)) <- [||];
+                let l =
+                  lift_rows config ~matrix ~k ~need ~forms:(forms_at edge)
+                    ~child ~length:tape.Compile.Tape.edge_length.(edge) sols
+                in
+                check_count ~where:tape.Compile.Tape.where_edge.(edge)
+                  (Array.length l);
+                if !nlift = 0 then lifted0 := l else lifted1 := l;
+                incr nlift;
+                out := l
+              | Compile.Tape.Merge { node } ->
+                let merged =
+                  merge_rows ~k ~need ~node
+                    ~check:(fun c ->
+                      check_count ~where:tape.Compile.Tape.where_merge.(node)
+                        c;
+                      if c land 1023 = 0 then check_time ())
+                    !lifted0 !lifted1
+                in
+                lifted0 := [||];
+                lifted1 := [||];
+                out := merged
+            done;
+            !out)
+  in
+  (match pool with
+  | Some pool when parallel ->
+    let grain = max 1 grain in
+    let size = tape.Compile.Tape.size in
+    let left = tape.Compile.Tape.left and right = tape.Compile.Tape.right in
+    let post = tape.Compile.Tape.post in
+    let ntasks = ref 0 in
+    let task_index = Array.make n (-1) in
+    Array.iter
+      (fun id ->
+        if size.(id) > grain then begin
+          task_index.(id) <- !ntasks;
+          incr ntasks
+        end)
+      post;
+    let task_ids = Array.make !ntasks 0 in
+    Array.iter
+      (fun id -> if task_index.(id) >= 0 then task_ids.(task_index.(id)) <- id)
+      post;
+    let deps =
+      Array.map
+        (fun id ->
+          let acc = ref [] in
+          (let r = right.(id) in
+           if r >= 0 && task_index.(r) >= 0 then acc := task_index.(r) :: !acc);
+          (let l = left.(id) in
+           if l >= 0 && task_index.(l) >= 0 then acc := task_index.(l) :: !acc);
+          Array.of_list !acc)
+        task_ids
+    in
+    let rec inline_subtree id =
+      (let l = left.(id) in
+       if l >= 0 then inline_subtree l);
+      (let r = right.(id) in
+       if r >= 0 then inline_subtree r);
+      exec_node id
+    in
+    Exec.Pool.run_graph pool ~deps ~run:(fun ti ->
+        let id = task_ids.(ti) in
+        (let l = left.(id) in
+         if l >= 0 && task_index.(l) < 0 then inline_subtree l);
+        (let r = right.(id) in
+         if r >= 0 && task_index.(r) < 0 then inline_subtree r);
+        exec_node id)
+  | _ -> Array.iter exec_node tape.Compile.Tape.post);
+  if Obs.Control.on () then Obs.Span.flush ();
+  finish config ~t_start ~k ~peak ~total ~n
+    frontiers.(slot_of.(Compile.Tape.root tape))

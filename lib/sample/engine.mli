@@ -99,3 +99,18 @@ val run :
     @raise Bufins.Engine.Budget_exceeded when the configured budget
     trips (the same exception, so serve's deadline mapping applies
     unchanged). *)
+
+val run_tape :
+  ?pool:Exec.Pool.t ->
+  ?grain:int ->
+  config ->
+  model:Varmodel.Model.t ->
+  Compile.Tape.t ->
+  result
+(** Optimise a precompiled tape ({!Compile.Tape.compile}) instead of
+    walking the tree.  Device ids and matrix rows are bound in tape
+    edge order — identical to [run]'s sequential pre-pass — so the
+    result is byte-identical to [run] on the tape's source tree, at
+    any job count, for the same fresh model.
+    @raise Bufins.Engine.Budget_exceeded when the configured budget
+    trips. *)

@@ -7,72 +7,49 @@
    zeroed.  Keys are digests: the tree text dominates payload size and
    storing it per entry would defeat the point of a bounded cache.
 
-   Eviction is least-recently-used via a logical clock: each hit
-   restamps the entry, and insertion over capacity drops the entry
-   with the oldest stamp (a linear scan — the cache is small and
-   insertions already paid for a full optimisation run).  One mutex
-   guards the table; pool workers only touch it once per request. *)
+   Storage and eviction live in {!Lru}; this module adds the key
+   derivation and the mutex (pool workers only touch the cache once
+   per request). *)
 
-type entry = { resp : Protocol.response; mutable stamp : int }
-
-type t = {
-  entries : int;
-  table : (string, entry) Hashtbl.t;
-  mutex : Mutex.t;
-  mutable clock : int;
-}
+type t = { lru : Protocol.response Lru.t; mutex : Mutex.t }
 
 let create ~entries =
   if entries < 1 then invalid_arg "Serve.Cache.create: entries must be >= 1";
-  {
-    entries;
-    table = Hashtbl.create (min entries 64);
-    mutex = Mutex.create ();
-    clock = 0;
-  }
+  { lru = Lru.create ~capacity:entries; mutex = Mutex.create () }
 
 let key_of_request (req : Protocol.request) =
   Digest.to_hex
     (Digest.string
        (Protocol.encode_request { req with Protocol.id = 0; deadline_ms = 0 }))
 
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
-
 let find t key =
   Mutex.lock t.mutex;
-  let r =
-    match Hashtbl.find_opt t.table key with
-    | Some e ->
-      e.stamp <- tick t;
-      Some e.resp
-    | None -> None
-  in
+  let r = Lru.find t.lru key in
   Mutex.unlock t.mutex;
   r
 
-let evict_oldest t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun k e ->
-      match !victim with
-      | Some (_, s) when s <= e.stamp -> ()
-      | _ -> victim := Some (k, e.stamp))
-    t.table;
-  match !victim with Some (k, _) -> Hashtbl.remove t.table k | None -> ()
-
 let add t key resp =
   Mutex.lock t.mutex;
-  (match Hashtbl.find_opt t.table key with
-  | Some e -> e.stamp <- tick t
-  | None ->
-    if Hashtbl.length t.table >= t.entries then evict_oldest t;
-    Hashtbl.add t.table key { resp; stamp = tick t });
+  Lru.put t.lru key resp;
   Mutex.unlock t.mutex
 
 let length t =
   Mutex.lock t.mutex;
-  let n = Hashtbl.length t.table in
+  let n = Lru.length t.lru in
   Mutex.unlock t.mutex;
   n
+
+type stats = { entries : int; capacity : int; hits : int; misses : int }
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      entries = Lru.length t.lru;
+      capacity = Lru.capacity t.lru;
+      hits = Lru.hits t.lru;
+      misses = Lru.misses t.lru;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s

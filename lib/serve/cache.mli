@@ -26,3 +26,10 @@ val add : t -> string -> Protocol.response -> unit
     Re-adding an existing key only refreshes its recency. *)
 
 val length : t -> int
+
+type stats = { entries : int; capacity : int; hits : int; misses : int }
+
+val stats : t -> stats
+(** Occupancy and lifetime hit/miss counts of the underlying {!Lru}
+    ({!find} counts; {!add} of an existing key does not).  Rendered
+    into the server's stats frame. *)

@@ -435,6 +435,36 @@ let request_tree_span s =
   let _, _, _, _, _, _, _, _, _, tree_len = read_request_head r in
   (r.pos, tree_len)
 
+(* Skip the tree decode when the caller already holds the decoded tree
+   for this payload's exact blob bytes (matched by digest via
+   {!request_tree_span}) — the head is still fully validated. *)
+let decode_request_using_tree s tree =
+  let r = reader s in
+  let ( id,
+        seed,
+        mode,
+        rule,
+        deadline_ms,
+        mc_trials,
+        wire_sizing,
+        samples,
+        relax,
+        _tree_len ) =
+    read_request_head r
+  in
+  {
+    Protocol.id;
+    seed;
+    mode;
+    rule;
+    deadline_ms;
+    mc_trials;
+    wire_sizing;
+    samples;
+    relax;
+    tree;
+  }
+
 let request_id s =
   let r = reader s in
   get_i64le r "request id"

@@ -6,7 +6,7 @@ let die_of_tree tree =
   done;
   ceil (!hi /. 500.0) *. 500.0
 
-let compute ?pool ?deadline_s (req : Protocol.request) =
+let compute ?pool ?tape ?deadline_s (req : Protocol.request) =
   let setup =
     {
       Experiments.Common.default_setup with
@@ -31,7 +31,7 @@ let compute ?pool ?deadline_s (req : Protocol.request) =
       let r =
         Experiments.Common.run_sampled setup ~budget
           ~wire_sizing:req.Protocol.wire_sizing ~samples:req.Protocol.samples
-          ~relax:req.Protocol.relax ~seed:req.Protocol.seed ~spatial ~grid
+          ~relax:req.Protocol.relax ~seed:req.Protocol.seed ?tape ~spatial ~grid
           req.Protocol.mode tree
       in
       ( {
@@ -50,7 +50,7 @@ let compute ?pool ?deadline_s (req : Protocol.request) =
     else begin
       let r =
         Experiments.Common.run_algo setup ~rule:req.Protocol.rule ~budget
-          ~wire_sizing:req.Protocol.wire_sizing ~spatial ~grid
+          ~wire_sizing:req.Protocol.wire_sizing ?tape ~spatial ~grid
           req.Protocol.mode tree
       in
       (Bufins.Assignment.of_result r, r.Bufins.Engine.stats, None)
@@ -86,7 +86,8 @@ let compute ?pool ?deadline_s (req : Protocol.request) =
     assignment;
   }
 
-let run ?pool ?cache ?metrics ?deadline_s (req : Protocol.request) =
+let run ?pool ?cache ?tapes ?tape_digest ?metrics ?deadline_s
+    (req : Protocol.request) =
   let deadline_s =
     match deadline_s with
     | Some s -> Some s
@@ -102,8 +103,18 @@ let run ?pool ?cache ?metrics ?deadline_s (req : Protocol.request) =
   | Some s when s <= 0.0 ->
     raise (Bufins.Engine.Budget_exceeded "deadline expired before optimisation")
   | _ -> ());
+  (* The tape cache is consulted only on the compute path: a response
+     cache hit never touches the DP, so counting a tape hit for it
+     would overstate how often compilation was actually skipped. *)
+  let compute_with_tape () =
+    let tape =
+      Option.map (fun t -> Tapes.obtain ?digest:tape_digest t req.Protocol.tree)
+        tapes
+    in
+    compute ?pool ?tape ?deadline_s req
+  in
   match cache with
-  | None -> compute ?pool ?deadline_s req
+  | None -> compute_with_tape ()
   | Some cache -> (
     let key = Cache.key_of_request req in
     match Cache.find cache key with
@@ -113,7 +124,7 @@ let run ?pool ?cache ?metrics ?deadline_s (req : Protocol.request) =
       { resp with Protocol.r_id = req.Protocol.id }
     | None ->
       Option.iter Metrics.cache_miss metrics;
-      let resp = compute ?pool ?deadline_s req in
+      let resp = compute_with_tape () in
       (* Only successful results are cached — a deadline trip depends
          on the budget, not the payload, and must not poison faster
          retries. *)

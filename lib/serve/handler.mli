@@ -15,6 +15,8 @@ val die_of_tree : Rctree.Tree.t -> float
 val run :
   ?pool:Exec.Pool.t ->
   ?cache:Cache.t ->
+  ?tapes:Tapes.t ->
+  ?tape_digest:string ->
   ?metrics:Metrics.t ->
   ?deadline_s:float ->
   Protocol.request ->
@@ -33,5 +35,12 @@ val run :
     hit rewrites [r_id] to the incoming id, and only successful
     results are stored — deadline trips are never cached.  [metrics]
     records hits and misses (only consulted when [cache] is given).
+
+    [tapes] precompiles the request's tree to an instruction tape
+    ({!Tapes.obtain}) before the DP runs, so repeated topologies skip
+    the per-net lowering; the result is byte-identical either way.
+    [tape_digest] (from {!Tapes.digest_of_span}) lets the caller skip
+    re-digesting the tree.  The tape cache is consulted only when the
+    DP actually runs — a response-cache hit bypasses it.
 
     @raise Bufins.Engine.Budget_exceeded when the deadline trips. *)

@@ -1,0 +1,76 @@
+(* The one LRU implementation behind the serve/cluster caches: the
+   response cache, the router's v1→v2 transcode fast path and the
+   compiled-tape cache all share it.
+
+   Recency is a logical clock: each touch restamps the entry, and
+   insertion over capacity evicts the entry with the oldest stamp via
+   a linear scan.  The scan is O(capacity), which is fine at the
+   capacities these caches run at (tens to a few hundred) — every
+   insertion already paid for a parse or an optimisation run.
+
+   Not thread-safe: callers that share an instance across domains wrap
+   it in their own mutex (see {!Cache} and {!Tapes}), which also lets
+   single-threaded users (the router's dispatch loop) skip the lock. *)
+
+type 'a entry = { value : 'a; mutable stamp : int }
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Serve.Lru.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 64);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    e.stamp <- tick t;
+    t.hits <- t.hits + 1;
+    Some e.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let peek t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    e.stamp <- tick t;
+    Some e.value
+  | None -> None
+
+let evict_oldest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, s) when s <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.table;
+  match !victim with Some (k, _) -> Hashtbl.remove t.table k | None -> ()
+
+let put t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some e -> e.stamp <- tick t
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then evict_oldest t;
+    Hashtbl.add t.table key { value; stamp = tick t }
+
+let length t = Hashtbl.length t.table
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,31 @@
+(** Bounded least-recently-used map from string keys, shared by the
+    response cache ({!Cache}), the router's v1→v2 transcode fast path
+    and the compiled-tape cache ({!Tapes}).
+
+    Recency is a logical clock; eviction scans for the oldest stamp
+    (O(capacity), deliberate — see the implementation note).  {b Not}
+    thread-safe: wrap shared instances in a mutex. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit refreshes recency.  Counts towards {!hits}/{!misses}. *)
+
+val peek : 'a t -> string -> 'a option
+(** Like {!find} (a hit still refreshes recency) but does {e not}
+    touch the hit/miss counters — for probes whose outcome is counted
+    elsewhere, e.g. the server's dispatch-thread tape probe whose
+    authoritative lookup happens in the handler. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Insert, evicting the least-recently-used entry at capacity.
+    Re-putting an existing key only refreshes its recency (the stored
+    value is kept — entries are pure functions of their key). *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int

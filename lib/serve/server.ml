@@ -7,6 +7,7 @@ type config = {
   queue_depth : int;
   max_connections : int;
   cache_entries : int;
+  tape_entries : int;
 }
 
 let default_config ~socket_path =
@@ -19,6 +20,7 @@ let default_config ~socket_path =
     queue_depth = 64;
     max_connections = 128;
     cache_entries = 128;
+    tape_entries = 128;
   }
 
 type conn = {
@@ -70,6 +72,10 @@ let run ?pool ?metrics ?(should_stop = fun () -> false) config =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let cache =
     if config.cache_entries > 0 then Some (Cache.create ~entries:config.cache_entries)
+    else None
+  in
+  let tapes =
+    if config.tape_entries > 0 then Some (Tapes.create ~entries:config.tape_entries)
     else None
   in
   let owned_pool = match pool with
@@ -142,16 +148,33 @@ let run ?pool ?metrics ?(should_stop = fun () -> false) config =
         (Printf.sprintf "request queue full (depth %d)" config.queue_depth)
     end
     else
-      let decode =
+      (* On the v2 path a warm tape cache short-circuits the tree
+         decode too: the request's tree blob is digested in place and,
+         when the digest is cached, the stored decoded tree stands in
+         for parsing the blob.  [peek] keeps the counters untouched —
+         the handler's [obtain] is the authoritative consult. *)
+      let decode payload =
         match f.Wire.proto with
-        | Wire.V1 -> Protocol.decode_request
-        | Wire.V2 -> Codec_bin.decode_request
+        | Wire.V1 -> (Protocol.decode_request payload, None)
+        | Wire.V2 -> (
+          match tapes with
+          | None -> (Codec_bin.decode_request payload, None)
+          | Some t ->
+            let off, len = Codec_bin.request_tree_span payload in
+            let digest = Tapes.digest_of_span payload ~off ~len in
+            let req =
+              match Tapes.peek t digest with
+              | Some e ->
+                Codec_bin.decode_request_using_tree payload e.Tapes.tree
+              | None -> Codec_bin.decode_request payload
+            in
+            (req, Some digest))
       in
       match decode f.Wire.payload with
       | exception Failure msg ->
         Metrics.request_error metrics ~code:Protocol.err_parse;
         send_error conn Protocol.err_parse msg
-      | req ->
+      | req, tape_digest ->
         let enqueued_at = Unix.gettimeofday () in
         let deadline_at =
           if req.Protocol.deadline_ms > 0 then
@@ -171,7 +194,10 @@ let run ?pool ?metrics ?(should_stop = fun () -> false) config =
             Option.map (fun at -> at -. started) deadline_at
           in
           let outcome =
-            match Handler.run ~pool ?cache ~metrics ?deadline_s req with
+            match
+              Handler.run ~pool ?cache ?tapes ?tape_digest ~metrics ?deadline_s
+                req
+            with
             | resp -> Ok resp
             | exception Bufins.Engine.Budget_exceeded msg ->
               Error { Protocol.code = Protocol.err_deadline; message = msg }
@@ -190,12 +216,34 @@ let run ?pool ?metrics ?(should_stop = fun () -> false) config =
           !jobs @ [ { j_conn = conn; j_proto = f.Wire.proto; fut; enqueued_at } ]
   in
 
+  (* Metrics plus the occupancy/hit lines of the two in-process
+     caches, in the same "key value" line format. *)
+  let stats_payload () =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Metrics.render metrics);
+    (match cache with
+    | Some c ->
+      let s = Cache.stats c in
+      Printf.bprintf buf "cache_entries %d\n" s.Cache.entries;
+      Printf.bprintf buf "cache_capacity %d\n" s.Cache.capacity
+    | None -> ());
+    (match tapes with
+    | Some t ->
+      let s = Tapes.stats t in
+      Printf.bprintf buf "tape_entries %d\n" s.Tapes.entries;
+      Printf.bprintf buf "tape_capacity %d\n" s.Tapes.capacity;
+      Printf.bprintf buf "tape_hits %d\n" s.Tapes.hits;
+      Printf.bprintf buf "tape_misses %d\n" s.Tapes.misses
+    | None -> ());
+    Buffer.contents buf
+  in
+
   let handle_frame conn (f : Wire.frame) =
     conn.proto <- f.Wire.proto;
     Metrics.request_kind metrics ~kind:f.Wire.kind;
     match f.Wire.kind with
     | "request" -> dispatch_request conn f
-    | "stats" -> send conn ~kind:"stats" (Metrics.render metrics)
+    | "stats" -> send conn ~kind:"stats" (stats_payload ())
     | "trace" ->
       (* The recent span buffer as Chrome trace JSON; an empty trace
          when observability is off. *)

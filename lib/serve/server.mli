@@ -40,11 +40,18 @@ type config = {
           payloads (same seed/mode/rule/tree, ids and deadlines aside)
           are answered from memory, byte-identically; hits and misses
           show up in the [stats] report. *)
+  tape_entries : int;
+      (** compiled-{!Tapes} capacity; [0] disables the tape cache.
+          Requests whose topology digest is warm skip the per-net tape
+          compilation (and, on the v2 wire, the tree decode); results
+          are byte-identical either way.  Occupancy and hit/miss lines
+          ([tape_*]) join the [stats] report. *)
 }
 
 val default_config : socket_path:string -> config
 (** jobs {!Exec.Pool.default_jobs}, backlog 64, 8 MiB payloads,
-    queue depth 64, 128 connections, 128 cache entries. *)
+    queue depth 64, 128 connections, 128 cache entries, 128 tape
+    entries. *)
 
 val run :
   ?pool:Exec.Pool.t ->

@@ -1,0 +1,72 @@
+(* Compiled-tape cache, keyed by topology digest.
+
+   A tape is a pure function of the tree it was compiled from, so the
+   key is the digest of the tree's canonical v2 encoding
+   ({!Codec_bin.encode_tree}).  That is exactly the blob an encoded v2
+   request carries ({!Codec_bin.request_tree_span}), which buys the
+   server a second win: when a request's tree digest hits this cache,
+   the stored decoded tree can stand in for parsing the blob at all
+   ({!Codec_bin.decode_request_using_tree}).
+
+   Two lookup flavours mirror the two call sites.  The server's
+   dispatch thread {!peek}s — recency only, no counters — because the
+   authoritative consult happens later in the handler, and counting
+   both would double-book every warm request.  The handler's
+   {!obtain} counts, both in the LRU and on the obs counters
+   [tape.hit]/[tape.miss]. *)
+
+let obs_hit = Obs.Counters.counter Obs.Counters.global "tape.hit"
+let obs_miss = Obs.Counters.counter Obs.Counters.global "tape.miss"
+
+type entry = { tree : Rctree.Tree.t; tape : Compile.Tape.t }
+type t = { lru : entry Lru.t; mutex : Mutex.t }
+
+let create ~entries =
+  if entries < 1 then invalid_arg "Serve.Tapes.create: entries must be >= 1";
+  { lru = Lru.create ~capacity:entries; mutex = Mutex.create () }
+
+let digest_of_tree tree =
+  Digest.to_hex (Digest.string (Codec_bin.encode_tree tree))
+
+let digest_of_span payload ~off ~len =
+  Digest.to_hex (Digest.substring payload off len)
+
+let peek t digest =
+  Mutex.lock t.mutex;
+  let r = Lru.peek t.lru digest in
+  Mutex.unlock t.mutex;
+  r
+
+let obtain ?digest t tree =
+  let digest = match digest with Some d -> d | None -> digest_of_tree tree in
+  Mutex.lock t.mutex;
+  let hit = Lru.find t.lru digest in
+  Mutex.unlock t.mutex;
+  match hit with
+  | Some e ->
+    if Obs.Control.on () then Obs.Counters.incr obs_hit 1;
+    e.tape
+  | None ->
+    if Obs.Control.on () then Obs.Counters.incr obs_miss 1;
+    (* Compile outside the lock: a concurrent duplicate costs one
+       redundant compile, never a stall of unrelated requests. *)
+    let tape = Compile.Tape.compile tree in
+    Mutex.lock t.mutex;
+    Lru.put t.lru digest { tree; tape };
+    Mutex.unlock t.mutex;
+    tape
+
+type stats = { entries : int; capacity : int; hits : int; misses : int }
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      entries = Lru.length t.lru;
+      capacity = Lru.capacity t.lru;
+      hits = Lru.hits t.lru;
+      misses = Lru.misses t.lru;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s

@@ -79,6 +79,24 @@ echo "$sout" | grep -q "sampled driver RAT (K=128)" \
 cmp "$BUF1" "$BUF2" \
   || { echo "FAIL: sample-mode v1 and v2 bufferings differ"; exit 1; }
 
+# Same net, different rule: the rule is part of the response-cache key
+# so the worker's result cache misses, but the compiled-tape cache is
+# keyed by the topology digest alone — the r1 requests above already
+# compiled this tree, so this request must be a tape hit (skipping
+# parse-to-tree and compile).  The workers' own stats prove it.
+"$BIN" request --tcp "$PORT" --wire v2 --bench r1 --algo wid --rule det \
+  --deadline-ms 120000 >/dev/null
+thits=0
+for ws in "$CSOCK".shard*; do
+  wstats=$("$BIN" stats --socket "$ws")
+  grep -q "^tape_entries " <<<"$wstats" \
+    || { echo "FAIL: worker stats missing tape lines"; exit 1; }
+  h=$(awk '$1 == "tape_hits" { print $2 }' <<<"$wstats")
+  thits=$(( thits + ${h:-0} ))
+done
+[ "$thits" -ge 1 ] \
+  || { echo "FAIL: no tape-cache hit after same-net replay"; exit 1; }
+
 # A short closed-loop load through the router in v2 binary.
 lg=$("$LOADGEN" --socket "$CSOCK" --wire v2 --connections 2 --requests 20 \
   --distinct 4 --sinks 12)
@@ -87,9 +105,10 @@ grep -q "^ok 20 " <<<"$lg"
 
 cstats=$("$BIN" stats --tcp "$PORT" --wire v2 --socket "$CSOCK")
 grep -qx "cluster_shards 2" <<<"$cstats"
-grep -qx "ok 24" <<<"$cstats"
-grep -q "^kind_request 24" <<<"$cstats"
+grep -qx "ok 25" <<<"$cstats"
+grep -q "^kind_request 25" <<<"$cstats"
 grep -q "^cluster_shard_0_links " <<<"$cstats"
+grep -q "^cluster_v1_cache_capacity " <<<"$cstats"
 
 "$BIN" shutdown --socket "$CSOCK"
 wait "$CLUSTER"

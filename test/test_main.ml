@@ -9,6 +9,7 @@ let () =
       ("device", Test_device.suite);
       ("rctree", Test_rctree.suite);
       ("bufins", Test_bufins.suite);
+      ("tape", Test_tape.suite);
       ("sta", Test_sta.suite);
       ("experiments", Test_experiments.suite);
       ("sample", Test_sample.suite);
