@@ -22,9 +22,10 @@
       `dune exec bench/main.exe` prints the full paper-shaped output —
       run across the pool's domains when --jobs > 1.
 
-   Pass --micro-only, --mc-only, --serve-only or --tables-only to run
-   one part; --smoke runs a reduced micro pass with tight iteration
-   budgets (the CI smoke-bench).  Whenever the micro pass runs, the
+   Pass --micro-only, --mc-only, --serve-only, --tables-only or
+   --btypes-only (the buffer-library size sweep and its identity/
+   frontier-growth gates) to run one part; --smoke runs a reduced
+   micro pass with tight iteration budgets (the CI smoke-bench).  Whenever the micro pass runs, the
    per-benchmark ns/run figures plus a DP allocation probe are written
    as machine-readable JSON to BENCH.json (override with
    --bench-json PATH);
@@ -770,6 +771,136 @@ let run_tape_bench ~smoke () =
     rows;
   rows
 
+(* ---------- buffer-library size: frontier growth + identity gates ---------- *)
+
+type btypes_row = {
+  bt_b : int;
+  bt_net : string;
+  bt_ns_per_op : float;
+  bt_peak : int;
+  bt_total : int;
+  bt_buffers : int;
+  bt_inverters : int;
+}
+
+type btypes_report = {
+  bt_rows : btypes_row list;
+  bt_identity_b1 : bool;
+  bt_peak_ratio : float;  (* worst peak(b=8)/peak(b=1) across nets *)
+}
+
+(* The WID DP across library sizes b = 1..16 on the Table-1 nets:
+   ns/op, candidate counts and the chosen type mix.  Two gates, both
+   fatal:
+
+   - at b = 1 (the historical repeater library) [Convex_auto] must be
+     byte-identical to the [Exhaustive] per-type scan — the convex
+     insertion step is an optimisation, never a semantics change;
+   - the peak frontier at b = 8 must stay under 4x the b = 1 peak on
+     every net — the empirical form of the O(bn^2) claim (candidate
+     generation is linear in b, the pruned frontier nearly flat). *)
+let run_btypes ~smoke () =
+  let setup = Experiments.Common.default_setup in
+  let nets = if smoke then [ "r1"; "r2" ] else [ "r1"; "r2"; "r3"; "r4"; "r5" ] in
+  let bs = [ 1; 2; 4; 8; 16 ] in
+  let reps = if smoke then 1 else 3 in
+  let spatial = Varmodel.Model.default_heterogeneous in
+  let identity_b1 =
+    let info = Rctree.Benchmarks.find "r1" in
+    let tree = Rctree.Benchmarks.load info in
+    let grid =
+      Experiments.Common.grid_for setup ~die_um:info.Rctree.Benchmarks.die_um
+    in
+    let model () =
+      Varmodel.Model.create ~mode:Varmodel.Model.Wid ~spatial ~grid ()
+    in
+    let run insertion =
+      strip_result
+        (Bufins.Engine.run
+           { (Bufins.Engine.default_config ()) with Bufins.Engine.insertion }
+           ~model:(model ()) tree)
+    in
+    run Bufins.Engine.Convex_auto = run Bufins.Engine.Exhaustive
+  in
+  let rows =
+    List.concat_map
+      (fun net ->
+        let info = Rctree.Benchmarks.find net in
+        let tree = Rctree.Benchmarks.load info in
+        let grid =
+          Experiments.Common.grid_for setup
+            ~die_um:info.Rctree.Benchmarks.die_um
+        in
+        List.map
+          (fun b ->
+            let setup =
+              { setup with
+                Experiments.Common.library = Device.Buffer.synth_library ~btypes:b }
+            in
+            let best = ref None in
+            for _ = 1 to reps do
+              let t0 = Unix.gettimeofday () in
+              let r =
+                Experiments.Common.run_algo setup ~spatial ~grid
+                  Experiments.Common.Wid tree
+              in
+              let t = Unix.gettimeofday () -. t0 in
+              match !best with
+              | Some (bt, _) when bt <= t -> ()
+              | _ -> best := Some (t, r)
+            done;
+            let t, r = Option.get !best in
+            let s = r.Bufins.Engine.stats in
+            {
+              bt_b = b;
+              bt_net = net;
+              bt_ns_per_op = t *. 1e9;
+              bt_peak = s.Bufins.Engine.peak_candidates;
+              bt_total = s.Bufins.Engine.total_candidates;
+              bt_buffers = List.length r.Bufins.Engine.buffers;
+              bt_inverters =
+                List.length
+                  (List.filter
+                     (fun (_, d) -> Device.Buffer.is_inverting d)
+                     r.Bufins.Engine.buffers);
+            })
+          bs)
+      nets
+  in
+  let peak net b =
+    (List.find (fun r -> r.bt_net = net && r.bt_b = b) rows).bt_peak
+  in
+  let peak_ratio =
+    List.fold_left
+      (fun acc net ->
+        Float.max acc
+          (float_of_int (peak net 8) /. float_of_int (max 1 (peak net 1))))
+      0.0 nets
+  in
+  Printf.printf "== buffer-library size (WID/2P, best of %d) ==\n" reps;
+  Printf.printf "%-4s %4s %12s %8s %10s %8s %5s\n" "net" "b" "ns/op" "peak"
+    "total" "buffers" "inv";
+  List.iter
+    (fun r ->
+      Printf.printf "%-4s %4d %12.0f %8d %10d %8d %5d\n" r.bt_net r.bt_b
+        r.bt_ns_per_op r.bt_peak r.bt_total r.bt_buffers r.bt_inverters)
+    rows;
+  Printf.printf
+    "b=1 convex = exhaustive: %b, worst peak(b=8)/peak(b=1): %.2f\n\n"
+    identity_b1 peak_ratio;
+  if not identity_b1 then begin
+    prerr_endline
+      "FATAL: convex insertion diverged from exhaustive at b=1";
+    exit 1
+  end;
+  if peak_ratio >= 4.0 then begin
+    Printf.eprintf
+      "FATAL: peak frontier grew %.2fx from b=1 to b=8 (gate: < 4x)\n"
+      peak_ratio;
+    exit 1
+  end;
+  { bt_rows = rows; bt_identity_b1 = identity_b1; bt_peak_ratio = peak_ratio }
+
 (* ---------- BENCH.json (hand-rolled writer; no JSON dependency) ---------- *)
 
 let json_escape s =
@@ -790,8 +921,43 @@ let json_float x =
   (* %.17g roundtrips; JSON has no infinities, clamp defensively. *)
   if Float.is_finite x then Printf.sprintf "%.17g" x else "null"
 
-let write_bench_json ~path ~smoke ~micro ~probe ~par ~sample ~tape ~cluster ~obs
-    =
+(* The btypes object, shared between the full report and the
+   [--btypes-only] mini report the CI matrix leg uploads. *)
+let add_btypes_section buf btypes =
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\n  \"btypes\": {\"identity_b1\": %b, \"peak_ratio_b8_b1\": %s, \
+        \"rows\": [\n"
+       btypes.bt_identity_b1
+       (json_float btypes.bt_peak_ratio));
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"net\": \"%s\", \"b\": %d, \"ns_per_op\": %s, \
+            \"peak_candidates\": %d, \"total_candidates\": %d, \"buffers\": \
+            %d, \"inverters\": %d}%s\n"
+           (json_escape r.bt_net) r.bt_b
+           (json_float r.bt_ns_per_op)
+           r.bt_peak r.bt_total r.bt_buffers r.bt_inverters
+           (if i = List.length btypes.bt_rows - 1 then "" else ",")))
+    btypes.bt_rows;
+  Buffer.add_string buf "  ]}"
+
+let write_btypes_json ~path ~smoke ~btypes =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"varbuf-bench/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b" smoke);
+  add_btypes_section buf btypes;
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n\n" path
+
+let write_bench_json ~path ~smoke ~micro ~probe ~par ~sample ~tape ~btypes
+    ~cluster ~obs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema\": \"varbuf-bench/1\",\n";
@@ -858,6 +1024,7 @@ let write_bench_json ~path ~smoke ~micro ~probe ~par ~sample ~tape ~cluster ~obs
            (if i = List.length tape - 1 then "" else ",")))
     tape;
   Buffer.add_string buf "  ]}";
+  add_btypes_section buf btypes;
   Buffer.add_string buf
     (Printf.sprintf
        ",\n  \"cluster\": {\"requests\": %d, \"clients\": %d, \"shards\": %d, \
@@ -1082,18 +1249,23 @@ let () =
     (not smoke)
     && not
          (only "--micro-only" || only "--mc-only" || only "--serve-only"
-         || only "--tables-only")
+         || only "--tables-only" || only "--btypes-only")
   in
-  if all || smoke || only "--micro-only" then begin
+  if only "--btypes-only" then begin
+    let btypes = run_btypes ~smoke () in
+    write_btypes_json ~path:json_path ~smoke ~btypes
+  end;
+  if (all || smoke || only "--micro-only") && not (only "--btypes-only") then begin
     let micro = run_micro ~smoke () in
     let probe = run_dp_probe ~smoke () in
     let par = run_par_dp ~smoke ~jobs () in
     let sample = run_sample ~smoke ~jobs () in
     let tape = run_tape_bench ~smoke () in
+    let btypes = run_btypes ~smoke () in
     let cluster = run_cluster ~smoke () in
     let obs = if obs_on then Some (collect_obs_report ()) else None in
     write_bench_json ~path:json_path ~smoke ~micro ~probe ~par ~sample ~tape
-      ~cluster ~obs
+      ~btypes ~cluster ~obs
   end;
   if all || only "--mc-only" then run_mc_speedup ~jobs ();
   if all || only "--serve-only" then run_serve ~jobs ();

@@ -70,8 +70,8 @@ let dump_obs ~obs ~trace =
   end
 
 let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
-    wire_sizing save_buffering load_limit jobs par_grain samples relax use_tape
-    obs trace =
+    wire_sizing save_buffering load_limit lib_file btypes jobs par_grain samples
+    relax use_tape obs trace =
   if obs || trace <> None then Obs.Control.enable ();
   let source =
     match (bench, sinks, htree, file) with
@@ -96,11 +96,26 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
         else Ok Bufins.Prune.deterministic
       else rule_of_string p rule_s
     in
-    match (algo_of_string algo_s, rule_res) with
-    | Error msg, _ | _, Error msg ->
+    (* --lib / --btypes select the buffer library for the run; every
+       engine threads it through candidate generation, the device-id
+       pre-pass and the polarity-aware frontiers. *)
+    let library_res =
+      match (lib_file, btypes) with
+      | Some _, Some _ -> Error "give at most one of --lib and --btypes"
+      | Some path, None -> (
+        try Ok (Device.Buffer.load path)
+        with Sys_error msg | Failure msg ->
+          Error ("cannot load buffer library: " ^ msg))
+      | None, Some b ->
+        if b < 1 then Error "--btypes must be >= 1"
+        else Ok (Device.Buffer.synth_library ~btypes:b)
+      | None, None -> Ok Experiments.Common.default_setup.library
+    in
+    match (algo_of_string algo_s, rule_res, library_res) with
+    | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
       prerr_endline msg;
       1
-    | Ok algo, Ok rule -> (
+    | Ok algo, Ok rule, Ok library -> (
       let pool = if jobs > 1 then Some (Exec.Pool.create ~jobs ()) else None in
       let finally () = Option.iter Exec.Pool.shutdown pool in
       Fun.protect ~finally @@ fun () ->
@@ -110,8 +125,13 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
           mc_trials = mc;
           pool;
           par_grain;
+          library;
         }
       in
+      if lib_file <> None || btypes <> None then
+        Format.printf "library: %d types (%d inverting)@." (Array.length library)
+          (Array.length library
+          - Array.length (fst (Device.Buffer.partition_indices library)));
       let tree, die_um =
         try load_tree source seed with
         | Not_found ->
@@ -275,6 +295,21 @@ let load_limit_arg =
   Arg.(value & opt (some float) None & info [ "load-limit" ] ~docv:"FF"
          ~doc:"Maximum capacitance (fF) any buffer or the driver may drive.")
 
+let lib_arg =
+  Arg.(value & opt (some string) None & info [ "lib" ] ~docv:"FILE"
+         ~doc:"Load the buffer library from FILE: one device per \
+               non-comment line, NAME CAP_FF DELAY_PS RES_KOHM \
+               [inv|buf].  Inverters are legal — the DP keeps \
+               dual-polarity frontiers and only even inverter chains \
+               reach the sinks.")
+
+let btypes_arg =
+  Arg.(value & opt (some int) None & info [ "btypes" ] ~docv:"B"
+         ~doc:"Use the deterministic synthetic library with B device \
+               types (a geometric size ladder alternating repeaters \
+               and inverters).  B=1 keeps the default 3-type library.  \
+               Mutually exclusive with --lib.")
+
 let jobs_arg =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
          ~doc:"Worker domains: the DP's subtree tasks and Monte-Carlo \
@@ -335,8 +370,8 @@ let cmd =
     Term.(
       const run $ bench_arg $ sinks_arg $ htree_arg $ file_arg $ algo_arg
       $ rule_arg $ p_arg $ seed_arg $ mc_arg $ homogeneous_arg $ save_arg
-      $ wire_sizing_arg $ save_buffering_arg $ load_limit_arg $ jobs_arg
-      $ par_grain_arg $ samples_arg $ relax_arg $ tape_arg $ obs_arg
-      $ trace_arg)
+      $ wire_sizing_arg $ save_buffering_arg $ load_limit_arg $ lib_arg
+      $ btypes_arg $ jobs_arg $ par_grain_arg $ samples_arg $ relax_arg
+      $ tape_arg $ obs_arg $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -269,7 +269,7 @@ let probe_malformed client =
     exit 1
 
 let request socket tcp wire bench file sinks algo_s rule_s p seed deadline_ms
-    mc wire_sizing samples relax save_buffering probe =
+    mc wire_sizing samples relax btypes save_buffering probe =
   let ( let* ) r f = match r with Ok v -> f v | Error msg ->
     prerr_endline msg; 1
   in
@@ -279,6 +279,7 @@ let request socket tcp wire bench file sinks algo_s rule_s p seed deadline_ms
   let* () =
     if samples < 0 then Error "--samples must be >= 0" else Ok ()
   in
+  let* () = if btypes < 0 then Error "--btypes must be >= 0" else Ok () in
   let req =
     {
       (Serve.Protocol.default_request ~tree) with
@@ -290,6 +291,7 @@ let request socket tcp wire bench file sinks algo_s rule_s p seed deadline_ms
       wire_sizing;
       samples;
       relax;
+      btypes;
     }
   in
   let addr = resolve_addr socket tcp in
@@ -398,6 +400,14 @@ let request_cmd =
            ~doc:"Sample-dominance relaxation for --samples (1 = exact \
                  full dominance).")
   in
+  let btypes_arg =
+    Arg.(value & opt int 0 & info [ "btypes" ] ~docv:"B"
+           ~doc:"Optimise with the deterministic synthetic buffer \
+                 library of B device types (alternating repeaters and \
+                 inverters).  0, the default, keeps the server's \
+                 default 3-type library and the historical request \
+                 bytes.")
+  in
   let save_buffering_arg =
     Arg.(value & opt (some string) None & info [ "save-buffering" ]
            ~docv:"FILE" ~doc:"Write the returned buffering to FILE.")
@@ -414,7 +424,7 @@ let request_cmd =
       const request $ socket_arg $ tcp_client_arg $ wire_arg $ bench_arg
       $ file_arg $ sinks_arg $ algo_arg $ rule_arg $ p_arg $ seed_arg
       $ deadline_arg $ mc_arg $ wire_sizing_arg $ samples_arg $ relax_arg
-      $ save_buffering_arg $ probe_arg)
+      $ btypes_arg $ save_buffering_arg $ probe_arg)
 
 (* ---------- stats / shutdown ---------- *)
 

@@ -11,9 +11,12 @@ let to_string t =
   Buffer.add_string buf "# varbuf buffering v1\n";
   List.iter
     (fun (node, (b : Device.Buffer.t)) ->
-      Printf.bprintf buf "buffer %d name %s cap %.17g delay %.17g res %.17g\n"
+      (* [pol inv] is emitted only for inverters: non-inverting
+         libraries keep the exact historical bytes. *)
+      Printf.bprintf buf "buffer %d name %s cap %.17g delay %.17g res %.17g%s\n"
         node b.Device.Buffer.name b.Device.Buffer.cap_ff b.Device.Buffer.delay_ps
-        b.Device.Buffer.res_kohm)
+        b.Device.Buffer.res_kohm
+        (if Device.Buffer.is_inverting b then " pol inv" else ""))
     (List.sort compare t.buffers);
   List.iter
     (fun (node, (w : Device.Wire_lib.t)) ->
@@ -69,6 +72,12 @@ let of_string text =
             fail "duplicate buffer at node %d" node;
           Hashtbl.add seen_buffers node ();
           let assoc = fields rest in
+          let polarity =
+            match List.assoc_opt "pol" assoc with
+            | Some "inv" -> Device.Buffer.Inverting
+            | Some "buf" | None -> Device.Buffer.Non_inverting
+            | Some p -> fail "bad polarity %S (want inv or buf)" p
+          in
           buffers :=
             ( node,
               {
@@ -76,6 +85,7 @@ let of_string text =
                 cap_ff = float_field assoc "cap";
                 delay_ps = float_field assoc "delay";
                 res_kohm = float_field assoc "res";
+                polarity;
               } )
             :: !buffers
         | "width" :: node :: rest ->

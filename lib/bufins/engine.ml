@@ -7,6 +7,8 @@ let no_budget = { max_candidates = None; max_seconds = None }
 
 type objective = Max_mean | Max_yield of float
 
+type insertion = Convex_auto | Exhaustive
+
 type config = {
   tech : Device.Tech.t;
   library : Device.Buffer.t array;
@@ -15,6 +17,7 @@ type config = {
   budget : budget;
   objective : objective;
   load_limit : float option;
+  insertion : insertion;
 }
 
 let default_config ?(rule = Prune.two_param ()) ?(objective = Max_yield 0.95)
@@ -30,7 +33,19 @@ let default_config ?(rule = Prune.two_param ()) ?(objective = Max_yield 0.95)
     budget = no_budget;
     objective;
     load_limit = None;
+    insertion = Convex_auto;
   }
+
+(* The convex pre-selection is byte-exact only when the pruning rule
+   compares pure means on both axes ({!Prune.mean_exact}) and no two
+   library types share an input capacitance (distinct load keys mean
+   no equal-key duplicate class can span two types, so the argmax
+   scan's earliest-maximiser tie-break coincides with the stable
+   sort's).  Everything else falls back to exhaustive generation. *)
+let use_convex config =
+  config.insertion = Convex_auto
+  && Prune.mean_exact config.rule
+  && Device.Buffer.caps_distinct config.library
 
 let log_src = Logs.Src.create "varbuf.engine" ~doc:"buffer-insertion DP"
 
@@ -53,6 +68,19 @@ type result = {
   load_limit_met : bool;
   stats : stats;
 }
+
+(* A dual-polarity frontier.  [ev] holds the candidates that deliver
+   every sink its specified signal sense (even inversion count on each
+   root-sink path), [od] those one inversion away.  Libraries without
+   inverters never populate [od], and the root selects from [ev] only,
+   so sink polarity is restored by construction.  The even side is the
+   historical frontier: with no inverters in the library the [od]
+   arrays stay empty and the engine's instruction stream is the
+   pre-polarity one. *)
+type frontier = { ev : Sol.t array; od : Sol.t array }
+
+let empty_frontier = { ev = [||]; od = [||] }
+let frontier_size f = Array.length f.ev + Array.length f.od
 
 (* Eq. 33-34: lift one candidate through a wire of length [l] sized
    with the given width option. *)
@@ -170,64 +198,188 @@ let make_checks config ~t_start =
    [wire_rc] holds one (r, c) canonical-form pair per wire width when
    the wire parasitics themselves vary, and is empty otherwise.
    Returns the staging buffer and the staged count. *)
+let fill_wired config ~wire_rc ~child ~length (sols : Sol.t array) wired nw =
+  let ns = Array.length sols in
+  if Array.length wire_rc > 0 then
+    for k = 0 to nw - 1 do
+      let width = k / ns in
+      let r_form, c_form = wire_rc.(width) in
+      wired.(k) <-
+        lift_wire_var ~node:child ~width ~length ~r_form ~c_form
+          sols.(k mod ns)
+    done
+  else
+    for k = 0 to nw - 1 do
+      let width = k / ns in
+      wired.(k) <-
+        lift_wire config.wires.(width) ~node:child ~width ~length
+          sols.(k mod ns)
+    done
+
 let stage_wired config ~wire_rc ~child ~length (sols : Sol.t array) =
   let arena = Arena.get () in
-  let ns = Array.length sols in
-  let nw = Array.length config.wires * ns in
+  let nw = Array.length config.wires * Array.length sols in
   let wired = Arena.stage_a arena nw ~dummy:sols.(0) in
-  (if Array.length wire_rc > 0 then
-     for k = 0 to nw - 1 do
-       let width = k / ns in
-       let r_form, c_form = wire_rc.(width) in
-       wired.(k) <-
-         lift_wire_var ~node:child ~width ~length ~r_form ~c_form
-           sols.(k mod ns)
-     done
-   else
-     for k = 0 to nw - 1 do
-       let width = k / ns in
-       wired.(k) <-
-         lift_wire config.wires.(width) ~node:child ~width ~length
-           sols.(k mod ns)
-     done);
+  fill_wired config ~wire_rc ~child ~length sols wired nw;
   (wired, nw)
 
-(* Stage the buffered variants on top of the wired candidates and
-   prune.  [buf_forms] is the edge's device template: one
-   (cap form, delay form, resistance) triple per library buffer.  The
-   pruner's input replicates the historical generation order — wired
-   candidates reversed, then one buffered variant per library type for
-   each drivable wired candidate — so that the stable sort keeps the
-   same representative among exact duplicates. *)
-let insert_and_prune config ~buf_forms ~child ~wired ~nw =
-  let arena = Arena.get () in
+(* The odd-parity wired candidates go into a plain array: the arena's
+   [stage_a] holds the even side, which the cross-polarity insert
+   still reads while the odd side is staged and pruned. *)
+let stage_wired_plain config ~wire_rc ~child ~length (sols : Sol.t array) =
+  if Array.length sols = 0 then ([||], 0)
+  else begin
+    let nw = Array.length config.wires * Array.length sols in
+    let wired = Array.make nw sols.(0) in
+    fill_wired config ~wire_rc ~child ~length sols wired nw;
+    (wired, nw)
+  end
+
+(* Per-type candidate accounting, bumped only when observability is
+   on.  The counter names derive from the library
+   ([dp.type.<name>.generated] / [.kept]), so handles cannot be
+   resolved at module initialisation; the cold registry lookup hides
+   behind the obs gate. *)
+let obs_types config ~child ~cand ~nw ~k out =
   let nlib = Array.length config.library in
+  let gen = Array.make nlib 0 and kept = Array.make nlib 0 in
+  for i = nw to k - 1 do
+    match cand.(i).Sol.choice with
+    | Sol.Buffered { buffer; _ } -> gen.(buffer) <- gen.(buffer) + 1
+    | _ -> ()
+  done;
+  Array.iter
+    (fun (s : Sol.t) ->
+      match s.Sol.choice with
+      | Sol.Buffered { node; buffer; _ } when node = child ->
+        kept.(buffer) <- kept.(buffer) + 1
+      | _ -> ())
+    out;
+  Array.iteri
+    (fun bi (b : Device.Buffer.t) ->
+      if gen.(bi) > 0 then
+        Obs.Counters.add Obs.Counters.global
+          ("dp.type." ^ b.Device.Buffer.name ^ ".generated")
+          gen.(bi);
+      if kept.(bi) > 0 then
+        Obs.Counters.add Obs.Counters.global
+          ("dp.type." ^ b.Device.Buffer.name ^ ".kept")
+          kept.(bi))
+    config.library
+
+(* Stage the buffered variants on top of the wired candidates and
+   prune, producing one side of a dual-polarity frontier.  [wired] /
+   [nw] is this side's wired set and [cross] / [ncross] the opposite
+   side's: non-inverting types ([same_types]) preserve parity and
+   buffer [wired]; inverting types ([flip_types]) flip parity and
+   buffer [cross].  [buf_forms] is the edge's device template: one
+   (cap form, delay form, resistance) triple per library type.
+
+   Exhaustive generation replicates the historical order — wired
+   candidates reversed, then one buffered variant per type for each
+   drivable wired candidate (wired-major, library order), then the
+   cross-polarity variants — so the stable sort keeps the same
+   representative among exact duplicates.
+
+   [convex] is the O(bn²) insert step: for a fixed type every
+   buffered candidate shares one load form, so under a mean-exact
+   rule only the one maximising the buffered mean RAT can survive
+   pruning; the scan computes that mean bit-exactly as the
+   materialised candidate would (including [Linform.axpy]'s k = 0
+   short-circuit) and the strict > comparison keeps the earliest
+   maximiser — the representative the exhaustive stable sort pins.
+   Candidate counts reported by obs and the response stats are
+   post-prune, so the pre-selection changes no output bytes. *)
+let insert_and_prune config ~convex ~same_types ~flip_types ~buf_forms ~child
+    ~wired ~nw ~cross ~ncross =
+  let arena = Arena.get () in
   let drivable (s : Sol.t) =
     match config.load_limit with
     | None -> true
     | Some limit -> Sol.mean_load s <= limit
   in
-  let ndrivable = ref 0 in
-  for i = 0 to nw - 1 do
-    if drivable wired.(i) then incr ndrivable
-  done;
-  let ncand = nw + (!ndrivable * nlib) in
-  let cand = Arena.stage_b arena ncand ~dummy:wired.(0) in
-  for i = 0 to nw - 1 do
-    cand.(nw - 1 - i) <- wired.(i)
-  done;
-  let k = ref nw in
-  for i = 0 to nw - 1 do
-    if drivable wired.(i) then
-      for buffer_index = 0 to nlib - 1 do
-        let cb_form, tb_form, res = buf_forms.(buffer_index) in
-        cand.(!k) <-
-          insert_buffer ~node:child ~buffer_index ~cb_form ~tb_form ~res
-            wired.(i);
-        incr k
-      done
-  done;
-  Prune.prune_sub config.rule cand ncand
+  let count_drivable arr n =
+    let c = ref 0 in
+    for i = 0 to n - 1 do
+      if drivable arr.(i) then incr c
+    done;
+    !c
+  in
+  let nd_same =
+    if Array.length same_types = 0 then 0 else count_drivable wired nw
+  in
+  let nd_flip =
+    if Array.length flip_types = 0 then 0 else count_drivable cross ncross
+  in
+  let per_same = if convex then min nd_same 1 else nd_same in
+  let per_flip = if convex then min nd_flip 1 else nd_flip in
+  let ncand =
+    nw
+    + (per_same * Array.length same_types)
+    + (per_flip * Array.length flip_types)
+  in
+  if ncand = 0 then [||]
+  else begin
+    let dummy = if nw > 0 then wired.(0) else cross.(0) in
+    let cand = Arena.stage_b arena ncand ~dummy in
+    for i = 0 to nw - 1 do
+      cand.(nw - 1 - i) <- wired.(i)
+    done;
+    let k = ref nw in
+    let emit src i bi =
+      let cb_form, tb_form, res = buf_forms.(bi) in
+      cand.(!k) <-
+        insert_buffer ~node:child ~buffer_index:bi ~cb_form ~tb_form ~res
+          src.(i);
+      incr k
+    in
+    (if convex then begin
+       let argmax src n bi =
+         let _, tb_form, res = buf_forms.(bi) in
+         let neg_res = -.res in
+         let tb_nom = Linform.mean tb_form in
+         let best = ref (-1) and best_m = ref neg_infinity in
+         for i = 0 to n - 1 do
+           let s = src.(i) in
+           if drivable s then begin
+             let m =
+               (if neg_res = 0.0 then Sol.mean_rat s
+                else (neg_res *. Sol.mean_load s) +. Sol.mean_rat s)
+               -. tb_nom
+             in
+             if m > !best_m then begin
+               best := i;
+               best_m := m
+             end
+           end
+         done;
+         !best
+       in
+       Array.iter
+         (fun bi ->
+           let i = argmax wired nw bi in
+           if i >= 0 then emit wired i bi)
+         same_types;
+       Array.iter
+         (fun bi ->
+           let i = argmax cross ncross bi in
+           if i >= 0 then emit cross i bi)
+         flip_types
+     end
+     else begin
+       for i = 0 to nw - 1 do
+         if drivable wired.(i) then
+           Array.iter (fun bi -> emit wired i bi) same_types
+       done;
+       for i = 0 to ncross - 1 do
+         if drivable cross.(i) then
+           Array.iter (fun bi -> emit cross i bi) flip_types
+       done
+     end);
+    let out = Prune.prune_sub config.rule cand !k in
+    if Obs.Control.on () then obs_types config ~child ~cand ~nw ~k:!k out;
+    out
+  end
 
 (* Combine the lifted child frontiers at a node: pass-through below a
    degree-1 node, linear or cross-product merge plus a prune at a
@@ -266,6 +418,25 @@ let combine_lifted ?where config ~node ~check_count ~check_time
     Prune.prune config.rule merged
   end
 
+(* Merge two dual-polarity frontiers side by side: even with even, odd
+   with odd — a merged candidate must deliver the same parity to both
+   subtrees, so cross-parity combinations are ill-typed and never
+   generated.  The odd merge is skipped entirely (not run on empties)
+   when both sides are empty, keeping the inverter-free instruction
+   stream identical to the historical engine. *)
+let combine_frontiers ?where config ~node ~check_count ~check_time (a : frontier)
+    (b : frontier) =
+  let ev =
+    combine_lifted ?where config ~node ~check_count ~check_time [| a.ev; b.ev |]
+  in
+  let od =
+    if Array.length a.od = 0 && Array.length b.od = 0 then [||]
+    else
+      combine_lifted ?where config ~node ~check_count ~check_time
+        [| a.od; b.od |]
+  in
+  { ev; od }
+
 (* Per-node bookkeeping around the frontier computation [f]: budget
    checks, observability, and the peak/total statistics.  [where]
    overrides the label built for the budget check — the tape passes
@@ -274,12 +445,12 @@ let node_wrap ?where ~check_time ~check_count ~peak ~total id f =
   check_time ();
   let obs = Obs.Control.on () in
   let t0 = if obs then Obs.Span.now_ns () else 0 in
-  let sols = f () in
+  let front = f () in
   if obs then begin
     Obs.Counters.incr obs_nodes 1;
     Obs.Span.record ~name:"node" ~cat:"dp" ~t0_ns:t0
   end;
-  let len = Array.length sols in
+  let len = frontier_size front in
   check_count
     ~where:
       (match where with Some w -> w | None -> Printf.sprintf "node %d" id)
@@ -291,7 +462,7 @@ let node_wrap ?where ~check_time ~check_count ~peak ~total id f =
   bump_peak ();
   ignore (Atomic.fetch_and_add total len);
   Log.debug (fun m -> m "node %d: %d candidates kept" id len);
-  sols
+  front
 
 (* Root-frontier epilogue shared by both execution paths: load-limit
    gate, driver lift, objective scan, and result assembly. *)
@@ -369,7 +540,10 @@ let run ?pool ?(grain = default_grain) config ~model tree =
   let t_start = Unix.gettimeofday () in
   let check_time, check_count = make_checks config ~t_start in
   let n = Rctree.Tree.node_count tree in
-  let results : Sol.t array array = Array.make n [||] in
+  let results : frontier array = Array.make n empty_frontier in
+  let same_types, flip_types = Device.Buffer.partition_indices config.library in
+  let has_inv = Array.length flip_types > 0 in
+  let convex = use_convex config in
   (* Atomics, not refs: subtree tasks on different domains bump them
      concurrently.  Max and sum commute, so the reported stats are
      identical at any job count. *)
@@ -424,7 +598,7 @@ let run ?pool ?(grain = default_grain) config ~model tree =
      shared by every edge hanging under it.  Candidates are staged in
      the domain's arena buffers — only the pruned frontier is a fresh
      allocation. *)
-  let lift ~child ~length (sols : Sol.t array) =
+  let lift ~child ~length (f : frontier) =
     let obs = Obs.Control.on () in
     let t0 = if obs then Obs.Span.now_ns () else 0 in
     let site_node =
@@ -446,7 +620,8 @@ let run ?pool ?(grain = default_grain) config ~model tree =
       end
       else [||]
     in
-    let wired, nw = stage_wired config ~wire_rc ~child ~length sols in
+    let wired, nw = stage_wired config ~wire_rc ~child ~length f.ev in
+    let cross, ncross = stage_wired_plain config ~wire_rc ~child ~length f.od in
     let psite = site_at site_node in
     let buf_base = device_base.(child) + if wire_variation then 1 else 0 in
     let buf_forms =
@@ -463,32 +638,52 @@ let run ?pool ?(grain = default_grain) config ~model tree =
           in
           (cb, tb, b.Device.Buffer.res_kohm))
     in
-    let pruned = insert_and_prune config ~buf_forms ~child ~wired ~nw in
+    (* The even side's wired set lives in the arena's stage_a, the odd
+       side's in a plain array, so both survive the two insert/prune
+       passes (each borrows stage_b for its candidates and copies the
+       pruned frontier out before the other starts). *)
+    let ev =
+      insert_and_prune config ~convex ~same_types ~flip_types ~buf_forms
+        ~child ~wired ~nw ~cross ~ncross
+    in
+    let od =
+      if (not has_inv) && ncross = 0 then [||]
+      else
+        insert_and_prune config ~convex ~same_types ~flip_types ~buf_forms
+          ~child ~wired:cross ~nw:ncross ~cross:wired ~ncross:nw
+    in
     if obs then Obs.Span.record ~name:"lift" ~cat:"dp" ~t0_ns:t0;
-    pruned
+    { ev; od }
   in
   let compute id =
     results.(id) <-
       node_wrap ~check_time ~check_count ~peak ~total id (fun () ->
           match Rctree.Tree.sink tree id with
           | Some s ->
-            [| Sol.of_sink ~node:id ~cap:s.Rctree.Tree.sink_cap
-                 ~rat:s.Rctree.Tree.sink_rat |]
+            {
+              ev =
+                [| Sol.of_sink ~node:id ~cap:s.Rctree.Tree.sink_cap
+                     ~rat:s.Rctree.Tree.sink_rat |];
+              od = [||];
+            }
           | None ->
             let lifted =
-              Array.of_list
-                (List.map
-                   (fun (child, length) ->
-                     let child_sols = results.(child) in
-                     results.(child) <- [||];
-                     let l = lift ~child ~length child_sols in
-                     check_count
-                       ~where:(Printf.sprintf "edge above node %d" child)
-                       (Array.length l);
-                     l)
-                   (Rctree.Tree.children tree id))
+              List.map
+                (fun (child, length) ->
+                  let childf = results.(child) in
+                  results.(child) <- empty_frontier;
+                  let l = lift ~child ~length childf in
+                  check_count
+                    ~where:(Printf.sprintf "edge above node %d" child)
+                    (frontier_size l);
+                  l)
+                (Rctree.Tree.children tree id)
             in
-            combine_lifted config ~node:id ~check_count ~check_time lifted)
+            (match lifted with
+            | [ f ] -> f
+            | [ a; b ] ->
+              combine_frontiers config ~node:id ~check_count ~check_time a b
+            | _ -> assert false))
   in
   (match pool with
   | Some pool when Exec.Pool.jobs pool > 1 && n > max 1 grain ->
@@ -545,7 +740,7 @@ let run ?pool ?(grain = default_grain) config ~model tree =
        classical sequential postorder loop. *)
     Array.iter compute post);
   if Obs.Control.on () then Obs.Span.flush ();
-  finish config ~t_start ~peak ~total ~n results.(Rctree.Tree.root tree)
+  finish config ~t_start ~peak ~total ~n results.(Rctree.Tree.root tree).ev
 
 (* ------------------------------------------------------------------ *)
 (* Tape execution.                                                     *)
@@ -629,6 +824,9 @@ let run_tape ?pool ?(grain = default_grain) config ~model
   in
   let peak = Atomic.make 0 in
   let total = Atomic.make 0 in
+  let same_types, flip_types = Device.Buffer.partition_indices config.library in
+  let has_inv = Array.length flip_types > 0 in
+  let convex = use_convex config in
   let parallel =
     match pool with
     | Some p -> Exec.Pool.jobs p > 1 && n > max 1 grain
@@ -641,8 +839,8 @@ let run_tape ?pool ?(grain = default_grain) config ~model
   let slot_of =
     if parallel then Array.init n Fun.id else tape.Compile.Tape.slot
   in
-  let frontiers : Sol.t array array =
-    Array.make (if parallel then n else tape.Compile.Tape.slots) [||]
+  let frontiers : frontier array =
+    Array.make (if parallel then n else tape.Compile.Tape.slots) empty_frontier
   in
   let ops = tape.Compile.Tape.ops in
   let exec_node id =
@@ -653,42 +851,59 @@ let run_tape ?pool ?(grain = default_grain) config ~model
           let o1 = tape.Compile.Tape.op_end.(id) in
           match ops.(o0) with
           | Compile.Tape.Tag_sink { node; cap; rat } ->
-            [| Sol.of_sink ~node ~cap ~rat |]
+            { ev = [| Sol.of_sink ~node ~cap ~rat |]; od = [||] }
           | _ ->
-            let lifted0 = ref [||] and lifted1 = ref [||] in
+            let lifted0 = ref empty_frontier and lifted1 = ref empty_frontier in
             let nlift = ref 0 in
-            let wired = ref [||] and nw = ref 0 and lift_t0 = ref 0 in
-            let out = ref [||] in
+            let wired = ref [||] and nw = ref 0 in
+            let cross = ref [||] and ncross = ref 0 in
+            let lift_t0 = ref 0 in
+            let out = ref empty_frontier in
             for o = o0 to o1 - 1 do
               match ops.(o) with
               | Compile.Tape.Tag_sink _ -> assert false
               | Compile.Tape.Lift_edge { child; edge; length } ->
                 if Obs.Control.on () then lift_t0 := Obs.Span.now_ns ();
-                let sols = frontiers.(slot_of.(child)) in
-                frontiers.(slot_of.(child)) <- [||];
-                let w, cnt =
-                  stage_wired config ~wire_rc:(wire_rc_at edge) ~child ~length
-                    sols
+                let f = frontiers.(slot_of.(child)) in
+                frontiers.(slot_of.(child)) <- empty_frontier;
+                let wire_rc = wire_rc_at edge in
+                let w, cnt = stage_wired config ~wire_rc ~child ~length f.ev in
+                let cw, ccnt =
+                  stage_wired_plain config ~wire_rc ~child ~length f.od
                 in
                 wired := w;
-                nw := cnt
+                nw := cnt;
+                cross := cw;
+                ncross := ccnt
               | Compile.Tape.Insert_site { child; edge } ->
-                let l =
-                  insert_and_prune config ~buf_forms:(buf_forms_at edge) ~child
-                    ~wired:!wired ~nw:!nw
+                let buf_forms = buf_forms_at edge in
+                let ev =
+                  insert_and_prune config ~convex ~same_types ~flip_types
+                    ~buf_forms ~child ~wired:!wired ~nw:!nw ~cross:!cross
+                    ~ncross:!ncross
                 in
+                let od =
+                  if (not has_inv) && !ncross = 0 then [||]
+                  else
+                    insert_and_prune config ~convex ~same_types ~flip_types
+                      ~buf_forms ~child ~wired:!cross ~nw:!ncross ~cross:!wired
+                      ~ncross:!nw
+                in
+                let l = { ev; od } in
                 if Obs.Control.on () then
                   Obs.Span.record ~name:"lift" ~cat:"dp" ~t0_ns:!lift_t0;
                 check_count ~where:tape.Compile.Tape.where_edge.(edge)
-                  (Array.length l);
+                  (frontier_size l);
                 if !nlift = 0 then lifted0 := l else lifted1 := l;
                 incr nlift;
                 out := l
               | Compile.Tape.Merge { node } ->
-                let pair = [| !lifted0; !lifted1 |] in
+                let a = !lifted0 and b = !lifted1 in
+                lifted0 := empty_frontier;
+                lifted1 := empty_frontier;
                 out :=
-                  combine_lifted ~where:tape.Compile.Tape.where_merge.(node)
-                    config ~node ~check_count ~check_time pair
+                  combine_frontiers ~where:tape.Compile.Tape.where_merge.(node)
+                    config ~node ~check_count ~check_time a b
             done;
             !out)
   in
@@ -741,4 +956,4 @@ let run_tape ?pool ?(grain = default_grain) config ~model
   | _ -> Array.iter exec_node tape.Compile.Tape.post);
   if Obs.Control.on () then Obs.Span.flush ();
   finish config ~t_start ~peak ~total ~n
-    frontiers.(slot_of.(Compile.Tape.root tape))
+    frontiers.(slot_of.(Compile.Tape.root tape)).ev

@@ -35,6 +35,26 @@ val no_budget : budget
     (NOM) forms. *)
 type objective = Max_mean | Max_yield of float
 
+(** How the insert-site step generates buffered candidates.
+
+    [Convex_auto] (the default) applies the O(bn²) convex
+    pre-selection: for each buffer type, every candidate buffered at a
+    site shares one load form, so under a rule whose dominance is a
+    pure mean comparison ({!Prune.mean_exact} — the deterministic rule
+    and 2P(0.5, 0.5)) at most the wired candidate maximising the
+    buffered mean RAT can survive pruning, and only that one is
+    generated — the frontier fed to the pruner is [n + b] instead of
+    [n + n·b].  The pre-selection computes the buffered mean
+    bit-exactly and keeps the earliest maximiser, so the pruned
+    frontier (and every output byte) is identical to exhaustive
+    generation; it engages only when the rule is mean-exact and the
+    library's input caps are pairwise distinct, and silently falls
+    back to exhaustive generation otherwise (1P, 4P, 2P with p̄ > 0.5).
+
+    [Exhaustive] always generates the full wired × type product — the
+    brute-force reference the convex path is tested against. *)
+type insertion = Convex_auto | Exhaustive
+
 type config = {
   tech : Device.Tech.t;
   library : Device.Buffer.t array;
@@ -53,13 +73,23 @@ type config = {
           candidate is chosen among compliant ones (falling back to all
           candidates if none comply — reported via
           {!result.load_limit_met}). *)
+  insertion : insertion;
 }
 
 val default_config : ?rule:Prune.t -> ?objective:objective -> ?wire_sizing:bool -> unit -> config
 (** 65 nm tech, the default 3-buffer library, the paper's 2P(0.5, 0.5)
-    rule, the [Max_yield 0.95] objective and no budget.  [wire_sizing]
-    (default false) swaps the singleton minimum-width wire library for
-    {!Device.Wire_lib.default_library}. *)
+    rule, the [Max_yield 0.95] objective, [Convex_auto] insertion and
+    no budget.  [wire_sizing] (default false) swaps the singleton
+    minimum-width wire library for
+    {!Device.Wire_lib.default_library}.
+
+    A library may mix repeaters and inverters
+    ({!Device.Buffer.polarity}): the engine then maintains
+    dual-polarity frontiers — candidates are typed by the inversion
+    parity they deliver to the sinks, merges match parity, inverting
+    types flip it, and the root selects among even-parity candidates
+    only, so every chosen inverter chain restores sink polarity by
+    construction. *)
 
 exception Budget_exceeded of string
 (** Raised mid-run when the budget is exhausted; the message says which

@@ -15,6 +15,7 @@ type config = {
   length_frac : float;
   pmf_points : int;
   budget : Engine.budget;
+  insertion : Engine.insertion;
 }
 
 let default_config ?(heuristic = Stochastic_dominance) ?(length_frac = 0.05) () =
@@ -25,6 +26,7 @@ let default_config ?(heuristic = Stochastic_dominance) ?(length_frac = 0.05) () 
     length_frac;
     pmf_points = 5;
     budget = Engine.no_budget;
+    insertion = Engine.Convex_auto;
   }
 
 type sol = {
@@ -32,6 +34,16 @@ type sol = {
   rat : Numeric.Pmf.t;
   choice : Sol.choice;
 }
+
+(* Dual-polarity frontier, mirroring the canonical engine: [ev]
+   candidates deliver every sink its specified signal sense, [od] are
+   one inversion away.  Inverter-free libraries keep [od] empty and
+   the historical single-frontier instruction stream; the root selects
+   from [ev] only. *)
+type frontier = { ev : sol array; od : sol array }
+
+let empty_frontier = { ev = [||]; od = [||] }
+let frontier_size f = Array.length f.ev + Array.length f.od
 
 type result = {
   rat_mean : float;
@@ -154,8 +166,21 @@ let make_checks budget ~t_start =
 (* Lift a child frontier through the edge above it.  Model-free: the
    PMFs derive from the edge length and the technology constants
    alone, so the tree walk and the tape interpreter share this
-   verbatim. *)
-let lift_edge config ~child ~length sols =
+   verbatim.
+
+   Each output parity side takes its own wired candidates plus
+   buffered variants: same-parity (non-inverting) types over its own
+   wired rows and parity-flipping (inverting) types over the opposite
+   side's.  [convex] (Convex_auto insertion under [Mean_dominance]
+   with pairwise-distinct caps) compacts each type's block to the
+   single source maximising the buffered mean RAT before the prune:
+   every candidate of a type shares the constant load PMF, so the
+   total-order sweep provably drops all others, and with distinct caps
+   no equal-key class spans two types, so the earliest maximiser is
+   exactly the duplicate the stable sort would keep — the pruned
+   frontier is identical to exhaustive generation. *)
+let lift_edge config ~same_types ~flip_types ~convex ~child ~length
+    (f : frontier) =
   let tech = config.tech in
   (* The manufactured length of each segment: drawn length times
      (1 + delta), delta discretised from N(0, length_frac^2). *)
@@ -182,38 +207,110 @@ let lift_edge config ~child ~length sols =
       choice = Sol.Wire { node = child; width = 0; from = s.choice };
     }
   in
-  let wired = Array.map wire sols in
+  let wired_ev = Array.map wire f.ev in
+  let wired_od = Array.map wire f.od in
+  let od_out = Array.length flip_types > 0 || Array.length wired_od > 0 in
+  let buffered ws bi =
+    let b = config.library.(bi) in
+    let gate_delay =
+      Numeric.Pmf.map
+        (fun load ->
+          b.Device.Buffer.delay_ps +. (b.Device.Buffer.res_kohm *. load))
+        ws.load
+    in
+    {
+      load = Numeric.Pmf.constant b.Device.Buffer.cap_ff;
+      rat = Numeric.Pmf.sub ws.rat gate_delay;
+      choice = Sol.Buffered { node = child; buffer = bi; from = ws.choice };
+    }
+  in
   (* Reversed wired candidates first, then the buffered variants in
-     generation order — the same sequence [List.rev_append] fed the
-     pruner, kept so the stable sort sees identical input. *)
-  let nw = Array.length wired in
-  let nlib = Array.length config.library in
-  let cand = Array.make (nw * (nlib + 1)) wired.(0) in
-  for i = 0 to nw - 1 do
-    cand.(nw - 1 - i) <- wired.(i)
-  done;
-  let k = ref nw in
-  for i = 0 to nw - 1 do
-    let ws = wired.(i) in
-    for buffer_index = 0 to nlib - 1 do
-      let b = config.library.(buffer_index) in
-      let gate_delay =
-        Numeric.Pmf.map
-          (fun load ->
-            b.Device.Buffer.delay_ps +. (b.Device.Buffer.res_kohm *. load))
-          ws.load
+     generation order (wired-major, library-order within) — the same
+     sequence [List.rev_append] fed the pruner, kept so the stable
+     sort sees identical input. *)
+  let build_side (own : sol array) (cross : sol array) =
+    let nw = Array.length own and nx = Array.length cross in
+    let per_own = if convex then min nw 1 else nw in
+    let per_cross = if convex then min nx 1 else nx in
+    let ncand =
+      nw
+      + (per_own * Array.length same_types)
+      + (per_cross * Array.length flip_types)
+    in
+    if ncand = 0 then [||]
+    else begin
+      let dummy = if nw > 0 then own.(0) else cross.(0) in
+      let cand = Array.make ncand dummy in
+      for i = 0 to nw - 1 do
+        cand.(nw - 1 - i) <- own.(i)
+      done;
+      let k = ref nw in
+      let emit s =
+        cand.(!k) <- s;
+        incr k
       in
-      cand.(!k) <-
-        {
-          load = Numeric.Pmf.constant b.Device.Buffer.cap_ff;
-          rat = Numeric.Pmf.sub ws.rat gate_delay;
-          choice =
-            Sol.Buffered { node = child; buffer = buffer_index; from = ws.choice };
-        };
-      incr k
-    done
-  done;
-  prune config.heuristic cand
+      if convex then begin
+        (* Earliest maximiser of the buffered mean RAT, strict [>]. *)
+        let argmax (src : sol array) bi =
+          let best = ref (buffered src.(0) bi) in
+          let best_m = ref (Numeric.Pmf.mean !best.rat) in
+          for i = 1 to Array.length src - 1 do
+            let s = buffered src.(i) bi in
+            let m = Numeric.Pmf.mean s.rat in
+            if m > !best_m then begin
+              best := s;
+              best_m := m
+            end
+          done;
+          !best
+        in
+        Array.iter (fun bi -> if nw > 0 then emit (argmax own bi)) same_types;
+        Array.iter
+          (fun bi -> if nx > 0 then emit (argmax cross bi))
+          flip_types
+      end
+      else begin
+        for i = 0 to nw - 1 do
+          Array.iter (fun bi -> emit (buffered own.(i) bi)) same_types
+        done;
+        for i = 0 to nx - 1 do
+          Array.iter (fun bi -> emit (buffered cross.(i) bi)) flip_types
+        done
+      end;
+      let out = prune config.heuristic cand in
+      if Obs.Control.on () then begin
+        let nlib = Array.length config.library in
+        let gen = Array.make nlib 0 and kept = Array.make nlib 0 in
+        for i = nw to ncand - 1 do
+          match cand.(i).choice with
+          | Sol.Buffered { buffer; _ } -> gen.(buffer) <- gen.(buffer) + 1
+          | _ -> ()
+        done;
+        Array.iter
+          (fun s ->
+            match s.choice with
+            | Sol.Buffered { node; buffer; _ } when node = child ->
+              kept.(buffer) <- kept.(buffer) + 1
+            | _ -> ())
+          out;
+        Array.iteri
+          (fun bi (b : Device.Buffer.t) ->
+            if gen.(bi) > 0 then
+              Obs.Counters.add Obs.Counters.global
+                ("prob.type." ^ b.Device.Buffer.name ^ ".generated")
+                gen.(bi);
+            if kept.(bi) > 0 then
+              Obs.Counters.add Obs.Counters.global
+                ("prob.type." ^ b.Device.Buffer.name ^ ".kept")
+                kept.(bi))
+          config.library
+      end;
+      out
+    end
+  in
+  let ev = build_side wired_ev wired_od in
+  let od = if not od_out then [||] else build_side wired_od wired_ev in
+  { ev; od }
 
 (* The full cross-product merge of [6] (independence between
    solutions), with the in-loop deadline check, followed by a prune. *)
@@ -246,6 +343,23 @@ let merge_node ?where config ~node ~check_time ~check_count a b =
   if Obs.Control.on () then Obs.Counters.incr obs_merged (Array.length merged);
   prune config.heuristic merged
 
+(* Parity-matched subtree merge: even with even, odd with odd.  A side
+   with an empty operand merges to empty (a merged candidate needs
+   both subtrees at the same parity), and the odd merge is skipped
+   entirely for inverter-free runs. *)
+let merge_frontiers ?where config ~node ~check_time ~check_count (a : frontier)
+    (b : frontier) =
+  let side x y =
+    if Array.length x = 0 || Array.length y = 0 then [||]
+    else merge_node ?where config ~node ~check_time ~check_count x y
+  in
+  let ev = side a.ev b.ev in
+  let od =
+    if Array.length a.od = 0 && Array.length b.od = 0 then [||]
+    else side a.od b.od
+  in
+  { ev; od }
+
 (* Per-node bookkeeping around the frontier computation [f].  [where]
    overrides the budget-check label — the tape passes its precompiled
    one. *)
@@ -253,12 +367,12 @@ let node_wrap ?where ~check_time ~check_count ~peak id f =
   check_time ();
   let obs = Obs.Control.on () in
   let t0 = if obs then Obs.Span.now_ns () else 0 in
-  let sols = f () in
+  let front = f () in
   if obs then begin
     Obs.Counters.incr obs_nodes 1;
     Obs.Span.record ~name:"node" ~cat:"dp" ~t0_ns:t0
   end;
-  let len = Array.length sols in
+  let len = frontier_size front in
   check_count
     ~where:
       (match where with Some w -> w | None -> Printf.sprintf "node %d" id)
@@ -268,7 +382,7 @@ let node_wrap ?where ~check_time ~check_count ~peak id f =
     if len > cur && not (Atomic.compare_and_set peak cur len) then bump_peak ()
   in
   bump_peak ();
-  sols
+  front
 
 (* Pick the root candidate with the best mean driver-input RAT and
    assemble the result record. *)
@@ -310,7 +424,15 @@ let run ?pool ?(grain = Engine.default_grain) config tree =
   let t_start = Unix.gettimeofday () in
   let check_time, check_count = make_checks config.budget ~t_start in
   let n = Rctree.Tree.node_count tree in
-  let results : sol array array = Array.make n [||] in
+  let results : frontier array = Array.make n empty_frontier in
+  let same_types, flip_types =
+    Device.Buffer.partition_indices config.library
+  in
+  let convex =
+    config.insertion = Engine.Convex_auto
+    && (match config.heuristic with Mean_dominance -> true | _ -> false)
+    && Device.Buffer.caps_distinct config.library
+  in
   (* Atomic: subtree tasks on different domains bump it concurrently;
      max commutes, so the stat is identical at any job count. *)
   let peak = Atomic.make 0 in
@@ -319,24 +441,31 @@ let run ?pool ?(grain = Engine.default_grain) config tree =
       node_wrap ~check_time ~check_count ~peak id (fun () ->
           match Rctree.Tree.sink tree id with
           | Some s ->
-            [|
-              {
-                load = Numeric.Pmf.constant s.Rctree.Tree.sink_cap;
-                rat = Numeric.Pmf.constant s.Rctree.Tree.sink_rat;
-                choice = Sol.At_sink id;
-              };
-            |]
+            {
+              ev =
+                [|
+                  {
+                    load = Numeric.Pmf.constant s.Rctree.Tree.sink_cap;
+                    rat = Numeric.Pmf.constant s.Rctree.Tree.sink_rat;
+                    choice = Sol.At_sink id;
+                  };
+                |];
+              od = [||];
+            }
           | None ->
             let lifted =
               Array.of_list
                 (List.map
                    (fun (child, length) ->
-                     let cs = results.(child) in
-                     results.(child) <- [||];
-                     let l = lift_edge config ~child ~length cs in
+                     let cf = results.(child) in
+                     results.(child) <- empty_frontier;
+                     let l =
+                       lift_edge config ~same_types ~flip_types ~convex ~child
+                         ~length cf
+                     in
                      check_count
                        ~where:(Printf.sprintf "edge above node %d" child)
-                       (Array.length l);
+                       (frontier_size l);
                      l)
                    (Rctree.Tree.children tree id))
             in
@@ -345,13 +474,13 @@ let run ?pool ?(grain = Engine.default_grain) config tree =
               assert (Array.length lifted = 2);
               let a = lifted.(0) and b = lifted.(1) in
               let merged =
-                merge_node config ~node:id ~check_time ~check_count a b
+                merge_frontiers config ~node:id ~check_time ~check_count a b
               in
               (* The lifted child frontiers are dead once the cross
                  product has combined them: clear the slots so they can
                  be collected while the merged set is pruned. *)
-              lifted.(0) <- [||];
-              lifted.(1) <- [||];
+              lifted.(0) <- empty_frontier;
+              lifted.(1) <- empty_frontier;
               merged
             end)
   in
@@ -404,7 +533,7 @@ let run ?pool ?(grain = Engine.default_grain) config tree =
         compute id)
   | _ -> Array.iter compute post);
   if Obs.Control.on () then Obs.Span.flush ();
-  finish config ~t_start ~peak results.(Rctree.Tree.root tree)
+  finish config ~t_start ~peak results.(Rctree.Tree.root tree).ev
 
 let run_tape ?pool ?(grain = Engine.default_grain) config tape =
   let t_start = Unix.gettimeofday () in
@@ -423,47 +552,59 @@ let run_tape ?pool ?(grain = Engine.default_grain) config tape =
     if parallel then Array.init n Fun.id else tape.Compile.Tape.slot
   in
   let nslots = if parallel then n else tape.Compile.Tape.slots in
-  let frontiers : sol array array = Array.make nslots [||] in
+  let frontiers : frontier array = Array.make nslots empty_frontier in
+  let same_types, flip_types =
+    Device.Buffer.partition_indices config.library
+  in
+  let convex =
+    config.insertion = Engine.Convex_auto
+    && (match config.heuristic with Mean_dominance -> true | _ -> false)
+    && Device.Buffer.caps_distinct config.library
+  in
   let exec_node id =
     let o0 = tape.Compile.Tape.op_off.(id)
     and o1 = tape.Compile.Tape.op_end.(id) in
     frontiers.(slot_of.(id)) <-
       node_wrap ~where:tape.Compile.Tape.where_node.(id) ~check_time
         ~check_count ~peak id (fun () ->
-          let lifted0 = ref [||] and lifted1 = ref [||] in
+          let lifted0 = ref empty_frontier and lifted1 = ref empty_frontier in
           let nlift = ref 0 in
-          let out = ref [||] in
+          let out = ref empty_frontier in
           for o = o0 to o1 - 1 do
             match tape.Compile.Tape.ops.(o) with
             | Compile.Tape.Tag_sink { node; cap; rat } ->
               out :=
-                [|
-                  {
-                    load = Numeric.Pmf.constant cap;
-                    rat = Numeric.Pmf.constant rat;
-                    choice = Sol.At_sink node;
-                  };
-                |]
+                {
+                  ev =
+                    [|
+                      {
+                        load = Numeric.Pmf.constant cap;
+                        rat = Numeric.Pmf.constant rat;
+                        choice = Sol.At_sink node;
+                      };
+                    |];
+                  od = [||];
+                }
             | Compile.Tape.Lift_edge _ -> ()
             | Compile.Tape.Insert_site { child; edge } ->
-              let cs = frontiers.(slot_of.(child)) in
-              frontiers.(slot_of.(child)) <- [||];
+              let cf = frontiers.(slot_of.(child)) in
+              frontiers.(slot_of.(child)) <- empty_frontier;
               let l =
-                lift_edge config ~child
-                  ~length:tape.Compile.Tape.edge_length.(edge) cs
+                lift_edge config ~same_types ~flip_types ~convex ~child
+                  ~length:tape.Compile.Tape.edge_length.(edge) cf
               in
               check_count ~where:tape.Compile.Tape.where_edge.(edge)
-                (Array.length l);
+                (frontier_size l);
               if !nlift = 0 then lifted0 := l else lifted1 := l;
               incr nlift;
               out := l
             | Compile.Tape.Merge { node } ->
               let merged =
-                merge_node ~where:tape.Compile.Tape.where_merge.(node) config
-                  ~node ~check_time ~check_count !lifted0 !lifted1
+                merge_frontiers ~where:tape.Compile.Tape.where_merge.(node)
+                  config ~node ~check_time ~check_count !lifted0 !lifted1
               in
-              lifted0 := [||];
-              lifted1 := [||];
+              lifted0 := empty_frontier;
+              lifted1 := empty_frontier;
               out := merged
           done;
           !out)
@@ -514,4 +655,4 @@ let run_tape ?pool ?(grain = Engine.default_grain) config tape =
    end
    else Array.iter exec_node tape.Compile.Tape.post);
   if Obs.Control.on () then Obs.Span.flush ();
-  finish config ~t_start ~peak frontiers.(slot_of.(Compile.Tape.root tape))
+  finish config ~t_start ~peak frontiers.(slot_of.(Compile.Tape.root tape)).ev

@@ -34,6 +34,18 @@ let is_linear = function
   | Deterministic | Two_param _ | One_param _ -> true
   | Four_param _ -> false
 
+(* Rules whose dominance test is a pure comparison of the two mean
+   keys: the deterministic rule and 2P at the Lemma-4 point
+   p̄_L = p̄_T = 0.5 (where the probabilistic tests reduce to mean
+   comparison and [load_key]/[rat_key] are the means).  For these
+   rules, among same-load candidates only the max-mean-RAT one can
+   survive pruning, which licenses the convex per-type pre-selection
+   in the insert-site step. *)
+let mean_exact = function
+  | Deterministic -> true
+  | Two_param { p_l; p_t } -> p_l = 0.5 && p_t = 0.5
+  | One_param _ | Four_param _ -> false
+
 (* A percentile of 1 - p would hit Normal.quantile's domain edge; the
    constructors above exclude p outside (0,1) except for 4P's closed
    bounds, which we nudge inward. *)

@@ -56,6 +56,15 @@ val is_linear : t -> bool
 (** [true] for the rules that admit the sorted linear sweep and linear
     merge (all but [Four_param]). *)
 
+val mean_exact : t -> bool
+(** [true] when dominance is a pure mean comparison on both axes
+    ([Deterministic], and [Two_param] at [p_l = p_t = 0.5]).  For
+    these rules a same-load candidate with a lower mean RAT can never
+    survive pruning alongside the max-mean-RAT one, so the insert-site
+    step may pre-select one candidate per buffer type (the convex
+    argmax over wired candidates) without changing the pruned
+    frontier. *)
+
 val dominates : t -> Sol.t -> Sol.t -> bool
 (** [dominates rule a b]: may [b] be discarded in favour of [a]? *)
 

@@ -84,6 +84,13 @@ let obs_transcode_hit =
 let obs_transcode_miss =
   Obs.Counters.counter Obs.Counters.global "router.v1_transcode_miss"
 
+(* v2 shard-digest cache hit rate (see [v2_shard] in {!run}). *)
+let obs_v2_digest_hit =
+  Obs.Counters.counter Obs.Counters.global "router.v2_digest_hit"
+
+let obs_v2_digest_miss =
+  Obs.Counters.counter Obs.Counters.global "router.v2_digest_miss"
+
 let shard_of_request ~shards payload =
   let off, len = Codec_bin.request_tree_span payload in
   let d = Digest.substring payload off len in
@@ -188,6 +195,15 @@ let run ?metrics ?(should_stop = fun () -> false)
      {!Serve.Lru} is used without a mutex.  Capacity comes from the
      [--v1-cache] flag; 0 disables the fast path entirely. *)
   let transcode : (string * int) Lru.t option =
+    if config.v1_cache > 0 then Some (Lru.create ~capacity:config.v1_cache)
+    else None
+  in
+  (* v2 fast path, same headroom as the v1 transcode cache: a load
+     generator's stream differs only in the fixed 8-byte id, so the
+     shard choice — a digest over the tree blob — is keyed on the
+     id-zeroed payload and recomputed once per distinct body.  Shares
+     the [--v1-cache] capacity knob; 0 disables both. *)
+  let v2_shard : int Lru.t option =
     if config.v1_cache > 0 then Some (Lru.create ~capacity:config.v1_cache)
     else None
   in
@@ -414,8 +430,24 @@ let run ?metrics ?(should_stop = fun () -> false)
           (* Validate the head (and locate the tree) without decoding
              the tree itself; forwarded bytes are the client's own. *)
           ignore (Codec_bin.request_tree_span f.Wire.payload : int * int);
-          ( f.Wire.payload,
-            shard_of_request ~shards:n_shards f.Wire.payload )
+          let idx =
+            match v2_shard with
+            | None -> shard_of_request ~shards:n_shards f.Wire.payload
+            | Some lru -> (
+              let key = Codec_bin.with_request_id f.Wire.payload 0 in
+              match Lru.find lru key with
+              | Some idx ->
+                if Obs.Control.on () then
+                  Obs.Counters.incr obs_v2_digest_hit 1;
+                idx
+              | None ->
+                let idx = shard_of_request ~shards:n_shards f.Wire.payload in
+                Lru.put lru key idx;
+                if Obs.Control.on () then
+                  Obs.Counters.incr obs_v2_digest_miss 1;
+                idx)
+          in
+          (f.Wire.payload, idx)
         | Wire.V1 -> transcode_v1 f.Wire.payload
       in
       match dispatch () with
@@ -454,6 +486,12 @@ let run ?metrics ?(should_stop = fun () -> false)
       Printf.bprintf buf "cluster_v1_cache_hits %d\n" (Lru.hits lru);
       Printf.bprintf buf "cluster_v1_cache_misses %d\n" (Lru.misses lru)
     | None -> Printf.bprintf buf "cluster_v1_cache_capacity 0\n");
+    (match v2_shard with
+    | Some lru ->
+      Printf.bprintf buf "cluster_v2_cache_entries %d\n" (Lru.length lru);
+      Printf.bprintf buf "cluster_v2_cache_hits %d\n" (Lru.hits lru);
+      Printf.bprintf buf "cluster_v2_cache_misses %d\n" (Lru.misses lru)
+    | None -> ());
     Array.iteri
       (fun i s ->
         let live = List.filter (fun l -> l.l_alive && l.l_ready) s.s_links in

@@ -1,16 +1,57 @@
+type polarity = Non_inverting | Inverting
+
 type t = {
   name : string;
   cap_ff : float;
   delay_ps : float;
   res_kohm : float;
+  polarity : polarity;
 }
 
 let default_library =
   [|
-    { name = "x1"; cap_ff = 8.0; delay_ps = 120.0; res_kohm = 2.0 };
-    { name = "x4"; cap_ff = 24.0; delay_ps = 140.0; res_kohm = 0.8 };
-    { name = "x16"; cap_ff = 60.0; delay_ps = 160.0; res_kohm = 0.3 };
+    {
+      name = "x1";
+      cap_ff = 8.0;
+      delay_ps = 120.0;
+      res_kohm = 2.0;
+      polarity = Non_inverting;
+    };
+    {
+      name = "x4";
+      cap_ff = 24.0;
+      delay_ps = 140.0;
+      res_kohm = 0.8;
+      polarity = Non_inverting;
+    };
+    {
+      name = "x16";
+      cap_ff = 60.0;
+      delay_ps = 160.0;
+      res_kohm = 0.3;
+      polarity = Non_inverting;
+    };
   |]
+
+let is_inverting b = b.polarity = Inverting
+let has_inverter lib = Array.exists is_inverting lib
+
+let partition_indices lib =
+  let ninv = ref [] and inv = ref [] in
+  Array.iteri
+    (fun i b -> if is_inverting b then inv := i :: !inv else ninv := i :: !ninv)
+    lib;
+  (Array.of_list (List.rev !ninv), Array.of_list (List.rev !inv))
+
+let caps_distinct lib =
+  let n = Array.length lib in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if lib.(i).cap_ff = lib.(j).cap_ff then ok := false
+    done
+  done;
+  !ok
 
 let find lib name =
   match Array.to_list lib |> List.find_opt (fun b -> b.name = name) with
@@ -19,6 +60,102 @@ let find lib name =
 
 let buffer_delay b ~load = b.delay_ps +. (b.res_kohm *. load)
 
+(* Synthetic b-type ladder for the --btypes axis.  b <= 1 keeps
+   today's default library so the b=1 knob is byte-identical to the
+   historical engine; b >= 2 spans the same electrical range as the
+   default library (x1 .. x16: 8->60 fF, 120->160 ps, 2.0->0.3 kOhm)
+   with a geometric interpolation, alternating repeaters and inverters
+   (odd slots invert, sized slightly leaner as real inverters are).
+   Pure arithmetic in b and the slot index: the library bytes are a
+   function of b alone. *)
+let synth_library ~btypes =
+  if btypes < 0 then invalid_arg "Buffer.synth_library: btypes must be >= 0";
+  if btypes <= 1 then default_library
+  else
+    Array.init btypes (fun i ->
+        let frac = float_of_int i /. float_of_int (btypes - 1) in
+        let cap = 8.0 *. ((60.0 /. 8.0) ** frac) in
+        let delay = 120.0 +. (40.0 *. frac) in
+        let res = 2.0 *. ((0.3 /. 2.0) ** frac) in
+        if i land 1 = 1 then
+          {
+            name = Printf.sprintf "inv%d" i;
+            cap_ff = 0.8 *. cap;
+            delay_ps = 0.6 *. delay;
+            res_kohm = res;
+            polarity = Inverting;
+          }
+        else
+          {
+            name = Printf.sprintf "buf%d" i;
+            cap_ff = cap;
+            delay_ps = delay;
+            res_kohm = res;
+            polarity = Non_inverting;
+          })
+
+(* Library file format (see DESIGN.md): one device per non-comment
+   line, [NAME CAP_FF DELAY_PS RES_KOHM [inv|buf]], '#' starts a
+   comment, the polarity token defaults to [buf]. *)
+let of_string text =
+  let entries = ref [] in
+  let seen = Hashtbl.create 16 in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i line ->
+         let lineno = i + 1 in
+         let fail fmt =
+           Printf.ksprintf
+             (fun msg ->
+               failwith (Printf.sprintf "buffer library line %d: %s" lineno msg))
+             fmt
+         in
+         let line =
+           match String.index_opt line '#' with
+           | Some j -> String.sub line 0 j
+           | None -> line
+         in
+         let tokens =
+           String.split_on_char ' ' (String.trim line)
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun s -> s <> "")
+         in
+         match tokens with
+         | [] -> ()
+         | name :: cap :: delay :: res :: rest ->
+           if Hashtbl.mem seen name then fail "duplicate device %S" name;
+           Hashtbl.add seen name ();
+           let num what v =
+             match float_of_string_opt v with
+             | Some f when Float.is_finite f -> f
+             | _ -> fail "field %s is not a finite number: %S" what v
+           in
+           let polarity =
+             match rest with
+             | [] | [ "buf" ] -> Non_inverting
+             | [ "inv" ] -> Inverting
+             | p :: _ -> fail "bad polarity token %S (want inv or buf)" p
+           in
+           let cap_ff = num "cap" cap in
+           let delay_ps = num "delay" delay in
+           let res_kohm = num "res" res in
+           if cap_ff <= 0.0 || res_kohm < 0.0 then
+             fail "device %S needs cap > 0 and res >= 0" name;
+           entries :=
+             { name; cap_ff; delay_ps; res_kohm; polarity } :: !entries
+         | _ -> fail "want NAME CAP DELAY RES [inv|buf], got %d tokens"
+                  (List.length tokens));
+  match List.rev !entries with
+  | [] -> failwith "buffer library: no devices"
+  | l -> Array.of_list l
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+  |> of_string
+
 let pp ppf b =
-  Format.fprintf ppf "%s(C=%.1ffF, T=%.1fps, R=%.2fkOhm)" b.name b.cap_ff
+  Format.fprintf ppf "%s(C=%.1ffF, T=%.1fps, R=%.2fkOhm%s)" b.name b.cap_ff
     b.delay_ps b.res_kohm
+    (match b.polarity with Non_inverting -> "" | Inverting -> ", inv")

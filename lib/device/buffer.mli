@@ -3,22 +3,60 @@
     Each type is characterised, per §3.1, by its input/gate capacitance
     C_b (fF), intrinsic delay T_b (ps) and output resistance R_b (kΩ);
     variation is lumped into C_b and T_b while R_b stays constant for a
-    given size, exactly as the paper assumes. *)
+    given size, exactly as the paper assumes.  A device additionally
+    carries its logical polarity: a repeater preserves the signal sense,
+    an inverter flips it, and the DP engines keep dual-polarity
+    frontiers so inverter chains always restore sink polarity (see
+    DESIGN.md). *)
+
+type polarity = Non_inverting | Inverting
 
 type t = {
   name : string;
   cap_ff : float;    (** nominal C_b0 *)
   delay_ps : float;  (** nominal T_b0 *)
   res_kohm : float;  (** R_b, not varied *)
+  polarity : polarity;
 }
 
 val default_library : t array
-(** Three sizes: x1 (8 fF, 120 ps, 2 kΩ), x4 (24 fF, 140 ps, 0.8 kΩ),
-    x16 (60 fF, 160 ps, 0.3 kΩ).  The intrinsic delays are calibrated
-    against the regenerated benchmarks so that optimal solutions land
-    in the paper's regime (root RATs of a few −1000 ps, buffer counts
-    a small fraction of the sink count) rather than at physical 65 nm
-    values — see the calibration note in DESIGN.md. *)
+(** Three non-inverting sizes: x1 (8 fF, 120 ps, 2 kΩ), x4 (24 fF,
+    140 ps, 0.8 kΩ), x16 (60 fF, 160 ps, 0.3 kΩ).  The intrinsic delays
+    are calibrated against the regenerated benchmarks so that optimal
+    solutions land in the paper's regime (root RATs of a few −1000 ps,
+    buffer counts a small fraction of the sink count) rather than at
+    physical 65 nm values — see the calibration note in DESIGN.md. *)
+
+val is_inverting : t -> bool
+val has_inverter : t array -> bool
+
+val partition_indices : t array -> int array * int array
+(** Library indices split by polarity, each in library order:
+    [(non_inverting, inverting)]. *)
+
+val caps_distinct : t array -> bool
+(** [true] when the input capacitances are pairwise distinct — the
+    precondition for the engines' convex per-type candidate
+    pre-selection to pick the same duplicate representative the
+    exhaustive stable sort pins (same-cap types share a load key, so
+    the tie would be broken by generation order instead). *)
+
+val synth_library : btypes:int -> t array
+(** Deterministic synthetic library for the [--btypes] axis.
+    [btypes <= 1] returns {!default_library} (so b=1 is byte-identical
+    to the historical engine); [btypes >= 2] returns that many devices
+    on a geometric size ladder spanning the default library's x1..x16
+    range, alternating repeaters (even slots) and inverters (odd
+    slots).  @raise Invalid_argument when [btypes < 0]. *)
+
+val of_string : string -> t array
+(** Parse a buffer-library file: one device per non-comment line,
+    [NAME CAP_FF DELAY_PS RES_KOHM [inv|buf]]; ['#'] starts a comment.
+    @raise Failure on a malformed line, a duplicate name, or an empty
+    library. *)
+
+val load : string -> t array
+(** [of_string] over a file's contents. *)
 
 val find : t array -> string -> t
 (** @raise Not_found for an unknown buffer name. *)

@@ -7,6 +7,7 @@ type row = {
   gap_pct : float;
   nom_buffers : int;
   wid_buffers : int;
+  wid_mix : string;
 }
 
 let configs =
@@ -43,10 +44,12 @@ let compute setup ?(bench = "r1") () =
       let eval algo =
         let r = Common.run_algo setup ~spatial ~grid algo tree in
         let form = Common.evaluate setup ~spatial ~grid tree r.Bufins.Engine.buffers in
-        (Sta.Yield.rat_at_yield form ~yield:0.95, List.length r.Bufins.Engine.buffers)
+        ( Sta.Yield.rat_at_yield form ~yield:0.95,
+          List.length r.Bufins.Engine.buffers,
+          Common.mix_string setup r.Bufins.Engine.buffers )
       in
-      let nom_y95, nom_buffers = eval Common.Nom in
-      let wid_y95, wid_buffers = eval Common.Wid in
+      let nom_y95, nom_buffers, _ = eval Common.Nom in
+      let wid_y95, wid_buffers, wid_mix = eval Common.Wid in
       {
         label;
         budget_frac = frac;
@@ -56,6 +59,7 @@ let compute setup ?(bench = "r1") () =
         gap_pct = 100.0 *. (nom_y95 -. wid_y95) /. Float.abs wid_y95;
         nom_buffers;
         wid_buffers;
+        wid_mix;
       })
     configs
 
@@ -63,7 +67,7 @@ let run ppf setup =
   Format.fprintf ppf
     "== Ablation: WID-vs-NOM gap versus variation budget / heterogeneity (r1) ==@.";
   Common.pp_row ppf
-    [ "Config"; "NOM y95"; "WID y95"; "Gap(%)"; "NOM nb"; "WID nb" ];
+    [ "Config"; "NOM y95"; "WID y95"; "Gap(%)"; "NOM nb"; "WID nb"; "WID mix" ];
   List.iter
     (fun r ->
       Common.pp_row ppf
@@ -74,5 +78,6 @@ let run ppf setup =
           Printf.sprintf "%+.2f" r.gap_pct;
           string_of_int r.nom_buffers;
           string_of_int r.wid_buffers;
+          r.wid_mix;
         ])
     (compute setup ())

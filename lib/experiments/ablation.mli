@@ -18,6 +18,7 @@ type row = {
   gap_pct : float;   (** (nom − wid)/|wid| · 100; negative = NOM worse *)
   nom_buffers : int;
   wid_buffers : int;
+  wid_mix : string;  (** WID per-type usage ({!Common.mix_string}) *)
 }
 
 val compute : Common.setup -> ?bench:string -> unit -> row list

@@ -1,0 +1,25 @@
+(** Buffer-library size study: how the chosen type mix, the inverter
+    share, the achieved 95%-yield RAT and the DP's peak frontier scale
+    with the number of library types b.
+
+    Each row runs WID on the same benchmark with the deterministic
+    synthetic ladder of {!Device.Buffer.synth_library} (b = 1 is the
+    default 3-type repeater library; b ≥ 2 alternates repeaters and
+    inverters, exercising the dual-polarity frontiers).  The peak
+    frontier column is the empirical check on the convex O(bn²)
+    insertion step: it grows far slower than ×b. *)
+
+type row = {
+  b : int;  (** library size actually used (b = 1 maps to 3 types) *)
+  buffers : int;
+  inverters : int;  (** how many chosen devices invert *)
+  mix : string;  (** per-type usage ({!Common.mix_string}) *)
+  rat_y95 : float;  (** RAT at 95% timing yield under the full model *)
+  peak_candidates : int;
+  runtime_s : float;
+}
+
+val compute : Common.setup -> ?bench:string -> unit -> row list
+(** [bench] defaults to r1; b sweeps 1, 2, 4, 8. *)
+
+val run : Format.formatter -> Common.setup -> unit

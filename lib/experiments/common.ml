@@ -111,6 +111,25 @@ let instance_for setup ~spatial ~grid tree ?(widths = []) buffers =
 let evaluate setup ~spatial ~grid tree ?(widths = []) buffers =
   Sta.Buffered.canonical_rat (instance_for setup ~spatial ~grid tree ~widths buffers)
 
+let type_histogram setup buffers =
+  let n = Array.length setup.library in
+  let counts = Array.make n 0 in
+  List.iter
+    (fun ((_ : int), (b : Device.Buffer.t)) ->
+      Array.iteri
+        (fun i (lb : Device.Buffer.t) ->
+          if lb.Device.Buffer.name = b.Device.Buffer.name then
+            counts.(i) <- counts.(i) + 1)
+        setup.library)
+    buffers;
+  Array.to_list (Array.mapi (fun i c -> (setup.library.(i), c)) counts)
+
+let mix_string setup buffers =
+  type_histogram setup buffers
+  |> List.map (fun ((b : Device.Buffer.t), c) ->
+         Printf.sprintf "%s:%d" b.Device.Buffer.name c)
+  |> String.concat " "
+
 let pp_row ppf cells =
   List.iteri
     (fun i cell ->

@@ -102,5 +102,16 @@ val instance_for :
   Sta.Buffered.instance
 (** Same instantiation as {!evaluate}, exposed for Monte-Carlo use. *)
 
+val type_histogram :
+  setup -> (int * Device.Buffer.t) list -> (Device.Buffer.t * int) list
+(** Per-type usage counts of a chosen assignment, in the setup
+    library's order; unused types report 0 (matched by name, so
+    assignments that round-tripped through the wire protocol count
+    correctly). *)
+
+val mix_string : setup -> (int * Device.Buffer.t) list -> string
+(** [type_histogram] rendered ["x1:12 x4:3 x16:0"]-style for table
+    cells. *)
+
 val pp_row : Format.formatter -> string list -> unit
 (** Fixed-width row printer used by all table harnesses. *)

@@ -3,6 +3,7 @@ type algo_result = {
   rat_y95 : float;
   yield : float;
   buffers : int;
+  mix : string;  (** per-type usage of the assignment, "x1:12 x4:3"-style *)
   runtime_s : float;
 }
 
@@ -46,30 +47,33 @@ let compute_uncached setup ~spatial benches =
           Common.evaluate setup ~spatial ~grid tree r.Bufins.Engine.buffers
         in
         (form, List.length r.Bufins.Engine.buffers,
+         Common.mix_string setup r.Bufins.Engine.buffers,
          r.Bufins.Engine.stats.Bufins.Engine.runtime_s))
   in
   let rec rows benches optimized =
     match (benches, optimized) with
     | [], [] -> []
-    | bname :: rest_b, (fn, bn, tn) :: (fd, bd, td) :: (fw, bw, tw) :: rest ->
+    | bname :: rest_b,
+      (fn, bn, mn, tn) :: (fd, bd, md, td) :: (fw, bw, mw, tw) :: rest ->
       (* §5.3: the common target is the WID mean RAT degraded by 10%
          (RATs are negative, so 10% more negative). *)
       let target = Linform.mean fw *. 1.10 in
-      let result form buffers runtime_s =
+      let result form buffers mix runtime_s =
         {
           rat_form = form;
           rat_y95 = Sta.Yield.rat_at_yield form ~yield:0.95;
           yield = Sta.Yield.timing_yield form ~target;
           buffers;
+          mix;
           runtime_s;
         }
       in
       {
         bench = bname;
         target;
-        nom = result fn bn tn;
-        d2d = result fd bd td;
-        wid = result fw bw tw;
+        nom = result fn bn mn tn;
+        d2d = result fd bd md td;
+        wid = result fw bw mw tw;
       }
       :: rows rest_b rest
     | _ -> assert false
@@ -120,7 +124,7 @@ let pp_rat_table ppf ~title rows =
 
 let pp_buffer_table ppf rows =
   Format.fprintf ppf "== Table 5: number of buffers under different variation models ==@.";
-  Common.pp_row ppf [ "Bench"; "NOM"; "D2D"; "WID" ];
+  Common.pp_row ppf [ "Bench"; "NOM"; "D2D"; "WID"; "WID mix" ];
   List.iter
     (fun row ->
       let ratio n = float_of_int n /. float_of_int row.wid.buffers in
@@ -130,6 +134,7 @@ let pp_buffer_table ppf rows =
           Printf.sprintf "%d (%.2fx)" row.nom.buffers (ratio row.nom.buffers);
           Printf.sprintf "%d (%.2fx)" row.d2d.buffers (ratio row.d2d.buffers);
           string_of_int row.wid.buffers;
+          row.wid.mix;
         ])
     rows;
   let n = float_of_int (List.length rows) in
@@ -143,4 +148,5 @@ let pp_buffer_table ppf rows =
       Printf.sprintf "%.2fx" (ratio_of (fun r -> r.nom.buffers));
       Printf.sprintf "%.2fx" (ratio_of (fun r -> r.d2d.buffers));
       "1.00x";
+      "-";
     ]

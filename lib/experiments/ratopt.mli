@@ -8,6 +8,7 @@ type algo_result = {
   rat_y95 : float;       (** RAT at 95% timing yield (5th percentile) *)
   yield : float;         (** timing yield at the common target *)
   buffers : int;
+  mix : string;  (** per-type usage ({!Common.mix_string}) *)
   runtime_s : float;
 }
 

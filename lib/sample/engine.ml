@@ -39,6 +39,7 @@ type config = {
   yield : float;
   budget : Bufins.Engine.budget;
   load_limit : float option;
+  insertion : Bufins.Engine.insertion;
 }
 
 let default_config ?(samples = 256) ?(seed = 1) ?(relax = 1.0)
@@ -60,6 +61,7 @@ let default_config ?(samples = 256) ?(seed = 1) ?(relax = 1.0)
     yield;
     budget = Bufins.Engine.no_budget;
     load_limit = None;
+    insertion = Bufins.Engine.Convex_auto;
   }
 
 type sol = {
@@ -67,6 +69,16 @@ type sol = {
   rat : float array; (* per-sample required arrival time, ps *)
   choice : Bufins.Sol.choice;
 }
+
+(* Dual-polarity frontier, mirroring the canonical engine: [ev] rows
+   deliver every sink its specified signal sense, [od] rows are one
+   inversion away.  Without inverters in the library [od] stays empty
+   and the instruction stream is the historical single-frontier one;
+   the root selects from [ev] only. *)
+type frontier = { ev : sol array; od : sol array }
+
+let empty_frontier = { ev = [||]; od = [||] }
+let frontier_size f = Array.length f.ev + Array.length f.od
 
 type result = {
   best : sol;
@@ -223,24 +235,42 @@ let prune_rows ~k ~need ar ncand =
     out
   end
 
-(* Stage and prune one edge lift: per-width wired rows (exact
-   per-sample Elmore), then one buffered variant per library type for
-   each drivable wired row.  [forms] carries the edge's model
-   bindings; row generation order replicates the canonical engine —
-   wired rows reversed, then buffered — so duplicate survival
-   matches. *)
-let lift_rows config ~matrix ~k ~need ~forms ~child ~length
-    (sols : sol array) =
+(* Stage and prune one edge lift into a dual-polarity frontier:
+   per-width wired rows (exact per-sample Elmore) for both parities,
+   then per output side its own wired rows reversed, one buffered
+   variant per same-parity (non-inverting) type for each drivable
+   wired row of that side, and one per parity-flipping (inverting)
+   type for each drivable wired row of the opposite side.  [forms]
+   carries the edge's model bindings; row generation order replicates
+   the canonical engine — wired rows reversed, then buffered,
+   wired-row-major — so duplicate survival matches.
+
+   Both parities' wired rows share the arena's A stage (even rows
+   first); each output side stages its candidates in the B stage and
+   prunes to a fresh frontier before the other side re-stages B.
+
+   [convex] (Convex_auto insertion at need = k, i.e. relax = 1)
+   pre-filters each (type, source-parity) block: a drivable wired row
+   whose per-sample buffered score rat − R_b·load is tie-or-beaten in
+   every sample by an earlier-or-strictly-better row of the same
+   block yields a buffered row that full per-sample dominance
+   provably drops — the materialised rows differ from the scores by
+   the same per-sample T_b shift and fl(x − y) is monotone in x — so
+   skipping its generation changes no output byte, only the candidate
+   count fed to the quadratic pruning pass. *)
+let lift_rows config ~matrix ~k ~need ~convex ~same_types ~flip_types ~forms
+    ~child ~length (f : frontier) =
   let obs = Obs.Control.on () in
   let t0 = if obs then Obs.Span.now_ns () else 0 in
   let ar = Sarena.get () in
   let nlib = Array.length config.library in
-  let ns = Array.length sols in
+  let ns_ev = Array.length f.ev and ns_od = Array.length f.od in
   let nwid = Array.length config.wires in
-  let nw = nwid * ns in
-  let al = Sarena.a_load ar (nw * k) in
-  let arr = Sarena.a_rat ar (nw * k) in
-  let ac = Sarena.a_choice ar nw ~dummy:(Bufins.Sol.At_sink 0) in
+  let nw_ev = nwid * ns_ev and nw_od = nwid * ns_od in
+  let ntot = nw_ev + nw_od in
+  let al = Sarena.a_load ar (ntot * k) in
+  let arr = Sarena.a_rat ar (ntot * k) in
+  let ac = Sarena.a_choice ar ntot ~dummy:(Bufins.Sol.At_sink 0) in
   (* Per-width r·L and c·L as K-vectors (constant rows when wire
      variation is off). *)
   let rl = Array.make (nwid * k) 0.0 in
@@ -266,28 +296,35 @@ let lift_rows config ~matrix ~k ~need ~forms ~child ~length
       done
     done;
   (* Wired rows (Eq. 33-34, exact per sample): load' = load + cL,
-     rat' = rat − rL·load − ½·rL·cL. *)
-  let wml = Array.make nw 0.0 in
-  let wmr = Array.make nw 0.0 in
-  for row = 0 to nw - 1 do
-    let width = row / ns in
-    let s = sols.(row mod ns) in
-    let ro = row * k and wo = width * k in
-    let sl = ref 0.0 and sr = ref 0.0 in
-    for j = 0 to k - 1 do
-      let rlj = rl.(wo + j) and clj = cl.(wo + j) in
-      let ld = s.load.(j) +. clj in
-      let rt = s.rat.(j) -. (rl.(wo + j) *. s.load.(j)) -. (0.5 *. rlj *. clj) in
-      al.(ro + j) <- ld;
-      arr.(ro + j) <- rt;
-      sl := !sl +. ld;
-      sr := !sr +. rt
-    done;
-    wml.(row) <- !sl /. float_of_int k;
-    wmr.(row) <- !sr /. float_of_int k;
-    ac.(row) <-
-      Bufins.Sol.Wire { node = child; width; from = s.choice }
-  done;
+     rat' = rat − rL·load − ½·rL·cL.  Even-parity rows first, then
+     odd, each side width-major. *)
+  let wml = Array.make ntot 0.0 in
+  let wmr = Array.make ntot 0.0 in
+  let stage_side ~base ~ns (sols : sol array) =
+    for lrow = 0 to (nwid * ns) - 1 do
+      let row = base + lrow in
+      let width = lrow / ns in
+      let s = sols.(lrow mod ns) in
+      let ro = row * k and wo = width * k in
+      let sl = ref 0.0 and sr = ref 0.0 in
+      for j = 0 to k - 1 do
+        let rlj = rl.(wo + j) and clj = cl.(wo + j) in
+        let ld = s.load.(j) +. clj in
+        let rt =
+          s.rat.(j) -. (rl.(wo + j) *. s.load.(j)) -. (0.5 *. rlj *. clj)
+        in
+        al.(ro + j) <- ld;
+        arr.(ro + j) <- rt;
+        sl := !sl +. ld;
+        sr := !sr +. rt
+      done;
+      wml.(row) <- !sl /. float_of_int k;
+      wmr.(row) <- !sr /. float_of_int k;
+      ac.(row) <- Bufins.Sol.Wire { node = child; width; from = s.choice }
+    done
+  in
+  stage_side ~base:0 ~ns:ns_ev f.ev;
+  stage_side ~base:nw_ev ~ns:ns_od f.od;
   (* Buffer templates per (site, type): cb and tb as K-vectors. *)
   let cb = Array.make (nlib * k) 0.0 in
   let tb = Array.make (nlib * k) 0.0 in
@@ -303,52 +340,178 @@ let lift_rows config ~matrix ~k ~need ~forms ~child ~length
     | None -> true
     | Some limit -> wml.(row) <= limit
   in
-  let ndrivable = ref 0 in
-  for row = 0 to nw - 1 do
-    if drivable row then incr ndrivable
-  done;
-  let ncand = nw + (!ndrivable * nlib) in
-  let bl = Sarena.b_load ar (ncand * k) in
-  let br = Sarena.b_rat ar (ncand * k) in
-  let bc = Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0) in
-  let ml = Sarena.mean_load ar ncand in
-  let mr = Sarena.mean_rat ar ncand in
-  for row = 0 to nw - 1 do
-    let dst = nw - 1 - row in
-    Array.blit al (row * k) bl (dst * k) k;
-    Array.blit arr (row * k) br (dst * k) k;
-    bc.(dst) <- ac.(row);
-    ml.(dst) <- wml.(row);
-    mr.(dst) <- wmr.(row)
-  done;
-  let next = ref nw in
-  for row = 0 to nw - 1 do
-    if drivable row then
-      for bi = 0 to nlib - 1 do
-        let dst = !next in
-        let dof = dst * k and ro = row * k and bo = bi * k in
+  let has_flip = Array.length flip_types > 0 in
+  let od_out = has_flip || nw_od > 0 in
+  (* Convex pre-filter flags, indexed [bi * ntot + row]. *)
+  let drop = if convex then Array.make (nlib * ntot) false else [||] in
+  let prefilter ~lo ~hi bi =
+    if convex && hi - lo > 1 then begin
+      let rows = Array.make (hi - lo) 0 in
+      let nr = ref 0 in
+      for row = lo to hi - 1 do
+        if drivable row then begin
+          rows.(!nr) <- row;
+          incr nr
+        end
+      done;
+      let nr = !nr in
+      if nr > 1 then begin
         let r = res.(bi) in
-        let sl = ref 0.0 and sr = ref 0.0 in
-        (* Eq. 35-36 per sample: rat' = rat − R_b·load − T_b,
-           load' = C_b. *)
-        for j = 0 to k - 1 do
-          let ld = cb.(bo + j) in
-          let rt = arr.(ro + j) -. (r *. al.(ro + j)) -. tb.(bo + j) in
-          bl.(dof + j) <- ld;
-          br.(dof + j) <- rt;
-          sl := !sl +. ld;
-          sr := !sr +. rt
+        let sc = Array.make (nr * k) 0.0 in
+        for x = 0 to nr - 1 do
+          let ro = rows.(x) * k and xo = x * k in
+          for j = 0 to k - 1 do
+            sc.(xo + j) <- arr.(ro + j) -. (r *. al.(ro + j))
+          done
         done;
-        ml.(dst) <- !sl /. float_of_int k;
-        mr.(dst) <- !sr /. float_of_int k;
-        bc.(dst) <-
-          Bufins.Sol.Buffered { node = child; buffer = bi; from = ac.(row) };
-        incr next
-      done
-  done;
-  let pruned = prune_rows ~k ~need ar ncand in
+        for x = 0 to nr - 1 do
+          let xo = x * k in
+          let dead = ref false in
+          let y = ref 0 in
+          while (not !dead) && !y < nr do
+            (if !y <> x then begin
+               let yo = !y * k in
+               let ge = ref true and gt = ref false in
+               let j = ref 0 in
+               while !ge && !j < k do
+                 if sc.(yo + !j) < sc.(xo + !j) then ge := false
+                 else if sc.(yo + !j) > sc.(xo + !j) then gt := true;
+                 incr j
+               done;
+               (* Drop x when y ties-or-beats it everywhere and is
+                  either strictly better somewhere or earlier (the
+                  earliest of an equal class survives, matching the
+                  stable sort's pick). *)
+               if !ge && (!gt || !y < x) then dead := true
+             end);
+            incr y
+          done;
+          if !dead then drop.(bi * ntot + rows.(x)) <- true
+        done
+      end
+    end
+  in
+  if convex then begin
+    Array.iter
+      (fun bi ->
+        prefilter ~lo:0 ~hi:nw_ev bi;
+        if od_out then prefilter ~lo:nw_ev ~hi:ntot bi)
+      same_types;
+    Array.iter
+      (fun bi ->
+        prefilter ~lo:nw_ev ~hi:ntot bi;
+        if od_out then prefilter ~lo:0 ~hi:nw_ev bi)
+      flip_types
+  end;
+  let keep bi row =
+    drivable row && ((not convex) || not drop.((bi * ntot) + row))
+  in
+  let count_block ~lo ~hi types =
+    let c = ref 0 in
+    Array.iter
+      (fun bi ->
+        for row = lo to hi - 1 do
+          if keep bi row then incr c
+        done)
+      types;
+    !c
+  in
+  (* Build one output side: wired rows [wlo, whi) reversed, then
+     buffered rows — same-parity types over [wlo, whi), flip types
+     over the opposite block [xlo, xhi), wired-row-major in library
+     order within each block. *)
+  let build_side ~wlo ~whi ~xlo ~xhi =
+    let nw_side = whi - wlo in
+    let ncand =
+      nw_side + count_block ~lo:wlo ~hi:whi same_types
+      + count_block ~lo:xlo ~hi:xhi flip_types
+    in
+    if ncand = 0 then [||]
+    else begin
+      let bl = Sarena.b_load ar (ncand * k) in
+      let br = Sarena.b_rat ar (ncand * k) in
+      let bc = Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0) in
+      let ml = Sarena.mean_load ar ncand in
+      let mr = Sarena.mean_rat ar ncand in
+      for lrow = 0 to nw_side - 1 do
+        let row = wlo + lrow in
+        let dst = nw_side - 1 - lrow in
+        Array.blit al (row * k) bl (dst * k) k;
+        Array.blit arr (row * k) br (dst * k) k;
+        bc.(dst) <- ac.(row);
+        ml.(dst) <- wml.(row);
+        mr.(dst) <- wmr.(row)
+      done;
+      let next = ref nw_side in
+      let emit_block ~lo ~hi types =
+        for row = lo to hi - 1 do
+          Array.iter
+            (fun bi ->
+              if keep bi row then begin
+                let dst = !next in
+                let dof = dst * k and ro = row * k and bo = bi * k in
+                let r = res.(bi) in
+                let sl = ref 0.0 and sr = ref 0.0 in
+                (* Eq. 35-36 per sample: rat' = rat − R_b·load − T_b,
+                   load' = C_b. *)
+                for j = 0 to k - 1 do
+                  let ld = cb.(bo + j) in
+                  let rt = arr.(ro + j) -. (r *. al.(ro + j)) -. tb.(bo + j) in
+                  bl.(dof + j) <- ld;
+                  br.(dof + j) <- rt;
+                  sl := !sl +. ld;
+                  sr := !sr +. rt
+                done;
+                ml.(dst) <- !sl /. float_of_int k;
+                mr.(dst) <- !sr /. float_of_int k;
+                bc.(dst) <-
+                  Bufins.Sol.Buffered
+                    { node = child; buffer = bi; from = ac.(row) };
+                incr next
+              end)
+            types
+        done
+      in
+      emit_block ~lo:wlo ~hi:whi same_types;
+      emit_block ~lo:xlo ~hi:xhi flip_types;
+      let out = prune_rows ~k ~need ar ncand in
+      if obs then begin
+        let gen = Array.make nlib 0 and kept = Array.make nlib 0 in
+        for i = nw_side to ncand - 1 do
+          match bc.(i) with
+          | Bufins.Sol.Buffered { buffer; _ } ->
+            gen.(buffer) <- gen.(buffer) + 1
+          | _ -> ()
+        done;
+        Array.iter
+          (fun s ->
+            match s.choice with
+            | Bufins.Sol.Buffered { node; buffer; _ } when node = child ->
+              kept.(buffer) <- kept.(buffer) + 1
+            | _ -> ())
+          out;
+        Array.iteri
+          (fun bi (b : Device.Buffer.t) ->
+            if gen.(bi) > 0 then
+              Obs.Counters.add Obs.Counters.global
+                ("sample.type." ^ b.Device.Buffer.name ^ ".generated")
+                gen.(bi);
+            if kept.(bi) > 0 then
+              Obs.Counters.add Obs.Counters.global
+                ("sample.type." ^ b.Device.Buffer.name ^ ".kept")
+                kept.(bi))
+          config.library
+      end;
+      out
+    end
+  in
+  let ev = build_side ~wlo:0 ~whi:nw_ev ~xlo:nw_ev ~xhi:ntot in
+  let od =
+    if not od_out then [||]
+    else build_side ~wlo:nw_ev ~whi:ntot ~xlo:0 ~xhi:nw_ev
+  in
   if obs then Obs.Span.record ~name:"lift" ~cat:"sample" ~t0_ns:t0;
-  pruned
+  { ev; od }
 
 (* Subtree merge: the full cross product with an exact per-sample min,
    staged into the arena's B stage and pruned. *)
@@ -393,6 +556,18 @@ let merge_rows ~k ~need ~node ~check (a : sol array) (b : sol array) =
     prune_rows ~k ~need ar ncand
   end
 
+(* Parity-matched subtree merge: even rows pair with even, odd with
+   odd (a merged candidate needs both subtrees at the same parity).
+   The odd merge is skipped entirely when both sides are empty, so the
+   inverter-free instruction stream is the historical one. *)
+let merge_frontiers ~k ~need ~node ~check (a : frontier) (b : frontier) =
+  let ev = merge_rows ~k ~need ~node ~check a.ev b.ev in
+  let od =
+    if Array.length a.od = 0 && Array.length b.od = 0 then [||]
+    else merge_rows ~k ~need ~node ~check a.od b.od
+  in
+  { ev; od }
+
 (* Per-node bookkeeping around the frontier computation [f]: budget
    checks, observability, peak/total statistics.  [where] overrides
    the budget-check label — the tape passes its precompiled one. *)
@@ -400,12 +575,12 @@ let node_wrap ?where ~check_time ~check_count ~peak ~total id f =
   check_time ();
   let obs = Obs.Control.on () in
   let t0 = if obs then Obs.Span.now_ns () else 0 in
-  let sols = f () in
+  let front = f () in
   if obs then begin
     Obs.Counters.incr obs_nodes 1;
     Obs.Span.record ~name:"node" ~cat:"sample" ~t0_ns:t0
   end;
-  let len = Array.length sols in
+  let len = frontier_size front in
   check_count
     ~where:
       (match where with Some w -> w | None -> Printf.sprintf "node %d" id)
@@ -418,7 +593,7 @@ let node_wrap ?where ~check_time ~check_count ~peak ~total id f =
   bump_peak ();
   ignore (Atomic.fetch_and_add total len);
   Log.debug (fun m -> m "node %d: %d sampled candidates kept" id len);
-  sols
+  front
 
 (* Root-frontier epilogue shared by the tree walk and the tape
    interpreter: load-limit gate, per-sample driver lift, yield
@@ -508,7 +683,7 @@ let run ?pool ?(grain = default_grain) config ~model tree =
   if k <= 0 then invalid_arg "Sample.Engine.run: samples must be positive";
   let check_time, check_count = make_checks config.budget ~t_start in
   let n = Rctree.Tree.node_count tree in
-  let results : sol array array = Array.make n [||] in
+  let results : frontier array = Array.make n empty_frontier in
   let peak = Atomic.make 0 in
   let total = Atomic.make 0 in
   let wire_variation = Varmodel.Model.wire_frac model > 0.0 in
@@ -558,6 +733,16 @@ let run ?pool ?(grain = default_grain) config ~model tree =
   let need =
     max 1 (int_of_float (ceil (config.relax *. float_of_int k)))
   in
+  let same_types, flip_types =
+    Device.Buffer.partition_indices config.library
+  in
+  (* The convex pre-filter is sound only under full per-sample
+     dominance (need = k): relax > 1 disables pruning (brute-force
+     reference) and relax < 1 counts partial dominance, where a
+     pre-filtered row is not provably dropped. *)
+  let convex =
+    config.insertion = Bufins.Engine.Convex_auto && need = k
+  in
   (* Per-edge model bindings, resolved lazily at lift time — the tape
      path precomputes the same forms at bind time. *)
   let forms_for child =
@@ -602,27 +787,32 @@ let run ?pool ?(grain = default_grain) config ~model tree =
       node_wrap ~check_time ~check_count ~peak ~total id (fun () ->
           match Rctree.Tree.sink tree id with
           | Some s ->
-            [|
-              {
-                load = Array.make k s.Rctree.Tree.sink_cap;
-                rat = Array.make k s.Rctree.Tree.sink_rat;
-                choice = Bufins.Sol.At_sink id;
-              };
-            |]
+            {
+              ev =
+                [|
+                  {
+                    load = Array.make k s.Rctree.Tree.sink_cap;
+                    rat = Array.make k s.Rctree.Tree.sink_rat;
+                    choice = Bufins.Sol.At_sink id;
+                  };
+                |];
+              od = [||];
+            }
           | None ->
             let lifted =
               Array.of_list
                 (List.map
                    (fun (child, length) ->
-                     let child_sols = results.(child) in
-                     results.(child) <- [||];
+                     let child_front = results.(child) in
+                     results.(child) <- empty_frontier;
                      let l =
-                       lift_rows config ~matrix ~k ~need
-                         ~forms:(forms_for child) ~child ~length child_sols
+                       lift_rows config ~matrix ~k ~need ~convex ~same_types
+                         ~flip_types ~forms:(forms_for child) ~child ~length
+                         child_front
                      in
                      check_count
                        ~where:(Printf.sprintf "edge above node %d" child)
-                       (Array.length l);
+                       (frontier_size l);
                      l)
                    (Rctree.Tree.children tree id))
             in
@@ -630,14 +820,14 @@ let run ?pool ?(grain = default_grain) config ~model tree =
             else begin
               assert (Array.length lifted = 2);
               let merged =
-                merge_rows ~k ~need ~node:id
+                merge_frontiers ~k ~need ~node:id
                   ~check:(fun c ->
                     check_count ~where:(Printf.sprintf "merge at node %d" id) c;
                     if c land 1023 = 0 then check_time ())
                   lifted.(0) lifted.(1)
               in
-              lifted.(0) <- [||];
-              lifted.(1) <- [||];
+              lifted.(0) <- empty_frontier;
+              lifted.(1) <- empty_frontier;
               merged
             end)
   in
@@ -688,7 +878,8 @@ let run ?pool ?(grain = default_grain) config ~model tree =
         compute id)
   | _ -> Array.iter compute post);
   if Obs.Control.on () then Obs.Span.flush ();
-  finish config ~t_start ~k ~peak ~total ~n results.(Rctree.Tree.root tree)
+  finish config ~t_start ~k ~peak ~total ~n
+    results.(Rctree.Tree.root tree).ev
 
 let run_tape ?pool ?(grain = default_grain) config ~model
     (tape : Compile.Tape.t) =
@@ -770,6 +961,12 @@ let run_tape ?pool ?(grain = default_grain) config ~model
   let need =
     max 1 (int_of_float (ceil (config.relax *. float_of_int k)))
   in
+  let same_types, flip_types =
+    Device.Buffer.partition_indices config.library
+  in
+  let convex =
+    config.insertion = Bufins.Engine.Convex_auto && need = k
+  in
   let parallel =
     match pool with
     | Some p -> Exec.Pool.jobs p > 1 && n > max 1 grain
@@ -778,8 +975,8 @@ let run_tape ?pool ?(grain = default_grain) config ~model
   let slot_of =
     if parallel then Array.init n Fun.id else tape.Compile.Tape.slot
   in
-  let frontiers : sol array array =
-    Array.make (if parallel then n else tape.Compile.Tape.slots) [||]
+  let frontiers : frontier array =
+    Array.make (if parallel then n else tape.Compile.Tape.slots) empty_frontier
   in
   let ops = tape.Compile.Tape.ops in
   let exec_node id =
@@ -790,44 +987,49 @@ let run_tape ?pool ?(grain = default_grain) config ~model
           let o1 = tape.Compile.Tape.op_end.(id) in
           match ops.(o0) with
           | Compile.Tape.Tag_sink { node; cap; rat } ->
-            [|
-              {
-                load = Array.make k cap;
-                rat = Array.make k rat;
-                choice = Bufins.Sol.At_sink node;
-              };
-            |]
+            {
+              ev =
+                [|
+                  {
+                    load = Array.make k cap;
+                    rat = Array.make k rat;
+                    choice = Bufins.Sol.At_sink node;
+                  };
+                |];
+              od = [||];
+            }
           | _ ->
-            let lifted0 = ref [||] and lifted1 = ref [||] in
+            let lifted0 = ref empty_frontier and lifted1 = ref empty_frontier in
             let nlift = ref 0 in
-            let out = ref [||] in
+            let out = ref empty_frontier in
             for o = o0 to o1 - 1 do
               match ops.(o) with
               | Compile.Tape.Tag_sink _ -> assert false
               | Compile.Tape.Lift_edge _ -> ()
               | Compile.Tape.Insert_site { child; edge } ->
-                let sols = frontiers.(slot_of.(child)) in
-                frontiers.(slot_of.(child)) <- [||];
+                let front = frontiers.(slot_of.(child)) in
+                frontiers.(slot_of.(child)) <- empty_frontier;
                 let l =
-                  lift_rows config ~matrix ~k ~need ~forms:(forms_at edge)
-                    ~child ~length:tape.Compile.Tape.edge_length.(edge) sols
+                  lift_rows config ~matrix ~k ~need ~convex ~same_types
+                    ~flip_types ~forms:(forms_at edge) ~child
+                    ~length:tape.Compile.Tape.edge_length.(edge) front
                 in
                 check_count ~where:tape.Compile.Tape.where_edge.(edge)
-                  (Array.length l);
+                  (frontier_size l);
                 if !nlift = 0 then lifted0 := l else lifted1 := l;
                 incr nlift;
                 out := l
               | Compile.Tape.Merge { node } ->
                 let merged =
-                  merge_rows ~k ~need ~node
+                  merge_frontiers ~k ~need ~node
                     ~check:(fun c ->
                       check_count ~where:tape.Compile.Tape.where_merge.(node)
                         c;
                       if c land 1023 = 0 then check_time ())
                     !lifted0 !lifted1
                 in
-                lifted0 := [||];
-                lifted1 := [||];
+                lifted0 := empty_frontier;
+                lifted1 := empty_frontier;
                 out := merged
             done;
             !out)
@@ -879,4 +1081,4 @@ let run_tape ?pool ?(grain = default_grain) config ~model
   | _ -> Array.iter exec_node tape.Compile.Tape.post);
   if Obs.Control.on () then Obs.Span.flush ();
   finish config ~t_start ~k ~peak ~total ~n
-    frontiers.(slot_of.(Compile.Tape.root tape))
+    frontiers.(slot_of.(Compile.Tape.root tape)).ev

@@ -40,6 +40,15 @@ type config = {
   load_limit : float option;
       (** same mean-load drive constraint as the canonical engine,
           applied to sample means *)
+  insertion : Bufins.Engine.insertion;
+      (** [Convex_auto] (the default) pre-filters each buffer type's
+          insertion block at [relax = 1]: a wired row whose per-sample
+          buffered score is tie-or-beaten everywhere by another row of
+          the same block yields a candidate full dominance provably
+          drops, so it is never generated.  The surviving rows still go
+          through the full pruning pass, so output is byte-identical to
+          [Exhaustive]; the filter disengages at [relax ≠ 1], where the
+          guarantee does not hold. *)
 }
 
 val default_config :
@@ -51,7 +60,11 @@ val default_config :
   unit ->
   config
 (** 65 nm tech, the default buffer library, [samples = 256],
-    [seed = 1], [relax = 1], [yield = 0.95], no budget.
+    [seed = 1], [relax = 1], [yield = 0.95], [Convex_auto] insertion,
+    no budget.  A library mixing repeaters and inverters is handled
+    with the same dual-polarity frontiers as the canonical engine:
+    merges match inversion parity and the root selects among
+    even-parity candidates only.
     @raise Invalid_argument on non-positive [samples] or [relax], or
     [yield] outside (0, 1). *)
 

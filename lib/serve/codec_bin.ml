@@ -236,10 +236,17 @@ let decode_tree s =
 
 (* varint buffer-count, then per buffer: node zigzag, name string,
    cap/delay/res f64; then the same shape for widths (r/c f64).
-   Entries are written node-sorted, like the text encoding. *)
+   Entries are written node-sorted, like the text encoding.  When the
+   assignment contains inverters, a trailing polarity section follows:
+   marker u8 0x03, varint count, then the inverting node ids (zigzag,
+   strictly node-sorted).  All-repeater assignments — every historical
+   one — keep their exact bytes. *)
+
+let polarity_marker = 0x03
 
 let add_assignment buf (a : Bufins.Assignment.t) =
-  add_varint buf (List.length a.Bufins.Assignment.buffers);
+  let buffers = List.sort compare a.Bufins.Assignment.buffers in
+  add_varint buf (List.length buffers);
   List.iter
     (fun (node, (b : Device.Buffer.t)) ->
       add_zigzag buf node;
@@ -247,7 +254,7 @@ let add_assignment buf (a : Bufins.Assignment.t) =
       add_f64 buf b.Device.Buffer.cap_ff;
       add_f64 buf b.Device.Buffer.delay_ps;
       add_f64 buf b.Device.Buffer.res_kohm)
-    (List.sort compare a.Bufins.Assignment.buffers);
+    buffers;
   add_varint buf (List.length a.Bufins.Assignment.widths);
   List.iter
     (fun (node, (w : Device.Wire_lib.t)) ->
@@ -255,7 +262,18 @@ let add_assignment buf (a : Bufins.Assignment.t) =
       add_string buf w.Device.Wire_lib.name;
       add_f64 buf w.Device.Wire_lib.res_per_um;
       add_f64 buf w.Device.Wire_lib.cap_per_um)
-    (List.sort compare a.Bufins.Assignment.widths)
+    (List.sort compare a.Bufins.Assignment.widths);
+  let inverting =
+    List.filter_map
+      (fun (node, b) ->
+        if Device.Buffer.is_inverting b then Some node else None)
+      buffers
+  in
+  if inverting <> [] then begin
+    add_u8 buf polarity_marker;
+    add_varint buf (List.length inverting);
+    List.iter (fun node -> add_zigzag buf node) inverting
+  end
 
 let encode_assignment a =
   let buf = Buffer.create 256 in
@@ -282,7 +300,13 @@ let read_assignment r =
         let cap_ff = get_f64 r what in
         let delay_ps = get_f64 r what in
         let res_kohm = get_f64 r what in
-        { Device.Buffer.name; cap_ff; delay_ps; res_kohm })
+        {
+          Device.Buffer.name;
+          cap_ff;
+          delay_ps;
+          res_kohm;
+          polarity = Device.Buffer.Non_inverting;
+        })
   in
   let widths =
     read_section "width" (fun i ->
@@ -291,6 +315,38 @@ let read_assignment r =
         let res_per_um = get_f64 r what in
         let cap_per_um = get_f64 r what in
         { Device.Wire_lib.name; res_per_um; cap_per_um })
+  in
+  (* Optional trailing polarity section (the assignment is always the
+     last element of its enclosing payload, so a remaining marker byte
+     can only belong to it). *)
+  let buffers =
+    if r.pos < r.limit && Char.code r.src.[r.pos] = polarity_marker then begin
+      r.pos <- r.pos + 1;
+      let n = get_varint r "inverter count" in
+      if n > 16_777_216 then failwith "binary payload: absurd inverter count";
+      let inv = Hashtbl.create (min n 64) in
+      let prev = ref min_int in
+      for i = 0 to n - 1 do
+        let node = get_zigzag r (Printf.sprintf "inverter %d" i) in
+        if node <= !prev then
+          failwith "binary payload: inverter nodes must be strictly sorted";
+        prev := node;
+        Hashtbl.add inv node ()
+      done;
+      List.map
+        (fun (node, (b : Device.Buffer.t)) ->
+          if Hashtbl.mem inv node then begin
+            Hashtbl.remove inv node;
+            (node, { b with Device.Buffer.polarity = Device.Buffer.Inverting })
+          end
+          else (node, b))
+        buffers
+      |> fun marked ->
+      if Hashtbl.length inv > 0 then
+        failwith "binary payload: inverter node without a buffer entry";
+      marked
+    end
+    else buffers
   in
   { Bufins.Assignment.buffers; widths }
 
@@ -364,6 +420,15 @@ let encode_request (r : Protocol.request) =
   let tree = encode_tree r.Protocol.tree in
   add_varint buf (String.length tree);
   Buffer.add_string buf tree;
+  (* Extension region after the tree blob: (tag u8, value) pairs,
+     each emitted only away from its default so historical payloads —
+     and the digests derived from them — keep their exact bytes.
+     Decoders reject unknown tags, like every other strict decoder
+     here. *)
+  if r.Protocol.btypes <> 0 then begin
+    add_u8 buf 0x01;
+    add_zigzag buf r.Protocol.btypes
+  end;
   Buffer.contents buf
 
 let get_bool r what =
@@ -387,8 +452,24 @@ let read_request_head r =
   let relax = get_f64 r "relax" in
   let tree_len = get_varint r "tree length" in
   need r tree_len "tree blob";
-  if r.pos + tree_len <> r.limit then
-    failwith "binary payload: trailing bytes after the tree blob";
+  (* Bytes after the blob form the extension region (see
+     [encode_request]); parse and validate it here so every head
+     reader agrees on what a well-formed payload is, while [r.pos]
+     still lands on the blob's first byte for the caller. *)
+  let btypes = ref 0 in
+  let er = { src = r.src; pos = r.pos + tree_len; limit = r.limit } in
+  let seen_btypes = ref false in
+  while er.pos < er.limit do
+    match get_u8 er "extension tag" with
+    | 0x01 ->
+      if !seen_btypes then
+        failwith "binary payload: duplicate btypes extension";
+      seen_btypes := true;
+      let v = get_zigzag er "btypes" in
+      if v < 0 then failwith "binary payload: btypes must be >= 0";
+      btypes := v
+    | t -> failwith (Printf.sprintf "binary payload: unknown extension tag %d" t)
+  done;
   ( id,
     seed,
     mode,
@@ -398,6 +479,7 @@ let read_request_head r =
     wire_sizing,
     samples,
     relax,
+    !btypes,
     tree_len )
 
 let decode_request s =
@@ -411,6 +493,7 @@ let decode_request s =
         wire_sizing,
         samples,
         relax,
+        btypes,
         tree_len ) =
     read_request_head r
   in
@@ -427,12 +510,13 @@ let decode_request s =
     wire_sizing;
     samples;
     relax;
+    btypes;
     tree;
   }
 
 let request_tree_span s =
   let r = reader s in
-  let _, _, _, _, _, _, _, _, _, tree_len = read_request_head r in
+  let _, _, _, _, _, _, _, _, _, _, tree_len = read_request_head r in
   (r.pos, tree_len)
 
 (* Skip the tree decode when the caller already holds the decoded tree
@@ -449,6 +533,7 @@ let decode_request_using_tree s tree =
         wire_sizing,
         samples,
         relax,
+        btypes,
         _tree_len ) =
     read_request_head r
   in
@@ -462,6 +547,7 @@ let decode_request_using_tree s tree =
     wire_sizing;
     samples;
     relax;
+    btypes;
     tree;
   }
 

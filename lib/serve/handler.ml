@@ -11,6 +11,13 @@ let compute ?pool ?tape ?deadline_s (req : Protocol.request) =
     {
       Experiments.Common.default_setup with
       Experiments.Common.mc_trials = req.Protocol.mc_trials;
+      library =
+        (* btypes = 0 keeps the default library object itself, so
+           historical requests run through exactly the historical
+           configuration. *)
+        (if req.Protocol.btypes > 0 then
+           Device.Buffer.synth_library ~btypes:req.Protocol.btypes
+         else Experiments.Common.default_setup.Experiments.Common.library);
       pool;
     }
   in

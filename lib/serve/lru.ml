@@ -23,10 +23,10 @@ type 'a t = {
 }
 
 let create ~capacity =
-  if capacity < 1 then invalid_arg "Serve.Lru.create: capacity must be >= 1";
+  if capacity < 0 then invalid_arg "Serve.Lru.create: capacity must be >= 0";
   {
     capacity;
-    table = Hashtbl.create (min capacity 64);
+    table = Hashtbl.create (min (max capacity 1) 64);
     clock = 0;
     hits = 0;
     misses = 0;
@@ -48,9 +48,7 @@ let find t key =
 
 let peek t key =
   match Hashtbl.find_opt t.table key with
-  | Some e ->
-    e.stamp <- tick t;
-    Some e.value
+  | Some e -> Some e.value
   | None -> None
 
 let evict_oldest t =
@@ -64,11 +62,13 @@ let evict_oldest t =
   match !victim with Some (k, _) -> Hashtbl.remove t.table k | None -> ()
 
 let put t key value =
-  match Hashtbl.find_opt t.table key with
-  | Some e -> e.stamp <- tick t
-  | None ->
-    if Hashtbl.length t.table >= t.capacity then evict_oldest t;
-    Hashtbl.add t.table key { value; stamp = tick t }
+  if t.capacity = 0 then ()
+  else
+    match Hashtbl.find_opt t.table key with
+    | Some e -> e.stamp <- tick t
+    | None ->
+      if Hashtbl.length t.table >= t.capacity then evict_oldest t;
+      Hashtbl.add t.table key { value; stamp = tick t }
 
 let length t = Hashtbl.length t.table
 let capacity t = t.capacity

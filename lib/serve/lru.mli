@@ -9,16 +9,19 @@
 type 'a t
 
 val create : capacity:int -> 'a t
-(** @raise Invalid_argument if [capacity < 1]. *)
+(** Capacity 0 creates a disabled cache: {!put} is a no-op, {!find}
+    always misses.  Callers can then keep one code path instead of
+    threading an option around a "cache off" flag.
+    @raise Invalid_argument if [capacity < 0]. *)
 
 val find : 'a t -> string -> 'a option
 (** Lookup; a hit refreshes recency.  Counts towards {!hits}/{!misses}. *)
 
 val peek : 'a t -> string -> 'a option
-(** Like {!find} (a hit still refreshes recency) but does {e not}
-    touch the hit/miss counters — for probes whose outcome is counted
-    elsewhere, e.g. the server's dispatch-thread tape probe whose
-    authoritative lookup happens in the handler. *)
+(** Pure read: neither refreshes recency nor touches the hit/miss
+    counters — for probes whose outcome is counted elsewhere, e.g. the
+    server's dispatch-thread tape probe whose authoritative lookup
+    (a {!find}) happens later in the handler. *)
 
 val put : 'a t -> string -> 'a -> unit
 (** Insert, evicting the least-recently-used entry at capacity.

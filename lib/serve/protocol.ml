@@ -37,6 +37,7 @@ type request = {
   wire_sizing : bool;
   samples : int;
   relax : float;
+  btypes : int;
   tree : Rctree.Tree.t;
 }
 
@@ -51,6 +52,7 @@ let default_request ~tree =
     wire_sizing = false;
     samples = 0;
     relax = 1.0;
+    btypes = 0;
     tree;
   }
 
@@ -87,6 +89,10 @@ let encode_request r =
      sent before the fields existed (cache keys included). *)
   if r.samples <> 0 then Printf.bprintf buf "samples %d\n" r.samples;
   if r.relax <> 1.0 then Printf.bprintf buf "relax %.17g\n" r.relax;
+  (* Same default-elision contract for the buffer-library axis: the
+     synthetic-library size is omitted at 0 (= default library), so
+     historical requests and their cache keys keep their exact bytes. *)
+  if r.btypes <> 0 then Printf.bprintf buf "btypes %d\n" r.btypes;
   Buffer.add_string buf "tree\n";
   Buffer.add_string buf (Rctree.Io.to_string r.tree);
   Buffer.contents buf
@@ -154,6 +160,7 @@ let decode_request text =
   let id = ref 0 and seed = ref 1 and deadline = ref 0 and mc = ref 0 in
   let wire_sizing = ref false in
   let samples = ref 0 and relax = ref 1.0 in
+  let btypes = ref 0 in
   let mode = ref Experiments.Common.Wid in
   let rule_name = ref "2p" in
   let rule_params : (string * float) list ref = ref [] in
@@ -167,6 +174,10 @@ let decode_request text =
       | "wire_sizing" -> wire_sizing := bool_value lineno key v
       | "samples" -> samples := int_value lineno key v
       | "relax" -> relax := float_value lineno key v
+      | "btypes" ->
+        btypes := int_value lineno key v;
+        if !btypes < 0 then
+          failwith (Printf.sprintf "line %d: btypes must be >= 0" lineno)
       | "mode" -> (
         try mode := mode_of_name v
         with Failure m -> failwith (Printf.sprintf "line %d: %s" lineno m))
@@ -213,6 +224,7 @@ let decode_request text =
     wire_sizing = !wire_sizing;
     samples = !samples;
     relax = !relax;
+    btypes = !btypes;
     tree;
   }
 

@@ -81,12 +81,20 @@ type request = {
       (** sample-dominance relaxation forwarded to the sample engine
           (1 = exact full dominance); ignored when [samples = 0] and
           omitted from the v1 encoding when 1. *)
+  btypes : int;
+      (** > 0 replaces the default buffer library with the
+          deterministic synthetic b-type ladder
+          {!Device.Buffer.synth_library} (sizes and inverters); 0 (the
+          default) keeps {!Device.Buffer.default_library}.  Omitted
+          from both encodings when 0, so historical requests keep
+          their exact bytes and cache keys. *)
   tree : Rctree.Tree.t;
 }
 
 val default_request : tree:Rctree.Tree.t -> request
 (** id 0, seed 1, WID, 2P(0.5, 0.5), no deadline, no MC, no wire
-    sizing, no sampling ([samples = 0], [relax = 1]). *)
+    sizing, no sampling ([samples = 0], [relax = 1]), default buffer
+    library ([btypes = 0]). *)
 
 val encode_request : request -> string
 

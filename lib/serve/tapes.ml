@@ -9,11 +9,11 @@
    ({!Codec_bin.decode_request_using_tree}).
 
    Two lookup flavours mirror the two call sites.  The server's
-   dispatch thread {!peek}s — recency only, no counters — because the
-   authoritative consult happens later in the handler, and counting
-   both would double-book every warm request.  The handler's
-   {!obtain} counts, both in the LRU and on the obs counters
-   [tape.hit]/[tape.miss]. *)
+   dispatch thread {!peek}s — a pure read, no counters and no recency
+   — because the authoritative consult happens later in the handler,
+   and counting both would double-book every warm request.  The
+   handler's {!obtain} counts, both in the LRU and on the obs
+   counters [tape.hit]/[tape.miss]. *)
 
 let obs_hit = Obs.Counters.counter Obs.Counters.global "tape.hit"
 let obs_miss = Obs.Counters.counter Obs.Counters.global "tape.miss"

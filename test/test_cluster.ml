@@ -111,6 +111,28 @@ let test_stats_topology_and_cache () =
              String.length l >= 15 && String.sub l 0 15 = "cluster_shard_0")
            lines))
 
+let with_obs enabled f =
+  let was = Obs.Control.on () in
+  if enabled then Obs.Control.enable () else Obs.Control.disable ();
+  Fun.protect f ~finally:(fun () ->
+      if was then Obs.Control.enable () else Obs.Control.disable ())
+
+let test_v2_digest_cache_counters () =
+  (* A v2 stream's requests differ only in the 8-byte id, so after the
+     first sight of each distinct body the router must take the
+     shard-digest cache hit path rather than re-hashing the tree. *)
+  with_obs true (fun () ->
+      let get name = Obs.Counters.get Obs.Counters.global name in
+      let hit0 = get "router.v2_digest_hit" in
+      let miss0 = get "router.v2_digest_miss" in
+      Cluster.Inproc.with_cluster ~shards:2 (fun socket ->
+          ignore (run_stream ~n:40 ~wire:Serve.Wire.V2 socket));
+      (* 40 requests over 10 distinct bodies (ids all distinct). *)
+      Alcotest.(check int) "one digest miss per distinct body" 10
+        (get "router.v2_digest_miss" - miss0);
+      Alcotest.(check int) "every repeat hits the digest cache" 30
+        (get "router.v2_digest_hit" - hit0))
+
 let test_shard_of_request_is_canonical () =
   let shards = 5 in
   let tree_shard k =
@@ -222,6 +244,8 @@ let suite =
       test_stats_topology_and_cache;
     Alcotest.test_case "sharding is canonical in the tree" `Quick
       test_shard_of_request_is_canonical;
+    Alcotest.test_case "v2 repeats hit the shard-digest cache" `Quick
+      test_v2_digest_cache_counters;
     Alcotest.test_case "bounded queue refuses overload; drain fails stuck work"
       `Quick test_busy_backpressure_and_drain;
   ]

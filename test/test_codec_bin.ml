@@ -46,7 +46,10 @@ let request_gen =
     (* 0 (the pre-sample default, omitted from the v1 encoding) must
        stay common so the historical-bytes path is exercised. *)
     and* samples = oneof [ return 0; int_range 1 4096 ]
-    and* relax = oneof [ return 1.0; float_range 0.25 4.0 ] in
+    and* relax = oneof [ return 1.0; float_range 0.25 4.0 ]
+    (* 0 (the default library, omitted from both encodings) must stay
+       common so the historical-bytes path is exercised. *)
+    and* btypes = oneof [ return 0; int_range 1 32 ] in
     return
       {
         Serve.Protocol.id;
@@ -58,6 +61,7 @@ let request_gen =
         wire_sizing;
         samples;
         relax;
+        btypes;
         tree;
       })
 
@@ -184,7 +188,9 @@ let prop_tree_span =
     ~count:50 arb_request (fun q ->
       let b = Serve.Codec_bin.encode_request q in
       let off, len = Serve.Codec_bin.request_tree_span b in
-      off + len = String.length b
+      (* The extension region (btypes) sits after the blob; without it
+         the blob runs to the end of the payload. *)
+      (q.Serve.Protocol.btypes <> 0 || off + len = String.length b)
       && String.sub b off len = Serve.Codec_bin.encode_tree q.Serve.Protocol.tree)
 
 (* ---------- truncation and corruption never crash ---------- *)

@@ -9,12 +9,14 @@ let () =
       ("device", Test_device.suite);
       ("rctree", Test_rctree.suite);
       ("bufins", Test_bufins.suite);
+      ("btypes", Test_btypes.suite);
       ("tape", Test_tape.suite);
       ("sta", Test_sta.suite);
       ("experiments", Test_experiments.suite);
       ("sample", Test_sample.suite);
       ("wire_formats", Test_wire_formats.suite);
       ("codec_bin", Test_codec_bin.suite);
+      ("lru", Test_lru.suite);
       ("serve", Test_serve.suite);
       ("cluster", Test_cluster.suite);
     ]

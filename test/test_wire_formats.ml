@@ -43,7 +43,17 @@ let buffer_gen =
   QCheck.Gen.(
     let* name = name_gen in
     let* cap = finite_float and* delay = finite_float and* res = finite_float in
-    return { Device.Buffer.name; cap_ff = cap; delay_ps = delay; res_kohm = res })
+    let* inv = frequency [ (3, return false); (1, return true) ] in
+    return
+      {
+        Device.Buffer.name;
+        cap_ff = cap;
+        delay_ps = delay;
+        res_kohm = res;
+        polarity =
+          (if inv then Device.Buffer.Inverting
+           else Device.Buffer.Non_inverting);
+      })
 
 let width_gen =
   QCheck.Gen.(
