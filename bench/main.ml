@@ -22,9 +22,11 @@
       `dune exec bench/main.exe` prints the full paper-shaped output —
       run across the pool's domains when --jobs > 1.
 
-   Pass --micro-only, --mc-only, --serve-only, --tables-only or
+   Pass --micro-only, --mc-only, --serve-only, --tables-only,
    --btypes-only (the buffer-library size sweep and its identity/
-   frontier-growth gates) to run one part; --smoke runs a reduced
+   frontier-growth gates) or --pareto-only (the power-aware Pareto
+   frontier sweep over ε and its zero-energy identity gate) to run one
+   part; --smoke runs a reduced
    micro pass with tight iteration budgets (the CI smoke-bench).  Whenever the micro pass runs, the
    per-benchmark ns/run figures plus a DP allocation probe are written
    as machine-readable JSON to BENCH.json (override with
@@ -51,7 +53,7 @@ let fixture_sols n ~sigma =
         Linform.make ~nominal:(100.0 +. (7.0 *. fi))
           ~sens:[ (1, 4.0 *. sigma); (2000 + i, sigma) ]
       in
-      { Bufins.Sol.load; rat; choice = Bufins.Sol.At_sink i })
+      { Bufins.Sol.load; rat; power = 0.0; choice = Bufins.Sol.At_sink i })
 
 let shuffled sols =
   (* Deterministic interleave so pruning has work to do. *)
@@ -901,6 +903,113 @@ let run_btypes ~smoke () =
   end;
   { bt_rows = rows; bt_identity_b1 = identity_b1; bt_peak_ratio = peak_ratio }
 
+(* ---------- power-aware Pareto frontier: size and cost vs ε ---------- *)
+
+type pareto_row = {
+  pa_net : string;
+  pa_eps : float;
+  pa_ns_per_op : float;
+  pa_peak : int;
+  pa_total : int;
+  pa_power_fj : float;
+}
+
+type pareto_report = {
+  pa_rows : pareto_row list;
+  pa_identity_eps0 : bool;
+}
+
+(* The power-aware (load, RAT, power) Pareto DP across ε ∈ {0, 1e-3,
+   1e-2} on the Table-1 nets: ns/op, frontier sizes and the chosen
+   tree's buffer energy, under the [Weighted 1.0] objective.  One
+   gate, fatal: with every per-type energy forced to zero,
+   [Weighted 0.0] at ε = 0 must be byte-identical to the total-order
+   ([Max_yield]) engine — a constant power axis makes the Pareto
+   comparator the historical order, so any divergence is a dominance
+   bug, not noise. *)
+let run_pareto ~smoke () =
+  let setup = Experiments.Common.default_setup in
+  let nets = if smoke then [ "r1"; "r2" ] else [ "r1"; "r2"; "r3"; "r4"; "r5" ] in
+  let epss = [ 0.0; 1e-3; 1e-2 ] in
+  let reps = if smoke then 1 else 3 in
+  let spatial = Varmodel.Model.default_heterogeneous in
+  let identity_eps0 =
+    let info = Rctree.Benchmarks.find "r1" in
+    let tree = Rctree.Benchmarks.load info in
+    let grid =
+      Experiments.Common.grid_for setup ~die_um:info.Rctree.Benchmarks.die_um
+    in
+    let model () =
+      Varmodel.Model.create ~mode:Varmodel.Model.Wid ~spatial ~grid ()
+    in
+    let config = Bufins.Engine.default_config () in
+    let zeros = Array.make (Array.length config.Bufins.Engine.library) 0.0 in
+    (* Zero energies on BOTH sides: the total-order engine still
+       carries (never compares) the power annotation, so matching
+       bytes needs matching energies, not just a zero weight. *)
+    let config = { config with Bufins.Engine.energies = Some zeros } in
+    let run config = strip_result (Bufins.Engine.run config ~model:(model ()) tree) in
+    run
+      { config with
+        Bufins.Engine.power_objective = Bufins.Dominance.Weighted 0.0;
+        eps_power = 0.0 }
+    = run config
+  in
+  let rows =
+    List.concat_map
+      (fun net ->
+        let info = Rctree.Benchmarks.find net in
+        let tree = Rctree.Benchmarks.load info in
+        let grid =
+          Experiments.Common.grid_for setup
+            ~die_um:info.Rctree.Benchmarks.die_um
+        in
+        List.map
+          (fun eps ->
+            let best = ref None in
+            for _ = 1 to reps do
+              let t0 = Unix.gettimeofday () in
+              let r =
+                Experiments.Common.run_algo setup
+                  ~objective:(Bufins.Dominance.Weighted 1.0) ~eps_power:eps
+                  ~spatial ~grid Experiments.Common.Wid tree
+              in
+              let t = Unix.gettimeofday () -. t0 in
+              match !best with
+              | Some (bt, _) when bt <= t -> ()
+              | _ -> best := Some (t, r)
+            done;
+            let t, r = Option.get !best in
+            let s = r.Bufins.Engine.stats in
+            {
+              pa_net = net;
+              pa_eps = eps;
+              pa_ns_per_op = t *. 1e9;
+              pa_peak = s.Bufins.Engine.peak_candidates;
+              pa_total = s.Bufins.Engine.total_candidates;
+              pa_power_fj = r.Bufins.Engine.best.Bufins.Sol.power;
+            })
+          epss)
+      nets
+  in
+  Printf.printf "== power-aware Pareto frontier (WID/2P, weighted=1, best of %d) ==\n"
+    reps;
+  Printf.printf "%-4s %8s %12s %8s %10s %10s\n" "net" "eps" "ns/op" "peak"
+    "total" "power fJ";
+  List.iter
+    (fun r ->
+      Printf.printf "%-4s %8g %12.0f %8d %10d %10.2f\n" r.pa_net r.pa_eps
+        r.pa_ns_per_op r.pa_peak r.pa_total r.pa_power_fj)
+    rows;
+  Printf.printf "eps=0 zero-energy weighted = total-order engine: %b\n\n"
+    identity_eps0;
+  if not identity_eps0 then begin
+    prerr_endline
+      "FATAL: zero-energy Pareto prune diverged from the total-order engine";
+    exit 1
+  end;
+  { pa_rows = rows; pa_identity_eps0 = identity_eps0 }
+
 (* ---------- BENCH.json (hand-rolled writer; no JSON dependency) ---------- *)
 
 let json_escape s =
@@ -944,6 +1053,40 @@ let add_btypes_section buf btypes =
     btypes.bt_rows;
   Buffer.add_string buf "  ]}"
 
+(* The pareto object, shared between the full report and the
+   [--pareto-only] mini report the CI matrix leg uploads. *)
+let add_pareto_section buf pareto =
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\n  \"pareto\": {\"identity_eps0\": %b, \"rows\": [\n"
+       pareto.pa_identity_eps0);
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"net\": \"%s\", \"eps\": %s, \"ns_per_op\": %s, \
+            \"peak_candidates\": %d, \"total_candidates\": %d, \
+            \"power_fj\": %s}%s\n"
+           (json_escape r.pa_net) (json_float r.pa_eps)
+           (json_float r.pa_ns_per_op)
+           r.pa_peak r.pa_total
+           (json_float r.pa_power_fj)
+           (if i = List.length pareto.pa_rows - 1 then "" else ",")))
+    pareto.pa_rows;
+  Buffer.add_string buf "  ]}"
+
+let write_pareto_json ~path ~smoke ~pareto =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"varbuf-bench/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b" smoke);
+  add_pareto_section buf pareto;
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n\n" path
+
 let write_btypes_json ~path ~smoke ~btypes =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
@@ -957,7 +1100,7 @@ let write_btypes_json ~path ~smoke ~btypes =
   Printf.printf "wrote %s\n\n" path
 
 let write_bench_json ~path ~smoke ~micro ~probe ~par ~sample ~tape ~btypes
-    ~cluster ~obs =
+    ~pareto ~cluster ~obs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema\": \"varbuf-bench/1\",\n";
@@ -1025,6 +1168,7 @@ let write_bench_json ~path ~smoke ~micro ~probe ~par ~sample ~tape ~btypes
     tape;
   Buffer.add_string buf "  ]}";
   add_btypes_section buf btypes;
+  add_pareto_section buf pareto;
   Buffer.add_string buf
     (Printf.sprintf
        ",\n  \"cluster\": {\"requests\": %d, \"clients\": %d, \"shards\": %d, \
@@ -1249,23 +1393,32 @@ let () =
     (not smoke)
     && not
          (only "--micro-only" || only "--mc-only" || only "--serve-only"
-         || only "--tables-only" || only "--btypes-only")
+         || only "--tables-only" || only "--btypes-only"
+         || only "--pareto-only")
   in
   if only "--btypes-only" then begin
     let btypes = run_btypes ~smoke () in
     write_btypes_json ~path:json_path ~smoke ~btypes
   end;
-  if (all || smoke || only "--micro-only") && not (only "--btypes-only") then begin
+  if only "--pareto-only" then begin
+    let pareto = run_pareto ~smoke () in
+    write_pareto_json ~path:json_path ~smoke ~pareto
+  end;
+  if
+    (all || smoke || only "--micro-only")
+    && not (only "--btypes-only" || only "--pareto-only")
+  then begin
     let micro = run_micro ~smoke () in
     let probe = run_dp_probe ~smoke () in
     let par = run_par_dp ~smoke ~jobs () in
     let sample = run_sample ~smoke ~jobs () in
     let tape = run_tape_bench ~smoke () in
     let btypes = run_btypes ~smoke () in
+    let pareto = run_pareto ~smoke () in
     let cluster = run_cluster ~smoke () in
     let obs = if obs_on then Some (collect_obs_report ()) else None in
     write_bench_json ~path:json_path ~smoke ~micro ~probe ~par ~sample ~tape
-      ~btypes ~cluster ~obs
+      ~btypes ~pareto ~cluster ~obs
   end;
   if all || only "--mc-only" then run_mc_speedup ~jobs ();
   if all || only "--serve-only" then run_serve ~jobs ();

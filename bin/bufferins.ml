@@ -71,7 +71,7 @@ let dump_obs ~obs ~trace =
 
 let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
     wire_sizing save_buffering load_limit lib_file btypes jobs par_grain samples
-    relax use_tape obs trace =
+    relax objective_s eps_power use_tape obs trace =
   if obs || trace <> None then Obs.Control.enable ();
   let source =
     match (bench, sinks, htree, file) with
@@ -111,11 +111,20 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
         else Ok (Device.Buffer.synth_library ~btypes:b)
       | None, None -> Ok Experiments.Common.default_setup.library
     in
-    match (algo_of_string algo_s, rule_res, library_res) with
-    | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
+    let objective_res =
+      if eps_power < 0.0 then Error "--eps-power must be >= 0"
+      else
+        try Ok (Bufins.Dominance.of_string objective_s)
+        with Failure msg -> Error msg
+    in
+    match (algo_of_string algo_s, rule_res, library_res, objective_res) with
+    | Error msg, _, _, _
+    | _, Error msg, _, _
+    | _, _, Error msg, _
+    | _, _, _, Error msg ->
       prerr_endline msg;
       1
-    | Ok algo, Ok rule, Ok library -> (
+    | Ok algo, Ok rule, Ok library, Ok objective -> (
       let pool = if jobs > 1 then Some (Exec.Pool.create ~jobs ()) else None in
       let finally () = Option.iter Exec.Pool.shutdown pool in
       Fun.protect ~finally @@ fun () ->
@@ -162,11 +171,12 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
            runs the DP through the interpreter; results are
            byte-identical to the tree walk. *)
         let tape = if use_tape then Some (Compile.Tape.compile tree) else None in
-        let buffers, widths, stats, load_limit_met, label, sampled =
+        let buffers, widths, stats, load_limit_met, label, sampled, power =
           if rule_s = "sample" then begin
             let r =
               Experiments.Common.run_sampled setup ~wire_sizing ?load_limit
-                ~samples ~relax ~seed ?tape ~spatial ~grid algo tree
+                ~samples ~relax ~seed ~objective ~eps_power ?tape ~spatial
+                ~grid algo tree
             in
             ( r.Sample.Engine.buffers,
               r.Sample.Engine.widths,
@@ -176,19 +186,21 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
               Some
                 ( r.Sample.Engine.sampled_mean,
                   r.Sample.Engine.sampled_std,
-                  r.Sample.Engine.rat_at_yield ) )
+                  r.Sample.Engine.rat_at_yield ),
+              r.Sample.Engine.best.Sample.Engine.power )
           end
           else begin
             let r =
               Experiments.Common.run_algo setup ~rule ~wire_sizing ?load_limit
-                ?tape ~spatial ~grid algo tree
+                ~objective ~eps_power ?tape ~spatial ~grid algo tree
             in
             ( r.Bufins.Engine.buffers,
               r.Bufins.Engine.widths,
               r.Bufins.Engine.stats,
               r.Bufins.Engine.load_limit_met,
               Bufins.Prune.name rule,
-              None )
+              None,
+              r.Bufins.Engine.best.Bufins.Sol.power )
           end
         in
         let form =
@@ -212,6 +224,9 @@ let run bench sinks htree file algo_s rule_s p seed mc homogeneous save_tree
           "root RAT under full model: mu=%.1f ps, sigma=%.1f ps, 95%%-yield RAT=%.1f ps@."
           (Linform.mean form) (Linform.std form)
           (Sta.Yield.rat_at_yield form ~yield:0.95);
+        if Bufins.Dominance.power_aware objective then
+          Format.printf "objective %s: buffer energy=%.3f fJ@."
+            (Bufins.Dominance.to_string objective) power;
         Option.iter
           (fun path ->
             (try
@@ -336,6 +351,22 @@ let relax_arg =
                ceil(R*K) samples.  1 (default) is exact full dominance; \
                above 1 disables pruning (brute force).")
 
+let objective_arg =
+  Arg.(value & opt string "max_yield" & info [ "objective" ] ~docv:"OBJ"
+         ~doc:"Optimisation objective: max_yield (the default — \
+               historical behaviour, byte-identical output), \
+               min_power=RAT (least buffer energy among root candidates \
+               whose 95%-yield driver RAT meets RAT ps), or weighted=W \
+               (maximise yield-RAT minus W times the buffer energy in \
+               fJ).  Any power-aware objective prunes on the (load, \
+               RAT, power) Pareto frontier.")
+
+let eps_power_arg =
+  Arg.(value & opt float 0.0 & info [ "eps-power" ] ~docv:"EPS"
+         ~doc:"Epsilon-dominance bucket width (fJ) on the power axis of \
+               the Pareto frontier; 0 (default) keeps the exact \
+               frontier.  Only read under a power-aware --objective.")
+
 let tape_arg =
   Arg.(value & vflag false
          [
@@ -372,6 +403,6 @@ let cmd =
       $ rule_arg $ p_arg $ seed_arg $ mc_arg $ homogeneous_arg $ save_arg
       $ wire_sizing_arg $ save_buffering_arg $ load_limit_arg $ lib_arg
       $ btypes_arg $ jobs_arg $ par_grain_arg $ samples_arg $ relax_arg
-      $ tape_arg $ obs_arg $ trace_arg)
+      $ objective_arg $ eps_power_arg $ tape_arg $ obs_arg $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

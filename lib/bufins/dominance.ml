@@ -1,0 +1,78 @@
+type objective =
+  | Max_yield
+  | Min_power of float
+  | Weighted of float
+
+let default = Max_yield
+let power_aware = function Max_yield -> false | Min_power _ | Weighted _ -> true
+
+let to_string = function
+  | Max_yield -> "max_yield"
+  | Min_power t -> Printf.sprintf "min_power %.17g" t
+  | Weighted w -> Printf.sprintf "weighted %.17g" w
+
+let of_string s =
+  let tokens =
+    String.split_on_char ' ' (String.trim s)
+    |> List.concat_map (String.split_on_char '=')
+    |> List.filter (fun t -> t <> "")
+  in
+  let num what v =
+    match float_of_string_opt v with
+    | Some f when Float.is_finite f -> f
+    | _ -> failwith (Printf.sprintf "objective: %s is not a finite number: %S" what v)
+  in
+  match tokens with
+  | [ "max_yield" ] -> Max_yield
+  | [ "min_power"; t ] -> Min_power (num "rat target" t)
+  | [ "weighted"; w ] -> Weighted (num "weight" w)
+  | _ ->
+    failwith
+      (Printf.sprintf
+         "objective: want max_yield | min_power T | weighted W, got %S" s)
+
+(* Bucketed, not additive: floor quantisation is what keeps ε-dominance
+   transitive, and nested buckets (ε' = m·ε) are what make the kept
+   frontier shrink monotonically as ε grows. *)
+let power_le ~eps a b =
+  if eps <= 0.0 then a <= b
+  else Float.floor (a /. eps) <= Float.floor (b /. eps)
+
+type scan = Exact_last | Rat_filtered | Rat_prefilter | Scan_kept
+
+let sweep ~order ~n ~rat_key ~dominates ~scan ~kept =
+  let nkept = ref 0 in
+  let rat_max = ref neg_infinity in
+  for s = 0 to n - 1 do
+    let i = order.(s) in
+    let ki = rat_key i in
+    let dominated =
+      match scan with
+      | Exact_last -> !nkept > 0 && dominates kept.(!nkept - 1) i
+      | Rat_filtered ->
+        if ki > !rat_max then false
+        else
+          (* Newest kept first: recent candidates are the likeliest
+             dominators, and the kept-side RAT filter is the necessary
+             mean ordering every 2P dominance clause implies. *)
+          let rec go k =
+            k >= 0
+            && ((rat_key kept.(k) >= ki && dominates kept.(k) i) || go (k - 1))
+          in
+          go (!nkept - 1)
+      | Rat_prefilter ->
+        if ki > !rat_max then false
+        else
+          let rec go k = k >= 0 && (dominates kept.(k) i || go (k - 1)) in
+          go (!nkept - 1)
+      | Scan_kept ->
+        let rec go k = k >= 0 && (dominates kept.(k) i || go (k - 1)) in
+        go (!nkept - 1)
+    in
+    if not dominated then begin
+      kept.(!nkept) <- i;
+      incr nkept;
+      if ki > !rat_max then rat_max := ki
+    end
+  done;
+  !nkept

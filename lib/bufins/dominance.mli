@@ -1,0 +1,118 @@
+(** The shared dominance comparator behind every frontier prune.
+
+    Three dominance flavours coexist in the codebase — the canonical
+    rules' total/partial orders on (load, RAT) forms ({!Prune}), the
+    per-sample tie-or-beat counting of the sampling engine
+    ({!Sample.Engine}), and the PMF heuristics of the [6] baseline
+    ({!Probabilistic}) — and PR 9's convex b-type pre-selection is a
+    fourth, specialised to same-load groups.  They all reduce to the
+    same sweep: sort the candidates by the frontier order, walk them
+    once, and drop a candidate as soon as a kept one dominates it.
+    This module owns that sweep (index-based, storage-agnostic, so each
+    engine keeps its own arena layout) plus the power axis every
+    flavour gains in the Pareto generalisation: an {e ε-box} order on
+    switching/leakage energy and the per-request objective that decides
+    whether the power axis participates at all.
+
+    {2 The ε-box power order}
+
+    [power_le ~eps a b] compares energies exactly at [eps = 0] and by
+    quantised bucket ([floor (p /. eps)]) otherwise.  Bucketing — not
+    an additive tolerance — is what keeps the relation transitive, and
+    for any integer multiple ε' = m·ε the buckets nest
+    ([floor (p /. (m *. eps)) = floor (floor (p /. eps) /. m)] for
+    p ≥ 0), so coarsening ε only ever grows the dominance relation:
+    every frontier kept at ε' is a subset of the one kept at ε, and
+    frontier size is non-increasing in ε.  The sort order fed to
+    {!sweep} must not depend on ε (sort raw power ascending as the
+    tie-break) — that is what makes the greedy kept-only scan equal to
+    the quadratic "dominated by any earlier candidate" reference for
+    every transitive flavour (the qcheck oracle in
+    [test/test_dominance.ml] pins this).
+
+    {2 Default-objective guarantee}
+
+    With the default objective ({!Max_yield}) the power axis is
+    ignored entirely: every engine calls the sweep with the exact scan
+    shape, sort order and comparator it used before the refactor, so
+    default runs are byte-identical to the pre-power seed (the golden
+    suite and the bench [pareto] ε = 0 gate assert this). *)
+
+(** Per-request optimisation objective, threaded from the CLI and the
+    serve protocol down to root selection and pruning. *)
+type objective =
+  | Max_yield
+      (** the historical objective: maximise the yield-quantile root
+          RAT; pruning ignores the power axis *)
+  | Min_power of float
+      (** minimise total buffer energy among root candidates whose
+          yield-quantile driver RAT meets the given target (ps);
+          falls back to the best-RAT candidate when none does *)
+  | Weighted of float
+      (** maximise [rat_score - w * power_fj] — the scalarisation the
+          [powersweep] experiment sweeps to trace the yield-vs-power
+          Pareto curve *)
+
+val default : objective
+(** {!Max_yield}. *)
+
+val power_aware : objective -> bool
+(** [false] only for {!Max_yield}: the objectives under which pruning
+    must keep cheaper-power candidates alive (and the convex per-type
+    argmax, which keeps only the best-timing row, must disengage). *)
+
+val to_string : objective -> string
+(** ["max_yield"], ["min_power <rat_target>"] or ["weighted <w>"] —
+    the wire/CLI spelling; floats printed [%.17g] so the request
+    encoding round-trips exactly. *)
+
+val of_string : string -> objective
+(** Inverse of {!to_string}; also accepts ['='] in place of the space
+    (CLI convenience).  @raise Failure on anything else. *)
+
+val power_le : eps:float -> float -> float -> bool
+(** The ε-box order described above.  Total, transitive, and monotone
+    in [eps] (bigger ε ⇒ bigger relation) for non-negative powers and
+    integer-multiple ε steps. *)
+
+(** Scan shape of the kept-set walk — one per historical pruner, so
+    refactored engines reproduce their exact pre-refactor dominance
+    call sequence (the obs counters count those calls). *)
+type scan =
+  | Exact_last
+      (** test only the most recently kept candidate — exact for the
+          scalar-key total orders (det, 1P, 2P(0.5), PMF mean and
+          percentile heuristics) *)
+  | Rat_filtered
+      (** running-max RAT prefilter, then a newest-first scan of kept
+          candidates that passes each through the necessary-mean
+          filter before the expensive comparator — 2P with p̄ > 0.5 *)
+  | Rat_prefilter
+      (** running-max RAT prefilter, then an unfiltered newest-first
+          scan — the sampling engine at full dominance, and the
+          power-aware linear rules (dominance still implies the RAT
+          ordering, so the prefilter stays sound) *)
+  | Scan_kept
+      (** unfiltered newest-first scan of every kept candidate — the
+          stochastic-dominance PMF heuristic, relaxed per-sample
+          counting, and the power-aware 4P baseline *)
+
+val sweep :
+  order:int array ->
+  n:int ->
+  rat_key:(int -> float) ->
+  dominates:(int -> int -> bool) ->
+  scan:scan ->
+  kept:int array ->
+  int
+(** [sweep ~order ~n ~rat_key ~dominates ~scan ~kept] walks the
+    candidate indices [order.(0 .. n-1)] (already sorted by the
+    flavour's frontier order), writes the surviving indices into
+    [kept.(0 ..)] in walk order and returns how many survived.
+    [dominates kept_idx cand_idx] is the flavour's comparator —
+    called in exactly the order the scan shape dictates, so callers
+    counting comparator invocations (obs) see the historical
+    sequence.  [rat_key] feeds the running-max prefilter and the
+    {!Rat_filtered} per-candidate filter; it is read but never stored,
+    so any caller-side caching layout works.  [kept] must have room
+    for [n] indices. *)

@@ -18,6 +18,9 @@ type config = {
   objective : objective;
   load_limit : float option;
   insertion : insertion;
+  power_objective : Dominance.objective;
+  eps_power : float;
+  energies : float array option;
 }
 
 let default_config ?(rule = Prune.two_param ()) ?(objective = Max_yield 0.95)
@@ -34,18 +37,30 @@ let default_config ?(rule = Prune.two_param ()) ?(objective = Max_yield 0.95)
     objective;
     load_limit = None;
     insertion = Convex_auto;
+    power_objective = Dominance.default;
+    eps_power = 0.0;
+    energies = None;
   }
+
+let energies_of config =
+  match config.energies with
+  | Some e -> e
+  | None -> Device.Buffer.energies config.library
 
 (* The convex pre-selection is byte-exact only when the pruning rule
    compares pure means on both axes ({!Prune.mean_exact}) and no two
    library types share an input capacitance (distinct load keys mean
    no equal-key duplicate class can span two types, so the argmax
    scan's earliest-maximiser tie-break coincides with the stable
-   sort's).  Everything else falls back to exhaustive generation. *)
+   sort's).  Everything else falls back to exhaustive generation.
+   Power-aware objectives also force exhaustive generation: the
+   per-type argmax keeps only the best-timing row, but a Pareto
+   frontier must let cheaper-power rows survive alongside it. *)
 let use_convex config =
   config.insertion = Convex_auto
   && Prune.mean_exact config.rule
   && Device.Buffer.caps_distinct config.library
+  && not (Dominance.power_aware config.power_objective)
 
 let log_src = Logs.Src.create "varbuf.engine" ~doc:"buffer-insertion DP"
 
@@ -91,7 +106,12 @@ let lift_wire wire ~node ~width ~length (s : Sol.t) =
     Linform.axpy_shift (-.r) s.Sol.load s.Sol.rat
       (-.(0.5 *. r *. wire.Device.Wire_lib.cap_per_um *. length))
   in
-  { Sol.load; rat; choice = Wire { node; width; from = s.Sol.choice } }
+  {
+    Sol.load;
+    rat;
+    power = s.Sol.power;
+    choice = Wire { node; width; from = s.Sol.choice };
+  }
 
 (* Same lift when the wire parasitics themselves are canonical forms
    (CMP variation): the r·L and r·c Elmore terms become first-order
@@ -105,17 +125,27 @@ let lift_wire_var ~node ~width ~length ~r_form ~c_form (s : Sol.t) =
          Linform.sub rat
            (Linform.scale (0.5 *. length) (Linform.mul_first_order r_l c_form)))
   in
-  { Sol.load; rat; choice = Wire { node; width; from = s.Sol.choice } }
+  {
+    Sol.load;
+    rat;
+    power = s.Sol.power;
+    choice = Wire { node; width; from = s.Sol.choice };
+  }
 
 (* Eq. 35-36: insert a buffer (shared canonical forms for the site)
-   in front of an already-wired candidate. *)
-let insert_buffer ~node ~buffer_index ~cb_form ~tb_form ~res (wired : Sol.t) =
+   in front of an already-wired candidate.  [energy] is the type's
+   switching + leakage energy, accumulated into the candidate's power
+   axis; under the default objective the sum is carried but never
+   compared. *)
+let insert_buffer ~node ~buffer_index ~cb_form ~tb_form ~res ~energy
+    (wired : Sol.t) =
   let rat =
     Linform.sub (Linform.axpy (-.res) wired.Sol.load wired.Sol.rat) tb_form
   in
   {
     Sol.load = cb_form;
     rat;
+    power = wired.Sol.power +. energy;
     choice = Buffered { node; buffer = buffer_index; from = wired.Sol.choice };
   }
 
@@ -123,6 +153,7 @@ let combine_pair ~node (sa : Sol.t) (sb : Sol.t) =
   {
     Sol.load = Linform.add sa.Sol.load sb.Sol.load;
     rat = Linform.stat_min sa.Sol.rat sb.Sol.rat;
+    power = sa.Sol.power +. sb.Sol.power;
     choice = Merged { node; left = sa.Sol.choice; right = sb.Sol.choice };
   }
 
@@ -290,8 +321,8 @@ let obs_types config ~child ~cand ~nw ~k out =
    maximiser — the representative the exhaustive stable sort pins.
    Candidate counts reported by obs and the response stats are
    post-prune, so the pre-selection changes no output bytes. *)
-let insert_and_prune config ~convex ~same_types ~flip_types ~buf_forms ~child
-    ~wired ~nw ~cross ~ncross =
+let insert_and_prune config ~convex ~energies ~same_types ~flip_types
+    ~buf_forms ~child ~wired ~nw ~cross ~ncross =
   let arena = Arena.get () in
   let drivable (s : Sol.t) =
     match config.load_limit with
@@ -330,7 +361,7 @@ let insert_and_prune config ~convex ~same_types ~flip_types ~buf_forms ~child
       let cb_form, tb_form, res = buf_forms.(bi) in
       cand.(!k) <-
         insert_buffer ~node:child ~buffer_index:bi ~cb_form ~tb_form ~res
-          src.(i);
+          ~energy:energies.(bi) src.(i);
       incr k
     in
     (if convex then begin
@@ -376,7 +407,11 @@ let insert_and_prune config ~convex ~same_types ~flip_types ~buf_forms ~child
            Array.iter (fun bi -> emit cross i bi) flip_types
        done
      end);
-    let out = Prune.prune_sub config.rule cand !k in
+    let out =
+      if Dominance.power_aware config.power_objective then
+        Prune.prune_sub_power config.rule ~eps:config.eps_power cand !k
+      else Prune.prune_sub config.rule cand !k
+    in
     if Obs.Control.on () then obs_types config ~child ~cand ~nw ~k:!k out;
     out
   end
@@ -415,7 +450,10 @@ let combine_lifted ?where config ~node ~check_count ~check_time
     lifted.(0) <- [||];
     lifted.(1) <- [||];
     if Obs.Control.on () then Obs.Counters.incr obs_merged (Array.length merged);
-    Prune.prune config.rule merged
+    if Dominance.power_aware config.power_objective then
+      Prune.prune_sub_power config.rule ~eps:config.eps_power merged
+        (Array.length merged)
+    else Prune.prune config.rule merged
   end
 
 (* Merge two dual-polarity frontiers side by side: even with even, odd
@@ -497,13 +535,49 @@ let finish config ~t_start ~peak ~total ~n root_sols =
   assert (Array.length root_sols > 0) (* every node always yields >= 1 candidate *);
   let best = ref root_sols.(0) in
   let root_rat = ref (driver_rat root_sols.(0)) in
-  for i = 1 to Array.length root_sols - 1 do
-    let q = driver_rat root_sols.(i) in
-    if score q > score !root_rat then begin
-      best := root_sols.(i);
-      root_rat := q
-    end
-  done;
+  (match config.power_objective with
+  | Dominance.Max_yield ->
+    for i = 1 to Array.length root_sols - 1 do
+      let q = driver_rat root_sols.(i) in
+      if score q > score !root_rat then begin
+        best := root_sols.(i);
+        root_rat := q
+      end
+    done
+  | Dominance.Weighted w ->
+    let best_v = ref (score !root_rat -. (w *. (!best).Sol.power)) in
+    for i = 1 to Array.length root_sols - 1 do
+      let q = driver_rat root_sols.(i) in
+      let v = score q -. (w *. root_sols.(i).Sol.power) in
+      if v > !best_v then begin
+        best := root_sols.(i);
+        root_rat := q;
+        best_v := v
+      end
+    done
+  | Dominance.Min_power target ->
+    (* Minimum power among candidates meeting the RAT target under the
+       configured score quantile; infeasible roots fall back to the
+       best-score candidate so the result degrades to [Max_yield]. *)
+    let feasible = ref (score !root_rat >= target) in
+    for i = 1 to Array.length root_sols - 1 do
+      let s = root_sols.(i) in
+      let q = driver_rat s in
+      let f = score q >= target in
+      let better =
+        if f && not !feasible then true
+        else if f <> !feasible then false
+        else if f then
+          s.Sol.power < (!best).Sol.power
+          || (s.Sol.power = (!best).Sol.power && score q > score !root_rat)
+        else score q > score !root_rat
+      in
+      if better then begin
+        best := s;
+        root_rat := q;
+        feasible := f
+      end
+    done);
   let best = !best and root_rat = !root_rat in
   let buffers =
     List.map
@@ -544,6 +618,7 @@ let run ?pool ?(grain = default_grain) config ~model tree =
   let same_types, flip_types = Device.Buffer.partition_indices config.library in
   let has_inv = Array.length flip_types > 0 in
   let convex = use_convex config in
+  let energies = energies_of config in
   (* Atomics, not refs: subtree tasks on different domains bump them
      concurrently.  Max and sum commute, so the reported stats are
      identical at any job count. *)
@@ -643,14 +718,14 @@ let run ?pool ?(grain = default_grain) config ~model tree =
        passes (each borrows stage_b for its candidates and copies the
        pruned frontier out before the other starts). *)
     let ev =
-      insert_and_prune config ~convex ~same_types ~flip_types ~buf_forms
-        ~child ~wired ~nw ~cross ~ncross
+      insert_and_prune config ~convex ~energies ~same_types ~flip_types
+        ~buf_forms ~child ~wired ~nw ~cross ~ncross
     in
     let od =
       if (not has_inv) && ncross = 0 then [||]
       else
-        insert_and_prune config ~convex ~same_types ~flip_types ~buf_forms
-          ~child ~wired:cross ~nw:ncross ~cross:wired ~ncross:nw
+        insert_and_prune config ~convex ~energies ~same_types ~flip_types
+          ~buf_forms ~child ~wired:cross ~nw:ncross ~cross:wired ~ncross:nw
     in
     if obs then Obs.Span.record ~name:"lift" ~cat:"dp" ~t0_ns:t0;
     { ev; od }
@@ -827,6 +902,7 @@ let run_tape ?pool ?(grain = default_grain) config ~model
   let same_types, flip_types = Device.Buffer.partition_indices config.library in
   let has_inv = Array.length flip_types > 0 in
   let convex = use_convex config in
+  let energies = energies_of config in
   let parallel =
     match pool with
     | Some p -> Exec.Pool.jobs p > 1 && n > max 1 grain
@@ -878,16 +954,16 @@ let run_tape ?pool ?(grain = default_grain) config ~model
               | Compile.Tape.Insert_site { child; edge } ->
                 let buf_forms = buf_forms_at edge in
                 let ev =
-                  insert_and_prune config ~convex ~same_types ~flip_types
-                    ~buf_forms ~child ~wired:!wired ~nw:!nw ~cross:!cross
-                    ~ncross:!ncross
+                  insert_and_prune config ~convex ~energies ~same_types
+                    ~flip_types ~buf_forms ~child ~wired:!wired ~nw:!nw
+                    ~cross:!cross ~ncross:!ncross
                 in
                 let od =
                   if (not has_inv) && !ncross = 0 then [||]
                   else
-                    insert_and_prune config ~convex ~same_types ~flip_types
-                      ~buf_forms ~child ~wired:!cross ~nw:!ncross ~cross:!wired
-                      ~ncross:!nw
+                    insert_and_prune config ~convex ~energies ~same_types
+                      ~flip_types ~buf_forms ~child ~wired:!cross ~nw:!ncross
+                      ~cross:!wired ~ncross:!nw
                 in
                 let l = { ev; od } in
                 if Obs.Control.on () then

@@ -74,6 +74,25 @@ type config = {
           candidates if none comply — reported via
           {!result.load_limit_met}). *)
   insertion : insertion;
+  power_objective : Dominance.objective;
+      (** power-aware request objective.  The default
+          ({!Dominance.Max_yield}) is the historical engine: the power
+          axis is carried but never compared, pruning is the total
+          order of [rule] alone, and every output byte matches the
+          pre-power engine.  [Min_power] / [Weighted] switch pruning to
+          the (load, RAT, power) Pareto frontier
+          ({!Prune.prune_sub_power}), disable the convex pre-selection
+          (which keeps only best-timing rows), and change the root
+          scalarisation — see {!Dominance.objective}. *)
+  eps_power : float;
+      (** ε-dominance knob for the power axis ({!Dominance.power_le}):
+          0 (the default) is the exact Pareto frontier; larger values
+          merge power buckets of width ε and bound the frontier.  Only
+          read under a power-aware [power_objective]. *)
+  energies : float array option;
+      (** per-type energies (fJ) indexed like [library]; [None] (the
+          default) derives them with {!Device.Buffer.energies}.  The
+          bench's ε = 0 identity gate overrides with zeros. *)
 }
 
 val default_config : ?rule:Prune.t -> ?objective:objective -> ?wire_sizing:bool -> unit -> config

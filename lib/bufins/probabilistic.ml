@@ -16,6 +16,9 @@ type config = {
   pmf_points : int;
   budget : Engine.budget;
   insertion : Engine.insertion;
+  power_objective : Dominance.objective;
+  eps_power : float;
+  energies : float array option;
 }
 
 let default_config ?(heuristic = Stochastic_dominance) ?(length_frac = 0.05) () =
@@ -27,11 +30,20 @@ let default_config ?(heuristic = Stochastic_dominance) ?(length_frac = 0.05) () 
     pmf_points = 5;
     budget = Engine.no_budget;
     insertion = Engine.Convex_auto;
+    power_objective = Dominance.default;
+    eps_power = 0.0;
+    energies = None;
   }
+
+let energies_of config =
+  match config.energies with
+  | Some e -> e
+  | None -> Device.Buffer.energies config.library
 
 type sol = {
   load : Numeric.Pmf.t;
   rat : Numeric.Pmf.t;
+  power : float;
   choice : Sol.choice;
 }
 
@@ -50,6 +62,7 @@ type result = {
   rat_std : float;
   rat_p05 : float;
   buffers : (int * Device.Buffer.t) list;
+  power : float;
   peak_candidates : int;
   runtime_s : float;
 }
@@ -78,7 +91,10 @@ let dominates heuristic a b =
    dominated one's.  Keys are computed once per candidate and the sort
    is stable, so which duplicate survives (and hence the choice trail)
    is unchanged from the list implementation. *)
-let prune_impl heuristic (sols : sol array) =
+let prune_impl config (sols : sol array) =
+  let heuristic = config.heuristic in
+  let power_aware = Dominance.power_aware config.power_objective in
+  let eps = config.eps_power in
   let n = Array.length sols in
   if n <= 1 then sols
   else begin
@@ -101,28 +117,37 @@ let prune_impl heuristic (sols : sol array) =
     done;
     Arena.sort_prefix arena idx n ~cmp:(fun a b ->
         let c = Float.compare kl.(a) kl.(b) in
-        if c <> 0 then c else Float.compare kr.(b) kr.(a));
+        if c <> 0 then c
+        else begin
+          let c = Float.compare kr.(b) kr.(a) in
+          if c <> 0 || not power_aware then c
+          else Float.compare sols.(a).power sols.(b).power
+        end);
+    let dom =
+      if power_aware then fun (a : sol) (b : sol) ->
+        Dominance.power_le ~eps a.power b.power && dominates heuristic a b
+      else dominates heuristic
+    in
+    (* The total-order heuristics test only the last kept candidate;
+       a power-aware prune must scan the whole kept set (the frontier
+       is partial again), but both rules' dominance implies the RAT-key
+       ordering, so the running-max prefilter applies.  Stochastic
+       dominance admits a CDF tolerance that breaks the mean ordering,
+       hence the unfiltered scan. *)
+    let scan =
+      match heuristic with
+      | Stochastic_dominance -> Dominance.Scan_kept
+      | Mean_dominance | Percentile_dominance _ ->
+        if power_aware then Dominance.Rat_prefilter else Dominance.Exact_last
+    in
     let kept = Arena.kept arena n in
-    let nkept = ref 0 in
-    for s = 0 to n - 1 do
-      let i = idx.(s) in
-      let dominated =
-        match heuristic with
-        | Stochastic_dominance ->
-          let rec scan k =
-            k >= 0
-            && (dominates heuristic sols.(kept.(k)) sols.(i) || scan (k - 1))
-          in
-          scan (!nkept - 1)
-        | Mean_dominance | Percentile_dominance _ ->
-          !nkept > 0 && dominates heuristic sols.(kept.(!nkept - 1)) sols.(i)
-      in
-      if not dominated then begin
-        kept.(!nkept) <- i;
-        incr nkept
-      end
-    done;
-    Array.init !nkept (fun k -> sols.(kept.(k)))
+    let nkept =
+      Dominance.sweep ~order:idx ~n
+        ~rat_key:(fun i -> kr.(i))
+        ~dominates:(fun k i -> dom sols.(k) sols.(i))
+        ~scan ~kept
+    in
+    Array.init nkept (fun k -> sols.(kept.(k)))
   end
 
 (* Handles resolved once at module initialisation (handle lookup locks
@@ -133,11 +158,11 @@ let obs_pruned = Obs.Counters.counter Obs.Counters.global "prob.pruned"
 let obs_nodes = Obs.Counters.counter Obs.Counters.global "prob.nodes"
 let obs_merged = Obs.Counters.counter Obs.Counters.global "prob.merged"
 
-let prune heuristic sols =
-  if not (Obs.Control.on ()) then prune_impl heuristic sols
+let prune config sols =
+  if not (Obs.Control.on ()) then prune_impl config sols
   else begin
     let t0 = Obs.Span.now_ns () in
-    let out = prune_impl heuristic sols in
+    let out = prune_impl config sols in
     Obs.Counters.incr obs_generated (Array.length sols);
     Obs.Counters.incr obs_kept (Array.length out);
     Obs.Counters.incr obs_pruned (Array.length sols - Array.length out);
@@ -179,7 +204,7 @@ let make_checks budget ~t_start =
    no equal-key class spans two types, so the earliest maximiser is
    exactly the duplicate the stable sort would keep — the pruned
    frontier is identical to exhaustive generation. *)
-let lift_edge config ~same_types ~flip_types ~convex ~child ~length
+let lift_edge config ~energies ~same_types ~flip_types ~convex ~child ~length
     (f : frontier) =
   let tech = config.tech in
   (* The manufactured length of each segment: drawn length times
@@ -204,6 +229,7 @@ let lift_edge config ~same_types ~flip_types ~convex ~child ~length
     {
       load = Numeric.Pmf.add s.load added_cap;
       rat = Numeric.Pmf.sub s.rat delay_pmf;
+      power = s.power;
       choice = Sol.Wire { node = child; width = 0; from = s.choice };
     }
   in
@@ -221,6 +247,7 @@ let lift_edge config ~same_types ~flip_types ~convex ~child ~length
     {
       load = Numeric.Pmf.constant b.Device.Buffer.cap_ff;
       rat = Numeric.Pmf.sub ws.rat gate_delay;
+      power = ws.power +. energies.(bi);
       choice = Sol.Buffered { node = child; buffer = bi; from = ws.choice };
     }
   in
@@ -277,7 +304,7 @@ let lift_edge config ~same_types ~flip_types ~convex ~child ~length
           Array.iter (fun bi -> emit (buffered cross.(i) bi)) flip_types
         done
       end;
-      let out = prune config.heuristic cand in
+      let out = prune config cand in
       if Obs.Control.on () then begin
         let nlib = Array.length config.library in
         let gen = Array.make nlib 0 and kept = Array.make nlib 0 in
@@ -320,6 +347,7 @@ let merge_node ?where config ~node ~check_time ~check_count a b =
     {
       load = Numeric.Pmf.add sa.load sb.load;
       rat = Numeric.Pmf.min2 sa.rat sb.rat;
+      power = sa.power +. sb.power;
       choice = Sol.Merged { node; left = sa.choice; right = sb.choice };
     }
   in
@@ -341,7 +369,7 @@ let merge_node ?where config ~node ~check_time ~check_count a b =
       | None -> Printf.sprintf "merge at node %d" node)
     (Array.length merged);
   if Obs.Control.on () then Obs.Counters.incr obs_merged (Array.length merged);
-  prune config.heuristic merged
+  prune config merged
 
 (* Parity-matched subtree merge: even with even, odd with odd.  A side
    with an empty operand merges to empty (a merged candidate needs
@@ -395,9 +423,37 @@ let finish config ~t_start ~peak root_sols =
       -. (tech.Device.Tech.driver_r *. Numeric.Pmf.mean s.load)
     in
     let bs = ref root_sols.(0) in
-    for i = 1 to Array.length root_sols - 1 do
-      if q root_sols.(i) > q !bs then bs := root_sols.(i)
-    done;
+    (match config.power_objective with
+    | Dominance.Max_yield ->
+      for i = 1 to Array.length root_sols - 1 do
+        if q root_sols.(i) > q !bs then bs := root_sols.(i)
+      done
+    | Dominance.Weighted w ->
+      for i = 1 to Array.length root_sols - 1 do
+        let s = root_sols.(i) in
+        if q s -. (w *. s.power) > q !bs -. (w *. (!bs).power) then bs := s
+      done
+    | Dominance.Min_power target ->
+      (* Minimum power among candidates whose mean driver RAT meets
+         the target; infeasible roots fall back to the best-mean
+         pick. *)
+      let feasible = ref (q !bs >= target) in
+      for i = 1 to Array.length root_sols - 1 do
+        let s = root_sols.(i) in
+        let f = q s >= target in
+        let better =
+          if f && not !feasible then true
+          else if f <> !feasible then false
+          else if f then
+            s.power < (!bs).power
+            || (s.power = (!bs).power && q s > q !bs)
+          else q s > q !bs
+        in
+        if better then begin
+          bs := s;
+          feasible := f
+        end
+      done);
     !bs
   in
   let rat =
@@ -412,6 +468,7 @@ let finish config ~t_start ~peak root_sols =
       List.map
         (fun (node, bi) -> (node, config.library.(bi)))
         (Sol.buffers_of_choice best.choice);
+    power = best.power;
     peak_candidates = Atomic.get peak;
     runtime_s = Unix.gettimeofday () -. t_start;
   }
@@ -432,7 +489,9 @@ let run ?pool ?(grain = Engine.default_grain) config tree =
     config.insertion = Engine.Convex_auto
     && (match config.heuristic with Mean_dominance -> true | _ -> false)
     && Device.Buffer.caps_distinct config.library
+    && not (Dominance.power_aware config.power_objective)
   in
+  let energies = energies_of config in
   (* Atomic: subtree tasks on different domains bump it concurrently;
      max commutes, so the stat is identical at any job count. *)
   let peak = Atomic.make 0 in
@@ -447,6 +506,7 @@ let run ?pool ?(grain = Engine.default_grain) config tree =
                   {
                     load = Numeric.Pmf.constant s.Rctree.Tree.sink_cap;
                     rat = Numeric.Pmf.constant s.Rctree.Tree.sink_rat;
+                    power = 0.0;
                     choice = Sol.At_sink id;
                   };
                 |];
@@ -460,8 +520,8 @@ let run ?pool ?(grain = Engine.default_grain) config tree =
                      let cf = results.(child) in
                      results.(child) <- empty_frontier;
                      let l =
-                       lift_edge config ~same_types ~flip_types ~convex ~child
-                         ~length cf
+                       lift_edge config ~energies ~same_types ~flip_types
+                         ~convex ~child ~length cf
                      in
                      check_count
                        ~where:(Printf.sprintf "edge above node %d" child)
@@ -560,7 +620,9 @@ let run_tape ?pool ?(grain = Engine.default_grain) config tape =
     config.insertion = Engine.Convex_auto
     && (match config.heuristic with Mean_dominance -> true | _ -> false)
     && Device.Buffer.caps_distinct config.library
+    && not (Dominance.power_aware config.power_objective)
   in
+  let energies = energies_of config in
   let exec_node id =
     let o0 = tape.Compile.Tape.op_off.(id)
     and o1 = tape.Compile.Tape.op_end.(id) in
@@ -580,6 +642,7 @@ let run_tape ?pool ?(grain = Engine.default_grain) config tape =
                       {
                         load = Numeric.Pmf.constant cap;
                         rat = Numeric.Pmf.constant rat;
+                        power = 0.0;
                         choice = Sol.At_sink node;
                       };
                     |];
@@ -590,8 +653,8 @@ let run_tape ?pool ?(grain = Engine.default_grain) config tape =
               let cf = frontiers.(slot_of.(child)) in
               frontiers.(slot_of.(child)) <- empty_frontier;
               let l =
-                lift_edge config ~same_types ~flip_types ~convex ~child
-                  ~length:tape.Compile.Tape.edge_length.(edge) cf
+                lift_edge config ~energies ~same_types ~flip_types ~convex
+                  ~child ~length:tape.Compile.Tape.edge_length.(edge) cf
               in
               check_count ~where:tape.Compile.Tape.where_edge.(edge)
                 (frontier_size l);

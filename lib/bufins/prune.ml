@@ -133,40 +133,22 @@ let prune_linear rule sols n =
   Arena.sort_prefix arena idx n ~cmp:(fun a b ->
       let c = Float.compare kl.(a) kl.(b) in
       if c <> 0 then c else Float.compare kr.(b) kr.(a));
-  let last_only =
+  let scan =
     match rule with
-    | Deterministic | One_param _ -> true
-    | Two_param { p_l; p_t } -> p_l = 0.5 && p_t = 0.5
-    | Four_param _ -> false
+    | Deterministic | One_param _ -> Dominance.Exact_last
+    | Two_param { p_l; p_t } ->
+      if p_l = 0.5 && p_t = 0.5 then Dominance.Exact_last
+      else Dominance.Rat_filtered
+    | Four_param _ -> Dominance.Rat_filtered
   in
   let kept = Arena.kept arena n in
-  let nkept = ref 0 in
-  let rat_max = ref neg_infinity in
-  for s = 0 to n - 1 do
-    let i = idx.(s) in
-    let dominated =
-      if last_only then
-        !nkept > 0 && dominates rule sols.(kept.(!nkept - 1)) sols.(i)
-      else if kr.(i) > !rat_max then false
-      else begin
-        (* Newest kept first, mirroring the scan order of the original
-           kept list (irrelevant to the result — dropping is dropping —
-           but recent candidates are the likeliest dominators). *)
-        let rec scan k =
-          k >= 0
-          && ((kr.(kept.(k)) >= kr.(i) && dominates rule sols.(kept.(k)) sols.(i))
-             || scan (k - 1))
-        in
-        scan (!nkept - 1)
-      end
-    in
-    if not dominated then begin
-      kept.(!nkept) <- i;
-      incr nkept;
-      if kr.(i) > !rat_max then rat_max := kr.(i)
-    end
-  done;
-  Array.init !nkept (fun k -> sols.(kept.(k)))
+  let nkept =
+    Dominance.sweep ~order:idx ~n
+      ~rat_key:(fun i -> kr.(i))
+      ~dominates:(fun k i -> dominates rule sols.(k) sols.(i))
+      ~scan ~kept
+  in
+  Array.init nkept (fun k -> sols.(kept.(k)))
 
 (* Exact 4P pruning in O(N log N).  4P dominance is transitive (the
    percentile intervals chain), so a candidate may be discarded as soon
@@ -264,6 +246,65 @@ let prefix_list sols n =
   let rec go i acc = if i < 0 then acc else go (i - 1) (sols.(i) :: acc) in
   go (n - 1) []
 
+(* Power-aware Pareto pruning: the same arena sweep over a third axis.
+   The sort order is ε-independent — load key, RAT key descending, raw
+   power ascending — so the greedy kept-only scan equals the quadratic
+   "dominated by any earlier candidate" reference at every ε
+   (Dominance's bucket order is transitive, and a dominator always
+   sorts no later than what it dominates).  The linear rules keep the
+   running-max RAT prefilter (every dominance clause still implies the
+   RAT-key ordering); 4P scans every kept candidate, with the
+   quantised near-duplicate collapse folded into the comparator — the
+   up-front dedup of the power-blind path could drop the cheaper-power
+   twin, which is exactly what a power frontier must keep. *)
+let duplicate_q (a : Sol.t) (b : Sol.t) =
+  let q x = Float.round (x /. 0.01) in
+  q (Sol.mean_load a) = q (Sol.mean_load b)
+  && q (Sol.mean_rat a) = q (Sol.mean_rat b)
+  && q (Linform.std a.Sol.load) = q (Linform.std b.Sol.load)
+  && q (Linform.std a.Sol.rat) = q (Linform.std b.Sol.rat)
+
+let prune_linear_power rule ~eps sols n =
+  let arena = Arena.get () in
+  let kl = Arena.load_keys arena n and kr = Arena.rat_keys arena n in
+  for i = 0 to n - 1 do
+    kl.(i) <- load_key rule sols.(i);
+    kr.(i) <- rat_key rule sols.(i)
+  done;
+  let idx = Arena.perm arena n in
+  for i = 0 to n - 1 do
+    idx.(i) <- i
+  done;
+  Arena.sort_prefix arena idx n ~cmp:(fun a b ->
+      let c = Float.compare kl.(a) kl.(b) in
+      if c <> 0 then c
+      else
+        let c = Float.compare kr.(b) kr.(a) in
+        if c <> 0 then c
+        else Float.compare sols.(a).Sol.power sols.(b).Sol.power);
+  let scan =
+    match rule with
+    | Deterministic | Two_param _ | One_param _ -> Dominance.Rat_prefilter
+    | Four_param _ -> Dominance.Scan_kept
+  in
+  let base_dominates =
+    match rule with
+    | Four_param _ ->
+      fun a b -> dominates rule sols.(a) sols.(b) || duplicate_q sols.(a) sols.(b)
+    | Deterministic | Two_param _ | One_param _ ->
+      fun a b -> dominates rule sols.(a) sols.(b)
+  in
+  let kept = Arena.kept arena n in
+  let nkept =
+    Dominance.sweep ~order:idx ~n
+      ~rat_key:(fun i -> kr.(i))
+      ~dominates:(fun k i ->
+        base_dominates k i
+        && Dominance.power_le ~eps sols.(k).Sol.power sols.(i).Sol.power)
+      ~scan ~kept
+  in
+  Array.init nkept (fun k -> sols.(kept.(k)))
+
 let prune_dispatch rule sols n =
   if n <= 1 then if n = 0 then [||] else [| sols.(0) |]
   else
@@ -274,6 +315,10 @@ let prune_dispatch rule sols n =
          deliberately quadratic reference [7] behaviour that Table 2
          measures, not a kernel worth optimising. *)
       Array.of_list (prune_4p ~alpha_l ~alpha_u ~beta_l ~beta_u (prefix_list sols n))
+
+let prune_power_dispatch rule ~eps sols n =
+  if n <= 1 then if n = 0 then [||] else [| sols.(0) |]
+  else prune_linear_power rule ~eps sols n
 
 (* Per-rule candidate accounting.  Counter handles are resolved once
    at module initialisation (handle lookup locks the registry, and
@@ -298,11 +343,11 @@ let obs_kept = obs_handle "dp.kept"
 let obs_pruned = obs_handle "dp.pruned"
 let obs_span_names = Array.map (fun tag -> "prune." ^ tag) obs_tags
 
-let prune_sub rule sols n =
-  if not (Obs.Control.on ()) then prune_dispatch rule sols n
+let obs_wrap rule dispatch sols n =
+  if not (Obs.Control.on ()) then dispatch sols n
   else begin
     let t0 = Obs.Span.now_ns () in
-    let out = prune_dispatch rule sols n in
+    let out = dispatch sols n in
     let i = obs_tag_index rule in
     Obs.Counters.incr obs_generated.(i) n;
     Obs.Counters.incr obs_kept.(i) (Array.length out);
@@ -310,6 +355,11 @@ let prune_sub rule sols n =
     Obs.Span.record ~name:obs_span_names.(i) ~cat:"dp" ~t0_ns:t0;
     out
   end
+
+let prune_sub rule sols n = obs_wrap rule (prune_dispatch rule) sols n
+
+let prune_sub_power rule ~eps sols n =
+  obs_wrap rule (prune_power_dispatch rule ~eps) sols n
 
 let prune rule sols =
   if Array.length sols <= 1 then sols

@@ -84,3 +84,15 @@ val prune_sub : t -> Sol.t array -> int -> Sol.t array
 (** [prune_sub rule sols n] prunes the first [n] elements of [sols] —
     the staging-buffer entry point ([sols] may be arena capacity larger
     than [n]).  Always returns a fresh array, even for [n <= 1]. *)
+
+val prune_sub_power : t -> eps:float -> Sol.t array -> int -> Sol.t array
+(** The (load, RAT, power) Pareto-frontier counterpart of
+    {!prune_sub}, used by the engines when the request's objective is
+    power-aware: a candidate is dropped only when a kept one dominates
+    it under [rule] {e and} costs no more energy under
+    {!Dominance.power_le} at [eps].  The sort order adds raw power
+    ascending as the ε-independent tie-break; the linear rules keep
+    their running-max RAT prefilter ({!Dominance.Rat_prefilter}), 4P
+    scans every kept candidate with the quantised near-duplicate
+    collapse folded into the comparator.  [eps = 0] is the exact
+    frontier; larger ε merges power buckets and can only shrink it. *)

@@ -7,14 +7,21 @@ type choice =
 type t = {
   load : Linform.t;
   rat : Linform.t;
+  power : float;
   choice : choice;
 }
 
 let mean_load s = Linform.mean s.load
 let mean_rat s = Linform.mean s.rat
+let power s = s.power
 
 let of_sink ~node ~cap ~rat =
-  { load = Linform.const cap; rat = Linform.const rat; choice = At_sink node }
+  {
+    load = Linform.const cap;
+    rat = Linform.const rat;
+    power = 0.0;
+    choice = At_sink node;
+  }
 
 let compare_for_prune a b =
   let c = compare (mean_load a) (mean_load b) in
@@ -40,4 +47,5 @@ let widths_of_choice choice =
   walk [] choice
 
 let pp ppf s =
-  Format.fprintf ppf "L=%a T=%a" Linform.pp s.load Linform.pp s.rat
+  Format.fprintf ppf "L=%a T=%a P=%.2ffJ" Linform.pp s.load Linform.pp s.rat
+    s.power

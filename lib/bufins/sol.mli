@@ -23,11 +23,20 @@ type choice =
 type t = {
   load : Linform.t;  (** L_t: downstream capacitance, fF *)
   rat : Linform.t;   (** T_t: required arrival time, ps *)
+  power : float;
+      (** accumulated switching + leakage energy (fJ) of every buffer
+          in the decision trail ({!Device.Buffer.energy_fj} summed
+          incrementally: 0 at sinks, preserved through wires, added at
+          insertions, summed at merges) — the third Pareto axis of the
+          power-aware objectives; ignored entirely under the default
+          [max_yield] objective *)
   choice : choice;
 }
 
 val mean_load : t -> float
 val mean_rat : t -> float
+
+val power : t -> float
 
 val of_sink : node:int -> cap:float -> rat:float -> t
 

@@ -60,6 +60,16 @@ let find lib name =
 
 let buffer_delay b ~load = b.delay_ps +. (b.res_kohm *. load)
 
+(* Per-switching-event energy figure used by the power-aware Pareto
+   objectives: a 0.5*C*V^2 dynamic term at V = 1 V plus a leakage term
+   proportional to device strength (1 / R_b).  Both terms grow with
+   size, so the figure is strictly monotone over any geometric size
+   ladder — larger/faster devices always cost more, which is what makes
+   the (load, RAT, power) frontier non-degenerate. *)
+let energy_fj b = (0.5 *. b.cap_ff) +. (1.0 /. b.res_kohm)
+
+let energies lib = Array.map energy_fj lib
+
 (* Synthetic b-type ladder for the --btypes axis.  b <= 1 keeps
    today's default library so the b=1 knob is byte-identical to the
    historical engine; b >= 2 spans the same electrical range as the

@@ -65,4 +65,14 @@ val buffer_delay : t -> load:float -> float
 (** Gate delay driving [load] fF: {m T_b + R_b \cdot L } in ps
     (the deterministic Eq. 28 without the upstream T). *)
 
+val energy_fj : t -> float
+(** Per-switching-event energy figure (fJ) for the power-aware
+    objectives: {m 0.5 \cdot C_b } (dynamic, V = 1 V) plus
+    {m 1 / R_b } (leakage, proportional to drive strength).  Strictly
+    monotone in device size for every shipped library. *)
+
+val energies : t array -> float array
+(** [energy_fj] over a library, in library order — the per-type energy
+    vector the engines thread through {!Bufins.Sol.t}. *)
+
 val pp : Format.formatter -> t -> unit

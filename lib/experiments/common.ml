@@ -45,8 +45,9 @@ let model_mode = function
   | D2d -> Varmodel.Model.D2d
   | Wid -> Varmodel.Model.Wid
 
-let run_algo setup ?rule ?budget ?(wire_sizing = false) ?load_limit ?tape
-    ~spatial ~grid algo tree =
+let run_algo setup ?rule ?budget ?(wire_sizing = false) ?load_limit
+    ?(objective = Bufins.Dominance.default) ?(eps_power = 0.0) ?tape ~spatial
+    ~grid algo tree =
   let rule =
     match rule with
     | Some r -> r
@@ -66,6 +67,8 @@ let run_algo setup ?rule ?budget ?(wire_sizing = false) ?load_limit ?tape
       library = setup.library;
       budget = Option.value budget ~default:Bufins.Engine.no_budget;
       load_limit;
+      power_objective = objective;
+      eps_power;
     }
   in
   (* A precompiled tape replays the exact walk (same device-id order),
@@ -78,7 +81,9 @@ let run_algo setup ?rule ?budget ?(wire_sizing = false) ?load_limit ?tape
     Bufins.Engine.run ?pool:setup.pool ?grain:setup.par_grain config ~model tree)
 
 let run_sampled setup ?budget ?(wire_sizing = false) ?load_limit ~samples
-    ?(relax = 1.0) ?(seed = 1) ?(yield = 0.95) ?tape ~spatial ~grid algo tree =
+    ?(relax = 1.0) ?(seed = 1) ?(yield = 0.95)
+    ?(objective = Bufins.Dominance.default) ?(eps_power = 0.0) ?tape ~spatial
+    ~grid algo tree =
   let model =
     Varmodel.Model.create ~mode:(model_mode algo) ~budget:setup.budget ~spatial
       ~grid ()
@@ -91,6 +96,8 @@ let run_sampled setup ?budget ?(wire_sizing = false) ?load_limit ~samples
       library = setup.library;
       budget = Option.value budget ~default:Bufins.Engine.no_budget;
       load_limit;
+      power_objective = objective;
+      eps_power;
     }
   in
   match tape with

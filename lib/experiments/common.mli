@@ -45,6 +45,8 @@ val run_algo :
   ?budget:Bufins.Engine.budget ->
   ?wire_sizing:bool ->
   ?load_limit:float ->
+  ?objective:Bufins.Dominance.objective ->
+  ?eps_power:float ->
   ?tape:Compile.Tape.t ->
   spatial:Varmodel.Model.spatial_kind ->
   grid:Varmodel.Grid.t ->
@@ -54,7 +56,9 @@ val run_algo :
 (** Optimise with one of the three §5.3 algorithms.  [rule] defaults to
     the deterministic rule for [Nom] and 2P(0.5, 0.5) otherwise;
     [wire_sizing] (default false) enables the 3-width wire library;
-    [load_limit] forwards the engine's slew-style constraint.  When
+    [load_limit] forwards the engine's slew-style constraint;
+    [objective] / [eps_power] (default [Max_yield] / 0 = the
+    historical engine) forward the power-aware objective.  When
     [tape] (a {!Compile.Tape.compile} of the same tree) is given, the
     DP runs through {!Bufins.Engine.run_tape} — byte-identical, but
     the per-net lowering work is already paid. *)
@@ -68,6 +72,8 @@ val run_sampled :
   ?relax:float ->
   ?seed:int ->
   ?yield:float ->
+  ?objective:Bufins.Dominance.objective ->
+  ?eps_power:float ->
   ?tape:Compile.Tape.t ->
   spatial:Varmodel.Model.spatial_kind ->
   grid:Varmodel.Grid.t ->
@@ -78,8 +84,9 @@ val run_sampled :
     [samples] Monte-Carlo process corners drawn from [seed]
     (default 1).  The variation mode comes from [algo] exactly as in
     {!run_algo}; [relax] (default 1 = exact full dominance) scales the
-    per-sample dominance threshold.  [tape] behaves as in {!run_algo},
-    routing through {!Sample.Engine.run_tape}. *)
+    per-sample dominance threshold; [objective] / [eps_power] forward
+    the power-aware objective as in {!run_algo}.  [tape] behaves as in
+    {!run_algo}, routing through {!Sample.Engine.run_tape}. *)
 
 val evaluate :
   setup ->

@@ -1,0 +1,30 @@
+(** Yield-vs-power Pareto curves on the Table-1 nets ([r1]–[r5]),
+    traced by sweeping the {!Bufins.Dominance.Weighted} scalarisation
+    weight over the canonical 2P engine's (load, RAT, power) Pareto
+    frontier.  Each row asserts the curve is monotone — energy
+    non-increasing, yield-RAT non-increasing as the weight grows. *)
+
+type point = {
+  w : float;  (** scalarisation weight, ps per fJ *)
+  y95 : float;  (** 95%-yield driver RAT of the chosen assignment, ps *)
+  power_fj : float;  (** accumulated buffer energy *)
+  buffers : int;
+}
+
+type row = {
+  bench : string;
+  points : point list;  (** one per weight, ascending w *)
+  monotone : bool;
+      (** energy non-increasing and yield-RAT non-increasing along the
+          sweep — the Pareto-curve property *)
+}
+
+val default_weights : float list
+
+val compute_one : Common.setup -> ?weights:float list -> string -> row
+
+val compute :
+  Common.setup -> ?benches:string list -> ?weights:float list -> unit ->
+  row list
+
+val run : Format.formatter -> Common.setup -> unit

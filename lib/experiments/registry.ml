@@ -25,6 +25,7 @@ let all =
     { id = "baselines"; summary = "related-work capacity: 2P vs 1P vs 4P vs [6]"; exec = Baselines.run };
     { id = "sampleyield"; summary = "sampled vs canonical 95%-yield RAT (K=1024)"; exec = Sampleyield.run };
     { id = "btypes"; summary = "type mix / frontier growth vs library size b"; exec = Btypes.run };
+    { id = "powersweep"; summary = "yield-vs-power Pareto curve (weighted scalarisation)"; exec = Powersweep.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

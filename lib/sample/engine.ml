@@ -40,6 +40,9 @@ type config = {
   budget : Bufins.Engine.budget;
   load_limit : float option;
   insertion : Bufins.Engine.insertion;
+  power_objective : Bufins.Dominance.objective;
+  eps_power : float;
+  energies : float array option;
 }
 
 let default_config ?(samples = 256) ?(seed = 1) ?(relax = 1.0)
@@ -62,11 +65,20 @@ let default_config ?(samples = 256) ?(seed = 1) ?(relax = 1.0)
     budget = Bufins.Engine.no_budget;
     load_limit = None;
     insertion = Bufins.Engine.Convex_auto;
+    power_objective = Bufins.Dominance.default;
+    eps_power = 0.0;
+    energies = None;
   }
+
+let energies_of config =
+  match config.energies with
+  | Some e -> e
+  | None -> Device.Buffer.energies config.library
 
 type sol = {
   load : float array; (* per-sample downstream capacitance, fF *)
   rat : float array; (* per-sample required arrival time, ps *)
+  power : float; (* accumulated buffer energy, fJ (exact, not sampled) *)
   choice : Bufins.Sol.choice;
 }
 
@@ -144,15 +156,21 @@ type edge_forms = {
 }
 
 (* Prune the [ncand] staged rows in the arena's B stage (load / rat /
-   choice / mean keys already filled) down to a fresh frontier, by
-   per-sample dominance counting against the [need] threshold. *)
-let prune_rows ~k ~need ar ncand =
+   power / choice / mean keys already filled) down to a fresh frontier,
+   by per-sample dominance counting against the [need] threshold.
+   Under a power-aware objective the comparator additionally requires
+   the dominator to cost no more energy ({!Bufins.Dominance.power_le}
+   at [eps]), with raw power ascending as the ε-independent sort
+   tie-break, so the kept set is the (load, RAT, power) Pareto
+   frontier. *)
+let prune_rows ~k ~need ~power_aware ~eps ar ncand =
   let exact_need = need >= k in
   if ncand <= 1 || need > k then
     Array.init ncand (fun i ->
         {
           load = Array.sub (Sarena.b_load ar (ncand * k)) (i * k) k;
           rat = Array.sub (Sarena.b_rat ar (ncand * k)) (i * k) k;
+          power = (Sarena.b_power ar ncand).(i);
           choice = (Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0)).(i);
         })
   else begin
@@ -161,6 +179,7 @@ let prune_rows ~k ~need ar ncand =
     let bl = Sarena.b_load ar (ncand * k) in
     let br = Sarena.b_rat ar (ncand * k) in
     let bc = Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0) in
+    let bp = Sarena.b_power ar ncand in
     let ml = Sarena.mean_load ar ncand in
     let mr = Sarena.mean_rat ar ncand in
     let idx = Sarena.perm ar ncand in
@@ -169,15 +188,21 @@ let prune_rows ~k ~need ar ncand =
     done;
     (* Mean load ascending, mean RAT descending: the stable order the
        canonical pruner uses, so exact duplicates keep the same
-       representative. *)
+       representative.  The power path adds raw power ascending — an
+       ε-independent order, so growing ε can only merge buckets and
+       shrink the kept set. *)
     Sarena.sort_prefix ar idx ncand ~cmp:(fun a b ->
         let c = Float.compare ml.(a) ml.(b) in
-        if c <> 0 then c else Float.compare mr.(b) mr.(a));
+        if c <> 0 then c
+        else begin
+          let c = Float.compare mr.(b) mr.(a) in
+          if c <> 0 || not power_aware then c
+          else Float.compare bp.(a) bp.(b)
+        end);
     (* Row j dominates row i when it ties-or-beats it on both axes in
        at least [need] samples, with early exit both ways. *)
     let checks = ref 0 in
-    let dominates j i =
-      incr checks;
+    let sample_dom j i =
       let jo = j * k and io = i * k in
       let count = ref 0 in
       let t = ref 0 in
@@ -189,47 +214,47 @@ let prune_rows ~k ~need ar ncand =
       done;
       !count >= need
     in
+    let dominates =
+      if power_aware then fun j i ->
+        incr checks;
+        Bufins.Dominance.power_le ~eps bp.(j) bp.(i) && sample_dom j i
+      else fun j i ->
+        incr checks;
+        sample_dom j i
+    in
+    (* Full dominance in every sample implies mean-RAT order, so a
+       candidate above the running max of kept mean RATs cannot be
+       dominated; the filter is unsound for need < k and skipped
+       there.  Conjoining the power test only makes dominance rarer,
+       so the filter stays sound on the power path. *)
+    let scan =
+      if exact_need then Bufins.Dominance.Rat_prefilter
+      else Bufins.Dominance.Scan_kept
+    in
     let kept = Sarena.kept ar ncand in
-    let nkept = ref 0 in
-    let rat_max = ref neg_infinity in
-    for s = 0 to ncand - 1 do
-      let i = idx.(s) in
-      let dominated =
-        (* Full dominance in every sample implies mean-RAT order, so
-           a candidate above the running max of kept mean RATs cannot
-           be dominated; the filter is unsound for need < k and is
-           skipped there. *)
-        if exact_need && mr.(i) > !rat_max then false
-        else begin
-          let rec scan kk =
-            kk >= 0 && (dominates kept.(kk) i || scan (kk - 1))
-          in
-          scan (!nkept - 1)
-        end
-      in
-      if not dominated then begin
-        kept.(!nkept) <- i;
-        incr nkept;
-        if mr.(i) > !rat_max then rat_max := mr.(i)
-      end
-    done;
+    let nkept =
+      Bufins.Dominance.sweep ~order:idx ~n:ncand
+        ~rat_key:(fun i -> mr.(i))
+        ~dominates ~scan ~kept
+    in
     let out =
-      Array.init !nkept (fun s ->
+      Array.init nkept (fun s ->
           let i = kept.(s) in
           {
             load = Array.sub bl (i * k) k;
             rat = Array.sub br (i * k) k;
+            power = bp.(i);
             choice = bc.(i);
           })
     in
     if obs then begin
       Obs.Counters.incr obs_generated ncand;
-      Obs.Counters.incr obs_kept !nkept;
-      Obs.Counters.incr obs_pruned (ncand - !nkept);
+      Obs.Counters.incr obs_kept nkept;
+      Obs.Counters.incr obs_pruned (ncand - nkept);
       Obs.Counters.incr obs_checks !checks;
       Obs.Counters.observe Obs.Counters.global "sample.frontier" ~lo:0.0
         ~hi:1024.0 ~bins:64
-        (float_of_int !nkept);
+        (float_of_int nkept);
       Obs.Span.record ~name:"prune.sample" ~cat:"sample" ~t0_ns:t0
     end;
     out
@@ -258,8 +283,8 @@ let prune_rows ~k ~need ar ncand =
    the same per-sample T_b shift and fl(x − y) is monotone in x — so
    skipping its generation changes no output byte, only the candidate
    count fed to the quadratic pruning pass. *)
-let lift_rows config ~matrix ~k ~need ~convex ~same_types ~flip_types ~forms
-    ~child ~length (f : frontier) =
+let lift_rows config ~matrix ~k ~need ~power_aware ~eps ~energies ~convex
+    ~same_types ~flip_types ~forms ~child ~length (f : frontier) =
   let obs = Obs.Control.on () in
   let t0 = if obs then Obs.Span.now_ns () else 0 in
   let ar = Sarena.get () in
@@ -300,6 +325,7 @@ let lift_rows config ~matrix ~k ~need ~convex ~same_types ~flip_types ~forms
      odd, each side width-major. *)
   let wml = Array.make ntot 0.0 in
   let wmr = Array.make ntot 0.0 in
+  let wpw = Array.make ntot 0.0 in
   let stage_side ~base ~ns (sols : sol array) =
     for lrow = 0 to (nwid * ns) - 1 do
       let row = base + lrow in
@@ -320,6 +346,7 @@ let lift_rows config ~matrix ~k ~need ~convex ~same_types ~flip_types ~forms
       done;
       wml.(row) <- !sl /. float_of_int k;
       wmr.(row) <- !sr /. float_of_int k;
+      wpw.(row) <- s.power;
       ac.(row) <- Bufins.Sol.Wire { node = child; width; from = s.choice }
     done
   in
@@ -431,6 +458,7 @@ let lift_rows config ~matrix ~k ~need ~convex ~same_types ~flip_types ~forms
       let bl = Sarena.b_load ar (ncand * k) in
       let br = Sarena.b_rat ar (ncand * k) in
       let bc = Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0) in
+      let bpw = Sarena.b_power ar ncand in
       let ml = Sarena.mean_load ar ncand in
       let mr = Sarena.mean_rat ar ncand in
       for lrow = 0 to nw_side - 1 do
@@ -439,6 +467,7 @@ let lift_rows config ~matrix ~k ~need ~convex ~same_types ~flip_types ~forms
         Array.blit al (row * k) bl (dst * k) k;
         Array.blit arr (row * k) br (dst * k) k;
         bc.(dst) <- ac.(row);
+        bpw.(dst) <- wpw.(row);
         ml.(dst) <- wml.(row);
         mr.(dst) <- wmr.(row)
       done;
@@ -464,6 +493,7 @@ let lift_rows config ~matrix ~k ~need ~convex ~same_types ~flip_types ~forms
                 done;
                 ml.(dst) <- !sl /. float_of_int k;
                 mr.(dst) <- !sr /. float_of_int k;
+                bpw.(dst) <- wpw.(row) +. energies.(bi);
                 bc.(dst) <-
                   Bufins.Sol.Buffered
                     { node = child; buffer = bi; from = ac.(row) };
@@ -474,7 +504,7 @@ let lift_rows config ~matrix ~k ~need ~convex ~same_types ~flip_types ~forms
       in
       emit_block ~lo:wlo ~hi:whi same_types;
       emit_block ~lo:xlo ~hi:xhi flip_types;
-      let out = prune_rows ~k ~need ar ncand in
+      let out = prune_rows ~k ~need ~power_aware ~eps ar ncand in
       if obs then begin
         let gen = Array.make nlib 0 and kept = Array.make nlib 0 in
         for i = nw_side to ncand - 1 do
@@ -515,7 +545,8 @@ let lift_rows config ~matrix ~k ~need ~convex ~same_types ~flip_types ~forms
 
 (* Subtree merge: the full cross product with an exact per-sample min,
    staged into the arena's B stage and pruned. *)
-let merge_rows ~k ~need ~node ~check (a : sol array) (b : sol array) =
+let merge_rows ~k ~need ~power_aware ~eps ~node ~check (a : sol array)
+    (b : sol array) =
   let na = Array.length a and nb = Array.length b in
   let ncand = na * nb in
   if ncand = 0 then [||]
@@ -524,6 +555,7 @@ let merge_rows ~k ~need ~node ~check (a : sol array) (b : sol array) =
     let bl = Sarena.b_load ar (ncand * k) in
     let br = Sarena.b_rat ar (ncand * k) in
     let bc = Sarena.b_choice ar ncand ~dummy:(Bufins.Sol.At_sink 0) in
+    let bpw = Sarena.b_power ar ncand in
     let ml = Sarena.mean_load ar ncand in
     let mr = Sarena.mean_rat ar ncand in
     let count = ref 0 in
@@ -548,23 +580,25 @@ let merge_rows ~k ~need ~node ~check (a : sol array) (b : sol array) =
         done;
         ml.(dst) <- !sl /. float_of_int k;
         mr.(dst) <- !sr /. float_of_int k;
+        bpw.(dst) <- sa.power +. sb.power;
         bc.(dst) <-
           Bufins.Sol.Merged { node; left = sa.choice; right = sb.choice }
       done
     done;
     if Obs.Control.on () then Obs.Counters.incr obs_merged ncand;
-    prune_rows ~k ~need ar ncand
+    prune_rows ~k ~need ~power_aware ~eps ar ncand
   end
 
 (* Parity-matched subtree merge: even rows pair with even, odd with
    odd (a merged candidate needs both subtrees at the same parity).
    The odd merge is skipped entirely when both sides are empty, so the
    inverter-free instruction stream is the historical one. *)
-let merge_frontiers ~k ~need ~node ~check (a : frontier) (b : frontier) =
-  let ev = merge_rows ~k ~need ~node ~check a.ev b.ev in
+let merge_frontiers ~k ~need ~power_aware ~eps ~node ~check (a : frontier)
+    (b : frontier) =
+  let ev = merge_rows ~k ~need ~power_aware ~eps ~node ~check a.ev b.ev in
   let od =
     if Array.length a.od = 0 && Array.length b.od = 0 then [||]
-    else merge_rows ~k ~need ~node ~check a.od b.od
+    else merge_rows ~k ~need ~power_aware ~eps ~node ~check a.od b.od
   in
   { ev; od }
 
@@ -629,17 +663,43 @@ let finish config ~t_start ~k ~peak ~total ~n root_sols =
   let root_rat = ref (driver_rat root_sols.(0)) in
   let best_score = ref (score !root_rat) in
   let root_best_per_sample = Array.copy !root_rat in
+  let feasible =
+    ref
+      (match config.power_objective with
+      | Bufins.Dominance.Min_power target -> !best_score >= target
+      | _ -> true)
+  in
   for i = 1 to Array.length root_sols - 1 do
-    let q = driver_rat root_sols.(i) in
+    let s = root_sols.(i) in
+    let q = driver_rat s in
     for j = 0 to k - 1 do
       if q.(j) > root_best_per_sample.(j) then
         root_best_per_sample.(j) <- q.(j)
     done;
     let sc = score q in
-    if sc > !best_score then begin
-      best := root_sols.(i);
+    let better =
+      match config.power_objective with
+      | Bufins.Dominance.Max_yield -> sc > !best_score
+      | Bufins.Dominance.Weighted w ->
+        sc -. (w *. s.power) > !best_score -. (w *. (!best).power)
+      | Bufins.Dominance.Min_power target ->
+        (* Minimum power among target-feasible candidates; infeasible
+           roots fall back to the best-score pick. *)
+        let f = sc >= target in
+        if f && not !feasible then true
+        else if f <> !feasible then false
+        else if f then
+          s.power < (!best).power
+          || (s.power = (!best).power && sc > !best_score)
+        else sc > !best_score
+    in
+    if better then begin
+      best := s;
       root_rat := q;
-      best_score := sc
+      best_score := sc;
+      match config.power_objective with
+      | Bufins.Dominance.Min_power target -> feasible := sc >= target
+      | _ -> ()
     end
   done;
   let best = !best and root_rat = !root_rat in
@@ -736,12 +796,18 @@ let run ?pool ?(grain = default_grain) config ~model tree =
   let same_types, flip_types =
     Device.Buffer.partition_indices config.library
   in
+  let power_aware = Bufins.Dominance.power_aware config.power_objective in
+  let eps = config.eps_power in
+  let energies = energies_of config in
   (* The convex pre-filter is sound only under full per-sample
      dominance (need = k): relax > 1 disables pruning (brute-force
      reference) and relax < 1 counts partial dominance, where a
-     pre-filtered row is not provably dropped. *)
+     pre-filtered row is not provably dropped.  Power-aware pruning
+     also disables it — cheaper-power rows must survive alongside the
+     best-timing one. *)
   let convex =
     config.insertion = Bufins.Engine.Convex_auto && need = k
+    && not power_aware
   in
   (* Per-edge model bindings, resolved lazily at lift time — the tape
      path precomputes the same forms at bind time. *)
@@ -793,6 +859,7 @@ let run ?pool ?(grain = default_grain) config ~model tree =
                   {
                     load = Array.make k s.Rctree.Tree.sink_cap;
                     rat = Array.make k s.Rctree.Tree.sink_rat;
+                    power = 0.0;
                     choice = Bufins.Sol.At_sink id;
                   };
                 |];
@@ -806,9 +873,9 @@ let run ?pool ?(grain = default_grain) config ~model tree =
                      let child_front = results.(child) in
                      results.(child) <- empty_frontier;
                      let l =
-                       lift_rows config ~matrix ~k ~need ~convex ~same_types
-                         ~flip_types ~forms:(forms_for child) ~child ~length
-                         child_front
+                       lift_rows config ~matrix ~k ~need ~power_aware ~eps
+                         ~energies ~convex ~same_types ~flip_types
+                         ~forms:(forms_for child) ~child ~length child_front
                      in
                      check_count
                        ~where:(Printf.sprintf "edge above node %d" child)
@@ -820,7 +887,7 @@ let run ?pool ?(grain = default_grain) config ~model tree =
             else begin
               assert (Array.length lifted = 2);
               let merged =
-                merge_frontiers ~k ~need ~node:id
+                merge_frontiers ~k ~need ~power_aware ~eps ~node:id
                   ~check:(fun c ->
                     check_count ~where:(Printf.sprintf "merge at node %d" id) c;
                     if c land 1023 = 0 then check_time ())
@@ -964,8 +1031,12 @@ let run_tape ?pool ?(grain = default_grain) config ~model
   let same_types, flip_types =
     Device.Buffer.partition_indices config.library
   in
+  let power_aware = Bufins.Dominance.power_aware config.power_objective in
+  let eps = config.eps_power in
+  let energies = energies_of config in
   let convex =
     config.insertion = Bufins.Engine.Convex_auto && need = k
+    && not power_aware
   in
   let parallel =
     match pool with
@@ -993,6 +1064,7 @@ let run_tape ?pool ?(grain = default_grain) config ~model
                   {
                     load = Array.make k cap;
                     rat = Array.make k rat;
+                    power = 0.0;
                     choice = Bufins.Sol.At_sink node;
                   };
                 |];
@@ -1010,8 +1082,9 @@ let run_tape ?pool ?(grain = default_grain) config ~model
                 let front = frontiers.(slot_of.(child)) in
                 frontiers.(slot_of.(child)) <- empty_frontier;
                 let l =
-                  lift_rows config ~matrix ~k ~need ~convex ~same_types
-                    ~flip_types ~forms:(forms_at edge) ~child
+                  lift_rows config ~matrix ~k ~need ~power_aware ~eps
+                    ~energies ~convex ~same_types ~flip_types
+                    ~forms:(forms_at edge) ~child
                     ~length:tape.Compile.Tape.edge_length.(edge) front
                 in
                 check_count ~where:tape.Compile.Tape.where_edge.(edge)
@@ -1021,7 +1094,7 @@ let run_tape ?pool ?(grain = default_grain) config ~model
                 out := l
               | Compile.Tape.Merge { node } ->
                 let merged =
-                  merge_frontiers ~k ~need ~node
+                  merge_frontiers ~k ~need ~power_aware ~eps ~node
                     ~check:(fun c ->
                       check_count ~where:tape.Compile.Tape.where_merge.(node)
                         c;

@@ -49,6 +49,21 @@ type config = {
           through the full pruning pass, so output is byte-identical to
           [Exhaustive]; the filter disengages at [relax ≠ 1], where the
           guarantee does not hold. *)
+  power_objective : Bufins.Dominance.objective;
+      (** power-aware request objective.  The default
+          ({!Bufins.Dominance.Max_yield}) is the historical engine —
+          the power axis is carried but never compared.  [Min_power] /
+          [Weighted] conjoin {!Bufins.Dominance.power_le} into the
+          per-sample dominance test (a (load, RAT, power) Pareto
+          frontier), disable the convex pre-filter, and change the
+          root scalarisation. *)
+  eps_power : float;
+      (** ε-dominance bucket width for the power axis; 0 (default) is
+          the exact frontier.  Only read under a power-aware
+          [power_objective]. *)
+  energies : float array option;
+      (** per-type energies (fJ) indexed like [library]; [None]
+          derives them with {!Device.Buffer.energies}. *)
 }
 
 val default_config :
@@ -71,6 +86,9 @@ val default_config :
 type sol = {
   load : float array;  (** per-sample downstream capacitance, fF *)
   rat : float array;  (** per-sample required arrival time, ps *)
+  power : float;
+      (** accumulated buffer energy, fJ — exact (deterministic per
+          assignment), not sampled *)
   choice : Bufins.Sol.choice;
 }
 

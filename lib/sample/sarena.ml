@@ -18,6 +18,7 @@ type t = {
   mutable b_load : float array; (* rows handed to the pruner, stride K *)
   mutable b_rat : float array;
   mutable b_choice : Bufins.Sol.choice array;
+  mutable b_power : float array; (* per-row accumulated energy, fJ *)
   mutable mean_load : float array; (* per-row sample means (sort keys) *)
   mutable mean_rat : float array;
   mutable perm : int array;
@@ -37,6 +38,7 @@ let create () =
     b_load = [||];
     b_rat = [||];
     b_choice = [||];
+    b_power = [||];
     mean_load = [||];
     mean_rat = [||];
     perm = [||];
@@ -96,6 +98,12 @@ let b_choice t n ~dummy =
   if grew then t.b_choice <- Array.make (cap n) dummy;
   note_borrow grew;
   t.b_choice
+
+let b_power t n =
+  let grew = Array.length t.b_power < n in
+  if grew then t.b_power <- Array.make (cap n) 0.0;
+  note_borrow grew;
+  t.b_power
 
 let mean_load t n =
   let grew = Array.length t.mean_load < n in

@@ -19,6 +19,11 @@ val a_choice : t -> int -> dummy:Bufins.Sol.choice -> Bufins.Sol.choice array
 val b_load : t -> int -> float array
 val b_rat : t -> int -> float array
 val b_choice : t -> int -> dummy:Bufins.Sol.choice -> Bufins.Sol.choice array
+
+val b_power : t -> int -> float array
+(** Per-row accumulated buffer energy (fJ) staged alongside the B rows
+    — the power axis of the power-aware pruning sweep. *)
+
 val mean_load : t -> int -> float array
 val mean_rat : t -> int -> float array
 val perm : t -> int -> int array

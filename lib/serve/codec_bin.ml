@@ -243,6 +243,7 @@ let decode_tree s =
    one — keep their exact bytes. *)
 
 let polarity_marker = 0x03
+let power_marker = 0x04
 
 let add_assignment buf (a : Bufins.Assignment.t) =
   let buffers = List.sort compare a.Bufins.Assignment.buffers in
@@ -429,6 +430,16 @@ let encode_request (r : Protocol.request) =
     add_u8 buf 0x01;
     add_zigzag buf r.Protocol.btypes
   end;
+  if r.Protocol.objective <> Bufins.Dominance.default then begin
+    add_u8 buf 0x02;
+    (* The wire/CLI spelling ("weighted <w>"); it contains a space, so
+       it is a length-prefixed string, not a token. *)
+    add_string buf (Bufins.Dominance.to_string r.Protocol.objective)
+  end;
+  if r.Protocol.eps_power <> 0.0 then begin
+    add_u8 buf 0x03;
+    add_f64 buf r.Protocol.eps_power
+  end;
   Buffer.contents buf
 
 let get_bool r what =
@@ -457,8 +468,12 @@ let read_request_head r =
      reader agrees on what a well-formed payload is, while [r.pos]
      still lands on the blob's first byte for the caller. *)
   let btypes = ref 0 in
+  let objective = ref Bufins.Dominance.default in
+  let eps_power = ref 0.0 in
   let er = { src = r.src; pos = r.pos + tree_len; limit = r.limit } in
   let seen_btypes = ref false in
+  let seen_objective = ref false in
+  let seen_eps = ref false in
   while er.pos < er.limit do
     match get_u8 er "extension tag" with
     | 0x01 ->
@@ -468,6 +483,21 @@ let read_request_head r =
       let v = get_zigzag er "btypes" in
       if v < 0 then failwith "binary payload: btypes must be >= 0";
       btypes := v
+    | 0x02 ->
+      if !seen_objective then
+        failwith "binary payload: duplicate objective extension";
+      seen_objective := true;
+      let s = get_string er "objective" in
+      (try objective := Bufins.Dominance.of_string s
+       with Failure m -> failwith ("binary payload: " ^ m))
+    | 0x03 ->
+      if !seen_eps then
+        failwith "binary payload: duplicate eps_power extension";
+      seen_eps := true;
+      let v = get_f64 er "eps_power" in
+      if v < 0.0 || Float.is_nan v then
+        failwith "binary payload: eps_power must be >= 0";
+      eps_power := v
     | t -> failwith (Printf.sprintf "binary payload: unknown extension tag %d" t)
   done;
   ( id,
@@ -480,6 +510,8 @@ let read_request_head r =
     samples,
     relax,
     !btypes,
+    !objective,
+    !eps_power,
     tree_len )
 
 let decode_request s =
@@ -494,6 +526,8 @@ let decode_request s =
         samples,
         relax,
         btypes,
+        objective,
+        eps_power,
         tree_len ) =
     read_request_head r
   in
@@ -511,12 +545,14 @@ let decode_request s =
     samples;
     relax;
     btypes;
+    objective;
+    eps_power;
     tree;
   }
 
 let request_tree_span s =
   let r = reader s in
-  let _, _, _, _, _, _, _, _, _, _, tree_len = read_request_head r in
+  let _, _, _, _, _, _, _, _, _, _, _, _, tree_len = read_request_head r in
   (r.pos, tree_len)
 
 (* Skip the tree decode when the caller already holds the decoded tree
@@ -534,6 +570,8 @@ let decode_request_using_tree s tree =
         samples,
         relax,
         btypes,
+        objective,
+        eps_power,
         _tree_len ) =
     read_request_head r
   in
@@ -548,6 +586,8 @@ let decode_request_using_tree s tree =
     samples;
     relax;
     btypes;
+    objective;
+    eps_power;
     tree;
   }
 
@@ -587,6 +627,16 @@ let encode_response (r : Protocol.response) =
     add_f64 buf mean;
     add_f64 buf std);
   add_assignment buf r.Protocol.assignment;
+  (* Trailing extension after the assignment, same shape as the
+     request's region: emitted only for power-aware responses so every
+     historical response keeps its exact bytes.  The marker must
+     differ from [polarity_marker] — the assignment reader sniffs that
+     byte for its own optional tail. *)
+  (match r.Protocol.r_power with
+  | None -> ()
+  | Some p ->
+    add_u8 buf power_marker;
+    add_f64 buf p);
   Buffer.contents buf
 
 let decode_response s =
@@ -617,6 +667,13 @@ let decode_response s =
     else None
   in
   let assignment = read_assignment r in
+  let r_power =
+    if r.pos < r.limit && Char.code r.src.[r.pos] = power_marker then begin
+      r.pos <- r.pos + 1;
+      Some (get_f64 r "power")
+    end
+    else None
+  in
   expect_end r "response";
   {
     Protocol.r_id;
@@ -628,6 +685,7 @@ let decode_response s =
     root_yield95;
     sampled;
     mc;
+    r_power;
     assignment;
   }
 

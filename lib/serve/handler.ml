@@ -33,13 +33,18 @@ let compute ?pool ?tape ?deadline_s (req : Protocol.request) =
      the response's root_* fields report the canonical evaluation of
      the chosen assignment under the full WID model, so a sampled
      response carries its own canonical-vs-sampled cross-validation. *)
-  let assignment, stats, sampled =
+  (* r_power reports the chosen assignment's accumulated buffer energy
+     only for power-aware objectives, keeping default responses
+     byte-identical to the pre-power protocol. *)
+  let power_aware = Bufins.Dominance.power_aware req.Protocol.objective in
+  let assignment, stats, sampled, power =
     if req.Protocol.samples > 0 then begin
       let r =
         Experiments.Common.run_sampled setup ~budget
           ~wire_sizing:req.Protocol.wire_sizing ~samples:req.Protocol.samples
-          ~relax:req.Protocol.relax ~seed:req.Protocol.seed ?tape ~spatial ~grid
-          req.Protocol.mode tree
+          ~relax:req.Protocol.relax ~seed:req.Protocol.seed
+          ~objective:req.Protocol.objective ~eps_power:req.Protocol.eps_power
+          ?tape ~spatial ~grid req.Protocol.mode tree
       in
       ( {
           Bufins.Assignment.buffers = r.Sample.Engine.buffers;
@@ -52,15 +57,20 @@ let compute ?pool ?tape ?deadline_s (req : Protocol.request) =
             s_mean = r.Sample.Engine.sampled_mean;
             s_std = r.Sample.Engine.sampled_std;
             s_rat_at_yield = r.Sample.Engine.rat_at_yield;
-          } )
+          },
+        r.Sample.Engine.best.Sample.Engine.power )
     end
     else begin
       let r =
         Experiments.Common.run_algo setup ~rule:req.Protocol.rule ~budget
-          ~wire_sizing:req.Protocol.wire_sizing ?tape ~spatial ~grid
-          req.Protocol.mode tree
+          ~wire_sizing:req.Protocol.wire_sizing
+          ~objective:req.Protocol.objective ~eps_power:req.Protocol.eps_power
+          ?tape ~spatial ~grid req.Protocol.mode tree
       in
-      (Bufins.Assignment.of_result r, r.Bufins.Engine.stats, None)
+      ( Bufins.Assignment.of_result r,
+        r.Bufins.Engine.stats,
+        None,
+        r.Bufins.Engine.best.Bufins.Sol.power )
     end
   in
   let widths = assignment.Bufins.Assignment.widths in
@@ -90,6 +100,7 @@ let compute ?pool ?tape ?deadline_s (req : Protocol.request) =
     root_yield95 = Sta.Yield.rat_at_yield form ~yield:0.95;
     sampled;
     mc;
+    r_power = (if power_aware then Some power else None);
     assignment;
   }
 

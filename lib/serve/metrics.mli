@@ -54,17 +54,23 @@ val render : t -> string
     latency_ms_count 5
     latency_ms_mean 41.3
     latency_ms_max 80.1
+    latency_ms_p50 35.0
+    latency_ms_p95 78.2
+    latency_ms_p99 80.1
     latency_ms_bucket 25 3
     latency_ms_bucket 75 2
     v}
     [cache_hit_ratio] is hits / (hits + misses), printed only once the
     cache has been consulted at least once.  [error_<code>] lines
     appear only for codes seen, [kind_<kind>] lines only for frame
-    kinds seen; bucket lines only
-    for non-empty bins (center, count).  Every [latency_ms_*] line
-    covers successful (ok) responses only — errors are counted in
-    [errors] and [error_<code>] but excluded from the latency
-    distribution, so [latency_ms_count] equals [ok], not [requests].
+    kinds seen; the mean/max/percentile and bucket lines only once at
+    least one ok response was recorded, bucket lines only for
+    non-empty bins (center, count).  Every [latency_ms_*] line covers
+    successful (ok) responses only — errors are counted in [errors]
+    and [error_<code>] but excluded from the latency distribution, so
+    [latency_ms_count] equals [ok], not [requests].  The exact key
+    sequence above is a contract (the serve test suite asserts it),
+    keyed on by shard dashboards.
 
     When observability is enabled ({!Obs.Control.on}), the global
     {!Obs.Counters} registry is appended as [obs_<name> <value>] lines

@@ -38,6 +38,8 @@ type request = {
   samples : int;
   relax : float;
   btypes : int;
+  objective : Bufins.Dominance.objective;
+  eps_power : float;
   tree : Rctree.Tree.t;
 }
 
@@ -53,6 +55,8 @@ let default_request ~tree =
     samples = 0;
     relax = 1.0;
     btypes = 0;
+    objective = Bufins.Dominance.default;
+    eps_power = 0.0;
     tree;
   }
 
@@ -93,6 +97,12 @@ let encode_request r =
      synthetic-library size is omitted at 0 (= default library), so
      historical requests and their cache keys keep their exact bytes. *)
   if r.btypes <> 0 then Printf.bprintf buf "btypes %d\n" r.btypes;
+  (* The power-objective axis keeps the same contract: the default
+     Max_yield objective and ε = 0 are omitted, so every historical
+     request — and its cache key — keeps its exact bytes. *)
+  if r.objective <> Bufins.Dominance.default then
+    Printf.bprintf buf "objective %s\n" (Bufins.Dominance.to_string r.objective);
+  if r.eps_power <> 0.0 then Printf.bprintf buf "eps_power %.17g\n" r.eps_power;
   Buffer.add_string buf "tree\n";
   Buffer.add_string buf (Rctree.Io.to_string r.tree);
   Buffer.contents buf
@@ -161,6 +171,7 @@ let decode_request text =
   let wire_sizing = ref false in
   let samples = ref 0 and relax = ref 1.0 in
   let btypes = ref 0 in
+  let objective = ref Bufins.Dominance.default and eps_power = ref 0.0 in
   let mode = ref Experiments.Common.Wid in
   let rule_name = ref "2p" in
   let rule_params : (string * float) list ref = ref [] in
@@ -178,6 +189,13 @@ let decode_request text =
         btypes := int_value lineno key v;
         if !btypes < 0 then
           failwith (Printf.sprintf "line %d: btypes must be >= 0" lineno)
+      | "objective" -> (
+        try objective := Bufins.Dominance.of_string v
+        with Failure m -> failwith (Printf.sprintf "line %d: %s" lineno m))
+      | "eps_power" ->
+        eps_power := float_value lineno key v;
+        if !eps_power < 0.0 || Float.is_nan !eps_power then
+          failwith (Printf.sprintf "line %d: eps_power must be >= 0" lineno)
       | "mode" -> (
         try mode := mode_of_name v
         with Failure m -> failwith (Printf.sprintf "line %d: %s" lineno m))
@@ -225,6 +243,8 @@ let decode_request text =
     samples = !samples;
     relax = !relax;
     btypes = !btypes;
+    objective = !objective;
+    eps_power = !eps_power;
     tree;
   }
 
@@ -245,6 +265,7 @@ type response = {
   root_yield95 : float;
   sampled : sampled option;
   mc : (float * float) option;
+  r_power : float option;
   assignment : Bufins.Assignment.t;
 }
 
@@ -263,6 +284,11 @@ let encode_response r =
   (match r.mc with
   | Some (mean, std) -> Printf.bprintf buf "mc_mean %.17g\nmc_std %.17g\n" mean std
   | None -> ());
+  (* Present only for power-aware requests, so default responses keep
+     their exact historical bytes. *)
+  (match r.r_power with
+  | Some p -> Printf.bprintf buf "power %.17g\n" p
+  | None -> ());
   Buffer.add_string buf "buffering\n";
   Buffer.add_string buf (Bufins.Assignment.to_string r.assignment);
   Buffer.contents buf
@@ -274,6 +300,7 @@ let decode_response text =
   let mc_mean = ref None and mc_std = ref None in
   let s_k = ref None and s_mean = ref nan and s_std = ref nan in
   let s_rat_at_yield = ref nan in
+  let r_power = ref None in
   List.iter
     (fun (lineno, key, v) ->
       match key with
@@ -290,6 +317,7 @@ let decode_response text =
       | "sample_mean" -> s_mean := float_value lineno key v
       | "sample_std" -> s_std := float_value lineno key v
       | "sample_yield_rat" -> s_rat_at_yield := float_value lineno key v
+      | "power" -> r_power := Some (float_value lineno key v)
       | _ ->
         failwith (Printf.sprintf "line %d: unknown response field %S" lineno key))
     fields;
@@ -320,6 +348,7 @@ let decode_response text =
       (match (!mc_mean, !mc_std) with
       | Some m, Some s -> Some (m, s)
       | _ -> None);
+    r_power = !r_power;
     assignment;
   }
 

@@ -88,13 +88,26 @@ type request = {
           default) keeps {!Device.Buffer.default_library}.  Omitted
           from both encodings when 0, so historical requests keep
           their exact bytes and cache keys. *)
+  objective : Bufins.Dominance.objective;
+      (** power-aware optimisation objective, forwarded to whichever
+          engine serves the request.  The default
+          ({!Bufins.Dominance.Max_yield}) is omitted from both
+          encodings, so historical requests keep their exact bytes and
+          cache keys; any other value engages (load, RAT, power)
+          Pareto pruning and adds a [power] line to the response. *)
+  eps_power : float;
+      (** ε-dominance bucket width on the power axis (fJ); 0 (the
+          default, omitted from both encodings) is the exact
+          frontier.  Must be ≥ 0; ignored under the default
+          [objective]. *)
   tree : Rctree.Tree.t;
 }
 
 val default_request : tree:Rctree.Tree.t -> request
 (** id 0, seed 1, WID, 2P(0.5, 0.5), no deadline, no MC, no wire
     sizing, no sampling ([samples = 0], [relax = 1]), default buffer
-    library ([btypes = 0]). *)
+    library ([btypes = 0]), default objective
+    ([objective = Max_yield], [eps_power = 0]). *)
 
 val encode_request : request -> string
 
@@ -126,6 +139,10 @@ type response = {
   root_yield95 : float;  (** the paper's 95%-yield RAT *)
   sampled : sampled option;
   mc : (float * float) option;  (** Monte-Carlo (mean, std) if requested *)
+  r_power : float option;
+      (** accumulated buffer energy (fJ) of the chosen assignment —
+          present iff the request's [objective] was power-aware, so
+          default responses keep their exact historical bytes *)
   assignment : Bufins.Assignment.t;
 }
 

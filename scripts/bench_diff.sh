@@ -29,6 +29,8 @@ def rows(path):
             out["tape/%s/%s" % (r["name"], kind)] = r.get(kind + "_ns_per_op")
     for r in d.get("btypes", {}).get("rows", []):
         out["btypes/%s/b=%d" % (r["net"], r["b"])] = r.get("ns_per_op")
+    for r in d.get("pareto", {}).get("rows", []):
+        out["pareto/%s/eps=%g" % (r["net"], r["eps"])] = r.get("ns_per_op")
     for r in d.get("cluster", {}).get("codec", []):
         out["codec/" + r["name"]] = r.get("ns_per_op")
     return out

@@ -24,6 +24,7 @@ let mk_sol ?(sens_l = []) ?(sens_t = []) l t =
   {
     Bufins.Sol.load = Linform.make ~nominal:l ~sens:sens_l;
     rat = Linform.make ~nominal:t ~sens:sens_t;
+    power = 0.0;
     choice = Bufins.Sol.At_sink 0;
   }
 

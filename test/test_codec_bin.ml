@@ -49,7 +49,19 @@ let request_gen =
     and* relax = oneof [ return 1.0; float_range 0.25 4.0 ]
     (* 0 (the default library, omitted from both encodings) must stay
        common so the historical-bytes path is exercised. *)
-    and* btypes = oneof [ return 0; int_range 1 32 ] in
+    and* btypes = oneof [ return 0; int_range 1 32 ]
+    (* Max_yield (the default objective, omitted from both encodings)
+       must likewise stay common. *)
+    and* objective =
+      oneof
+        [
+          return Bufins.Dominance.Max_yield;
+          (let* t = float_range (-1e6) 1e6 in
+           return (Bufins.Dominance.Min_power t));
+          (let* w = float_range 0.0 10.0 in
+           return (Bufins.Dominance.Weighted w));
+        ]
+    and* eps_power = oneof [ return 0.0; float_range 1e-6 1.0 ] in
     return
       {
         Serve.Protocol.id;
@@ -62,6 +74,8 @@ let request_gen =
         samples;
         relax;
         btypes;
+        objective;
+        eps_power;
         tree;
       })
 
@@ -89,6 +103,7 @@ let response_gen =
     and* mc =
       option (let* m = finite_float and* s = float_range 0.0 1e6 in
               return (m, s))
+    and* r_power = option (float_range 0.0 1e6)
     and* assignment = Test_wire_formats.assignment_gen in
     return
       {
@@ -101,6 +116,7 @@ let response_gen =
         root_yield95;
         sampled;
         mc;
+        r_power;
         assignment;
       })
 
@@ -188,20 +204,29 @@ let prop_tree_span =
     ~count:50 arb_request (fun q ->
       let b = Serve.Codec_bin.encode_request q in
       let off, len = Serve.Codec_bin.request_tree_span b in
-      (* The extension region (btypes) sits after the blob; without it
-         the blob runs to the end of the payload. *)
-      (q.Serve.Protocol.btypes <> 0 || off + len = String.length b)
+      (* The extension region (btypes/objective/eps_power) sits after
+         the blob; without it the blob runs to the end of the
+         payload. *)
+      (q.Serve.Protocol.btypes <> 0
+      || q.Serve.Protocol.objective <> Bufins.Dominance.Max_yield
+      || q.Serve.Protocol.eps_power <> 0.0
+      || off + len = String.length b)
       && String.sub b off len = Serve.Codec_bin.encode_tree q.Serve.Protocol.tree)
 
 (* ---------- truncation and corruption never crash ---------- *)
-
-let fails f = match f () with exception Failure _ -> true | _ -> false
 
 let prop_request_truncation =
   QCheck.Test.make ~name:"every strict prefix of a request is a Failure"
     ~count:40 arb_request (fun q ->
       let b = Serve.Codec_bin.encode_request q in
       let n = String.length b in
+      (* The extension region after the tree blob is optional and
+         self-delimiting, so a cut landing exactly on an entry
+         boundary there is a shorter-but-valid request (its trailing
+         extensions revert to defaults).  Any cut before the region —
+         anywhere inside the head or the tree blob — must fail. *)
+      let off, len = Serve.Codec_bin.request_tree_span b in
+      let ext_start = off + len in
       (* All short prefixes, then a sample across the payload. *)
       let cuts =
         List.init (min n 24) (fun i -> i)
@@ -210,8 +235,9 @@ let prop_request_truncation =
       List.for_all
         (fun k ->
           k >= n
-          || fails (fun () ->
-                 Serve.Codec_bin.decode_request (String.sub b 0 k)))
+          || (match Serve.Codec_bin.decode_request (String.sub b 0 k) with
+             | _ -> k >= ext_start
+             | exception Failure _ -> true))
         cuts)
 
 let prop_response_corruption =

@@ -233,8 +233,8 @@ let test_registry_complete () =
         (Experiments.Registry.find id <> None))
     [ "table1"; "table2"; "table3"; "table4"; "table5"; "fig1"; "fig2"; "fig3";
       "fig5"; "fig6"; "capacity"; "psweep"; "ablation"; "wiresizing"; "skew";
-      "grid"; "baselines"; "sampleyield"; "btypes" ];
-  Alcotest.(check int) "19 experiments" 19 (List.length ids);
+      "grid"; "baselines"; "sampleyield"; "btypes"; "powersweep" ];
+  Alcotest.(check int) "20 experiments" 20 (List.length ids);
   Alcotest.(check bool) "unknown id" true (Experiments.Registry.find "nope" = None)
 
 let suite =

@@ -9,8 +9,10 @@ let () =
       ("device", Test_device.suite);
       ("rctree", Test_rctree.suite);
       ("bufins", Test_bufins.suite);
+      ("dominance", Test_dominance.suite);
       ("btypes", Test_btypes.suite);
       ("tape", Test_tape.suite);
+      ("golden", Test_golden.suite);
       ("sta", Test_sta.suite);
       ("experiments", Test_experiments.suite);
       ("sample", Test_sample.suite);

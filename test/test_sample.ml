@@ -246,6 +246,7 @@ let sampled_response sampled =
     root_yield95 = -1309.8;
     sampled;
     mc = None;
+    r_power = None;
     assignment = { Bufins.Assignment.buffers = []; widths = [] };
   }
 

@@ -313,6 +313,42 @@ let test_metrics_latency_ok_only () =
   has "latency_ms_mean 20.0";
   has "latency_ms_max 30.0"
 
+let test_metrics_line_set () =
+  (* The rendered stats payload's key sequence is a documented
+     contract (metrics.mli / DESIGN.md): counters, ratio, sorted
+     error_/kind_ lines, then the ok-only latency block.  Pin the
+     whole set so doc and output cannot drift apart again (obs_ lines
+     are appended only under observability and excluded here). *)
+  let m = Serve.Metrics.create () in
+  Serve.Metrics.conn_opened m;
+  Serve.Metrics.request_kind m ~kind:"request";
+  Serve.Metrics.request_kind m ~kind:"request";
+  Serve.Metrics.request_kind m ~kind:"stats";
+  Serve.Metrics.cache_miss m;
+  Serve.Metrics.request_ok m ~latency_ms:10.0;
+  Serve.Metrics.request_ok m ~latency_ms:30.0;
+  Serve.Metrics.request_error m ~code:Serve.Protocol.err_parse;
+  let keys =
+    String.split_on_char '\n' (Serve.Metrics.render m)
+    |> List.filter (fun l -> l <> "")
+    |> List.filter (fun l ->
+           not (String.length l >= 4 && String.sub l 0 4 = "obs_"))
+    |> List.map (fun l ->
+           match String.index_opt l ' ' with
+           | Some i -> String.sub l 0 i
+           | None -> l)
+  in
+  Alcotest.(check (list string))
+    "rendered stats key sequence"
+    [
+      "uptime_s"; "connections"; "connections_total"; "requests"; "ok";
+      "errors"; "cache_hits"; "cache_misses"; "cache_hit_ratio";
+      "error_parse"; "kind_request"; "kind_stats"; "latency_ms_count";
+      "latency_ms_mean"; "latency_ms_max"; "latency_ms_p50";
+      "latency_ms_p95"; "latency_ms_p99"; "latency_ms_bucket";
+    ]
+    keys
+
 let test_metrics_hit_ratio_and_kinds () =
   let m = Serve.Metrics.create () in
   let lines () = String.split_on_char '\n' (Serve.Metrics.render m) in
@@ -491,6 +527,8 @@ let suite =
       test_metrics_latency_ok_only;
     Alcotest.test_case "cache hit ratio and per-kind counters" `Quick
       test_metrics_hit_ratio_and_kinds;
+    Alcotest.test_case "rendered stats line set matches the documented contract"
+      `Quick test_metrics_line_set;
     Alcotest.test_case "wire resync after oversized frame" `Quick
       test_wire_resync_after_oversized;
     Alcotest.test_case "cache hits from concurrent clients" `Quick
